@@ -1,0 +1,37 @@
+//! Criterion benchmark behind the Sect. II experiment: simulated rounds to
+//! decision under fair scheduling and under the adaptive adversary.
+
+use ccsim::{run_adaptive_attack, run_fair, ProtocolKind, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_simulated_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(20);
+    for kind in [ProtocolKind::Mmr14, ProtocolKind::Fixed] {
+        group.bench_with_input(
+            BenchmarkId::new("fair_run", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    run_fair(
+                        kind,
+                        4,
+                        1,
+                        &[Value::ZERO, Value::ONE, Value::ZERO],
+                        42,
+                        100_000,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_attack_20_rounds", format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| run_adaptive_attack(kind, 20, 42)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_rounds);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark behind Table II: per-property checking cost on
+//! representative protocols of each category.
+
+use cccore::prelude::*;
+use cccore::obligations_for;
+use ccchecker::{check_over_sweep, CheckerOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_property_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    // one representative protocol per category plus the broken protocol
+    for name in ["Rabin83", "CC85(a)", "KS16", "MMR14", "ABY22"] {
+        let protocol = protocol_by_name(name).expect("benchmark protocol");
+        let single = protocol.single_round();
+        let obligations = obligations_for(&protocol, &single);
+        let config = ccbench::bench_config();
+        let valuations = config.select_valuations(&single);
+        for (label, specs) in [
+            ("agreement", &obligations.agreement),
+            ("validity", &obligations.validity),
+            ("termination", &obligations.termination),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &(&single, specs, &valuations),
+                |b, (single, specs, valuations)| {
+                    b.iter(|| {
+                        check_over_sweep(single, specs, valuations, CheckerOptions::default())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_property_checking);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark behind Table IV: schema enumeration cost as a
+//! function of the number of milestones.
+
+use cccore::obligations_for;
+use ccchecker::{milestones, schema_count};
+use ccprotocols::fixed::{aby22, aby22_variants};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_schema_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(20);
+    let protocol = aby22();
+    for variant in aby22_variants() {
+        let single = variant.single_round().expect("multi-round model");
+        let m = milestones(&single).len();
+        let obligations = obligations_for(&protocol, &single);
+        let cb0 = obligations
+            .termination
+            .iter()
+            .find(|s| s.name() == "CB0")
+            .expect("CB0 obligation")
+            .clone();
+        group.bench_with_input(
+            BenchmarkId::new("cb0", format!("{}-{m}milestones", variant.name())),
+            &(&single, &cb0),
+            |b, (single, spec)| b.iter(|| schema_count(single, spec)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_counts);
+criterion_main!(benches);

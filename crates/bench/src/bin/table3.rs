@@ -1,0 +1,10 @@
+//! Regenerates Table III: the checked properties, per protocol.
+
+use cccore::prelude::*;
+
+fn main() {
+    for protocol in all_protocols() {
+        println!("{}", render_table3(&protocol));
+        println!();
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table IV: maximum schema counts for threshold automata of the
+//! same size but different milestone counts.
+
+use cccore::report::{render_table4, table4_rows};
+use ccprotocols::fixed::{aby22, aby22_variants};
+use ccta::SystemModel;
+
+fn main() {
+    let protocol = aby22();
+    let variants: Vec<(SystemModel, _)> = aby22_variants()
+        .into_iter()
+        .map(|m| (m, protocol.clone()))
+        .collect();
+    println!("Table IV — maximum numbers of schemas for automata with different milestones\n");
+    println!("{}", render_table4(&table4_rows(&variants)));
+}

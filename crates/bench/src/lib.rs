@@ -1,0 +1,46 @@
+//! Benchmark harness for the evaluation tables of the paper.
+//!
+//! * `cargo run --release -p ccbench --bin table2` — Table II (8 protocols ×
+//!   {Agreement, Validity, A.-s. Termination}: automaton sizes, schema
+//!   counts, checking times, the MMR14 counterexample).
+//! * `cargo run --release -p ccbench --bin table3` — Table III (the property
+//!   catalogue per protocol).
+//! * `cargo run --release -p ccbench --bin table4` — Table IV (maximum
+//!   schema counts vs. number of milestones).
+//! * `cargo bench -p ccbench` — Criterion micro-benchmarks of the
+//!   per-property checking cost, the schema enumeration and the simulator.
+
+use cccore::prelude::*;
+
+/// The verifier configuration used by the table binaries and benches: one
+/// Byzantine valuation per protocol, so the full benchmark completes within
+/// minutes on a laptop.
+pub fn bench_config() -> VerifierConfig {
+    VerifierConfig::quick()
+}
+
+/// Verifies one benchmark protocol by name with the bench configuration.
+///
+/// # Panics
+///
+/// Panics if the protocol does not exist.
+pub fn verify_named(name: &str) -> ProtocolVerification {
+    let protocol = protocol_by_name(name).expect("benchmark protocol");
+    verify_protocol(&protocol, &bench_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        assert!(bench_config().max_processes <= 4);
+    }
+
+    #[test]
+    fn verify_named_runs_a_small_protocol() {
+        let result = verify_named("Rabin83");
+        assert!(result.agreement.holds());
+    }
+}

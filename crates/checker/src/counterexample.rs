@@ -1,0 +1,89 @@
+//! Counterexamples reported by the checker.
+
+use ccta::ParamValuation;
+use cccounter::{Configuration, CounterSystem, Schedule};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A counterexample to a single-round query: the system settings, an initial
+/// configuration and a schedule leading to the violation (the same data ByMC
+/// reports, cf. Sect. VI of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// Name of the violated query.
+    pub spec: String,
+    /// The parameter valuation (system settings such as `n = 193, t = 64`).
+    pub params: ParamValuation,
+    /// The initial configuration of the violating execution.
+    pub initial: Configuration,
+    /// The schedule from the initial configuration to the violation.
+    pub schedule: Schedule,
+    /// Human-readable explanation of what was violated.
+    pub explanation: String,
+}
+
+impl Counterexample {
+    /// Renders the counterexample with rule names resolved, for reports.
+    pub fn describe(&self, sys: &CounterSystem) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "counterexample to {} with parameters {}\n",
+            self.spec, self.params
+        ));
+        out.push_str(&format!("  {}\n", self.explanation));
+        out.push_str("  schedule:\n");
+        for step in self.schedule.steps() {
+            let rule = sys.model().rule(step.action.rule);
+            out.push_str(&format!(
+                "    {} (round {}, branch {})\n",
+                rule.name(),
+                step.action.round,
+                step.branch
+            ));
+        }
+        out
+    }
+
+    /// Length of the violating schedule.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether the violation occurs already in the initial configuration.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "counterexample to {} ({} steps, parameters {})",
+            self.spec,
+            self.schedule.len(),
+            self.params
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_spec_and_params() {
+        let ce = Counterexample {
+            spec: "CB2".to_string(),
+            params: ParamValuation::new(vec![4, 1, 1, 1]),
+            initial: Configuration::zero(3, 2),
+            schedule: Schedule::new(),
+            explanation: "a correct process entered M1 after N0".to_string(),
+        };
+        let s = format!("{ce}");
+        assert!(s.contains("CB2"));
+        assert!(s.contains("(4, 1, 1, 1)"));
+        assert!(ce.is_empty());
+        assert_eq!(ce.len(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Checking the single-round queries of the verification approach.
+//!
+//! The paper reduces Agreement, Validity and Almost-sure Termination of a
+//! randomized consensus protocol with a common coin to a catalogue of
+//! single-round queries on the non-probabilistic threshold automaton
+//! (`Inv1`, `Inv2`, `C1`, `C2`, `C2'`, `CB0`–`CB4`) and discharges them with
+//! ByMC.  This crate is the ByMC substitute of the reproduction:
+//!
+//! * [`spec`] — the query catalogue (Table III of the paper) expressed over
+//!   location sets.
+//! * [`explicit`] — an explicit-state checker that verifies the universal
+//!   (safety-shaped) queries on the single-round counter system for a
+//!   concrete admissible parameter valuation, with counterexample extraction.
+//! * [`game`] — a qualitative game solver for the probabilistic conditions
+//!   `C1` and `C2'`, which by Lemma 2 reduce to `∀ adversary ∃ path`
+//!   queries; the adversary controls scheduling, the coin controls
+//!   probabilistic branching.
+//! * [`schema`] — milestone extraction and the schema-count cost metric
+//!   (the `nschemas` columns of Tables II and IV).
+//! * [`sweep`] — checking a query across a sweep of admissible parameter
+//!   valuations, which is the bounded-parameter substitute for ByMC's fully
+//!   parameterized reasoning.
+
+pub mod counterexample;
+pub mod explicit;
+pub mod game;
+pub mod result;
+pub mod schema;
+pub mod spec;
+pub mod sweep;
+
+#[cfg(test)]
+pub(crate) mod fixtures;
+
+pub use counterexample::Counterexample;
+pub use explicit::{CheckerOptions, ExplicitChecker};
+pub use result::{CheckOutcome, CheckStatus};
+pub use schema::{
+    count_linear_extensions, max_schema_count, milestone_precedence, milestones, schema_count,
+    Milestone,
+};
+pub use spec::{LocSet, Spec, StartRestriction};
+pub use sweep::{check_over_sweep, SweepOutcome, SweepReport};

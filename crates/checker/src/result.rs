@@ -1,0 +1,136 @@
+//! Outcomes of checking a query.
+
+use crate::counterexample::Counterexample;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The verdict of a check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckStatus {
+    /// The query holds (for the checked parameter valuation).
+    Holds,
+    /// The query is violated; a counterexample is attached.
+    Violated,
+    /// The check was inconclusive (state bound exhausted).
+    Unknown,
+}
+
+impl fmt::Display for CheckStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckStatus::Holds => f.write_str("holds"),
+            CheckStatus::Violated => f.write_str("violated"),
+            CheckStatus::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+/// The full outcome of checking one query on one counter system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckOutcome {
+    /// The verdict.
+    pub status: CheckStatus,
+    /// Number of explored states (the cost of the check).
+    pub states_explored: usize,
+    /// Number of explored transitions.
+    pub transitions_explored: usize,
+    /// Counterexample, present iff `status == Violated`.
+    pub counterexample: Option<Counterexample>,
+    /// Additional details (e.g. why the check was inconclusive).
+    pub detail: String,
+}
+
+impl CheckOutcome {
+    /// A positive outcome.
+    pub fn holds(states: usize, transitions: usize) -> Self {
+        CheckOutcome {
+            status: CheckStatus::Holds,
+            states_explored: states,
+            transitions_explored: transitions,
+            counterexample: None,
+            detail: String::new(),
+        }
+    }
+
+    /// A violation with counterexample.
+    pub fn violated(states: usize, transitions: usize, ce: Counterexample) -> Self {
+        CheckOutcome {
+            status: CheckStatus::Violated,
+            states_explored: states,
+            transitions_explored: transitions,
+            counterexample: Some(ce),
+            detail: String::new(),
+        }
+    }
+
+    /// An inconclusive outcome.
+    pub fn unknown(states: usize, transitions: usize, detail: impl Into<String>) -> Self {
+        CheckOutcome {
+            status: CheckStatus::Unknown,
+            states_explored: states,
+            transitions_explored: transitions,
+            counterexample: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether the query holds.
+    pub fn is_holds(&self) -> bool {
+        self.status == CheckStatus::Holds
+    }
+
+    /// Whether the query is violated.
+    pub fn is_violated(&self) -> bool {
+        self.status == CheckStatus::Violated
+    }
+}
+
+impl fmt::Display for CheckOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} states, {} transitions)",
+            self.status, self.states_explored, self.transitions_explored
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " [{}]", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccta::ParamValuation;
+    use cccounter::{Configuration, Schedule};
+
+    #[test]
+    fn constructors_set_status() {
+        assert!(CheckOutcome::holds(10, 20).is_holds());
+        assert!(!CheckOutcome::holds(10, 20).is_violated());
+        let ce = Counterexample {
+            spec: "x".into(),
+            params: ParamValuation::new(vec![1]),
+            initial: Configuration::zero(1, 1),
+            schedule: Schedule::new(),
+            explanation: String::new(),
+        };
+        let v = CheckOutcome::violated(5, 9, ce);
+        assert!(v.is_violated());
+        assert!(v.counterexample.is_some());
+        let u = CheckOutcome::unknown(1, 2, "bound");
+        assert_eq!(u.status, CheckStatus::Unknown);
+        assert_eq!(u.detail, "bound");
+    }
+
+    #[test]
+    fn display_contains_costs() {
+        let s = format!("{}", CheckOutcome::holds(10, 20));
+        assert!(s.contains("holds"));
+        assert!(s.contains("10 states"));
+        let s = format!("{}", CheckOutcome::unknown(1, 2, "cap"));
+        assert!(s.contains("[cap]"));
+        assert_eq!(format!("{}", CheckStatus::Violated), "violated");
+    }
+}

@@ -1,0 +1,201 @@
+//! Checking queries over a sweep of admissible parameter valuations.
+//!
+//! ByMC establishes each query for *all* admissible parameters.  The
+//! reproduction instead checks every query on a family of small admissible
+//! valuations (the sweep); a query "holds" if it holds on every member of the
+//! sweep and is "violated" as soon as one member yields a counterexample.
+
+use crate::explicit::{CheckerOptions, ExplicitChecker};
+use crate::result::{CheckOutcome, CheckStatus};
+use crate::spec::Spec;
+use ccta::{ParamValuation, SystemModel};
+use cccounter::CounterSystem;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The outcome of one query on one parameter valuation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// The parameter valuation checked.
+    pub params: ParamValuation,
+    /// The outcome of the check.
+    pub outcome: CheckOutcome,
+    /// Wall-clock time of the check.
+    pub duration: Duration,
+}
+
+/// The aggregated result of one query over the whole sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Name of the query.
+    pub spec_name: String,
+    /// The query rendered in Table-III notation.
+    pub formula: String,
+    /// Per-valuation outcomes (checking stops at the first violation).
+    pub outcomes: Vec<SweepOutcome>,
+}
+
+impl SweepReport {
+    /// The overall status: `Violated` if any valuation produced a
+    /// counterexample, `Unknown` if some check was inconclusive and none was
+    /// violated, `Holds` otherwise.
+    pub fn status(&self) -> CheckStatus {
+        if self
+            .outcomes
+            .iter()
+            .any(|o| o.outcome.status == CheckStatus::Violated)
+        {
+            CheckStatus::Violated
+        } else if self
+            .outcomes
+            .iter()
+            .any(|o| o.outcome.status == CheckStatus::Unknown)
+        {
+            CheckStatus::Unknown
+        } else {
+            CheckStatus::Holds
+        }
+    }
+
+    /// Whether the query holds on every member of the sweep.
+    pub fn holds(&self) -> bool {
+        self.status() == CheckStatus::Holds
+    }
+
+    /// The first violating outcome, if any.
+    pub fn first_violation(&self) -> Option<&SweepOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.outcome.status == CheckStatus::Violated)
+    }
+
+    /// Total number of explored states across the sweep.
+    pub fn total_states(&self) -> usize {
+        self.outcomes.iter().map(|o| o.outcome.states_explored).sum()
+    }
+
+    /// Total wall-clock time across the sweep.
+    pub fn total_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.duration).sum()
+    }
+}
+
+/// Checks each query on every valuation of the sweep.
+///
+/// The model must be a single-round model (Definition 3).  Valuations that
+/// are not admissible for the model's environment are skipped.  Checking of a
+/// query stops at its first violation.
+pub fn check_over_sweep(
+    model: &SystemModel,
+    specs: &[Spec],
+    valuations: &[ParamValuation],
+    options: CheckerOptions,
+) -> Vec<SweepReport> {
+    let systems: Vec<CounterSystem> = valuations
+        .iter()
+        .filter_map(|v| CounterSystem::new(model.clone(), v.clone()).ok())
+        .collect();
+    specs
+        .iter()
+        .map(|spec| {
+            let mut outcomes = Vec::new();
+            for sys in &systems {
+                let started = Instant::now();
+                let checker = ExplicitChecker::with_options(sys, options);
+                let outcome = checker.check(spec);
+                let violated = outcome.status == CheckStatus::Violated;
+                outcomes.push(SweepOutcome {
+                    params: sys.params().clone(),
+                    outcome,
+                    duration: started.elapsed(),
+                });
+                if violated {
+                    break;
+                }
+            }
+            SweepReport {
+                spec_name: spec.name().to_string(),
+                formula: spec.formula(model),
+                outcomes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::spec::{LocSet, StartRestriction};
+    use ccta::BinValue;
+
+    fn sweep_valuations() -> Vec<ParamValuation> {
+        vec![
+            ParamValuation::new(vec![4, 1, 1, 1]),
+            ParamValuation::new(vec![5, 1, 1, 1]),
+            // inadmissible, must be skipped
+            ParamValuation::new(vec![3, 1, 1, 1]),
+        ]
+    }
+
+    #[test]
+    fn sweep_aggregates_multiple_valuations() {
+        let model = fixtures::voting_model().single_round().unwrap();
+        let specs = vec![
+            Spec::NeverFrom {
+                name: "unreachable-I1".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+            },
+            Spec::NeverFrom {
+                name: "reachable-E0".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "E0", &["E0"]),
+            },
+        ];
+        let reports = check_over_sweep(
+            &model,
+            &specs,
+            &sweep_valuations(),
+            CheckerOptions::default(),
+        );
+        assert_eq!(reports.len(), 2);
+
+        let holds = &reports[0];
+        assert!(holds.holds());
+        assert_eq!(holds.status(), CheckStatus::Holds);
+        // two admissible valuations were checked
+        assert_eq!(holds.outcomes.len(), 2);
+        assert!(holds.total_states() > 0);
+        assert!(holds.first_violation().is_none());
+        assert!(!holds.formula.is_empty());
+
+        let violated = &reports[1];
+        assert_eq!(violated.status(), CheckStatus::Violated);
+        // stops at the first violating valuation
+        assert_eq!(violated.outcomes.len(), 1);
+        assert!(violated.first_violation().is_some());
+        assert!(violated.total_time() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_status_propagates() {
+        let model = fixtures::voting_model().single_round().unwrap();
+        let specs = vec![Spec::NeverFrom {
+            name: "unreachable-I1".into(),
+            start: StartRestriction::Unanimous(BinValue::Zero),
+            forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+        }];
+        let reports = check_over_sweep(
+            &model,
+            &specs,
+            &[ParamValuation::new(vec![4, 1, 1, 1])],
+            CheckerOptions {
+                max_states: 1,
+                max_transitions: 10,
+            },
+        );
+        assert_eq!(reports[0].status(), CheckStatus::Unknown);
+        assert!(!reports[0].holds());
+    }
+}

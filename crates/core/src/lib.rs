@@ -1,0 +1,56 @@
+//! Verification of randomized consensus protocols with common coins.
+//!
+//! This is the facade crate of the reproduction of *"Verifying Randomized
+//! Consensus Protocols with Common Coins"* (DSN 2024).  It ties together
+//!
+//! * the threshold-automata formalism ([`ccta`]),
+//! * the counter-system semantics ([`cccounter`]),
+//! * the single-round query checker ([`ccchecker`]), and
+//! * the benchmark protocol models ([`ccprotocols`]),
+//!
+//! and exposes the end-to-end pipeline of Sect. V of the paper:
+//!
+//! 1. [`obligations::obligations_for`] derives, from a protocol's category,
+//!    the single-round queries whose validity implies Agreement, Validity and
+//!    Almost-sure Termination (`Inv1`, `Inv2`, `C1`, `C2`, `C2'`,
+//!    `CB0`–`CB4`, plus the non-blocking side condition of Theorem 2).
+//! 2. [`verifier::verify_protocol`] checks every query on the single-round
+//!    automaton `TA_rd` over a sweep of small admissible parameter
+//!    valuations and aggregates the verdicts per consensus property.
+//! 3. [`report`] renders the results in the shape of Tables II, III and IV.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cccore::prelude::*;
+//!
+//! let mmr14 = ccprotocols::protocol_by_name("MMR14").expect("benchmark protocol");
+//! let config = VerifierConfig::quick();
+//! let result = verify_protocol(&mmr14, &config);
+//! // the adaptive-adversary attack of Sect. II shows up as a violation of
+//! // the binding condition CB2
+//! assert!(result.termination.is_violated());
+//! assert!(result.agreement.holds());
+//! ```
+
+pub mod obligations;
+pub mod report;
+pub mod verifier;
+
+pub use obligations::{obligations_for, Obligations};
+pub use report::{render_table2, render_table3, render_table4, Table4Row};
+pub use verifier::{
+    verify_all, verify_protocol, PropertyResult, ProtocolVerification, VerifierConfig,
+};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::obligations::{obligations_for, Obligations};
+    pub use crate::report::{render_table2, render_table3, render_table4};
+    pub use crate::verifier::{
+        verify_all, verify_protocol, PropertyResult, ProtocolVerification, VerifierConfig,
+    };
+    pub use ccchecker::{CheckStatus, CheckerOptions};
+    pub use ccprotocols::{all_protocols, protocol_by_name, ProtocolModel};
+    pub use ccta::ProtocolCategory;
+}

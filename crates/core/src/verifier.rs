@@ -1,0 +1,312 @@
+//! The end-to-end verification driver.
+//!
+//! For a protocol, the driver builds the single-round automaton, derives the
+//! proof obligations, selects a sweep of small admissible parameter
+//! valuations, and checks every obligation on every valuation with the
+//! explicit-state checker — the bounded-parameter substitute for running
+//! ByMC on the fully parameterized system.
+
+use crate::obligations::{obligations_for, Obligations};
+use ccchecker::{
+    schema_count, check_over_sweep, CheckStatus, CheckerOptions, Counterexample, Spec, SweepReport,
+};
+use ccprotocols::ProtocolModel;
+use ccta::{ModelStats, ParamValuation, ProtocolCategory, SystemModel};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of the verification sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierConfig {
+    /// Upper bound on every parameter value during valuation enumeration.
+    pub max_param_value: u64,
+    /// Upper bound on the number of modelled correct processes.
+    pub max_processes: u64,
+    /// Maximum number of valuations checked per protocol.
+    pub max_valuations: usize,
+    /// Resource limits of the explicit-state checker.
+    pub checker: CheckerOptions,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            max_param_value: 8,
+            max_processes: 4,
+            max_valuations: 2,
+            checker: CheckerOptions::default(),
+        }
+    }
+}
+
+impl VerifierConfig {
+    /// A fast configuration: the single smallest non-trivial valuation per
+    /// protocol.  Used by tests, examples and the documentation.
+    pub fn quick() -> Self {
+        VerifierConfig {
+            max_param_value: 6,
+            max_processes: 3,
+            max_valuations: 1,
+            checker: CheckerOptions::default(),
+        }
+    }
+
+    /// A broader configuration for the benchmark harness.
+    pub fn thorough() -> Self {
+        VerifierConfig {
+            max_param_value: 9,
+            max_processes: 5,
+            max_valuations: 3,
+            checker: CheckerOptions::default(),
+        }
+    }
+
+    /// Selects the sweep valuations for a model: the smallest admissible
+    /// valuations with at least two correct processes and exactly one coin,
+    /// preferring instances that actually contain Byzantine processes.
+    pub fn select_valuations(&self, model: &SystemModel) -> Vec<ParamValuation> {
+        let env = model.env();
+        let mut candidates: Vec<ParamValuation> = env
+            .admissible_valuations(self.max_param_value)
+            .into_iter()
+            .filter(|v| {
+                env.system_size(v).is_some_and(|s| {
+                    s.processes >= 2 && s.processes <= self.max_processes && s.coins <= 1
+                })
+            })
+            .collect();
+        let f_id = env.param_id("f");
+        // prefer valuations with Byzantine processes (f >= 1), then smaller
+        // systems
+        candidates.sort_by_key(|v| {
+            let byz = f_id.map(|f| v.value(f) >= 1).unwrap_or(false);
+            let procs = env.system_size(v).map(|s| s.processes).unwrap_or(u64::MAX);
+            (std::cmp::Reverse(byz as u8), procs, v.values().to_vec())
+        });
+        candidates.truncate(self.max_valuations);
+        candidates
+    }
+}
+
+/// The aggregated verdict for one consensus property of one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyResult {
+    /// Property name ("Agreement", "Validity", "A.S. Termination").
+    pub property: String,
+    /// Overall status across all obligations and valuations.
+    pub status: CheckStatus,
+    /// The schema-count cost metric summed over the property's obligations
+    /// (the `nschemas` column of Table II).
+    pub nschemas: u128,
+    /// Total number of explored states.
+    pub states: usize,
+    /// Total wall-clock checking time.
+    pub time: Duration,
+    /// The first counterexample found, if any.
+    pub counterexample: Option<Counterexample>,
+    /// The per-obligation sweep reports.
+    pub reports: Vec<SweepReport>,
+}
+
+impl PropertyResult {
+    /// Whether the property holds on the whole sweep.
+    pub fn holds(&self) -> bool {
+        self.status == CheckStatus::Holds
+    }
+
+    /// Whether some obligation was violated.
+    pub fn is_violated(&self) -> bool {
+        self.status == CheckStatus::Violated
+    }
+
+    /// Name of the first violated obligation, if any.
+    pub fn violated_obligation(&self) -> Option<&str> {
+        self.reports
+            .iter()
+            .find(|r| r.status() == CheckStatus::Violated)
+            .map(|r| r.spec_name.as_str())
+    }
+}
+
+/// The full verification result of one protocol (one row of Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolVerification {
+    /// Protocol name.
+    pub protocol: String,
+    /// Protocol category.
+    pub category: ProtocolCategory,
+    /// Automaton size statistics (`|L|`, `|R|`).
+    pub stats: ModelStats,
+    /// The parameter valuations that were checked.
+    pub valuations: Vec<ParamValuation>,
+    /// Agreement verdict.
+    pub agreement: PropertyResult,
+    /// Validity verdict.
+    pub validity: PropertyResult,
+    /// Almost-sure termination verdict.
+    pub termination: PropertyResult,
+}
+
+impl ProtocolVerification {
+    /// Whether all three consensus properties hold.
+    pub fn all_hold(&self) -> bool {
+        self.agreement.holds() && self.validity.holds() && self.termination.holds()
+    }
+}
+
+fn check_property(
+    property: &str,
+    specs: &[Spec],
+    single_round: &SystemModel,
+    valuations: &[ParamValuation],
+    config: &VerifierConfig,
+) -> PropertyResult {
+    let reports = check_over_sweep(single_round, specs, valuations, config.checker);
+    let status = if reports
+        .iter()
+        .any(|r| r.status() == CheckStatus::Violated)
+    {
+        CheckStatus::Violated
+    } else if reports.iter().any(|r| r.status() == CheckStatus::Unknown) {
+        CheckStatus::Unknown
+    } else {
+        CheckStatus::Holds
+    };
+    let counterexample = reports
+        .iter()
+        .filter_map(|r| r.first_violation())
+        .filter_map(|o| o.outcome.counterexample.clone())
+        .next();
+    let nschemas = specs
+        .iter()
+        .map(|s| schema_count(single_round, s))
+        .sum();
+    PropertyResult {
+        property: property.to_string(),
+        status,
+        nschemas,
+        states: reports.iter().map(|r| r.total_states()).sum(),
+        time: reports.iter().map(|r| r.total_time()).sum(),
+        counterexample,
+        reports,
+    }
+}
+
+/// Verifies one protocol: Agreement, Validity and Almost-sure Termination on
+/// a sweep of admissible valuations.
+pub fn verify_protocol(protocol: &ProtocolModel, config: &VerifierConfig) -> ProtocolVerification {
+    let single_round = protocol.single_round();
+    let obligations: Obligations = obligations_for(protocol, &single_round);
+    let valuations = config.select_valuations(&single_round);
+    let agreement = check_property(
+        "Agreement",
+        &obligations.agreement,
+        &single_round,
+        &valuations,
+        config,
+    );
+    let validity = check_property(
+        "Validity",
+        &obligations.validity,
+        &single_round,
+        &valuations,
+        config,
+    );
+    let termination = check_property(
+        "A.S. Termination",
+        &obligations.termination,
+        &single_round,
+        &valuations,
+        config,
+    );
+    ProtocolVerification {
+        protocol: protocol.name().to_string(),
+        category: protocol.category(),
+        stats: protocol.stats(),
+        valuations,
+        agreement,
+        validity,
+        termination,
+    }
+}
+
+/// Verifies every protocol of the benchmark (Table II).
+pub fn verify_all(config: &VerifierConfig) -> Vec<ProtocolVerification> {
+    ccprotocols::all_protocols()
+        .iter()
+        .map(|p| verify_protocol(p, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccprotocols::{bstyle, fixed, mmr14, protocol_by_name};
+
+    #[test]
+    fn valuation_selection_prefers_byzantine_instances() {
+        let p = bstyle::cc85a();
+        let config = VerifierConfig::default();
+        let vals = config.select_valuations(&p.single_round());
+        assert!(!vals.is_empty());
+        assert!(vals.len() <= config.max_valuations);
+        let env = p.model().env();
+        let f = env.param_id("f").unwrap();
+        // the first (preferred) valuation contains a Byzantine process
+        assert!(vals[0].value(f) >= 1);
+        for v in &vals {
+            assert!(env.is_admissible(v));
+        }
+    }
+
+    #[test]
+    fn category_b_protocol_passes_all_properties() {
+        let p = bstyle::cc85a();
+        let result = verify_protocol(&p, &VerifierConfig::quick());
+        assert!(result.agreement.holds(), "{:?}", result.agreement.status);
+        assert!(result.validity.holds(), "{:?}", result.validity.status);
+        assert!(
+            result.termination.holds(),
+            "violated: {:?}",
+            result.termination.violated_obligation()
+        );
+        assert!(result.all_hold());
+        assert!(result.agreement.nschemas > 0);
+    }
+
+    #[test]
+    fn mmr14_termination_is_refuted_via_cb2() {
+        let p = mmr14::mmr14();
+        let result = verify_protocol(&p, &VerifierConfig::quick());
+        assert!(result.agreement.holds());
+        assert!(result.validity.holds());
+        assert!(result.termination.is_violated());
+        let violated = result.termination.violated_obligation().unwrap();
+        assert!(violated.starts_with("CB"), "violated obligation: {violated}");
+        let ce = result.termination.counterexample.as_ref().unwrap();
+        assert!(!ce.schedule.is_empty());
+    }
+
+    #[test]
+    fn fixed_protocols_pass_the_binding_conditions() {
+        for p in [fixed::miller18(), fixed::aby22()] {
+            let result = verify_protocol(&p, &VerifierConfig::quick());
+            assert!(
+                result.termination.holds(),
+                "{}: violated {:?}",
+                p.name(),
+                result.termination.violated_obligation()
+            );
+            assert!(result.all_hold(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn lookup_and_verify_by_name() {
+        let p = protocol_by_name("KS16").unwrap();
+        let result = verify_protocol(&p, &VerifierConfig::quick());
+        assert_eq!(result.protocol, "KS16");
+        assert_eq!(result.category, ProtocolCategory::B);
+        assert!(result.all_hold());
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration tests spanning the whole stack: protocol models (ccprotocols)
+//! → single-round construction (ccta) → counter systems (cccounter) →
+//! obligations and checking (ccchecker, cccore).
+
+use cccore::prelude::*;
+use cccounter::{CounterSystem, EagerAdversary, RandomAdversary, RoundRigid, RunOutcome};
+use ccta::{BinValue, ModelKind, Owner, ParamValuation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn the_benchmark_reproduces_table_ii_verdicts() {
+    // Every protocol satisfies Agreement and Validity; every protocol except
+    // MMR14 also satisfies the almost-sure-termination obligations, while
+    // MMR14 is refuted by a binding counterexample (Table II, last column).
+    let config = VerifierConfig::quick();
+    for result in verify_all(&config) {
+        assert!(result.agreement.holds(), "{} agreement", result.protocol);
+        assert!(result.validity.holds(), "{} validity", result.protocol);
+        if result.protocol == "MMR14" {
+            assert!(result.termination.is_violated());
+            let obligation = result.termination.violated_obligation().unwrap();
+            assert!(obligation.starts_with("CB"), "{obligation}");
+        } else {
+            assert!(
+                result.termination.holds(),
+                "{} termination ({:?})",
+                result.protocol,
+                result.termination.violated_obligation()
+            );
+        }
+    }
+}
+
+#[test]
+fn mmr14_counterexample_replays_on_the_counter_system() {
+    // The CB2 counterexample reported by the checker is a real execution of
+    // the single-round counter system: replaying it visits a configuration
+    // with the refined N0 location occupied and one with M1 occupied.
+    let mmr14 = protocol_by_name("MMR14").unwrap();
+    let result = verify_protocol(&mmr14, &VerifierConfig::quick());
+    let ce = result
+        .termination
+        .counterexample
+        .expect("MMR14 must produce a counterexample");
+    let single_round = mmr14.single_round();
+    let sys = CounterSystem::new(single_round.clone(), ce.params.clone()).unwrap();
+    let path = ce
+        .schedule
+        .apply(&sys, &ce.initial)
+        .expect("counterexample schedule must be applicable");
+    let n0 = single_round.location_id("N0").unwrap();
+    let m1 = single_round.location_id("M1").unwrap();
+    assert!(path.visits(|c| c.counter(n0, 0) > 0));
+    assert!(path.visits(|c| c.counter(m1, 0) > 0));
+}
+
+#[test]
+fn single_round_models_keep_the_variable_alphabet() {
+    for protocol in all_protocols() {
+        let multi = protocol.model();
+        let single = protocol.single_round();
+        assert_eq!(single.kind(), ModelKind::SingleRound);
+        assert_eq!(multi.vars(), single.vars());
+        // border copies are added, nothing else disappears
+        assert_eq!(
+            single.locations().len(),
+            multi.locations().len() + multi.border_locations(Owner::Process, None).len()
+                + multi.border_locations(Owner::Coin, None).len()
+        );
+    }
+}
+
+#[test]
+fn round_rigid_adversary_runs_terminate_on_every_single_round_benchmark() {
+    // Theorem 2's side condition, exercised dynamically: fair round-rigid
+    // adversaries drive every single-round benchmark system into a terminal
+    // configuration.
+    let mut rng = StdRng::seed_from_u64(9);
+    for protocol in all_protocols() {
+        let single = protocol.single_round();
+        let Some(valuation) = VerifierConfig::quick()
+            .select_valuations(&single)
+            .into_iter()
+            .next()
+        else {
+            continue;
+        };
+        let sys = CounterSystem::new(single, valuation).unwrap();
+        let init = sys.round_start_configurations()[0].clone();
+        let mut adv = RoundRigid::new(EagerAdversary);
+        let (path, outcome) =
+            cccounter::adversary::run_adversary(&sys, init, &mut adv, &mut rng, 2_000);
+        assert_eq!(outcome, RunOutcome::Terminal, "{}", protocol.name());
+        assert!(path.schedule().is_round_rigid());
+    }
+}
+
+#[test]
+fn validity_holds_dynamically_for_unanimous_starts() {
+    // Sampled executions of the KS16 single-round system from unanimous-0
+    // starts never occupy a final location with value 1.
+    let protocol = protocol_by_name("KS16").unwrap();
+    let single = protocol.single_round();
+    let e1_locs = single.final_locations(Owner::Process, Some(BinValue::One));
+    let sys = CounterSystem::new(single, ParamValuation::new(vec![4, 1, 1, 1])).unwrap();
+    let init = sys.unanimous_start_configurations(BinValue::Zero)[0].clone();
+    let mut rng = StdRng::seed_from_u64(3);
+    for seed in 0..20u64 {
+        let mut adv = RandomAdversary::new(StdRng::seed_from_u64(seed));
+        let (path, outcome) =
+            cccounter::adversary::run_adversary(&sys, init.clone(), &mut adv, &mut rng, 2_000);
+        assert_eq!(outcome, RunOutcome::Terminal);
+        assert!(path.always(|c| e1_locs.iter().all(|&l| c.counter(l, 0) == 0)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 1, property-based: any applicable schedule sampled by a random
+    /// adversary on the multi-round MMR14 system can be reordered into a
+    /// round-rigid schedule that is applicable and reaches the same
+    /// configuration.
+    #[test]
+    fn theorem_1_reordering_on_sampled_schedules(seed in 0u64..500) {
+        let mmr14 = protocol_by_name("MMR14").unwrap();
+        let sys = CounterSystem::new(
+            mmr14.model().clone(),
+            ParamValuation::new(vec![4, 1, 1, 1]),
+        )
+        .unwrap();
+        let init = sys.round_start_configurations()[0].clone();
+        let mut adv = RandomAdversary::new(StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let (path, _) =
+            cccounter::adversary::run_adversary(&sys, init.clone(), &mut adv, &mut rng, 120);
+        let schedule = path.schedule();
+        let rigid = cccounter::schedule::reorder_round_rigid(&sys, &init, &schedule).unwrap();
+        prop_assert!(rigid.is_round_rigid());
+        let rigid_final = rigid.apply(&sys, &init).unwrap().last().clone();
+        prop_assert_eq!(rigid_final, path.last().clone());
+    }
+
+    /// The schema-count metric is monotone in the query shape: the two-cut
+    /// CoverNever queries always cost at least as much as single-cut queries
+    /// on the same automaton.
+    #[test]
+    fn schema_counts_are_monotone_in_cut_points(idx in 0usize..8) {
+        let protocol = all_protocols().swap_remove(idx);
+        let single = protocol.single_round();
+        let obligations = obligations_for(&protocol, &single);
+        let inv1 = ccchecker::schema_count(&single, &obligations.agreement[0]);
+        let inv2 = ccchecker::schema_count(&single, &obligations.validity[0]);
+        prop_assert!(inv1 >= inv2);
+    }
+}

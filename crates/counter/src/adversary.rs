@@ -1,0 +1,289 @@
+//! Adversaries resolving the non-determinism of the counter system.
+//!
+//! An adversary is a function from finite path prefixes to applicable actions
+//! (Sect. III-E of the paper).  Together with an initial configuration it
+//! induces a Markov chain; the runner in this module samples paths of that
+//! chain by resolving probabilistic branches with an RNG.
+
+use crate::config::Configuration;
+use crate::schedule::{Path, ScheduledStep};
+use crate::system::{Action, CounterSystem};
+use rand::Rng;
+
+/// An adversary selects the next action given the path so far.
+pub trait Adversary {
+    /// Chooses an applicable action, or `None` to stop (only sensible when
+    /// the last configuration is terminal).
+    fn select(&mut self, sys: &CounterSystem, path: &Path) -> Option<Action>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "adversary"
+    }
+}
+
+/// Picks the first applicable progress action in rule order.  Deterministic
+/// and round-rigid on single-round systems; on multi-round systems it always
+/// prefers the lowest active round, so it is round-rigid there as well.
+#[derive(Debug, Default, Clone)]
+pub struct EagerAdversary;
+
+impl Adversary for EagerAdversary {
+    fn select(&mut self, sys: &CounterSystem, path: &Path) -> Option<Action> {
+        let mut actions = sys.progress_actions(path.last());
+        actions.sort_by_key(|a| (a.round, a.rule.0));
+        actions.into_iter().next()
+    }
+
+    fn name(&self) -> &str {
+        "eager"
+    }
+}
+
+/// Picks a uniformly random applicable progress action.
+#[derive(Debug, Clone)]
+pub struct RandomAdversary<R: Rng> {
+    rng: R,
+}
+
+impl<R: Rng> RandomAdversary<R> {
+    /// Creates a random adversary from an RNG.
+    pub fn new(rng: R) -> Self {
+        RandomAdversary { rng }
+    }
+}
+
+impl<R: Rng> Adversary for RandomAdversary<R> {
+    fn select(&mut self, sys: &CounterSystem, path: &Path) -> Option<Action> {
+        let actions = sys.progress_actions(path.last());
+        if actions.is_empty() {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..actions.len());
+        Some(actions[idx])
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Restricts an inner adversary to round-rigid behaviour: only actions of the
+/// lowest active round that still has applicable progress actions may be
+/// chosen.
+#[derive(Debug, Clone)]
+pub struct RoundRigid<A> {
+    inner: A,
+}
+
+impl<A> RoundRigid<A> {
+    /// Wraps an adversary.
+    pub fn new(inner: A) -> Self {
+        RoundRigid { inner }
+    }
+}
+
+impl<A: Adversary> Adversary for RoundRigid<A> {
+    fn select(&mut self, sys: &CounterSystem, path: &Path) -> Option<Action> {
+        let candidate = self.inner.select(sys, path)?;
+        let lowest_round = sys
+            .progress_actions(path.last())
+            .iter()
+            .map(|a| a.round)
+            .min()?;
+        if candidate.round == lowest_round {
+            Some(candidate)
+        } else {
+            // replace by some action of the lowest round
+            sys.progress_actions(path.last())
+                .into_iter()
+                .find(|a| a.round == lowest_round)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "round-rigid"
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The adversary stopped because the configuration was terminal.
+    Terminal,
+    /// The step bound was exhausted before reaching a terminal configuration.
+    StepBound,
+    /// The adversary declined to pick an action in a non-terminal state
+    /// (an unfair adversary).
+    AdversaryStopped,
+}
+
+/// Samples one path of the Markov chain induced by `adversary` from the
+/// initial configuration, resolving probabilistic branches with `rng`.
+pub fn run_adversary<A: Adversary, R: Rng>(
+    sys: &CounterSystem,
+    initial: Configuration,
+    adversary: &mut A,
+    rng: &mut R,
+    max_steps: usize,
+) -> (Path, RunOutcome) {
+    let mut path = Path::initial(initial);
+    for _ in 0..max_steps {
+        if sys.is_terminal(path.last()) {
+            return (path, RunOutcome::Terminal);
+        }
+        let Some(action) = adversary.select(sys, &path) else {
+            return (path, RunOutcome::AdversaryStopped);
+        };
+        let branch = sample_branch(sys, action, rng);
+        let next = sys
+            .apply(path.last(), action, branch)
+            .expect("adversaries must return applicable actions");
+        path.extend(ScheduledStep::with_branch(action, branch), next);
+    }
+    let outcome = if sys.is_terminal(path.last()) {
+        RunOutcome::Terminal
+    } else {
+        RunOutcome::StepBound
+    };
+    (path, outcome)
+}
+
+/// Samples a branch index of the rule of `action` according to its
+/// probability distribution.
+fn sample_branch<R: Rng>(sys: &CounterSystem, action: Action, rng: &mut R) -> usize {
+    let branches = sys.model().rule(action.rule).branches();
+    if branches.len() == 1 {
+        return 0;
+    }
+    // sample with exact rational weights over a common denominator
+    let denom: u64 = branches
+        .iter()
+        .map(|b| b.prob.denominator())
+        .fold(1, num_lcm);
+    let weights: Vec<u64> = branches
+        .iter()
+        .map(|b| b.prob.numerator() * (denom / b.prob.denominator()))
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let mut draw = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= w;
+    }
+    branches.len() - 1
+}
+
+fn num_gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        num_gcd(b, a % b)
+    }
+}
+
+fn num_lcm(a: u64, b: u64) -> u64 {
+    a / num_gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{small_params, voting_model};
+    use ccta::BinValue;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn single_round_system() -> CounterSystem {
+        let rd = voting_model().single_round().unwrap();
+        CounterSystem::new(rd, small_params()).unwrap()
+    }
+
+    #[test]
+    fn eager_adversary_terminates_single_round_runs() {
+        let sys = single_round_system();
+        let mut rng = StdRng::seed_from_u64(1);
+        for init in sys.round_start_configurations() {
+            let mut adv = EagerAdversary;
+            let (path, outcome) = run_adversary(&sys, init, &mut adv, &mut rng, 200);
+            assert_eq!(outcome, RunOutcome::Terminal);
+            assert!(sys.is_terminal(path.last()));
+            // 3 processes + 1 coin all end up in border copies or final locations
+            assert_eq!(path.last().total_in_round(0), 4);
+        }
+    }
+
+    #[test]
+    fn random_adversary_is_fair_up_to_termination() {
+        let sys = single_round_system();
+        let mut rng = StdRng::seed_from_u64(7);
+        let init = sys.unanimous_start_configurations(BinValue::Zero)[0].clone();
+        for seed in 0..10u64 {
+            let mut adv = RandomAdversary::new(StdRng::seed_from_u64(seed));
+            let (path, outcome) = run_adversary(&sys, init.clone(), &mut adv, &mut rng, 500);
+            assert_eq!(outcome, RunOutcome::Terminal);
+            // with a unanimous 0 start, E1 is only reachable through the
+            // coin rule, i.e. after cc1 has been published
+            let e1 = sys.model().location_id("E1").unwrap();
+            let cc1 = sys.model().var_id("cc1").unwrap();
+            assert!(path.always(|c| c.counter(e1, 0) == 0 || c.var(cc1, 0) >= 1));
+            // the majority-1 rule can never fire: v1 stays zero
+            let v1 = sys.model().var_id("v1").unwrap();
+            assert!(path.always(|c| c.var(v1, 0) == 0));
+        }
+    }
+
+    #[test]
+    fn round_rigid_wrapper_prefers_lowest_round() {
+        let sys = CounterSystem::new(voting_model(), small_params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = sys.round_start_configurations()[0].clone();
+        let mut adv = RoundRigid::new(RandomAdversary::new(StdRng::seed_from_u64(11)));
+        let (path, _) = run_adversary(&sys, init, &mut adv, &mut rng, 60);
+        assert!(path.schedule().is_round_rigid());
+        assert_eq!(adv.name(), "round-rigid");
+    }
+
+    #[test]
+    fn multi_round_run_progresses_through_rounds() {
+        let sys = CounterSystem::new(voting_model(), small_params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let init = sys.round_start_configurations()[0].clone();
+        let mut adv = EagerAdversary;
+        let (path, outcome) = run_adversary(&sys, init, &mut adv, &mut rng, 300);
+        // the multi-round system never terminates; the run hits the bound
+        assert_eq!(outcome, RunOutcome::StepBound);
+        assert!(path.last().max_active_round().unwrap_or(0) >= 1);
+        assert_eq!(adv.name(), "eager");
+    }
+
+    #[test]
+    fn branch_sampling_is_roughly_fair() {
+        let sys = CounterSystem::new(voting_model(), small_params()).unwrap();
+        let toss = sys.model().rule_id("toss").unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 2];
+        for _ in 0..2000 {
+            counts[sample_branch(&sys, Action::new(toss, 0), &mut rng)] += 1;
+        }
+        assert!(counts[0] > 800 && counts[1] > 800, "counts={counts:?}");
+    }
+
+    #[test]
+    fn stopping_adversary_reports_stopped() {
+        struct Stopper;
+        impl Adversary for Stopper {
+            fn select(&mut self, _sys: &CounterSystem, _path: &Path) -> Option<Action> {
+                None
+            }
+        }
+        let sys = single_round_system();
+        let init = sys.round_start_configurations()[0].clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (_path, outcome) = run_adversary(&sys, init, &mut Stopper, &mut rng, 10);
+        assert_eq!(outcome, RunOutcome::AdversaryStopped);
+        assert_eq!(Stopper.name(), "adversary");
+    }
+}

@@ -1,0 +1,302 @@
+//! Configurations of the (multi-round) counter system.
+//!
+//! A configuration `c = (κ, g, p)` records the location counters `κ[ℓ, k]`
+//! and variable values `g[x, k]` for every round `k`, plus the parameter
+//! values `p` (stored once in the [`crate::CounterSystem`], not per
+//! configuration).
+
+use ccta::{LocId, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters and variable values of a single round.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RoundData {
+    counters: Vec<u64>,
+    vars: Vec<u64>,
+}
+
+impl RoundData {
+    fn zero(num_locations: usize, num_vars: usize) -> Self {
+        RoundData {
+            counters: vec![0; num_locations],
+            vars: vec![0; num_vars],
+        }
+    }
+
+    /// Location counters of this round.
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Variable values of this round.
+    pub fn vars(&self) -> &[u64] {
+        &self.vars
+    }
+}
+
+/// A configuration of the counter system.
+///
+/// Rounds are materialised lazily: reads of rounds that were never touched
+/// return zeros, and trailing all-zero rounds are trimmed so that two
+/// configurations describing the same state compare (and hash) equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    num_locations: usize,
+    num_vars: usize,
+    rounds: Vec<RoundData>,
+}
+
+impl Configuration {
+    /// The all-zero configuration for a model with the given numbers of
+    /// locations and variables.
+    pub fn zero(num_locations: usize, num_vars: usize) -> Self {
+        Configuration {
+            num_locations,
+            num_vars,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of locations per round.
+    pub fn num_locations(&self) -> usize {
+        self.num_locations
+    }
+
+    /// Number of variables per round.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The counter `κ[loc, round]`.
+    pub fn counter(&self, loc: LocId, round: u32) -> u64 {
+        self.rounds
+            .get(round as usize)
+            .map(|r| r.counters[loc.0])
+            .unwrap_or(0)
+    }
+
+    /// The variable value `g[var, round]`.
+    pub fn var(&self, var: VarId, round: u32) -> u64 {
+        self.rounds
+            .get(round as usize)
+            .map(|r| r.vars[var.0])
+            .unwrap_or(0)
+    }
+
+    /// All variable values of a round (zeros if the round was never touched).
+    pub fn round_vars(&self, round: u32) -> Vec<u64> {
+        self.rounds
+            .get(round as usize)
+            .map(|r| r.vars.clone())
+            .unwrap_or_else(|| vec![0; self.num_vars])
+    }
+
+    /// All location counters of a round.
+    pub fn round_counters(&self, round: u32) -> Vec<u64> {
+        self.rounds
+            .get(round as usize)
+            .map(|r| r.counters.clone())
+            .unwrap_or_else(|| vec![0; self.num_locations])
+    }
+
+    /// The largest round index with a non-zero counter or variable, if any.
+    pub fn max_active_round(&self) -> Option<u32> {
+        self.rounds
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, r)| {
+                r.counters.iter().any(|&c| c > 0) || r.vars.iter().any(|&v| v > 0)
+            })
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Sum of the location counters over a set of locations in a round.
+    pub fn count_in(&self, locs: &[LocId], round: u32) -> u64 {
+        locs.iter().map(|&l| self.counter(l, round)).sum()
+    }
+
+    /// Total number of automaton copies present in a round (all locations).
+    pub fn total_in_round(&self, round: u32) -> u64 {
+        self.rounds
+            .get(round as usize)
+            .map(|r| r.counters.iter().sum())
+            .unwrap_or(0)
+    }
+
+    fn ensure_round(&mut self, round: u32) -> &mut RoundData {
+        while self.rounds.len() <= round as usize {
+            self.rounds
+                .push(RoundData::zero(self.num_locations, self.num_vars));
+        }
+        &mut self.rounds[round as usize]
+    }
+
+    fn normalize(&mut self) {
+        while let Some(last) = self.rounds.last() {
+            if last.counters.iter().all(|&c| c == 0) && last.vars.iter().all(|&v| v == 0) {
+                self.rounds.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Sets the counter `κ[loc, round]`.
+    pub fn set_counter(&mut self, loc: LocId, round: u32, value: u64) {
+        self.ensure_round(round).counters[loc.0] = value;
+        self.normalize();
+    }
+
+    /// Adds `delta` to the counter `κ[loc, round]`.
+    pub fn add_counter(&mut self, loc: LocId, round: u32, delta: u64) {
+        self.ensure_round(round).counters[loc.0] += delta;
+        self.normalize();
+    }
+
+    /// Decreases the counter `κ[loc, round]` by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter is already zero.
+    pub fn decrement_counter(&mut self, loc: LocId, round: u32) {
+        let data = self.ensure_round(round);
+        assert!(
+            data.counters[loc.0] > 0,
+            "counter underflow at location {loc} round {round}"
+        );
+        data.counters[loc.0] -= 1;
+        self.normalize();
+    }
+
+    /// Sets the variable `g[var, round]`.
+    pub fn set_var(&mut self, var: VarId, round: u32, value: u64) {
+        self.ensure_round(round).vars[var.0] = value;
+        self.normalize();
+    }
+
+    /// Adds `delta` to the variable `g[var, round]`.
+    pub fn add_var(&mut self, var: VarId, round: u32, delta: u64) {
+        self.ensure_round(round).vars[var.0] += delta;
+        self.normalize();
+    }
+
+    /// A compact fingerprint suitable as a hash-map key in explicit-state
+    /// search (flattens all rounds into one vector).
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.rounds.len() * (self.num_locations + self.num_vars));
+        for r in &self.rounds {
+            out.extend_from_slice(&r.counters);
+            out.extend_from_slice(&r.vars);
+        }
+        out
+    }
+
+    /// A memory-compact byte fingerprint for explicit-state search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter or variable exceeds 255 — explicit-state
+    /// checking is only intended for small concrete parameter valuations.
+    pub fn fingerprint_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.rounds.len() * (self.num_locations + self.num_vars));
+        for r in &self.rounds {
+            for &c in r.counters.iter().chain(r.vars.iter()) {
+                assert!(
+                    c <= u8::MAX as u64,
+                    "configuration value {c} too large for compact fingerprint"
+                );
+                out.push(c as u8);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rounds.is_empty() {
+            return f.write_str("<empty>");
+        }
+        for (k, r) in self.rounds.iter().enumerate() {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "round {k}: kappa={:?} g={:?}", r.counters, r.vars)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_configuration_reads_zeros_everywhere() {
+        let c = Configuration::zero(5, 3);
+        assert_eq!(c.counter(LocId(4), 7), 0);
+        assert_eq!(c.var(VarId(2), 0), 0);
+        assert_eq!(c.max_active_round(), None);
+        assert_eq!(c.total_in_round(3), 0);
+        assert_eq!(c.round_vars(2), vec![0, 0, 0]);
+        assert_eq!(c.round_counters(2), vec![0; 5]);
+        assert_eq!(format!("{c}"), "<empty>");
+    }
+
+    #[test]
+    fn counters_and_vars_are_round_indexed() {
+        let mut c = Configuration::zero(3, 2);
+        c.add_counter(LocId(1), 0, 2);
+        c.add_counter(LocId(2), 1, 1);
+        c.add_var(VarId(0), 1, 5);
+        assert_eq!(c.counter(LocId(1), 0), 2);
+        assert_eq!(c.counter(LocId(1), 1), 0);
+        assert_eq!(c.counter(LocId(2), 1), 1);
+        assert_eq!(c.var(VarId(0), 1), 5);
+        assert_eq!(c.var(VarId(0), 0), 0);
+        assert_eq!(c.max_active_round(), Some(1));
+        assert_eq!(c.total_in_round(0), 2);
+        assert_eq!(c.count_in(&[LocId(1), LocId(2)], 0), 2);
+    }
+
+    #[test]
+    fn trailing_zero_rounds_do_not_affect_equality() {
+        let mut a = Configuration::zero(2, 1);
+        a.add_counter(LocId(0), 0, 1);
+        let mut b = Configuration::zero(2, 1);
+        b.add_counter(LocId(0), 0, 1);
+        // touch and then clear a later round in b
+        b.add_counter(LocId(1), 3, 1);
+        b.set_counter(LocId(1), 3, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn decrement_and_set() {
+        let mut c = Configuration::zero(2, 1);
+        c.set_counter(LocId(0), 0, 3);
+        c.decrement_counter(LocId(0), 0);
+        assert_eq!(c.counter(LocId(0), 0), 2);
+        c.set_var(VarId(0), 0, 9);
+        assert_eq!(c.var(VarId(0), 0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter underflow")]
+    fn decrement_of_zero_counter_panics() {
+        let mut c = Configuration::zero(2, 1);
+        c.decrement_counter(LocId(0), 0);
+    }
+
+    #[test]
+    fn display_mentions_rounds() {
+        let mut c = Configuration::zero(2, 1);
+        c.add_counter(LocId(0), 1, 1);
+        let s = format!("{c}");
+        assert!(s.contains("round 0"));
+        assert!(s.contains("round 1"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors of the counter-system layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or stepping a counter system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterError {
+    /// The parameter valuation violates the resilience condition of the
+    /// model's environment.
+    NotAdmissible { valuation: String },
+    /// The requested action is not applicable in the given configuration.
+    NotApplicable { action: String },
+    /// A branch index does not exist for the rule of an action.
+    NoSuchBranch { action: String, branch: usize },
+    /// A schedule step failed to apply.
+    ScheduleNotApplicable { position: usize },
+}
+
+impl fmt::Display for CounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterError::NotAdmissible { valuation } => {
+                write!(f, "parameter valuation {valuation} violates the resilience condition")
+            }
+            CounterError::NotApplicable { action } => {
+                write!(f, "action {action} is not applicable")
+            }
+            CounterError::NoSuchBranch { action, branch } => {
+                write!(f, "action {action} has no branch {branch}")
+            }
+            CounterError::ScheduleNotApplicable { position } => {
+                write!(f, "schedule step {position} is not applicable")
+            }
+        }
+    }
+}
+
+impl Error for CounterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            CounterError::NotAdmissible {
+                valuation: "(3, 1, 1, 1)".into(),
+            },
+            CounterError::NotApplicable {
+                action: "(r3, 0)".into(),
+            },
+            CounterError::NoSuchBranch {
+                action: "(toss, 0)".into(),
+                branch: 7,
+            },
+            CounterError::ScheduleNotApplicable { position: 2 },
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

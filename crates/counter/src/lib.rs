@@ -1,0 +1,36 @@
+//! Extended (probabilistic) counter systems.
+//!
+//! This crate gives semantics to the models of [`ccta`]: a system of
+//! `N(p).0` copies of the correct-process threshold automaton plus `N(p).1`
+//! copies of the common-coin automaton is abstracted as a *counter system*
+//! whose configurations record, per round, the number of automata in each
+//! location and the value of each shared/coin variable (Sect. III-C of the
+//! paper).
+//!
+//! The crate provides:
+//!
+//! * [`Configuration`] — round-indexed location counters and variable values.
+//! * [`CounterSystem`] — applicability, the `apply` function and the
+//!   probabilistic transition function `∆` for a concrete admissible
+//!   parameter valuation.
+//! * [`Schedule`] / [`Path`] — finite schedules and paths, round-rigidity,
+//!   and the Theorem-1 reordering of arbitrary schedules into round-rigid
+//!   ones.
+//! * [`adversary`] — adversaries resolving the non-determinism, including
+//!   round-rigid adversaries, and a runner that samples paths of the induced
+//!   Markov chain.
+
+pub mod adversary;
+pub mod config;
+pub mod error;
+pub mod schedule;
+pub mod system;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use adversary::{Adversary, EagerAdversary, RandomAdversary, RoundRigid, RunOutcome};
+pub use config::Configuration;
+pub use error::CounterError;
+pub use schedule::{Path, Schedule, ScheduledStep};
+pub use system::{Action, CounterSystem};

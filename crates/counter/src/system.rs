@@ -1,0 +1,541 @@
+//! The counter system `Sys(TAⁿ, PTAᶜ)` for a concrete parameter valuation.
+
+use crate::config::Configuration;
+use crate::error::CounterError;
+use ccta::{
+    BinValue, LocId, ModelKind, Owner, ParamValuation, Probability, RuleId, SystemModel,
+    SystemSize,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An action `α = (r, k)`: the execution of rule `r` in round `k` by a single
+/// automaton copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Action {
+    /// The rule being executed.
+    pub rule: RuleId,
+    /// The round in which it is executed.
+    pub round: u32,
+}
+
+impl Action {
+    /// Creates an action.
+    pub fn new(rule: RuleId, round: u32) -> Self {
+        Action { rule, round }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.rule, self.round)
+    }
+}
+
+/// One probabilistic outcome of applying an action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Index of the chosen branch of the rule.
+    pub branch: usize,
+    /// Probability of this branch.
+    pub probability: Probability,
+    /// The configuration reached.
+    pub config: Configuration,
+}
+
+/// The counter system of a model instantiated at a concrete admissible
+/// parameter valuation.
+#[derive(Debug, Clone)]
+pub struct CounterSystem {
+    model: SystemModel,
+    params: ParamValuation,
+    size: SystemSize,
+}
+
+impl CounterSystem {
+    /// Creates the counter system for an admissible valuation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CounterError::NotAdmissible`] if the valuation violates the
+    /// resilience condition of the model's environment.
+    pub fn new(model: SystemModel, params: ParamValuation) -> Result<Self, CounterError> {
+        let size = model
+            .env()
+            .system_size(&params)
+            .ok_or_else(|| CounterError::NotAdmissible {
+                valuation: params.to_string(),
+            })?;
+        Ok(CounterSystem {
+            model,
+            params,
+            size,
+        })
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &SystemModel {
+        &self.model
+    }
+
+    /// The parameter valuation.
+    pub fn params(&self) -> &ParamValuation {
+        &self.params
+    }
+
+    /// Number of modelled correct processes `N(p).0`.
+    pub fn num_processes(&self) -> u64 {
+        self.size.processes
+    }
+
+    /// Number of modelled common coins `N(p).1`.
+    pub fn num_coins(&self) -> u64 {
+        self.size.coins
+    }
+
+    /// An all-zero configuration with the right dimensions for this system.
+    pub fn empty_configuration(&self) -> Configuration {
+        Configuration::zero(self.model.locations().len(), self.model.vars().len())
+    }
+
+    // ------------------------------------------------------------------
+    // Initial configurations
+    // ------------------------------------------------------------------
+
+    /// All ways of distributing `count` automaton copies over the given
+    /// locations (a composition enumeration).
+    fn distributions(locs: &[LocId], count: u64) -> Vec<Vec<(LocId, u64)>> {
+        fn rec(
+            locs: &[LocId],
+            idx: usize,
+            remaining: u64,
+            current: &mut Vec<(LocId, u64)>,
+            out: &mut Vec<Vec<(LocId, u64)>>,
+        ) {
+            if idx == locs.len() {
+                if remaining == 0 {
+                    out.push(current.clone());
+                }
+                return;
+            }
+            if idx == locs.len() - 1 {
+                current.push((locs[idx], remaining));
+                out.push(current.clone());
+                current.pop();
+                return;
+            }
+            for here in 0..=remaining {
+                current.push((locs[idx], here));
+                rec(locs, idx + 1, remaining - here, current, out);
+                current.pop();
+            }
+        }
+        if locs.is_empty() {
+            return if count == 0 {
+                vec![Vec::new()]
+            } else {
+                Vec::new()
+            };
+        }
+        let mut out = Vec::new();
+        rec(locs, 0, count, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Enumerates configurations that place all correct processes in
+    /// `proc_locs` (in every possible split), all coins in `coin_locs`, and
+    /// set every variable to zero.  All copies are placed in round 0.
+    pub fn configurations_over(
+        &self,
+        proc_locs: &[LocId],
+        coin_locs: &[LocId],
+    ) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        let proc_dists = Self::distributions(proc_locs, self.num_processes());
+        let coin_dists = Self::distributions(coin_locs, self.num_coins());
+        for pd in &proc_dists {
+            for cd in &coin_dists {
+                let mut cfg = self.empty_configuration();
+                for &(loc, cnt) in pd.iter().chain(cd.iter()) {
+                    if cnt > 0 {
+                        cfg.add_counter(loc, 0, cnt);
+                    }
+                }
+                out.push(cfg);
+            }
+        }
+        out
+    }
+
+    /// Initial configurations in the sense of Sect. III-C: every process and
+    /// the common coin occupy *initial* locations of round 0, all variables
+    /// are zero.
+    pub fn initial_configurations(&self) -> Vec<Configuration> {
+        self.configurations_over(
+            &self.model.initial_locations(Owner::Process, None),
+            &self.model.initial_locations(Owner::Coin, None),
+        )
+    }
+
+    /// Round-start configurations: every process and the coin occupy *border*
+    /// locations.  For single-round models this is the set `Σ_u` of Theorem 2
+    /// (the union of renamed initial configurations of all rounds).
+    pub fn round_start_configurations(&self) -> Vec<Configuration> {
+        self.configurations_over(
+            &self.model.border_locations(Owner::Process, None),
+            &self.model.border_locations(Owner::Coin, None),
+        )
+    }
+
+    /// Round-start configurations in which every correct process starts with
+    /// the given value (all processes in `B_v`); the coin is unconstrained.
+    pub fn unanimous_start_configurations(&self, value: BinValue) -> Vec<Configuration> {
+        self.configurations_over(
+            &self.model.border_locations(Owner::Process, Some(value)),
+            &self.model.border_locations(Owner::Coin, None),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Actions
+    // ------------------------------------------------------------------
+
+    /// Whether the guard of `rule` evaluates to true in round `round` of
+    /// configuration `cfg` (written `c, k ⊨ φ` in the paper).
+    pub fn is_unlocked(&self, cfg: &Configuration, rule: RuleId, round: u32) -> bool {
+        let vars = cfg.round_vars(round);
+        self.model
+            .rule(rule)
+            .guard()
+            .holds(&vars, self.params.values())
+    }
+
+    /// Whether the action is applicable: its rule is unlocked and the source
+    /// location counter is at least one.
+    pub fn is_applicable(&self, cfg: &Configuration, action: Action) -> bool {
+        let rule = self.model.rule(action.rule);
+        cfg.counter(rule.from(), action.round) >= 1
+            && self.is_unlocked(cfg, action.rule, action.round)
+    }
+
+    /// The round that the destination of a rule lands in: round-switch rules
+    /// of multi-round models move the automaton to the next round.
+    fn destination_round(&self, rule: RuleId, round: u32) -> u32 {
+        if self.model.kind() == ModelKind::MultiRound && self.model.rule(rule).is_round_switch() {
+            round + 1
+        } else {
+            round
+        }
+    }
+
+    /// Applies action `α` with probabilistic outcome `branch`, producing
+    /// `apply(α, c, ℓ)` from the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the action is not applicable or the branch does
+    /// not exist.
+    pub fn apply(
+        &self,
+        cfg: &Configuration,
+        action: Action,
+        branch: usize,
+    ) -> Result<Configuration, CounterError> {
+        if !self.is_applicable(cfg, action) {
+            return Err(CounterError::NotApplicable {
+                action: action.to_string(),
+            });
+        }
+        let rule = self.model.rule(action.rule);
+        let branches = rule.branches();
+        if branch >= branches.len() {
+            return Err(CounterError::NoSuchBranch {
+                action: action.to_string(),
+                branch,
+            });
+        }
+        let mut next = cfg.clone();
+        next.decrement_counter(rule.from(), action.round);
+        let dest_round = self.destination_round(action.rule, action.round);
+        next.add_counter(branches[branch].to, dest_round, 1);
+        for &(var, delta) in rule.update().increments() {
+            next.add_var(var, action.round, delta);
+        }
+        Ok(next)
+    }
+
+    /// Applies a Dirac action (single branch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CounterSystem::apply`].
+    pub fn apply_dirac(
+        &self,
+        cfg: &Configuration,
+        action: Action,
+    ) -> Result<Configuration, CounterError> {
+        self.apply(cfg, action, 0)
+    }
+
+    /// The probabilistic transition function `∆(c, α)`: all outcomes of the
+    /// action with their probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the action is not applicable.
+    pub fn outcomes(
+        &self,
+        cfg: &Configuration,
+        action: Action,
+    ) -> Result<Vec<Outcome>, CounterError> {
+        if !self.is_applicable(cfg, action) {
+            return Err(CounterError::NotApplicable {
+                action: action.to_string(),
+            });
+        }
+        let rule = self.model.rule(action.rule);
+        let mut out = Vec::with_capacity(rule.branches().len());
+        for (i, b) in rule.branches().iter().enumerate() {
+            if b.prob.is_zero() {
+                continue;
+            }
+            out.push(Outcome {
+                branch: i,
+                probability: b.prob,
+                config: self.apply(cfg, action, i)?,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The rounds in which actions may currently fire: `0 ..= max active
+    /// round` (at least round 0).
+    pub fn active_rounds(&self, cfg: &Configuration) -> std::ops::RangeInclusive<u32> {
+        0..=cfg.max_active_round().unwrap_or(0)
+    }
+
+    /// All applicable actions in the configuration.
+    pub fn applicable_actions(&self, cfg: &Configuration) -> Vec<Action> {
+        let mut out = Vec::new();
+        for round in self.active_rounds(cfg) {
+            for rule in self.model.rule_ids() {
+                let action = Action::new(rule, round);
+                if self.is_applicable(cfg, action) {
+                    out.push(action);
+                }
+            }
+        }
+        out
+    }
+
+    /// Applicable actions whose rule is not a self-loop (self-loops only
+    /// produce stuttering and are irrelevant for reachability).
+    pub fn progress_actions(&self, cfg: &Configuration) -> Vec<Action> {
+        self.applicable_actions(cfg)
+            .into_iter()
+            .filter(|a| !self.model.rule(a.rule).is_self_loop())
+            .collect()
+    }
+
+    /// Whether no progress action is applicable (the configuration is
+    /// terminal up to stuttering).
+    pub fn is_terminal(&self, cfg: &Configuration) -> bool {
+        self.progress_actions(cfg).is_empty()
+    }
+
+    /// Number of correct processes currently occupying any of the given
+    /// locations in `round`.
+    pub fn occupancy(&self, cfg: &Configuration, locs: &[LocId], round: u32) -> u64 {
+        cfg.count_in(locs, round)
+    }
+
+    /// Renders an action with names resolved.
+    pub fn describe_action(&self, action: Action) -> String {
+        format!(
+            "({}, round {})",
+            self.model.rule(action.rule).name(),
+            action.round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{small_params, voting_model};
+
+    fn system() -> CounterSystem {
+        CounterSystem::new(voting_model(), small_params()).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_admissibility() {
+        let err = CounterSystem::new(voting_model(), ParamValuation::new(vec![3, 1, 1, 1]))
+            .unwrap_err();
+        assert!(matches!(err, CounterError::NotAdmissible { .. }));
+        let sys = system();
+        assert_eq!(sys.num_processes(), 3);
+        assert_eq!(sys.num_coins(), 1);
+    }
+
+    #[test]
+    fn initial_configurations_cover_all_splits() {
+        let sys = system();
+        // 3 processes over {I0, I1} -> 4 splits; 1 coin over {IC} -> 1
+        let inits = sys.initial_configurations();
+        assert_eq!(inits.len(), 4);
+        for cfg in &inits {
+            assert_eq!(cfg.total_in_round(0), 4); // 3 processes + 1 coin
+            assert_eq!(cfg.round_vars(0), vec![0, 0, 0, 0]);
+        }
+        // round-start configurations distribute over border locations
+        let starts = sys.round_start_configurations();
+        assert_eq!(starts.len(), 4);
+        let unanimous = sys.unanimous_start_configurations(BinValue::Zero);
+        assert_eq!(unanimous.len(), 1);
+        let j0 = sys.model().location_id("J0").unwrap();
+        assert_eq!(unanimous[0].counter(j0, 0), 3);
+    }
+
+    #[test]
+    fn guard_unlocking_follows_shared_variables() {
+        let sys = system();
+        let model = sys.model().clone();
+        let maj0 = model.rule_id("maj0").unwrap();
+        let mut cfg = sys.empty_configuration();
+        // quorum is n - t - f = 2
+        assert!(!sys.is_unlocked(&cfg, maj0, 0));
+        cfg.add_var(model.var_id("v0").unwrap(), 0, 2);
+        assert!(sys.is_unlocked(&cfg, maj0, 0));
+        // guard of another round still locked
+        assert!(!sys.is_unlocked(&cfg, maj0, 1));
+    }
+
+    #[test]
+    fn apply_moves_one_process_and_updates_variables() {
+        let sys = system();
+        let model = sys.model().clone();
+        let i0 = model.location_id("I0").unwrap();
+        let s = model.location_id("S").unwrap();
+        let v0 = model.var_id("v0").unwrap();
+        let bcast0 = model.rule_id("bcast0").unwrap();
+
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(i0, 0, 3);
+        cfg.add_counter(model.location_id("IC").unwrap(), 0, 1);
+
+        let action = Action::new(bcast0, 0);
+        assert!(sys.is_applicable(&cfg, action));
+        let next = sys.apply_dirac(&cfg, action).unwrap();
+        assert_eq!(next.counter(i0, 0), 2);
+        assert_eq!(next.counter(s, 0), 1);
+        assert_eq!(next.var(v0, 0), 1);
+        // original configuration untouched
+        assert_eq!(cfg.counter(i0, 0), 3);
+    }
+
+    #[test]
+    fn apply_rejects_locked_or_empty_source() {
+        let sys = system();
+        let model = sys.model().clone();
+        let maj0 = model.rule_id("maj0").unwrap();
+        let cfg = sys.empty_configuration();
+        let err = sys.apply_dirac(&cfg, Action::new(maj0, 0)).unwrap_err();
+        assert!(matches!(err, CounterError::NotApplicable { .. }));
+    }
+
+    #[test]
+    fn apply_rejects_missing_branch() {
+        let sys = system();
+        let model = sys.model().clone();
+        let bcast0 = model.rule_id("bcast0").unwrap();
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(model.location_id("I0").unwrap(), 0, 1);
+        let err = sys.apply(&cfg, Action::new(bcast0, 0), 5).unwrap_err();
+        assert!(matches!(err, CounterError::NoSuchBranch { .. }));
+    }
+
+    #[test]
+    fn round_switch_moves_to_next_round_in_multi_round_models() {
+        let sys = system();
+        let model = sys.model().clone();
+        let e0 = model.location_id("E0").unwrap();
+        let j0 = model.location_id("J0").unwrap();
+        let switch = model
+            .rule_ids()
+            .find(|&r| model.rule(r).is_round_switch() && model.rule(r).from() == e0)
+            .unwrap();
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(e0, 0, 1);
+        let next = sys.apply_dirac(&cfg, Action::new(switch, 0)).unwrap();
+        assert_eq!(next.counter(e0, 0), 0);
+        assert_eq!(next.counter(j0, 1), 1);
+        assert_eq!(next.max_active_round(), Some(1));
+    }
+
+    #[test]
+    fn round_switch_stays_in_round_for_single_round_models() {
+        let rd = voting_model().single_round().unwrap();
+        let sys = CounterSystem::new(rd, small_params()).unwrap();
+        let model = sys.model().clone();
+        let e0 = model.location_id("E0").unwrap();
+        let j0_copy = model.location_id("J0'").unwrap();
+        let switch = model
+            .rule_ids()
+            .find(|&r| model.rule(r).is_round_switch() && model.rule(r).from() == e0)
+            .unwrap();
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(e0, 0, 1);
+        let next = sys.apply_dirac(&cfg, Action::new(switch, 0)).unwrap();
+        assert_eq!(next.counter(j0_copy, 0), 1);
+        assert_eq!(next.max_active_round(), Some(0));
+    }
+
+    #[test]
+    fn probabilistic_outcomes_enumerate_branches() {
+        let sys = system();
+        let model = sys.model().clone();
+        let toss = model.rule_id("toss").unwrap();
+        let ic = model.location_id("IC").unwrap();
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(ic, 0, 1);
+        let outcomes = sys.outcomes(&cfg, Action::new(toss, 0)).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.probability == Probability::HALF));
+        let h0 = model.location_id("H0").unwrap();
+        let h1 = model.location_id("H1").unwrap();
+        assert_eq!(outcomes[0].config.counter(h0, 0), 1);
+        assert_eq!(outcomes[1].config.counter(h1, 0), 1);
+    }
+
+    #[test]
+    fn applicable_and_progress_actions() {
+        let sys = system();
+        let inits = sys.initial_configurations();
+        // all processes with value 0: applicable actions are bcast0 x?, and the toss
+        let all_zero = inits
+            .iter()
+            .find(|c| {
+                c.counter(sys.model().location_id("I0").unwrap(), 0) == 3
+            })
+            .unwrap();
+        let actions = sys.applicable_actions(all_zero);
+        let names: Vec<&str> = actions
+            .iter()
+            .map(|a| sys.model().rule(a.rule).name())
+            .collect();
+        assert!(names.contains(&"bcast0"));
+        assert!(names.contains(&"toss"));
+        assert!(!names.contains(&"bcast1"));
+        assert!(!sys.is_terminal(all_zero));
+        // empty configuration is terminal
+        assert!(sys.is_terminal(&sys.empty_configuration()));
+    }
+
+    #[test]
+    fn describe_action_uses_rule_names() {
+        let sys = system();
+        let bcast0 = sys.model().rule_id("bcast0").unwrap();
+        assert_eq!(sys.describe_action(Action::new(bcast0, 2)), "(bcast0, round 2)");
+    }
+}

@@ -1,0 +1,360 @@
+//! The two *fixed* category-(C) protocols: Miller18 and ABY22.
+//!
+//! Both repair the binding flaw of MMR14 (Sect. II of the paper).  The
+//! original automata are not published, so the models below are
+//! reconstructions whose `⊥`-output step carries strengthened support
+//! guards (`≥ t + 1` correct votes for the bound value), which is what makes
+//! the binding conditions `CB0`–`CB4` provable in counter-system semantics by
+//! the vote-once / quorum-intersection argument; see `DESIGN.md` for the
+//! substitution note.
+//!
+//! * **Miller18** — MMR14 with the fixed `⊥` step proposed in Miller's issue
+//!   report and used by Dumbo; structurally it is the MMR14 automaton with
+//!   the `values = {0, 1}` rule split into `N0`/`N1`/`N⊥` entries guarded by
+//!   strong minority support.
+//! * **ABY22** — binding crusader agreement of Abraham, Ben-David &
+//!   Yandamuri (PODC 2022): an echo layer, a vote-once layer, crusader
+//!   outputs with the binding guards, and the common-coin estimate update.
+//!
+//! The module also provides the ABY22 milestone variants of Table IV:
+//! automata of identical size whose guards are progressively merged so that
+//! the number of milestones drops by one per variant.
+
+use crate::common::{install_common_coin, Thresholds};
+use crate::mmr14::mmr14_base;
+use crate::{CrusaderLocations, ProtocolModel};
+use ccta::env::byzantine_common_coin_env;
+use ccta::prelude::*;
+use ccta::refine::{refine_rule_with_cases, RefinementCase};
+use ccta::ProtocolCategory;
+
+/// Builds Miller18: the MMR14 automaton with the binding fix applied to the
+/// `values = {0, 1}` step.
+pub fn miller18() -> ProtocolModel {
+    let base = mmr14_base();
+    let th = Thresholds::new(base.env());
+    let r21 = base.rule_id("r21").expect("r21 exists");
+    let a0 = base.var_id("a0").expect("a0 exists");
+    let a1 = base.var_id("a1").expect("a1 exists");
+    // The fixed protocol adopts ⊥ only with strong support for the value it
+    // binds to: at least t+1 correct AUX messages.
+    let cases = vec![
+        RefinementCase::new("N0", Guard::ge(a0, th.t_plus_1())),
+        RefinementCase::new("N1", Guard::ge(a1, th.t_plus_1())),
+        RefinementCase::new(
+            "Nbot",
+            Guard::ge(a0, th.t_plus_1()).and_ge(a1, th.t_plus_1()),
+        ),
+    ];
+    let (refined, locs) =
+        refine_rule_with_cases(&base, r21, &cases).expect("Miller18 refinement must validate");
+    let model = refined.renamed("Miller18");
+    let crusader = CrusaderLocations {
+        m0: vec!["M0".to_string()],
+        m1: vec!["M1".to_string()],
+        mbot: vec!["Mbot".to_string()],
+        n0: vec![model.location(locs[0]).name().to_string()],
+        n1: vec![model.location(locs[1]).name().to_string()],
+        nbot: vec![model.location(locs[2]).name().to_string()],
+    };
+    ProtocolModel::new(
+        "Miller18",
+        ProtocolCategory::C,
+        model,
+        Some(crusader),
+        "MMR14 with the binding fix discussed in Miller's issue report (2018), as deployed in HoneyBadger/Dumbo",
+    )
+}
+
+/// Builds the ABY22 automaton with `merge_level` guard thresholds merged into
+/// existing ones (0 = the benchmark protocol, 1–4 = the Table IV variants of
+/// identical size but fewer milestones).
+pub fn aby22_model(merge_level: usize) -> SystemModel {
+    assert!(merge_level <= 4, "only variants 0..=4 exist");
+    let env = byzantine_common_coin_env(3);
+    let th = Thresholds::new(&env);
+    let name = if merge_level == 0 {
+        "ABY22".to_string()
+    } else {
+        format!("ABY22-{merge_level}")
+    };
+    let mut b = SystemBuilder::new(name, env);
+    let e0 = b.shared_var("e0");
+    let e1 = b.shared_var("e1");
+    let v0 = b.shared_var("v0");
+    let v1 = b.shared_var("v1");
+    let coin = install_common_coin(&mut b);
+
+    // thresholds subject to merging (each merge removes one distinct atom)
+    let vote_trigger0 = if merge_level >= 1 {
+        th.t_plus_1_minus_f()
+    } else {
+        th.two_t_plus_1_minus_f()
+    };
+    let vote_trigger1 = if merge_level >= 2 {
+        th.t_plus_1_minus_f()
+    } else {
+        th.two_t_plus_1_minus_f()
+    };
+    let bind_support0 = if merge_level >= 3 {
+        th.n_minus_t_minus_f()
+    } else {
+        th.t_plus_1()
+    };
+    let bind_support1 = if merge_level >= 4 {
+        th.n_minus_t_minus_f()
+    } else {
+        th.t_plus_1()
+    };
+
+    let j0 = b.process_location("J0", LocClass::Border, Some(BinValue::Zero));
+    let j1 = b.process_location("J1", LocClass::Border, Some(BinValue::One));
+    let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
+    let i1 = b.process_location("I1", LocClass::Initial, Some(BinValue::One));
+    let s0 = b.process_location("S0", LocClass::Intermediate, Some(BinValue::Zero));
+    let s1 = b.process_location("S1", LocClass::Intermediate, Some(BinValue::One));
+    let s2 = b.process_location("S2", LocClass::Intermediate, None);
+    let vt0 = b.process_location("V0", LocClass::Intermediate, Some(BinValue::Zero));
+    let vt1 = b.process_location("V1", LocClass::Intermediate, Some(BinValue::One));
+    let m0 = b.process_location("M0", LocClass::Intermediate, Some(BinValue::Zero));
+    let m1 = b.process_location("M1", LocClass::Intermediate, Some(BinValue::One));
+    let mbot = b.process_location("Mbot", LocClass::Intermediate, None);
+    let n0 = b.process_location("N0", LocClass::Intermediate, Some(BinValue::Zero));
+    let n1 = b.process_location("N1", LocClass::Intermediate, Some(BinValue::One));
+    let nbot = b.process_location("Nbot", LocClass::Intermediate, None);
+    let fe0 = b.process_location("E0", LocClass::Final, Some(BinValue::Zero));
+    let fe1 = b.process_location("E1", LocClass::Final, Some(BinValue::One));
+    let d0 = b.decision_location("D0", BinValue::Zero);
+    let d1 = b.decision_location("D1", BinValue::One);
+
+    b.start_rule(j0, i0);
+    b.start_rule(j1, i1);
+    // echo layer (binary-value broadcast of the estimate)
+    b.rule("echo0", i0, s0, Guard::top(), Update::increment(e0));
+    b.rule("echo1", i1, s1, Guard::top(), Update::increment(e1));
+    b.rule(
+        "amplify01",
+        s0,
+        s2,
+        Guard::ge(e1, th.t_plus_1_minus_f()),
+        Update::increment(e1),
+    );
+    b.rule(
+        "amplify10",
+        s1,
+        s2,
+        Guard::ge(e0, th.t_plus_1_minus_f()),
+        Update::increment(e0),
+    );
+    // vote-once layer: vote for the first delivered value
+    b.rule(
+        "vote0_s0",
+        s0,
+        vt0,
+        Guard::ge(e0, vote_trigger0.clone()),
+        Update::increment(v0),
+    );
+    b.rule(
+        "vote1_s1",
+        s1,
+        vt1,
+        Guard::ge(e1, vote_trigger1.clone()),
+        Update::increment(v1),
+    );
+    b.rule(
+        "vote0_s2",
+        s2,
+        vt0,
+        Guard::ge(e0, vote_trigger0.clone()),
+        Update::increment(v0),
+    );
+    b.rule(
+        "vote1_s2",
+        s2,
+        vt1,
+        Guard::ge(e1, vote_trigger1.clone()),
+        Update::increment(v1),
+    );
+    // crusader outputs with binding guards
+    for (name, from) in [("out0_a", vt0), ("out0_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            m0,
+            Guard::ge(v0, th.n_minus_t_minus_f()),
+            Update::none(),
+        );
+    }
+    for (name, from) in [("out1_a", vt0), ("out1_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            m1,
+            Guard::ge(v1, th.n_minus_t_minus_f()),
+            Update::none(),
+        );
+    }
+    // ⊥ with the bound value 0: strong support for 0, the value 1 delivered
+    for (name, from) in [("bind0_a", vt0), ("bind0_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            n0,
+            Guard::sum_ge(&[v0, v1], th.n_minus_t_minus_f())
+                .and_ge(v0, bind_support0.clone())
+                .and_ge(e1, vote_trigger1.clone()),
+            Update::none(),
+        );
+    }
+    // ⊥ with the bound value 1
+    for (name, from) in [("bind1_a", vt0), ("bind1_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            n1,
+            Guard::sum_ge(&[v0, v1], th.n_minus_t_minus_f())
+                .and_ge(v1, bind_support1.clone())
+                .and_ge(e0, vote_trigger0.clone()),
+            Update::none(),
+        );
+    }
+    // ⊥ with both values strongly supported: neither can win later
+    for (name, from) in [("bindbot_a", vt0), ("bindbot_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            nbot,
+            Guard::ge(v0, bind_support0.clone()).and_ge(v1, bind_support1.clone()),
+            Update::none(),
+        );
+    }
+    b.rule("settle0", n0, mbot, Guard::top(), Update::none());
+    b.rule("settle1", n1, mbot, Guard::top(), Update::none());
+    b.rule("settlebot", nbot, mbot, Guard::top(), Update::none());
+    // common-coin estimate update / decision
+    b.rule("decide0", m0, d0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("keep0", m0, fe0, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule("decide1", m1, d1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule("keep1", m1, fe1, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("adopt0", mbot, fe0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("adopt1", mbot, fe1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.round_switch(fe0, j0);
+    b.round_switch(fe1, j1);
+    b.round_switch(d0, j0);
+    b.round_switch(d1, j1);
+
+    b.build().expect("ABY22 model must validate")
+}
+
+/// Builds the ABY22 benchmark entry.
+pub fn aby22() -> ProtocolModel {
+    let model = aby22_model(0);
+    let crusader = CrusaderLocations {
+        m0: vec!["M0".to_string()],
+        m1: vec!["M1".to_string()],
+        mbot: vec!["Mbot".to_string()],
+        n0: vec!["N0".to_string()],
+        n1: vec!["N1".to_string()],
+        nbot: vec!["Nbot".to_string()],
+    };
+    ProtocolModel::new(
+        "ABY22",
+        ProtocolCategory::C,
+        model,
+        Some(crusader),
+        "Abraham, Ben-David & Yandamuri, Asynchronous binary agreement via binding crusader agreement (PODC 2022); n > 3t",
+    )
+}
+
+/// The ABY22 milestone variants of Table IV: `ABY22`, `ABY22-1`, …,
+/// `ABY22-4`, all of identical size but with one fewer milestone each.
+pub fn aby22_variants() -> Vec<SystemModel> {
+    (0..=4).map(aby22_model).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miller18_matches_table_ii_location_count() {
+        let p = miller18();
+        let stats = p.stats();
+        // Table II: |L| = 22 for the authors' encoding
+        assert_eq!(stats.process_locations, 22);
+        assert_eq!(p.category(), ProtocolCategory::C);
+        let c = p.crusader().unwrap();
+        assert_eq!(c.n0, vec!["N0".to_string()]);
+        assert!(p.model().rule_id("r21_N0").is_some());
+        assert_eq!(p.model().name(), "Miller18");
+    }
+
+    #[test]
+    fn miller18_binding_guard_requires_strong_support() {
+        let p = miller18();
+        let m = p.model();
+        let rule = m.rule(m.rule_id("r21_N0").unwrap());
+        // n = 4, t = 1, f = 1: needs a0 + a1 >= 2 and a0 >= t + 1 = 2
+        let mut vars = vec![0u64; m.vars().len()];
+        vars[m.var_id("a0").unwrap().0] = 1;
+        vars[m.var_id("a1").unwrap().0] = 2;
+        assert!(!rule.guard().holds(&vars, &[4, 1, 1, 1]));
+        vars[m.var_id("a0").unwrap().0] = 2;
+        assert!(rule.guard().holds(&vars, &[4, 1, 1, 1]));
+    }
+
+    #[test]
+    fn aby22_sizes_match_across_variants() {
+        let variants = aby22_variants();
+        assert_eq!(variants.len(), 5);
+        let base_stats = variants[0].stats();
+        assert_eq!(base_stats.process_locations, 19);
+        for v in &variants {
+            let stats = v.stats();
+            assert_eq!(stats.process_locations, base_stats.process_locations);
+            assert_eq!(stats.process_rules, base_stats.process_rules);
+        }
+        assert_eq!(variants[1].name(), "ABY22-1");
+        assert_eq!(variants[4].name(), "ABY22-4");
+    }
+
+    #[test]
+    fn aby22_binding_and_validity_guards() {
+        let p = aby22();
+        let m = p.model();
+        let bind0 = m.rule(m.rule_id("bind0_a").unwrap());
+        // n = 4, t = 1, f = 1: v0 + v1 >= 2, v0 >= 2, e1 >= 2
+        let mut vars = vec![0u64; m.vars().len()];
+        let set = |vars: &mut Vec<u64>, name: &str, val: u64| {
+            vars[m.var_id(name).unwrap().0] = val;
+        };
+        set(&mut vars, "v0", 2);
+        set(&mut vars, "v1", 1);
+        set(&mut vars, "e1", 2);
+        assert!(bind0.guard().holds(&vars, &[4, 1, 1, 1]));
+        // without the delivery of value 1 the rule stays locked (validity)
+        set(&mut vars, "e1", 0);
+        assert!(!bind0.guard().holds(&vars, &[4, 1, 1, 1]));
+        // without strong support for 0 the rule stays locked (binding)
+        set(&mut vars, "e1", 2);
+        set(&mut vars, "v0", 1);
+        assert!(!bind0.guard().holds(&vars, &[4, 1, 1, 1]));
+    }
+
+    #[test]
+    fn aby22_vote_rules_vote_exactly_once() {
+        let p = aby22();
+        let m = p.model();
+        let v0 = m.var_id("v0").unwrap();
+        let v1 = m.var_id("v1").unwrap();
+        for rid in m.rule_ids() {
+            let rule = m.rule(rid);
+            let votes = rule.update().increment_of(v0) + rule.update().increment_of(v1);
+            if votes > 0 {
+                assert_eq!(votes, 1);
+                let dest = m.location(rule.dirac_to().unwrap()).name();
+                assert!(dest == "V0" || dest == "V1");
+            }
+        }
+    }
+}

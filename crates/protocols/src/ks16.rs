@@ -1,0 +1,201 @@
+//! King–Saia style Byzantine agreement with a common coin (KS16), category (B).
+//!
+//! The benchmark entry builds on Bracha's reliable-broadcast agreement and
+//! replaces the local coins by a common coin, keeping the optimal resilience
+//! `n > 3t`.  The model has two message layers per round:
+//!
+//! 1. an **echo** layer (`e0`, `e1`): a process echoes its own estimate, and
+//!    echoes the other value once it has seen `t + 1` echoes of it;
+//! 2. a **vote** layer (`v0`, `v1`): a process votes for the first value it
+//!    has seen `2t + 1` echoes of (at most one vote per process).
+//!
+//! A process that collects `n - t` votes for a single value proposes to
+//! decide it if the common coin agrees; with mixed votes it adopts the coin.
+
+use crate::common::{install_common_coin, Thresholds};
+use crate::ProtocolModel;
+use ccta::env::byzantine_common_coin_env;
+use ccta::prelude::*;
+use ccta::ProtocolCategory;
+
+/// Builds the KS16 model.
+pub fn ks16() -> ProtocolModel {
+    let env = byzantine_common_coin_env(3);
+    let th = Thresholds::new(&env);
+    let mut b = SystemBuilder::new("KS16", env);
+    let e0 = b.shared_var("e0");
+    let e1 = b.shared_var("e1");
+    let v0 = b.shared_var("v0");
+    let v1 = b.shared_var("v1");
+    let coin = install_common_coin(&mut b);
+
+    let j0 = b.process_location("J0", LocClass::Border, Some(BinValue::Zero));
+    let j1 = b.process_location("J1", LocClass::Border, Some(BinValue::One));
+    let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
+    let i1 = b.process_location("I1", LocClass::Initial, Some(BinValue::One));
+    let s0 = b.process_location("S0", LocClass::Intermediate, Some(BinValue::Zero));
+    let s1 = b.process_location("S1", LocClass::Intermediate, Some(BinValue::One));
+    let s0b = b.process_location("S0b", LocClass::Intermediate, Some(BinValue::Zero));
+    let s1b = b.process_location("S1b", LocClass::Intermediate, Some(BinValue::One));
+    let vt0 = b.process_location("V0", LocClass::Intermediate, Some(BinValue::Zero));
+    let vt1 = b.process_location("V1", LocClass::Intermediate, Some(BinValue::One));
+    let m0 = b.process_location("M0", LocClass::Intermediate, Some(BinValue::Zero));
+    let m1 = b.process_location("M1", LocClass::Intermediate, Some(BinValue::One));
+    let mbot = b.process_location("Mbot", LocClass::Intermediate, None);
+    let fe0 = b.process_location("E0", LocClass::Final, Some(BinValue::Zero));
+    let fe1 = b.process_location("E1", LocClass::Final, Some(BinValue::One));
+    let d0 = b.decision_location("D0", BinValue::Zero);
+    let d1 = b.decision_location("D1", BinValue::One);
+
+    b.start_rule(j0, i0);
+    b.start_rule(j1, i1);
+    // echo the own estimate
+    b.rule("echo0", i0, s0, Guard::top(), Update::increment(e0));
+    b.rule("echo1", i1, s1, Guard::top(), Update::increment(e1));
+    // echo amplification of the other value (the estimate is unchanged)
+    b.rule(
+        "amplify01",
+        s0,
+        s0b,
+        Guard::ge(e1, th.t_plus_1_minus_f()),
+        Update::increment(e1),
+    );
+    b.rule(
+        "amplify10",
+        s1,
+        s1b,
+        Guard::ge(e0, th.t_plus_1_minus_f()),
+        Update::increment(e0),
+    );
+    // second broadcast phase: once n - t echoes have been received, the
+    // process votes for its own estimate (at most one vote per process)
+    for (name, from, var_update) in [
+        ("vote0_from_s0", s0, v0),
+        ("vote0_from_s0b", s0b, v0),
+        ("vote1_from_s1", s1, v1),
+        ("vote1_from_s1b", s1b, v1),
+    ] {
+        let target = if var_update == v0 { vt0 } else { vt1 };
+        b.rule(
+            name,
+            from,
+            target,
+            Guard::sum_ge(&[e0, e1], th.n_minus_t_minus_f()),
+            Update::increment(var_update),
+        );
+    }
+    // collect n - t votes
+    for (name, from) in [("collect0_a", vt0), ("collect0_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            m0,
+            Guard::ge(v0, th.n_minus_t_minus_f()),
+            Update::none(),
+        );
+    }
+    for (name, from) in [("collect1_a", vt0), ("collect1_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            m1,
+            Guard::ge(v1, th.n_minus_t_minus_f()),
+            Update::none(),
+        );
+    }
+    // mixed votes with genuine support for both values
+    for (name, from) in [("mixed_a", vt0), ("mixed_b", vt1)] {
+        b.rule(
+            name,
+            from,
+            mbot,
+            Guard::ge(v0, th.t_plus_1_minus_f())
+                .and_ge(v1, th.t_plus_1_minus_f())
+                .and_sum_ge(&[v0, v1], th.n_minus_t_minus_f()),
+            Update::none(),
+        );
+    }
+    // coin resolution
+    b.rule("decide0", m0, d0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("keep0", m0, fe0, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule("decide1", m1, d1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule("keep1", m1, fe1, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("adopt0", mbot, fe0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("adopt1", mbot, fe1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.round_switch(fe0, j0);
+    b.round_switch(fe1, j1);
+    b.round_switch(d0, j0);
+    b.round_switch(d1, j1);
+
+    let model = b.build().expect("KS16 model must validate");
+    ProtocolModel::new(
+        "KS16",
+        ProtocolCategory::B,
+        model,
+        None,
+        "King & Saia, Byzantine agreement in expected polynomial time (2016), Bracha-style echoes with a common coin; n > 3t",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_close_to_table_ii() {
+        // Table II: |L| = 11, |R| = 26
+        let p = ks16();
+        let stats = p.stats();
+        assert_eq!(stats.process_locations, 17);
+        assert_eq!(stats.process_rules, 26);
+        assert_eq!(stats.shared_vars, 4);
+    }
+
+    #[test]
+    fn votes_follow_the_own_estimate_and_are_cast_at_most_once() {
+        // every rule incrementing v0 (resp. v1) leaves an S-layer location
+        // whose value tag is 0 (resp. 1) and enters the V-layer, which has no
+        // rule back, so a process votes at most once and for its own estimate
+        let p = ks16();
+        let m = p.model();
+        let v0 = m.var_id("v0").unwrap();
+        let v1 = m.var_id("v1").unwrap();
+        for rid in m.rule_ids() {
+            let rule = m.rule(rid);
+            let votes0 = rule.update().increment_of(v0);
+            let votes1 = rule.update().increment_of(v1);
+            if votes0 + votes1 > 0 {
+                let dest = m.location(rule.dirac_to().unwrap()).name().to_string();
+                assert!(dest == "V0" || dest == "V1", "{dest}");
+                let src = m.location(rule.from());
+                assert!(src.name().starts_with('S'), "{}", src.name());
+                let expected_value = if votes0 > 0 {
+                    ccta::BinValue::Zero
+                } else {
+                    ccta::BinValue::One
+                };
+                assert_eq!(src.value(), Some(expected_value));
+            }
+        }
+    }
+
+    #[test]
+    fn echo_amplification_uses_t_plus_1() {
+        let p = ks16();
+        let m = p.model();
+        let amp = m.rule(m.rule_id("amplify01").unwrap());
+        // n=4, t=1, f=1: threshold 1
+        assert!(amp.guard().holds(&[0, 1, 0, 0, 0, 0], &[4, 1, 1, 1]));
+        assert!(!amp.guard().holds(&[0, 0, 0, 0, 0, 0], &[4, 1, 1, 1]));
+    }
+
+    #[test]
+    fn vote_rules_wait_for_n_minus_t_echoes() {
+        let p = ks16();
+        let m = p.model();
+        let vote = m.rule(m.rule_id("vote0_from_s0").unwrap());
+        // n=4, t=1, f=1: e0 + e1 >= 2
+        assert!(vote.guard().holds(&[1, 1, 0, 0, 0, 0], &[4, 1, 1, 1]));
+        assert!(!vote.guard().holds(&[1, 0, 0, 0, 0, 0], &[4, 1, 1, 1]));
+    }
+}

@@ -1,0 +1,289 @@
+//! The MMR14 protocol of Mostéfaoui, Moumen & Raynal (PODC 2014), category (C).
+//!
+//! This is the motivating protocol of Sect. II of the paper and the only
+//! benchmark whose threshold automaton is published in full (Fig. 4 and
+//! Table I); the encoding below follows that automaton:
+//!
+//! * `b0`, `b1` count the `EST` (BV-broadcast) messages of correct processes;
+//! * `a0`, `a1` count their `AUX` messages;
+//! * locations `S0`/`S1`/`S2` track which values a process has echoed,
+//!   `B0`/`B1`/`B0'`/`B1'`/`B2` track which values have been BV-delivered
+//!   (added to `bin_values`) and whether the `AUX` message has been sent;
+//! * `M0`/`M1`/`Mbot` are the crusader outcomes `values = {0}`, `{1}`,
+//!   `{0,1}`, from which the coin-based rules decide, keep the estimate or
+//!   adopt the coin.
+//!
+//! The binding refinement of Fig. 6 (locations `N0`, `N1`, `N⊥` in front of
+//! `Mbot`) is applied with the literal guards `a0 > 0` / `a1 > 0`, which is
+//! exactly what makes the adaptive-adversary attack of Sect. II show up as a
+//! counterexample to condition `CB2`.
+
+use crate::common::{install_common_coin, Thresholds};
+use crate::{CrusaderLocations, ProtocolModel};
+use ccta::env::byzantine_common_coin_env;
+use ccta::prelude::*;
+use ccta::refine::refine_for_binding;
+use ccta::ProtocolCategory;
+
+/// Builds the (unrefined) MMR14 model of Fig. 4 / Table I.
+pub fn mmr14_base() -> SystemModel {
+    let env = byzantine_common_coin_env(3);
+    let th = Thresholds::new(&env);
+    let mut b = SystemBuilder::new("MMR14", env);
+    let b0 = b.shared_var("b0");
+    let b1 = b.shared_var("b1");
+    let a0 = b.shared_var("a0");
+    let a1 = b.shared_var("a1");
+    let coin = install_common_coin(&mut b);
+
+    let j0 = b.process_location("J0", LocClass::Border, Some(BinValue::Zero));
+    let j1 = b.process_location("J1", LocClass::Border, Some(BinValue::One));
+    let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
+    let i1 = b.process_location("I1", LocClass::Initial, Some(BinValue::One));
+    // echoed {0}, {1}, {0,1}; nothing delivered yet
+    let s0 = b.process_location("S0", LocClass::Intermediate, Some(BinValue::Zero));
+    let s1 = b.process_location("S1", LocClass::Intermediate, Some(BinValue::One));
+    let s2 = b.process_location("S2", LocClass::Intermediate, None);
+    // bin_values = {0} / {1} (AUX sent), primed: additionally echoed both
+    let bb0 = b.process_location("B0", LocClass::Intermediate, Some(BinValue::Zero));
+    let bb1 = b.process_location("B1", LocClass::Intermediate, Some(BinValue::One));
+    let bb0p = b.process_location("B0p", LocClass::Intermediate, Some(BinValue::Zero));
+    let bb1p = b.process_location("B1p", LocClass::Intermediate, Some(BinValue::One));
+    // bin_values = {0, 1}
+    let bb2 = b.process_location("B2", LocClass::Intermediate, None);
+    // crusader outcomes: values = {0}, {1}, {0, 1}
+    let m0 = b.process_location("M0", LocClass::Intermediate, Some(BinValue::Zero));
+    let m1 = b.process_location("M1", LocClass::Intermediate, Some(BinValue::One));
+    let mbot = b.process_location("Mbot", LocClass::Intermediate, None);
+    let e0 = b.process_location("E0", LocClass::Final, Some(BinValue::Zero));
+    let e1 = b.process_location("E1", LocClass::Final, Some(BinValue::One));
+    let d0 = b.decision_location("D0", BinValue::Zero);
+    let d1 = b.decision_location("D1", BinValue::One);
+
+    // r1, r2: start the round
+    b.start_rule(j0, i0);
+    b.start_rule(j1, i1);
+    // r3, r4: BV-broadcast the estimate
+    b.rule("r3", i0, s0, Guard::top(), Update::increment(b0));
+    b.rule("r4", i1, s1, Guard::top(), Update::increment(b1));
+    // r5, r6: echo the other value after t+1 supporting EST messages
+    b.rule(
+        "r5",
+        s0,
+        s2,
+        Guard::ge(b1, th.t_plus_1_minus_f()),
+        Update::increment(b1),
+    );
+    b.rule(
+        "r6",
+        s1,
+        s2,
+        Guard::ge(b0, th.t_plus_1_minus_f()),
+        Update::increment(b0),
+    );
+    // r7-r10: BV-deliver the first value (2t+1 EST messages) and send AUX
+    b.rule(
+        "r7",
+        s0,
+        bb0,
+        Guard::ge(b0, th.two_t_plus_1_minus_f()),
+        Update::increment(a0),
+    );
+    b.rule(
+        "r8",
+        s1,
+        bb1,
+        Guard::ge(b1, th.two_t_plus_1_minus_f()),
+        Update::increment(a1),
+    );
+    b.rule(
+        "r9",
+        s2,
+        bb0p,
+        Guard::ge(b0, th.two_t_plus_1_minus_f()),
+        Update::increment(a0),
+    );
+    b.rule(
+        "r10",
+        s2,
+        bb1p,
+        Guard::ge(b1, th.two_t_plus_1_minus_f()),
+        Update::increment(a1),
+    );
+    // r11, r12: echo the other value after delivering the first one
+    b.rule(
+        "r11",
+        bb0,
+        bb0p,
+        Guard::ge(b1, th.t_plus_1_minus_f()),
+        Update::increment(b1),
+    );
+    b.rule(
+        "r12",
+        bb1,
+        bb1p,
+        Guard::ge(b0, th.t_plus_1_minus_f()),
+        Update::increment(b0),
+    );
+    // r13, r14: BV-deliver the second value (no new AUX message)
+    b.rule(
+        "r13",
+        bb0p,
+        bb2,
+        Guard::ge(b1, th.two_t_plus_1_minus_f()),
+        Update::none(),
+    );
+    b.rule(
+        "r14",
+        bb1p,
+        bb2,
+        Guard::ge(b0, th.two_t_plus_1_minus_f()),
+        Update::none(),
+    );
+    // r15-r17: n-t AUX messages all carrying 0 (values = {0})
+    b.rule("r15", bb0, m0, Guard::ge(a0, th.n_minus_t_minus_f()), Update::none());
+    b.rule("r16", bb0p, m0, Guard::ge(a0, th.n_minus_t_minus_f()), Update::none());
+    b.rule("r17", bb2, m0, Guard::ge(a0, th.n_minus_t_minus_f()), Update::none());
+    // r18-r20: n-t AUX messages all carrying 1 (values = {1})
+    b.rule("r18", bb1, m1, Guard::ge(a1, th.n_minus_t_minus_f()), Update::none());
+    b.rule("r19", bb1p, m1, Guard::ge(a1, th.n_minus_t_minus_f()), Update::none());
+    b.rule("r20", bb2, m1, Guard::ge(a1, th.n_minus_t_minus_f()), Update::none());
+    // r21: n-t AUX messages with both values present (values = {0, 1})
+    b.rule(
+        "r21",
+        bb2,
+        mbot,
+        Guard::sum_ge(&[a0, a1], th.n_minus_t_minus_f()),
+        Update::none(),
+    );
+    // r22-r27: coin-based rules
+    b.rule("r22", m0, d0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("r23", m0, e0, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule("r24", m1, d1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule("r25", m1, e1, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("r26", mbot, e0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
+    b.rule("r27", mbot, e1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    // round-switch rules (dashed in Fig. 4)
+    b.round_switch(e0, j0);
+    b.round_switch(e1, j1);
+    b.round_switch(d0, j0);
+    b.round_switch(d1, j1);
+
+    b.build().expect("MMR14 model must validate")
+}
+
+/// Builds the MMR14 benchmark entry with the Fig. 6 binding refinement
+/// applied to rule `r21`.
+pub fn mmr14() -> ProtocolModel {
+    let base = mmr14_base();
+    let r21 = base.rule_id("r21").expect("r21 exists");
+    let a0 = base.var_id("a0").expect("a0 exists");
+    let a1 = base.var_id("a1").expect("a1 exists");
+    let (refined, locs) =
+        refine_for_binding(&base, r21, a0, a1).expect("MMR14 binding refinement must validate");
+    let crusader = CrusaderLocations {
+        m0: vec!["M0".to_string()],
+        m1: vec!["M1".to_string()],
+        mbot: vec!["Mbot".to_string()],
+        n0: vec![refined.location(locs.n0).name().to_string()],
+        n1: vec![refined.location(locs.n1).name().to_string()],
+        nbot: vec![refined.location(locs.nbot).name().to_string()],
+    };
+    ProtocolModel::new(
+        "MMR14",
+        ProtocolCategory::C,
+        refined,
+        Some(crusader),
+        "Mostéfaoui, Moumen & Raynal, Signature-free asynchronous Byzantine consensus (PODC 2014); subject to the adaptive-adversary attack of Sect. II",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_model_matches_figure_4() {
+        let m = mmr14_base();
+        let stats = m.stats();
+        // Fig. 4(a): 19 process locations, 27 labelled rules + 4 round
+        // switches (Table II reports |L| = 17, |R| = 29 for the authors'
+        // encoding, which omits the border locations)
+        assert_eq!(stats.process_locations, 19);
+        assert_eq!(stats.process_rules, 31);
+        assert_eq!(stats.shared_vars, 4);
+        assert_eq!(stats.coin_vars, 2);
+        assert_eq!(stats.coin_locations, 6);
+        assert_eq!(m.decision_locations(None).len(), 2);
+    }
+
+    #[test]
+    fn refined_model_adds_the_n_locations() {
+        let p = mmr14();
+        let stats = p.stats();
+        assert_eq!(stats.process_locations, 22);
+        let c = p.crusader().unwrap();
+        assert_eq!(c.n0, vec!["N0".to_string()]);
+        assert!(p.model().rule_id("r21").is_none());
+        assert!(p.model().rule_id("r21_N0").is_some());
+    }
+
+    #[test]
+    fn aux_messages_are_sent_at_most_once_per_process() {
+        let m = mmr14_base();
+        let a0 = m.var_id("a0").unwrap();
+        let a1 = m.var_id("a1").unwrap();
+        // rules incrementing a0/a1 leave the S-layer and enter the B-layer;
+        // no rule of the B-layer increments them again
+        for rid in m.rule_ids() {
+            let rule = m.rule(rid);
+            let incr = rule.update().increment_of(a0) + rule.update().increment_of(a1);
+            if incr > 0 {
+                let src = m.location(rule.from()).name().to_string();
+                assert!(src.starts_with('S'), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn the_attack_scenario_unlocks_r21_and_r20_together() {
+        // n = 4, t = 1, f = 1: thresholds t+1-f = 1, 2t+1-f = 2, n-t-f = 2.
+        // With a0 = 1 and a1 = 2 both the values={0,1} rule (r21) and the
+        // values={1} rule (r20) are unlocked, which is the root cause of the
+        // CB2 violation.
+        let m = mmr14_base();
+        let params = [4u64, 1, 1, 1];
+        let vars = {
+            let mut v = vec![0u64; m.vars().len()];
+            v[m.var_id("a0").unwrap().0] = 1;
+            v[m.var_id("a1").unwrap().0] = 2;
+            v
+        };
+        let r21 = m.rule(m.rule_id("r21").unwrap());
+        let r20 = m.rule(m.rule_id("r20").unwrap());
+        assert!(r21.guard().holds(&vars, &params));
+        assert!(r20.guard().holds(&vars, &params));
+    }
+
+    #[test]
+    fn unanimous_zero_never_unlocks_the_one_side() {
+        let m = mmr14_base();
+        let params = [4u64, 1, 1, 1];
+        // with no correct process echoing 1, b1 = 0 and the echo rule for 1
+        // (r5) as well as the delivery rules for 1 (r8/r10/r13) stay locked
+        let vars = {
+            let mut v = vec![0u64; m.vars().len()];
+            v[m.var_id("b0").unwrap().0] = 3;
+            v[m.var_id("a0").unwrap().0] = 3;
+            v
+        };
+        for name in ["r5", "r8", "r10", "r13", "r18", "r19", "r20"] {
+            let rule = m.rule(m.rule_id(name).unwrap());
+            assert!(!rule.guard().holds(&vars, &params), "{name} should be locked");
+        }
+        for name in ["r7", "r15", "r6"] {
+            let rule = m.rule(m.rule_id(name).unwrap());
+            assert!(rule.guard().holds(&vars, &params), "{name} should be unlocked");
+        }
+    }
+}

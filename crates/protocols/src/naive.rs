@@ -1,0 +1,87 @@
+//! The naive voting protocol of Fig. 2 / Fig. 3 of the paper.
+//!
+//! Every correct process broadcasts its binary input and decides a value `d`
+//! as soon as it has received `⌈(n+1)/2⌉` messages carrying `d`.  The model
+//! is the running example of Sect. III-A; it is not part of the Table II
+//! benchmark (it is not a common-coin protocol) but is used by the quickstart
+//! example and the documentation.
+
+use ccta::prelude::*;
+
+/// Builds the threshold automaton of Fig. 3 (no common coin).
+pub fn naive_voting() -> SystemModel {
+    let mut env = EnvironmentBuilder::new();
+    let n = env.param("n");
+    let f = env.param("f");
+    let k = 2usize;
+    // n > 2f  /\  f >= 0
+    env.require(LinearConstraint::gt(
+        LinearExpr::param(k, n),
+        LinearExpr::term(k, f, 2),
+    ));
+    env.require(LinearConstraint::ge(
+        LinearExpr::param(k, f),
+        LinearExpr::constant(k, 0),
+    ));
+    env.processes(LinearExpr::param(k, n).sub(&LinearExpr::param(k, f)));
+    env.coins(LinearExpr::constant(k, 0));
+    let env = env.build();
+
+    let mut b = SystemBuilder::new("NaiveVoting", env);
+    let v0 = b.shared_var("v0");
+    let v1 = b.shared_var("v1");
+
+    let j0 = b.process_location("J0", LocClass::Border, Some(BinValue::Zero));
+    let j1 = b.process_location("J1", LocClass::Border, Some(BinValue::One));
+    let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
+    let i1 = b.process_location("I1", LocClass::Initial, Some(BinValue::One));
+    let s = b.process_location("S", LocClass::Intermediate, None);
+    let d0 = b.decision_location("D0", BinValue::Zero);
+    let d1 = b.decision_location("D1", BinValue::One);
+
+    b.start_rule(j0, i0);
+    b.start_rule(j1, i1);
+    // r1, r2 of Fig. 3: broadcast the input value
+    b.rule("r1", i0, s, Guard::top(), Update::increment(v0));
+    b.rule("r2", i1, s, Guard::top(), Update::increment(v1));
+    // r3, r4: 2·(v_d + f) >= n + 1, i.e. 2·v_d >= n + 1 - 2f
+    let majority = LinearExpr::param(k, n)
+        .plus_const(1)
+        .sub(&LinearExpr::term(k, f, 2));
+    b.rule("r3", s, d0, Guard::ge_scaled(2, v0, majority.clone()), Update::none());
+    b.rule("r4", s, d1, Guard::ge_scaled(2, v1, majority), Update::none());
+    b.round_switch(d0, j0);
+    b.round_switch(d1, j1);
+
+    b.build().expect("naive voting model must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_figure_3_shape() {
+        let m = naive_voting();
+        // Fig. 3 shows I0, I1, S, D0, D1 plus the border locations
+        assert_eq!(m.process_location_count(), 7);
+        assert_eq!(m.decision_locations(None).len(), 2);
+        assert_eq!(m.locations_of(Owner::Coin).len(), 0);
+        assert_eq!(m.shared_vars().len(), 2);
+        assert!(m.rule_id("r3").is_some());
+    }
+
+    #[test]
+    fn majority_guard_requires_a_strict_majority() {
+        let m = naive_voting();
+        let r3 = m.rule_id("r3").unwrap();
+        let guard = m.rule(r3).guard();
+        // n = 3, f = 1: 2*v0 >= 2, i.e. one vote (from a correct process)
+        // suffices only together with the Byzantine one
+        assert!(guard.holds(&[1, 0], &[3, 1]));
+        assert!(!guard.holds(&[0, 0], &[3, 1]));
+        // n = 5, f = 0: needs three votes
+        assert!(!guard.holds(&[2, 0], &[5, 0]));
+        assert!(guard.holds(&[3, 0], &[5, 0]));
+    }
+}

@@ -1,0 +1,286 @@
+//! The adaptive-adversary attack of Sect. II.
+//!
+//! The system has three correct processes `A1`, `A2`, `B1` (with inputs 0, 0,
+//! 1) and one Byzantine process.  In every round the adversary
+//!
+//! 1. withholds all messages addressed to `A2` while letting `A1` and `B1`
+//!    run to completion with `values = {0, 1}` (so their new estimate is the
+//!    common coin `s`), thereby learning `s`;
+//! 2. then delivers to `A2` only messages carrying `1 - s` (plus forged
+//!    Byzantine messages), so that `A2` ends the round with
+//!    `values = {1 - s}` and estimate `1 - s`.
+//!
+//! The estimates therefore stay split forever and no process ever decides.
+//! Against the repaired protocol the first step fails: `A1` and `B1` cannot
+//! query the coin before the outcome is bound, so the adversary never learns
+//! `s` in time and has to fall back to fair scheduling, after which the
+//! protocol terminates quickly.
+
+use crate::coin::CommonCoin;
+use crate::network::Network;
+use crate::protocol::{ConsensusProcess, Process, ProtocolKind};
+use crate::types::{Message, MessageKind, ProcessId, Value};
+use serde::{Deserialize, Serialize};
+
+const A1: ProcessId = ProcessId(0);
+const A2: ProcessId = ProcessId(1);
+const B1: ProcessId = ProcessId(2);
+const BYZ: ProcessId = ProcessId(3);
+const N: usize = 4;
+const T: usize = 1;
+
+/// The outcome of an adaptive-adversary execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Protocol variant that was attacked.
+    pub protocol: String,
+    /// Number of rounds the adversary played.
+    pub rounds_executed: u32,
+    /// Decisions of `A1`, `A2`, `B1`.
+    pub decisions: Vec<Option<Value>>,
+    /// Estimates of `A1`, `A2`, `B1` after the last round.
+    pub estimates: Vec<Value>,
+    /// Number of rounds in which the adversary learned the coin before `A2`
+    /// had fixed its `values` set (i.e. rounds where the attack step worked).
+    pub rounds_with_early_coin: u32,
+}
+
+impl AttackOutcome {
+    /// Whether every correct process decided.
+    pub fn terminated(&self) -> bool {
+        self.decisions.iter().all(|d| d.is_some())
+    }
+
+    /// Whether the correct estimates are still split.
+    pub fn estimates_split(&self) -> bool {
+        self.estimates.iter().any(|&e| e != self.estimates[0])
+    }
+}
+
+/// Whether a message only carries (supports) the given value.
+fn message_carries(kind: MessageKind, v: Value) -> bool {
+    match kind {
+        MessageKind::Est(x) | MessageKind::Aux(x) => x == v,
+        MessageKind::Conf { zero, one } => {
+            (v == Value::ZERO && zero && !one) || (v == Value::ONE && one && !zero)
+        }
+    }
+}
+
+fn byz_round_messages(to: ProcessId, round: u32, values: &[Value]) -> Vec<Message> {
+    let mut out = Vec::new();
+    for &v in values {
+        out.push(Message::new(BYZ, to, round, MessageKind::Est(v)));
+        out.push(Message::new(BYZ, to, round, MessageKind::Aux(v)));
+        out.push(Message::new(
+            BYZ,
+            to,
+            round,
+            MessageKind::Conf {
+                zero: v == Value::ZERO,
+                one: v == Value::ONE,
+            },
+        ));
+    }
+    // when the adversary supports both values it also forges a full-set CONF
+    if values.contains(&Value::ZERO) && values.contains(&Value::ONE) {
+        out.push(Message::new(
+            BYZ,
+            to,
+            round,
+            MessageKind::Conf {
+                zero: true,
+                one: true,
+            },
+        ));
+    }
+    out
+}
+
+/// Delivers round-`round` messages to `target`, preferring messages that
+/// carry `preferred` (if given), until the target completes the round or no
+/// matching message is left.  Returns whether the target completed the round.
+fn drive_target(
+    target: ProcessId,
+    round: u32,
+    preferred: Option<Value>,
+    restrict_to_preferred: bool,
+    processes: &mut [Process],
+    network: &mut Network,
+    coin: &mut CommonCoin,
+) -> bool {
+    loop {
+        if processes[target.0].has_completed_round(round) {
+            return true;
+        }
+        let pick = preferred
+            .and_then(|v| {
+                network.deliver_matching(|m| {
+                    m.to == target && m.round == round && message_carries(m.kind, v)
+                })
+            })
+            .or_else(|| {
+                if restrict_to_preferred {
+                    None
+                } else {
+                    network.deliver_matching(|m| m.to == target && m.round == round)
+                }
+            });
+        let Some(msg) = pick else {
+            return processes[target.0].has_completed_round(round);
+        };
+        let out = processes[target.0].deliver(msg, coin);
+        network.send_all(out);
+        network.drop_addressed_to(BYZ);
+    }
+}
+
+/// Fairly delivers every message of rounds `<= round` (used when the attack
+/// step fails and as the end-of-round flush of withheld messages).
+fn deliver_everything(
+    round: u32,
+    processes: &mut [Process],
+    network: &mut Network,
+    coin: &mut CommonCoin,
+) {
+    loop {
+        let Some(msg) = network.deliver_matching(|m| m.round <= round && m.to != BYZ) else {
+            return;
+        };
+        let out = processes[msg.to.0].deliver(msg, coin);
+        network.send_all(out);
+        network.drop_addressed_to(BYZ);
+    }
+}
+
+/// Runs the adaptive adversary for up to `max_rounds` rounds against the
+/// given protocol variant.
+pub fn run_adaptive_attack(kind: ProtocolKind, max_rounds: u32, seed: u64) -> AttackOutcome {
+    run_adaptive_attack_traced(kind, max_rounds, seed, false)
+}
+
+/// Like [`run_adaptive_attack`], optionally printing a per-round trace.
+pub fn run_adaptive_attack_traced(
+    kind: ProtocolKind,
+    max_rounds: u32,
+    seed: u64,
+    trace: bool,
+) -> AttackOutcome {
+    let mut coin = CommonCoin::new(seed);
+    let inputs = [Value::ZERO, Value::ZERO, Value::ONE];
+    let mut processes: Vec<Process> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Process::new(ProcessId(i), kind, N, T, v))
+        .collect();
+    let mut network = Network::new();
+    for p in &mut processes {
+        let msgs = p.start();
+        network.send_all(msgs);
+    }
+    network.drop_addressed_to(BYZ);
+
+    let mut rounds_with_early_coin = 0;
+    let mut round = 0;
+    while round < max_rounds && processes.iter().any(|p| p.decided().is_none()) {
+        // 1. forged Byzantine traffic supporting both values towards A1 / B1
+        network.send_all(byz_round_messages(A1, round, &[Value::ZERO, Value::ONE]));
+        network.send_all(byz_round_messages(B1, round, &[Value::ZERO, Value::ONE]));
+
+        // 2. let A1 and B1 finish the round; A1 BV-delivers 0 first, B1
+        //    delivers 1 first, so one correct AUX message exists for each
+        //    value once the coin is revealed
+        drive_target(A1, round, Some(Value::ZERO), false, &mut processes, &mut network, &mut coin);
+        drive_target(B1, round, Some(Value::ONE), false, &mut processes, &mut network, &mut coin);
+
+        // 3. if the coin leaked before A2 fixed its values, steer A2 to 1 - s
+        if let Some(s) = coin.revealed_value(round) {
+            if !processes[A2.0].has_completed_round(round) {
+                rounds_with_early_coin += 1;
+                let target_value = s.flip();
+                network.send_all(byz_round_messages(A2, round, &[target_value]));
+                drive_target(
+                    A2,
+                    round,
+                    Some(target_value),
+                    true,
+                    &mut processes,
+                    &mut network,
+                    &mut coin,
+                );
+            }
+        }
+
+        // 4. the adversary must stay fair: everything still in flight for
+        //    this round (including A2's withheld messages) is delivered now;
+        //    completed rounds ignore the stale traffic
+        deliver_everything(round, &mut processes, &mut network, &mut coin);
+        if trace {
+            println!(
+                "round {round}: coin_revealed={} ests={:?} decided={:?} current_rounds={:?} inflight={}",
+                coin.is_revealed(round),
+                processes.iter().map(|p| p.estimate()).collect::<Vec<_>>(),
+                processes.iter().map(|p| p.decided()).collect::<Vec<_>>(),
+                processes
+                    .iter()
+                    .map(|p| p.current_round())
+                    .collect::<Vec<_>>(),
+                network.len(),
+            );
+        }
+        round += 1;
+    }
+
+    AttackOutcome {
+        protocol: format!("{kind:?}"),
+        rounds_executed: round,
+        decisions: processes.iter().map(|p| p.decided()).collect(),
+        estimates: processes.iter().map(|p| p.estimate()).collect(),
+        rounds_with_early_coin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_attack_prevents_mmr14_from_terminating() {
+        for seed in [1u64, 7, 42] {
+            let outcome = run_adaptive_attack(ProtocolKind::Mmr14, 30, seed);
+            assert!(!outcome.terminated(), "seed {seed}");
+            assert_eq!(outcome.rounds_executed, 30);
+            assert!(outcome.estimates_split(), "seed {seed}");
+            // in (essentially) every round the adversary learned the coin
+            // before A2 committed
+            assert!(outcome.rounds_with_early_coin >= 28, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn the_fixed_protocol_survives_the_same_adversary() {
+        for seed in [1u64, 7, 42] {
+            let outcome = run_adaptive_attack(ProtocolKind::Fixed, 30, seed);
+            assert!(outcome.terminated(), "seed {seed}: {outcome:?}");
+            assert!(outcome.rounds_executed < 30, "seed {seed}");
+            // the adversary never learns the coin early
+            assert_eq!(outcome.rounds_with_early_coin, 0, "seed {seed}");
+            // agreement among the decided values
+            let first = outcome.decisions[0];
+            assert!(outcome.decisions.iter().all(|d| *d == first));
+        }
+    }
+
+    #[test]
+    fn attack_outcome_accessors() {
+        let outcome = AttackOutcome {
+            protocol: "Mmr14".to_string(),
+            rounds_executed: 5,
+            decisions: vec![None, None, None],
+            estimates: vec![Value::ZERO, Value::ONE, Value::ZERO],
+            rounds_with_early_coin: 5,
+        };
+        assert!(!outcome.terminated());
+        assert!(outcome.estimates_split());
+    }
+}

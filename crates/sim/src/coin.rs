@@ -1,0 +1,101 @@
+//! The strong common coin.
+//!
+//! The coin delivers the same unbiased random bit `b_r` to every process that
+//! queries round `r` (an `ε`-good coin with `ε = 1/2`, i.e. a *strong* coin).
+//! The adaptive adversary of Sect. II learns the coin value of a round as
+//! soon as the first correct process queries it; the coin therefore records
+//! which rounds have been revealed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::types::Value;
+
+/// A strong common coin shared by all correct processes.
+#[derive(Debug, Clone)]
+pub struct CommonCoin {
+    seed: u64,
+    drawn: HashMap<u32, Value>,
+    revealed: Vec<u32>,
+}
+
+impl CommonCoin {
+    /// Creates a coin whose bit sequence is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        CommonCoin {
+            seed,
+            drawn: HashMap::new(),
+            revealed: Vec::new(),
+        }
+    }
+
+    /// Queries the coin for a round (the `s ← random()` step of Fig. 1).
+    /// The first query of a round reveals its value to the adversary.
+    pub fn query(&mut self, round: u32) -> Value {
+        let value = self.value_of(round);
+        if !self.revealed.contains(&round) {
+            self.revealed.push(round);
+        }
+        value
+    }
+
+    /// The coin value of a round, *without* revealing it (used internally and
+    /// by the adversary once the round has been revealed).
+    fn value_of(&mut self, round: u32) -> Value {
+        let seed = self.seed;
+        *self.drawn.entry(round).or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Value(rng.gen_range(0..=1))
+        })
+    }
+
+    /// Whether the coin of a round has already been queried by some correct
+    /// process (and is therefore known to the adaptive adversary).
+    pub fn is_revealed(&self, round: u32) -> bool {
+        self.revealed.contains(&round)
+    }
+
+    /// The coin value of a revealed round, as observed by the adversary.
+    pub fn revealed_value(&mut self, round: u32) -> Option<Value> {
+        if self.is_revealed(round) {
+            Some(self.value_of(round))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coin_is_common_and_deterministic_per_round() {
+        let mut a = CommonCoin::new(42);
+        let mut b = CommonCoin::new(42);
+        for round in 0..20 {
+            assert_eq!(a.query(round), b.query(round));
+        }
+        // querying again returns the same value
+        assert_eq!(a.query(3), b.query(3));
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut coin = CommonCoin::new(7);
+        let ones: u32 = (0..1000).map(|r| coin.query(r).0 as u32).sum();
+        assert!(ones > 400 && ones < 600, "ones = {ones}");
+    }
+
+    #[test]
+    fn reveal_tracking() {
+        let mut coin = CommonCoin::new(1);
+        assert!(!coin.is_revealed(5));
+        assert_eq!(coin.revealed_value(5), None);
+        let v = coin.query(5);
+        assert!(coin.is_revealed(5));
+        assert_eq!(coin.revealed_value(5), Some(v));
+        assert!(!coin.is_revealed(6));
+    }
+}

@@ -1,0 +1,29 @@
+//! A Byzantine asynchronous message-passing (BAMP) simulator for common-coin
+//! consensus protocols.
+//!
+//! This crate is the executable-protocol substrate of the reproduction: it
+//! implements the computation model `BAMP_{n,t}[n > 3t, CC]` of Sect. I of
+//! the paper (asynchronous reliable point-to-point network, up to `t`
+//! Byzantine processes, a strong common coin) together with
+//!
+//! * [`protocol::Mmr14Process`] — the MMR14 protocol of Fig. 1, verbatim;
+//! * [`protocol::FixedProcess`] — the repaired protocol (Miller18-style
+//!   strengthened `⊥` condition) used as the control;
+//! * [`runner`] — fair random scheduling, measuring the number of rounds to
+//!   decision (the "expected four rounds" analysis of Sect. II);
+//! * [`attack`] — the adaptive-adversary schedule of Sect. II that keeps
+//!   MMR14 from ever terminating while the fixed protocol still decides.
+
+pub mod attack;
+pub mod coin;
+pub mod network;
+pub mod protocol;
+pub mod runner;
+pub mod types;
+
+pub use attack::{run_adaptive_attack, AttackOutcome};
+pub use coin::CommonCoin;
+pub use network::Network;
+pub use protocol::{ConsensusProcess, FixedProcess, Mmr14Process, Process, ProtocolKind};
+pub use runner::{average_decision_round, run_fair, FairRunReport};
+pub use types::{Message, MessageKind, ProcessId, Value};

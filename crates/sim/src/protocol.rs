@@ -1,0 +1,497 @@
+//! Executable implementations of MMR14 (Fig. 1) and of the repaired protocol.
+
+use crate::coin::CommonCoin;
+use crate::types::{broadcast, Message, MessageKind, ProcessId, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which wait condition the process uses before querying the common coin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The original MMR14 protocol of Fig. 1: any `n - t` AUX messages with
+    /// values in `bin_values` release the coin query.
+    Mmr14,
+    /// The repaired protocol (the fix deployed in HoneyBadger/Dumbo): after
+    /// computing `values`, a process broadcasts a `CONF` message carrying
+    /// that set and queries the coin only after receiving `n - t` `CONF`
+    /// messages whose contents lie inside its own `bin_values`; `values` is
+    /// then the union of those announcements.  By the time the first correct
+    /// process sees the coin, the outcome of the round is bound.
+    Fixed,
+}
+
+/// Per-round bookkeeping of a correct process.
+#[derive(Debug, Default, Clone)]
+struct RoundState {
+    echoed: [bool; 2],
+    bin_values: [bool; 2],
+    aux_sent: Option<Value>,
+    est_senders: [BTreeSet<ProcessId>; 2],
+    aux_senders: [BTreeSet<ProcessId>; 2],
+    conf_sent: Option<[bool; 2]>,
+    conf_received: HashMap<ProcessId, [bool; 2]>,
+    completed: bool,
+}
+
+/// A correct process running MMR14 or its fixed variant.
+#[derive(Debug, Clone)]
+pub struct Process {
+    id: ProcessId,
+    kind: ProtocolKind,
+    n: usize,
+    t: usize,
+    est: Value,
+    decided: Option<Value>,
+    decided_round: Option<u32>,
+    round: u32,
+    started: bool,
+    rounds: HashMap<u32, RoundState>,
+}
+
+/// Convenience alias constructor for the original protocol.
+pub struct Mmr14Process;
+
+/// Convenience alias constructor for the repaired protocol.
+pub struct FixedProcess;
+
+impl Mmr14Process {
+    /// Creates an MMR14 process.
+    pub fn new(id: ProcessId, n: usize, t: usize, input: Value) -> Process {
+        Process::new(id, ProtocolKind::Mmr14, n, t, input)
+    }
+}
+
+impl FixedProcess {
+    /// Creates a repaired-protocol process.
+    pub fn new(id: ProcessId, n: usize, t: usize, input: Value) -> Process {
+        Process::new(id, ProtocolKind::Fixed, n, t, input)
+    }
+}
+
+/// Trait kept for API symmetry with the counter-system adversaries.
+pub trait ConsensusProcess {
+    /// The process identifier.
+    fn id(&self) -> ProcessId;
+    /// The current estimate.
+    fn estimate(&self) -> Value;
+    /// The decided value, if any.
+    fn decided(&self) -> Option<Value>;
+}
+
+impl ConsensusProcess for Process {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn estimate(&self) -> Value {
+        self.est
+    }
+
+    fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+}
+
+impl Process {
+    /// Creates a correct process with the given input value.
+    pub fn new(id: ProcessId, kind: ProtocolKind, n: usize, t: usize, input: Value) -> Self {
+        Process {
+            id,
+            kind,
+            n,
+            t,
+            est: input,
+            decided: None,
+            decided_round: None,
+            round: 0,
+            started: false,
+            rounds: HashMap::new(),
+        }
+    }
+
+    /// The protocol variant.
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The round the process is currently executing.
+    pub fn current_round(&self) -> u32 {
+        self.round
+    }
+
+    /// The round in which the process decided, if any.
+    pub fn decided_round(&self) -> Option<u32> {
+        self.decided_round
+    }
+
+    /// Whether the process has finished the given round.
+    pub fn has_completed_round(&self, round: u32) -> bool {
+        self.rounds
+            .get(&round)
+            .map(|r| r.completed)
+            .unwrap_or(false)
+    }
+
+    /// Starts the protocol (round 0), returning the initial EST broadcasts.
+    pub fn start(&mut self) -> Vec<Message> {
+        if self.started {
+            return Vec::new();
+        }
+        self.started = true;
+        self.begin_round(0)
+    }
+
+    fn begin_round(&mut self, round: u32) -> Vec<Message> {
+        self.round = round;
+        let est = self.est;
+        let state = self.rounds.entry(round).or_default();
+        state.echoed[est.0 as usize] = true;
+        broadcast(self.id, self.n, round, MessageKind::Est(est))
+    }
+
+    /// Handles a delivered message.  Returns the messages this triggers,
+    /// including the EST broadcasts of the next round if the current round
+    /// completes.
+    pub fn deliver(&mut self, msg: Message, coin: &mut CommonCoin) -> Vec<Message> {
+        let state = self.rounds.entry(msg.round).or_default();
+        match msg.kind {
+            MessageKind::Est(v) => {
+                state.est_senders[v.0 as usize].insert(msg.from);
+            }
+            MessageKind::Aux(v) => {
+                state.aux_senders[v.0 as usize].insert(msg.from);
+            }
+            MessageKind::Conf { zero, one } => {
+                state.conf_received.insert(msg.from, [zero, one]);
+            }
+        }
+        self.step(coin)
+    }
+
+    /// Re-evaluates the wait conditions of the current round.
+    pub fn step(&mut self, coin: &mut CommonCoin) -> Vec<Message> {
+        let mut out = Vec::new();
+        if !self.started {
+            return out;
+        }
+        let round = self.round;
+        let (n, t, id) = (self.n, self.t, self.id);
+        let state = self.rounds.entry(round).or_default();
+        if state.completed {
+            return out;
+        }
+
+        // BV-broadcast: echo a value supported by t + 1 EST messages
+        for v in [Value::ZERO, Value::ONE] {
+            let idx = v.0 as usize;
+            if !state.echoed[idx] && state.est_senders[idx].len() >= t + 1 {
+                state.echoed[idx] = true;
+                out.extend(broadcast(id, n, round, MessageKind::Est(v)));
+            }
+        }
+        // BV-deliver: add a value supported by 2t + 1 EST messages to
+        // bin_values; broadcast AUX for the first delivered value
+        for v in [Value::ZERO, Value::ONE] {
+            let idx = v.0 as usize;
+            if !state.bin_values[idx] && state.est_senders[idx].len() >= 2 * t + 1 {
+                state.bin_values[idx] = true;
+                if state.aux_sent.is_none() {
+                    state.aux_sent = Some(v);
+                    out.extend(broadcast(id, n, round, MessageKind::Aux(v)));
+                }
+            }
+        }
+        // AUX wait (line 6 of Fig. 1)
+        if let Some(values) = self.aux_wait_values(round) {
+            match self.kind {
+                ProtocolKind::Mmr14 => {
+                    out.extend(self.finish_round(round, &values, coin));
+                }
+                ProtocolKind::Fixed => {
+                    // broadcast CONF(values) and wait for a quorum of
+                    // announcements before touching the coin
+                    let state = self.rounds.entry(round).or_default();
+                    if state.conf_sent.is_none() {
+                        let set = [
+                            values.contains(&Value::ZERO),
+                            values.contains(&Value::ONE),
+                        ];
+                        state.conf_sent = Some(set);
+                        // the own announcement counts towards the quorum
+                        state.conf_received.insert(id, set);
+                        out.extend(broadcast(
+                            id,
+                            n,
+                            round,
+                            MessageKind::Conf {
+                                zero: set[0],
+                                one: set[1],
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        // CONF wait of the repaired protocol
+        if self.kind == ProtocolKind::Fixed {
+            if let Some(values) = self.conf_wait_values(round) {
+                out.extend(self.finish_round(round, &values, coin));
+            }
+        }
+        out
+    }
+
+    /// Queries the coin and applies the estimate/decision rule of Fig. 1.
+    fn finish_round(&mut self, round: u32, values: &[Value], coin: &mut CommonCoin) -> Vec<Message> {
+        let state = self.rounds.entry(round).or_default();
+        if state.completed {
+            return Vec::new();
+        }
+        let s = coin.query(round);
+        let state = self.rounds.get_mut(&round).expect("state exists");
+        state.completed = true;
+        if values.len() == 1 {
+            let v = values[0];
+            self.est = v;
+            if v == s && self.decided.is_none() {
+                self.decided = Some(v);
+                self.decided_round = Some(round);
+            }
+        } else {
+            self.est = s;
+        }
+        self.begin_round(round + 1)
+    }
+
+    /// Evaluates the CONF wait condition of the repaired protocol: once
+    /// `n - t` processes have announced `values` sets contained in this
+    /// process's `bin_values`, returns the union of those announcements.
+    fn conf_wait_values(&self, round: u32) -> Option<Vec<Value>> {
+        let state = self.rounds.get(&round)?;
+        state.conf_sent?;
+        if state.completed {
+            return None;
+        }
+        let quorum = self.n - self.t;
+        let accepted: Vec<&[bool; 2]> = state
+            .conf_received
+            .values()
+            .filter(|set| {
+                (!set[0] || state.bin_values[0]) && (!set[1] || state.bin_values[1])
+            })
+            .collect();
+        if accepted.len() < quorum {
+            return None;
+        }
+        let mut union = [false, false];
+        for set in accepted {
+            union[0] |= set[0];
+            union[1] |= set[1];
+        }
+        let mut values = Vec::new();
+        if union[0] {
+            values.push(Value::ZERO);
+        }
+        if union[1] {
+            values.push(Value::ONE);
+        }
+        if values.is_empty() {
+            None
+        } else {
+            Some(values)
+        }
+    }
+
+    /// Evaluates the AUX wait condition; returns the `values` set when the
+    /// process may proceed to the coin query.
+    fn aux_wait_values(&self, round: u32) -> Option<Vec<Value>> {
+        let state = self.rounds.get(&round)?;
+        let quorum = self.n - self.t;
+        let accepted: Vec<Value> = [Value::ZERO, Value::ONE]
+            .into_iter()
+            .filter(|v| state.bin_values[v.0 as usize])
+            .collect();
+        let senders_of = |v: Value| state.aux_senders[v.0 as usize].len();
+        let distinct: BTreeSet<ProcessId> = accepted
+            .iter()
+            .flat_map(|v| state.aux_senders[v.0 as usize].iter().copied())
+            .collect();
+        if distinct.len() >= quorum {
+            let values: Vec<Value> = accepted
+                .into_iter()
+                .filter(|&v| senders_of(v) > 0)
+                .collect();
+            if values.is_empty() {
+                None
+            } else {
+                Some(values)
+            }
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver_all(p: &mut Process, msgs: &[Message], coin: &mut CommonCoin) -> Vec<Message> {
+        let mut out = Vec::new();
+        for m in msgs {
+            if m.to == p.id() {
+                out.extend(p.deliver(*m, coin));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_when_the_coin_agrees() {
+        // pick a seed whose round-0 coin is 0
+        let seed = (0..100u64)
+            .find(|&s| CommonCoin::new(s).query(0) == Value::ZERO)
+            .unwrap();
+        let mut coin = CommonCoin::new(seed);
+
+        let n = 4;
+        let t = 1;
+        let mut procs: Vec<Process> = (0..3)
+            .map(|i| Mmr14Process::new(ProcessId(i), n, t, Value::ZERO))
+            .collect();
+        let mut inflight: Vec<Message> = Vec::new();
+        for p in &mut procs {
+            inflight.extend(p.start());
+        }
+        // deliver everything repeatedly until quiescent
+        for _ in 0..10 {
+            let msgs = std::mem::take(&mut inflight);
+            for i in 0..procs.len() {
+                inflight.extend(deliver_all(&mut procs[i], &msgs, &mut coin));
+            }
+            if inflight.is_empty() {
+                break;
+            }
+        }
+        for p in &procs {
+            assert_eq!(p.decided(), Some(Value::ZERO), "{}", p.id());
+            assert_eq!(p.decided_round(), Some(0));
+            assert!(p.current_round() >= 1);
+        }
+    }
+
+    #[test]
+    fn echo_amplification_requires_t_plus_1_senders() {
+        let mut coin = CommonCoin::new(3);
+        let mut p = Mmr14Process::new(ProcessId(0), 4, 1, Value::ZERO);
+        let _ = p.start();
+        // one EST(1) is not enough to echo
+        let out = p.deliver(
+            Message::new(ProcessId(2), ProcessId(0), 0, MessageKind::Est(Value::ONE)),
+            &mut coin,
+        );
+        assert!(out.is_empty());
+        // the second EST(1) triggers the echo broadcast of value 1
+        let out = p.deliver(
+            Message::new(ProcessId(3), ProcessId(0), 0, MessageKind::Est(Value::ONE)),
+            &mut coin,
+        );
+        assert!(out
+            .iter()
+            .all(|m| matches!(m.kind, MessageKind::Est(Value::ONE))));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn fixed_process_queries_the_coin_only_after_the_conf_quorum() {
+        let mut coin = CommonCoin::new(3);
+        let n = 4;
+        let t = 1;
+        let mut p = FixedProcess::new(ProcessId(0), n, t, Value::ZERO);
+        let _ = p.start();
+        // deliver 3 EST(0) and 3 EST(1): both values enter bin_values
+        for sender in [1, 2, 3] {
+            p.deliver(
+                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ZERO)),
+                &mut coin,
+            );
+            p.deliver(
+                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ONE)),
+                &mut coin,
+            );
+        }
+        // a mixed AUX quorum releases the MMR14 wait, but the fixed process
+        // only broadcasts CONF and does not reveal the coin yet
+        p.deliver(
+            Message::new(ProcessId(1), ProcessId(0), 0, MessageKind::Aux(Value::ZERO)),
+            &mut coin,
+        );
+        p.deliver(
+            Message::new(ProcessId(2), ProcessId(0), 0, MessageKind::Aux(Value::ONE)),
+            &mut coin,
+        );
+        let out = p.deliver(
+            Message::new(ProcessId(3), ProcessId(0), 0, MessageKind::Aux(Value::ONE)),
+            &mut coin,
+        );
+        assert!(out
+            .iter()
+            .any(|m| matches!(m.kind, MessageKind::Conf { .. })));
+        assert!(!p.has_completed_round(0));
+        assert!(!coin.is_revealed(0));
+        // two more CONF announcements inside bin_values complete the quorum
+        p.deliver(
+            Message::new(
+                ProcessId(1),
+                ProcessId(0),
+                0,
+                MessageKind::Conf { zero: true, one: true },
+            ),
+            &mut coin,
+        );
+        assert!(!p.has_completed_round(0));
+        p.deliver(
+            Message::new(
+                ProcessId(2),
+                ProcessId(0),
+                0,
+                MessageKind::Conf { zero: false, one: true },
+            ),
+            &mut coin,
+        );
+        assert!(p.has_completed_round(0));
+        assert!(coin.is_revealed(0));
+    }
+
+    #[test]
+    fn mmr14_releases_on_any_mixed_quorum() {
+        let mut coin = CommonCoin::new(3);
+        let mut p = Mmr14Process::new(ProcessId(0), 4, 1, Value::ZERO);
+        let _ = p.start();
+        for sender in [1, 2, 3] {
+            p.deliver(
+                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ZERO)),
+                &mut coin,
+            );
+            p.deliver(
+                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ONE)),
+                &mut coin,
+            );
+        }
+        p.deliver(
+            Message::new(ProcessId(1), ProcessId(0), 0, MessageKind::Aux(Value::ZERO)),
+            &mut coin,
+        );
+        p.deliver(
+            Message::new(ProcessId(2), ProcessId(0), 0, MessageKind::Aux(Value::ONE)),
+            &mut coin,
+        );
+        p.deliver(
+            Message::new(ProcessId(3), ProcessId(0), 0, MessageKind::Aux(Value::ONE)),
+            &mut coin,
+        );
+        // three distinct senders with accepted values: the round completes
+        // and the coin is revealed
+        assert!(p.has_completed_round(0));
+        assert!(coin.is_revealed(0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Fair random scheduling of a protocol execution.
+//!
+//! This runner measures the number of rounds until every correct process
+//! decides under a fair (non-adversarial) scheduler: the "expected four
+//! rounds" analysis of Sect. II.  Byzantine processes remain silent, which a
+//! fair scheduler tolerates (their messages are simply never sent).
+
+use crate::coin::CommonCoin;
+use crate::network::Network;
+use crate::protocol::{ConsensusProcess, Process, ProtocolKind};
+use crate::types::{ProcessId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The result of a fair run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FairRunReport {
+    /// The decided value of every correct process (in id order).
+    pub decisions: Vec<Option<Value>>,
+    /// The round in which each correct process decided.
+    pub decision_rounds: Vec<Option<u32>>,
+    /// Number of messages delivered.
+    pub delivered_messages: usize,
+}
+
+impl FairRunReport {
+    /// Whether every correct process decided.
+    pub fn all_decided(&self) -> bool {
+        self.decisions.iter().all(|d| d.is_some())
+    }
+
+    /// Whether all decided processes agree.
+    pub fn agreement(&self) -> bool {
+        let mut decided = self.decisions.iter().flatten();
+        match decided.next() {
+            None => true,
+            Some(first) => decided.all(|d| d == first),
+        }
+    }
+
+    /// The latest round in which some process decided.
+    pub fn last_decision_round(&self) -> Option<u32> {
+        self.decision_rounds.iter().flatten().copied().max()
+    }
+}
+
+/// Runs `n - t` correct processes with the given inputs under a fair random
+/// scheduler until every process has decided (or `max_deliveries` messages
+/// have been delivered).
+pub fn run_fair(
+    kind: ProtocolKind,
+    n: usize,
+    t: usize,
+    inputs: &[Value],
+    seed: u64,
+    max_deliveries: usize,
+) -> FairRunReport {
+    assert_eq!(inputs.len(), n - t, "one input per correct process");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coin = CommonCoin::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+    let mut processes: Vec<Process> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &input)| Process::new(ProcessId(i), kind, n, t, input))
+        .collect();
+    let mut network = Network::new();
+    for p in &mut processes {
+        let msgs = p.start();
+        network.send_all(msgs);
+    }
+    // messages addressed to (silent) Byzantine processes are dropped
+    for byz in (n - t)..n {
+        network.drop_addressed_to(ProcessId(byz));
+    }
+
+    while network.delivered_count() < max_deliveries
+        && processes.iter().any(|p| p.decided().is_none())
+        && !network.is_empty()
+    {
+        let idx = rng.gen_range(0..network.len());
+        let msg = network.deliver_at(idx);
+        let out = processes[msg.to.0].deliver(msg, &mut coin);
+        network.send_all(out);
+        for byz in (n - t)..n {
+            network.drop_addressed_to(ProcessId(byz));
+        }
+    }
+
+    FairRunReport {
+        decisions: processes.iter().map(|p| p.decided()).collect(),
+        decision_rounds: processes.iter().map(|p| p.decided_round()).collect(),
+        delivered_messages: network.delivered_count(),
+    }
+}
+
+/// Runs many fair executions and returns the average round (1-based) in which
+/// the last correct process decided — the quantity the paper's "expected four
+/// rounds" argument is about.
+pub fn average_decision_round(
+    kind: ProtocolKind,
+    n: usize,
+    t: usize,
+    inputs: &[Value],
+    runs: u64,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0u64;
+    for i in 0..runs {
+        let report = run_fair(kind, n, t, inputs, seed.wrapping_add(i), 200_000);
+        if let Some(round) = report.last_decision_round() {
+            total += (round + 1) as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        f64::INFINITY
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_runs_terminate_and_agree_for_both_protocols() {
+        for kind in [ProtocolKind::Mmr14, ProtocolKind::Fixed] {
+            for seed in 0..5u64 {
+                let report = run_fair(
+                    kind,
+                    4,
+                    1,
+                    &[Value::ZERO, Value::ONE, Value::ZERO],
+                    seed,
+                    100_000,
+                );
+                assert!(report.all_decided(), "{kind:?} seed {seed}");
+                assert!(report.agreement(), "{kind:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_respect_validity() {
+        for kind in [ProtocolKind::Mmr14, ProtocolKind::Fixed] {
+            let report = run_fair(kind, 4, 1, &[Value::ONE; 3], 11, 100_000);
+            assert!(report.all_decided());
+            assert!(report.decisions.iter().all(|d| *d == Some(Value::ONE)));
+        }
+    }
+
+    #[test]
+    fn expected_decision_round_is_small_under_fair_scheduling() {
+        let avg = average_decision_round(
+            ProtocolKind::Mmr14,
+            4,
+            1,
+            &[Value::ZERO, Value::ONE, Value::ZERO],
+            20,
+            123,
+        );
+        // the paper's analysis gives an expectation of at most four rounds
+        assert!(avg < 6.0, "average decision round {avg}");
+    }
+
+    #[test]
+    fn larger_systems_also_terminate() {
+        let report = run_fair(
+            ProtocolKind::Fixed,
+            7,
+            2,
+            &[
+                Value::ZERO,
+                Value::ONE,
+                Value::ZERO,
+                Value::ONE,
+                Value::ZERO,
+            ],
+            3,
+            300_000,
+        );
+        assert!(report.all_decided());
+        assert!(report.agreement());
+    }
+}

@@ -1,0 +1,124 @@
+//! Basic types of the message-passing model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary consensus value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Value(pub u8);
+
+impl Value {
+    /// Value 0.
+    pub const ZERO: Value = Value(0);
+    /// Value 1.
+    pub const ONE: Value = Value(1);
+
+    /// The other value.
+    pub fn flip(self) -> Value {
+        Value(1 - self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a process (correct or Byzantine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The message types of MMR14 and its fixed variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// `EST` message of the binary-value broadcast.
+    Est(Value),
+    /// `AUX` message carrying one value of `bin_values`.
+    Aux(Value),
+    /// `CONF` message of the repaired protocol, carrying the sender's
+    /// `values` set (the fix deployed in HoneyBadger/Dumbo).
+    Conf {
+        /// Whether 0 is in the announced set.
+        zero: bool,
+        /// Whether 1 is in the announced set.
+        one: bool,
+    },
+}
+
+/// A point-to-point message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Message {
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Round the message belongs to.
+    pub round: u32,
+    /// Payload.
+    pub kind: MessageKind,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(from: ProcessId, to: ProcessId, round: u32, kind: MessageKind) -> Self {
+        Message {
+            from,
+            to,
+            round,
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            MessageKind::Est(v) => write!(f, "EST({v}) {}->{} r{}", self.from, self.to, self.round),
+            MessageKind::Aux(v) => write!(f, "AUX({v}) {}->{} r{}", self.from, self.to, self.round),
+            MessageKind::Conf { zero, one } => write!(
+                f,
+                "CONF({}{}) {}->{} r{}",
+                if zero { "0" } else { "" },
+                if one { "1" } else { "" },
+                self.from,
+                self.to,
+                self.round
+            ),
+        }
+    }
+}
+
+/// Broadcasts a payload from `from` to every process in `0..n`.
+pub fn broadcast(from: ProcessId, n: usize, round: u32, kind: MessageKind) -> Vec<Message> {
+    (0..n)
+        .map(|to| Message::new(from, ProcessId(to), round, kind))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_flip() {
+        assert_eq!(Value::ZERO.flip(), Value::ONE);
+        assert_eq!(Value::ONE.flip(), Value::ZERO);
+        assert_eq!(format!("{}", Value::ONE), "1");
+    }
+
+    #[test]
+    fn broadcast_targets_every_process() {
+        let msgs = broadcast(ProcessId(2), 4, 3, MessageKind::Est(Value::ZERO));
+        assert_eq!(msgs.len(), 4);
+        assert!(msgs.iter().all(|m| m.from == ProcessId(2) && m.round == 3));
+        assert_eq!(msgs[1].to, ProcessId(1));
+        assert!(format!("{}", msgs[0]).contains("EST(0)"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Graphviz export of system models.
+//!
+//! The exported diagrams correspond to Figs. 3–6 of the paper: process and
+//! coin automata are rendered as separate clusters, round-switch rules as
+//! dashed edges, probabilistic branches with their probabilities, and
+//! decision locations with a double border.
+
+use crate::location::{LocClass, Owner};
+use crate::system::SystemModel;
+use std::fmt::Write as _;
+
+/// Renders the model as a Graphviz `digraph`.
+pub fn to_dot(model: &SystemModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", model.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=11];");
+    let _ = writeln!(out, "  edge [fontname=\"Helvetica\", fontsize=9];");
+
+    for owner in [Owner::Process, Owner::Coin] {
+        let locs = model.locations_of(owner);
+        if locs.is_empty() {
+            continue;
+        }
+        let cluster = match owner {
+            Owner::Process => "cluster_process",
+            Owner::Coin => "cluster_coin",
+        };
+        let label = match owner {
+            Owner::Process => "correct processes (TA^n)",
+            Owner::Coin => "common coin (PTA^c)",
+        };
+        let _ = writeln!(out, "  subgraph {cluster} {{");
+        let _ = writeln!(out, "    label=\"{label}\";");
+        for loc_id in locs {
+            let loc = model.location(loc_id);
+            let shape = if loc.is_decision() {
+                "doubleoctagon"
+            } else {
+                match loc.class() {
+                    LocClass::Border | LocClass::BorderCopy => "box",
+                    LocClass::Initial => "circle",
+                    LocClass::Final => "doublecircle",
+                    LocClass::Intermediate => "ellipse",
+                }
+            };
+            let style = if loc.is_border_copy() {
+                ", style=dashed"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\", shape={shape}{style}];",
+                loc_id.0,
+                loc.name()
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for rule_id in model.rule_ids() {
+        let rule = model.rule(rule_id);
+        let guard = rule
+            .guard()
+            .display_with(model.vars(), model.env().param_names());
+        let update = rule.update().display_with(model.vars());
+        let base_label = if rule.guard().is_true() && rule.update().is_empty() {
+            rule.name().to_string()
+        } else if rule.update().is_empty() {
+            format!("{}: {}", rule.name(), guard)
+        } else {
+            format!("{}: {} / {}", rule.name(), guard, update)
+        };
+        let style = if rule.is_round_switch() {
+            ", style=dashed"
+        } else if rule.is_self_loop() {
+            ", style=dotted"
+        } else {
+            ""
+        };
+        for branch in rule.branches() {
+            let label = if rule.is_dirac() {
+                base_label.clone()
+            } else {
+                format!("{base_label} [{}]", branch.prob)
+            };
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"{style}];",
+                rule.from().0,
+                branch.to.0,
+                label.replace('"', "'")
+            );
+        }
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::env::byzantine_common_coin_env;
+    use crate::guard::Guard;
+    use crate::location::{BinValue, LocClass};
+    use crate::rule::{Probability, Update};
+
+    fn model() -> SystemModel {
+        let env = byzantine_common_coin_env(3);
+        let mut b = SystemBuilder::new("dot-test", env);
+        let cc0 = b.coin_var("cc0");
+        let cc1 = b.coin_var("cc1");
+        let j0 = b.process_location("J0", LocClass::Border, Some(BinValue::Zero));
+        let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
+        let d0 = b.decision_location("D0", BinValue::Zero);
+        b.start_rule(j0, i0);
+        b.rule("go", i0, d0, Guard::top(), Update::none());
+        b.round_switch(d0, j0);
+        let jc = b.coin_location("JC", LocClass::Border, None);
+        let ic = b.coin_location("IC", LocClass::Initial, None);
+        let c0 = b.coin_location("C0", LocClass::Final, Some(BinValue::Zero));
+        let c1 = b.coin_location("C1", LocClass::Final, Some(BinValue::One));
+        b.start_rule(jc, ic);
+        b.coin_toss(
+            "toss",
+            ic,
+            vec![(c0, Probability::HALF), (c1, Probability::HALF)],
+            Guard::top(),
+            Update::none(),
+        );
+        let _ = (cc0, cc1);
+        b.round_switch(c0, jc);
+        b.round_switch(c1, jc);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_export_contains_clusters_and_nodes() {
+        let dot = to_dot(&model());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_process"));
+        assert!(dot.contains("cluster_coin"));
+        assert!(dot.contains("\"D0\""));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.contains("1/2"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_export_of_single_round_marks_border_copies() {
+        let rd = model().single_round().unwrap();
+        let dot = to_dot(&rd);
+        assert!(dot.contains("J0'"));
+        assert!(dot.contains("style=dotted"));
+    }
+}

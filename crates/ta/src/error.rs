@@ -1,0 +1,148 @@
+//! Model validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when a system model violates the structural restrictions of
+/// threshold automata extended with common coins (Sect. III-B of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A process-automaton rule has more than one probabilistic branch.
+    ProcessRuleNotDirac { rule: String },
+    /// A rule guard mixes shared-variable and coin-variable atoms.
+    MixedGuard { rule: String },
+    /// A correct-process rule updates a coin variable.
+    ProcessUpdatesCoinVariable { rule: String },
+    /// A coin-automaton rule updates a shared variable.
+    CoinUpdatesSharedVariable { rule: String },
+    /// A coin-automaton rule has a coin guard (coin rules may only carry
+    /// simple guards).
+    CoinRuleWithCoinGuard { rule: String },
+    /// The probabilities of a rule's branches do not sum to 1.
+    ProbabilitiesDoNotSumToOne { rule: String },
+    /// A rule on a cycle carries a non-zero update (the automaton is not
+    /// canonical).
+    NotCanonical { rule: String },
+    /// The number of border locations does not match the number of initial
+    /// locations.
+    BorderInitialMismatch { owner: String },
+    /// A border location has an outgoing rule that is not of the form
+    /// `(border, initial, true, 0)`.
+    BadBorderRule { rule: String },
+    /// A final location has an outgoing non-round-switch rule, or more than
+    /// one outgoing rule.
+    BadFinalLocation { location: String },
+    /// A round-switch rule does not go from a final location to a border
+    /// location.
+    BadRoundSwitchRule { rule: String },
+    /// A rule connecting border/initial or final/border locations does not
+    /// respect the binary-value partition.
+    PartitionViolation { rule: String },
+    /// A decision location is not a final location.
+    DecisionNotFinal { location: String },
+    /// A rule references a location owned by the other automaton.
+    CrossAutomatonRule { rule: String },
+    /// The model declares no location of a required class.
+    MissingLocations { detail: String },
+    /// A name was used twice.
+    DuplicateName { name: String },
+    /// A referenced entity does not exist.
+    UnknownEntity { name: String },
+    /// The operation only applies to multi-round models.
+    NotMultiRound,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ProcessRuleNotDirac { rule } => {
+                write!(f, "process rule {rule} is not a Dirac rule")
+            }
+            ModelError::MixedGuard { rule } => {
+                write!(f, "rule {rule} mixes shared and coin guards")
+            }
+            ModelError::ProcessUpdatesCoinVariable { rule } => {
+                write!(f, "process rule {rule} updates a coin variable")
+            }
+            ModelError::CoinUpdatesSharedVariable { rule } => {
+                write!(f, "coin rule {rule} updates a shared variable")
+            }
+            ModelError::CoinRuleWithCoinGuard { rule } => {
+                write!(f, "coin rule {rule} carries a coin guard")
+            }
+            ModelError::ProbabilitiesDoNotSumToOne { rule } => {
+                write!(f, "probabilities of rule {rule} do not sum to one")
+            }
+            ModelError::NotCanonical { rule } => {
+                write!(f, "rule {rule} lies on a cycle but has a non-zero update")
+            }
+            ModelError::BorderInitialMismatch { owner } => {
+                write!(f, "{owner} automaton has |B| != |I|")
+            }
+            ModelError::BadBorderRule { rule } => {
+                write!(f, "border rule {rule} is not of the form (border, initial, true, 0)")
+            }
+            ModelError::BadFinalLocation { location } => {
+                write!(f, "final location {location} must have exactly one outgoing round-switch rule")
+            }
+            ModelError::BadRoundSwitchRule { rule } => {
+                write!(f, "round-switch rule {rule} must go from a final to a border location")
+            }
+            ModelError::PartitionViolation { rule } => {
+                write!(f, "rule {rule} does not respect the binary-value partition")
+            }
+            ModelError::DecisionNotFinal { location } => {
+                write!(f, "decision location {location} is not a final location")
+            }
+            ModelError::CrossAutomatonRule { rule } => {
+                write!(f, "rule {rule} connects locations of different automata")
+            }
+            ModelError::MissingLocations { detail } => {
+                write!(f, "missing locations: {detail}")
+            }
+            ModelError::DuplicateName { name } => write!(f, "duplicate name {name:?}"),
+            ModelError::UnknownEntity { name } => write!(f, "unknown entity {name:?}"),
+            ModelError::NotMultiRound => {
+                write!(f, "operation requires a multi-round model")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errors = vec![
+            ModelError::ProcessRuleNotDirac {
+                rule: "r1".to_string(),
+            },
+            ModelError::MixedGuard {
+                rule: "r2".to_string(),
+            },
+            ModelError::NotCanonical {
+                rule: "r3".to_string(),
+            },
+            ModelError::BorderInitialMismatch {
+                owner: "process".to_string(),
+            },
+            ModelError::DuplicateName {
+                name: "D0".to_string(),
+            },
+            ModelError::NotMultiRound,
+        ];
+        for e in errors {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_e: E) {}
+        takes_error(ModelError::NotMultiRound);
+    }
+}

@@ -1,0 +1,282 @@
+//! The binding refinement of Sect. V-B.3 (Fig. 6).
+//!
+//! The transition rule `r3 = (S, M⊥, φ, 0)` of a category-(C) automaton does
+//! not expose *which* values the process has seen, which makes the binding
+//! conditions inexpressible.  The refinement replaces `r3` by intermediate
+//! locations `N0`, `N1`, `N⊥` whose entry guards record whether a 0-vote, a
+//! 1-vote, or neither has been received, followed by unguarded rules into
+//! `M⊥`.
+
+use crate::error::ModelError;
+use crate::expr::LinearExpr;
+use crate::guard::Guard;
+use crate::location::{LocClass, LocId, Location, Owner};
+use crate::rule::{Rule, RuleId, Update};
+use crate::system::SystemModel;
+use crate::variable::VarId;
+
+/// The locations introduced by [`refine_for_binding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefinedLocations {
+    /// Location `N0`: the process saw support for value 0 before entering `M⊥`.
+    pub n0: LocId,
+    /// Location `N1`: the process saw support for value 1 before entering `M⊥`.
+    pub n1: LocId,
+    /// Location `N⊥`: the process saw support for neither value.
+    pub nbot: LocId,
+}
+
+/// One refinement case: a new intermediate location plus the extra guard
+/// conjuncts added to the original rule's guard.
+#[derive(Debug, Clone)]
+pub struct RefinementCase {
+    /// Name of the new intermediate location.
+    pub location_name: String,
+    /// Additional guard conjoined with the original rule guard.
+    pub extra_guard: Guard,
+}
+
+impl RefinementCase {
+    /// Creates a refinement case.
+    pub fn new(location_name: impl Into<String>, extra_guard: Guard) -> Self {
+        RefinementCase {
+            location_name: location_name.into(),
+            extra_guard,
+        }
+    }
+}
+
+fn conjoin(base: &Guard, extra: &Guard) -> Guard {
+    let mut g = base.clone();
+    for atom in extra.atoms() {
+        g = g.and(atom.clone());
+    }
+    g
+}
+
+/// Replaces the Dirac rule `rule = (S, M, φ, u)` with one two-step path per
+/// case: `(S, Nᵢ, φ ∧ ψᵢ, u)` followed by `(Nᵢ, M, true, 0)`.
+///
+/// Returns the refined model together with the ids of the new intermediate
+/// locations, in case order.
+///
+/// # Errors
+///
+/// Returns an error if `rule` is not a Dirac, non-round-switch rule of the
+/// process automaton, or if the refined model fails validation.
+pub fn refine_rule_with_cases(
+    model: &SystemModel,
+    rule: RuleId,
+    cases: &[RefinementCase],
+) -> Result<(SystemModel, Vec<LocId>), ModelError> {
+    let original = model.rule(rule).clone();
+    if original.owner() != Owner::Process || original.is_round_switch() {
+        return Err(ModelError::UnknownEntity {
+            name: format!("refinable process rule {}", original.name()),
+        });
+    }
+    let target = original.dirac_to().ok_or_else(|| ModelError::UnknownEntity {
+        name: format!("Dirac rule {}", original.name()),
+    })?;
+
+    let mut locations: Vec<Location> = model.locations().to_vec();
+    let mut new_locs = Vec::with_capacity(cases.len());
+    for case in cases {
+        locations.push(Location::new(
+            case.location_name.clone(),
+            LocClass::Intermediate,
+            None,
+            false,
+            Owner::Process,
+        ));
+        new_locs.push(LocId(locations.len() - 1));
+    }
+
+    let mut rules: Vec<Rule> = Vec::with_capacity(model.rules().len() + 2 * cases.len());
+    for (i, r) in model.rules().iter().enumerate() {
+        if i == rule.0 {
+            continue;
+        }
+        rules.push(r.clone());
+    }
+    for (i, case) in cases.iter().enumerate() {
+        let guard = conjoin(original.guard(), &case.extra_guard);
+        rules.push(Rule::dirac(
+            format!("{}_{}", original.name(), case.location_name),
+            original.from(),
+            new_locs[i],
+            guard,
+            original.update().clone(),
+            Owner::Process,
+        ));
+        rules.push(Rule::dirac(
+            format!("{}_from_{}", original.name(), case.location_name),
+            new_locs[i],
+            target,
+            Guard::top(),
+            Update::none(),
+            Owner::Process,
+        ));
+    }
+
+    let refined = SystemModel::new(
+        format!("{}_refined", model.name()),
+        model.env().clone(),
+        model.vars().to_vec(),
+        locations,
+        rules,
+        model.kind(),
+    )?;
+    Ok((refined, new_locs))
+}
+
+/// The literal Fig. 6 refinement: given the rule `r3 = (S, M⊥, φ, 0)` and the
+/// shared variables `m0`, `m1` counting received 0- and 1-votes, introduces
+///
+/// * `rᴬ₃ = (S, N0, φ ∧ m0 > 0, 0)`
+/// * `rᴮ₃ = (S, N1, φ ∧ m1 > 0, 0)`
+/// * `rᶜ₃ = (S, N⊥, φ ∧ m0 = 0 ∧ m1 = 0, 0)`
+/// * `rⁱ₃ = (Nᵢ, M⊥, true, 0)` for `i ∈ {0, 1, ⊥}`.
+///
+/// # Errors
+///
+/// See [`refine_rule_with_cases`].
+pub fn refine_for_binding(
+    model: &SystemModel,
+    rule: RuleId,
+    m0: VarId,
+    m1: VarId,
+) -> Result<(SystemModel, RefinedLocations), ModelError> {
+    let k = model.env().num_params();
+    let one = LinearExpr::constant(k, 1);
+    let cases = vec![
+        RefinementCase::new("N0", Guard::ge(m0, one.clone())),
+        RefinementCase::new("N1", Guard::ge(m1, one.clone())),
+        RefinementCase::new(
+            "Nbot",
+            Guard::lt(m0, one.clone()).and_lt(m1, one),
+        ),
+    ];
+    let (refined, locs) = refine_rule_with_cases(model, rule, &cases)?;
+    Ok((
+        refined,
+        RefinedLocations {
+            n0: locs[0],
+            n1: locs[1],
+            nbot: locs[2],
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::env::byzantine_common_coin_env;
+    use crate::location::BinValue;
+
+    /// A minimal category-(C)-shaped model: S -> {M0, M1, Mbot} on vote
+    /// thresholds, then a final location.
+    fn crusader_model() -> (SystemModel, RuleId, VarId, VarId) {
+        let env = byzantine_common_coin_env(3);
+        let k = env.num_params();
+        let n = env.param_id("n").unwrap();
+        let t = env.param_id("t").unwrap();
+        let f = env.param_id("f").unwrap();
+        let mut b = SystemBuilder::new("crusader", env.clone());
+        let m0 = b.shared_var("m0");
+        let m1 = b.shared_var("m1");
+        let j0 = b.process_location("J0", LocClass::Border, Some(BinValue::Zero));
+        let j1 = b.process_location("J1", LocClass::Border, Some(BinValue::One));
+        let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
+        let i1 = b.process_location("I1", LocClass::Initial, Some(BinValue::One));
+        let s = b.process_location("S", LocClass::Intermediate, None);
+        let mbot = b.process_location("Mbot", LocClass::Intermediate, None);
+        let e0 = b.process_location("E0", LocClass::Final, Some(BinValue::Zero));
+        let e1 = b.process_location("E1", LocClass::Final, Some(BinValue::One));
+        b.start_rule(j0, i0);
+        b.start_rule(j1, i1);
+        b.rule("vote0", i0, s, Guard::top(), Update::increment(m0));
+        b.rule("vote1", i1, s, Guard::top(), Update::increment(m1));
+        let quorum = LinearExpr::param(k, n)
+            .sub(&LinearExpr::param(k, t))
+            .sub(&LinearExpr::param(k, f));
+        // r3: S -> Mbot when m0 + m1 >= n - t - f
+        let r3 = b.rule(
+            "r3",
+            s,
+            mbot,
+            Guard::sum_ge(&[m0, m1], quorum.clone()),
+            Update::none(),
+        );
+        b.rule("out0", s, e0, Guard::ge(m0, quorum.clone()), Update::none());
+        b.rule("out1", s, e1, Guard::ge(m1, quorum), Update::none());
+        b.rule("settle0", mbot, e0, Guard::top(), Update::none());
+        b.round_switch(e0, j0);
+        b.round_switch(e1, j1);
+        let model = b.build().unwrap();
+        (model, r3, m0, m1)
+    }
+
+    #[test]
+    fn binding_refinement_adds_three_locations_and_six_rules() {
+        let (model, r3, m0, m1) = crusader_model();
+        let before_locs = model.locations().len();
+        let before_rules = model.rules().len();
+        let (refined, locs) = refine_for_binding(&model, r3, m0, m1).unwrap();
+        assert_eq!(refined.locations().len(), before_locs + 3);
+        assert_eq!(refined.rules().len(), before_rules - 1 + 6);
+        assert_eq!(refined.location(locs.n0).name(), "N0");
+        assert_eq!(refined.location(locs.n1).name(), "N1");
+        assert_eq!(refined.location(locs.nbot).name(), "Nbot");
+        // the original r3 is gone
+        assert!(refined.rule_id("r3").is_none());
+        assert!(refined.rule_id("r3_N0").is_some());
+        assert!(refined.rule_id("r3_from_N0").is_some());
+    }
+
+    #[test]
+    fn refined_guards_strengthen_the_original_guard() {
+        let (model, r3, m0, m1) = crusader_model();
+        let (refined, locs) = refine_for_binding(&model, r3, m0, m1).unwrap();
+        let ra = refined.rule_id("r3_N0").unwrap();
+        let rule = refined.rule(ra);
+        // original guard had one atom, refined has two
+        assert_eq!(rule.guard().atoms().len(), 2);
+        // S -> N0, followed by N0 -> Mbot
+        assert_eq!(rule.dirac_to(), Some(locs.n0));
+        let from_n0 = refined.rule_id("r3_from_N0").unwrap();
+        assert_eq!(
+            refined.rule(from_n0).dirac_to(),
+            Some(refined.location_id("Mbot").unwrap())
+        );
+        // the Nbot case carries two extra atoms (m0 < 1 and m1 < 1)
+        let rc = refined.rule_id("r3_Nbot").unwrap();
+        assert_eq!(refined.rule(rc).guard().atoms().len(), 3);
+        let _ = locs;
+    }
+
+    #[test]
+    fn refinement_rejects_round_switch_rules() {
+        let (model, _r3, m0, m1) = crusader_model();
+        let switch = model
+            .rule_ids()
+            .find(|&r| model.rule(r).is_round_switch())
+            .unwrap();
+        assert!(refine_for_binding(&model, switch, m0, m1).is_err());
+    }
+
+    #[test]
+    fn custom_cases_refinement() {
+        let (model, r3, m0, _m1) = crusader_model();
+        let k = model.env().num_params();
+        let cases = vec![
+            RefinementCase::new("Strong0", Guard::ge(m0, LinearExpr::constant(k, 2))),
+            RefinementCase::new("Weak0", Guard::lt(m0, LinearExpr::constant(k, 2))),
+        ];
+        let (refined, locs) = refine_rule_with_cases(&model, r3, &cases).unwrap();
+        assert_eq!(locs.len(), 2);
+        assert_eq!(refined.location(locs[0]).name(), "Strong0");
+        assert!(refined.rule_id("r3_Weak0").is_some());
+    }
+}

@@ -1,0 +1,35 @@
+//! Exports the threshold automata of the benchmark as Graphviz files,
+//! reproducing the structure diagrams of Figs. 3–6 of the paper.
+//!
+//! Run with `cargo run --release -p cccore --example export_figures`.
+//! The DOT files are written to `target/figures/`.
+
+use ccprotocols::{all_protocols, naive::naive_voting};
+use ccta::dot::to_dot;
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = Path::new("target/figures");
+    fs::create_dir_all(out_dir)?;
+
+    // Fig. 3: the naive voting automaton
+    fs::write(out_dir.join("fig3_naive_voting.dot"), to_dot(&naive_voting()))?;
+
+    // Fig. 4 (and the Fig. 6 refinement) for every benchmark protocol,
+    // both the multi-round and the single-round form
+    for protocol in all_protocols() {
+        let name = protocol.name().replace(['(', ')'], "");
+        fs::write(
+            out_dir.join(format!("{name}.dot")),
+            to_dot(protocol.model()),
+        )?;
+        fs::write(
+            out_dir.join(format!("{name}_single_round.dot")),
+            to_dot(&protocol.single_round()),
+        )?;
+    }
+    println!("wrote {} DOT files to {}", 2 + 2 * all_protocols().len(), out_dir.display());
+    println!("render with: dot -Tpdf target/figures/MMR14.dot -o mmr14.pdf");
+    Ok(())
+}

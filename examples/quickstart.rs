@@ -1,0 +1,52 @@
+//! Quickstart: build a threshold-automaton model, reduce it to its
+//! single-round form and verify a protocol of the benchmark end to end.
+//!
+//! Run with `cargo run --release -p cccore --example quickstart`.
+
+use cccore::prelude::*;
+use ccprotocols::naive::naive_voting;
+use ccta::ModelKind;
+
+fn main() {
+    // 1. The running example of the paper (Fig. 2/3): the naive voting
+    //    protocol, modelled as a threshold automaton.
+    let naive = naive_voting();
+    println!("model: {naive}");
+    println!(
+        "single-round form has {} locations",
+        naive.single_round().expect("multi-round model").locations().len()
+    );
+    assert_eq!(
+        naive.single_round().unwrap().kind(),
+        ModelKind::SingleRound
+    );
+
+    // 2. Verify a common-coin protocol of the Table II benchmark.
+    let protocol = protocol_by_name("CC85(a)").expect("benchmark protocol");
+    let config = VerifierConfig::quick();
+    let result = verify_protocol(&protocol, &config);
+    println!(
+        "\n{} ({}): agreement={}, validity={}, termination={}",
+        result.protocol,
+        result.category,
+        result.agreement.status,
+        result.validity.status,
+        result.termination.status
+    );
+    for report in &result.termination.reports {
+        println!("  obligation {:<18} -> {}", report.spec_name, report.status());
+    }
+
+    // 3. The broken protocol: MMR14's almost-sure termination is refuted by a
+    //    counterexample to the binding condition CB2 (the Sect. II attack).
+    let mmr14 = protocol_by_name("MMR14").expect("benchmark protocol");
+    let result = verify_protocol(&mmr14, &config);
+    println!(
+        "\nMMR14: termination = {} (violated obligation: {})",
+        result.termination.status,
+        result.termination.violated_obligation().unwrap_or("-")
+    );
+    if let Some(ce) = &result.termination.counterexample {
+        println!("counterexample with parameters {} and {} steps", ce.params, ce.len());
+    }
+}
