@@ -1,9 +1,20 @@
 //! Criterion benchmark behind Table II: per-property checking cost on
-//! representative protocols of each category.
+//! representative protocols of each category, plus two engine benchmarks:
+//!
+//! * `engine/…` vs `reference/…` — the packed-state delta engine against
+//!   the pre-refactor clone-per-transition reference on the same query
+//!   catalogue (single-threaded; the summary prints the speedup ratio per
+//!   protocol), and
+//! * `sweep/…` — `check_over_sweep` with 1 worker vs all cores on a
+//!   multi-valuation sweep (parallel scaling).
+//!
+//! Run with `BENCH_JSON=BENCH_table2.json cargo bench -p ccbench --bench
+//! table2_checking` to also emit the machine-readable summary.
 
-use cccore::prelude::*;
+use ccchecker::reference::reference_check;
+use ccchecker::{check_over_sweep, check_over_sweep_with_threads, CheckerOptions, ExplicitChecker};
 use cccore::obligations_for;
-use ccchecker::{check_over_sweep, CheckerOptions};
+use cccore::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_property_checking(c: &mut Criterion) {
@@ -35,5 +46,159 @@ fn bench_property_checking(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_property_checking);
+/// The prepared single-threaded checking workload of one protocol: the
+/// counter system at its benchmark valuation plus the full obligation
+/// catalogue.  Construction (model transformation, valuation selection,
+/// rule compilation) happens once outside the timed region, so the
+/// engine/reference comparison measures checking alone.
+fn catalogue_workload(
+    protocol: &ProtocolModel,
+) -> (cccounter::CounterSystem, Vec<ccchecker::Spec>) {
+    let single = protocol.single_round();
+    let obligations = obligations_for(protocol, &single);
+    let config = ccbench::bench_config();
+    let valuation = config
+        .select_valuations(&single)
+        .into_iter()
+        .next()
+        .expect("benchmark valuation");
+    let sys = cccounter::CounterSystem::new(single, valuation).expect("admissible");
+    let specs: Vec<ccchecker::Spec> = obligations
+        .agreement
+        .iter()
+        .chain(obligations.validity.iter())
+        .chain(obligations.termination.iter())
+        .cloned()
+        .collect();
+    (sys, specs)
+}
+
+fn check_catalogue_with<
+    F: Fn(&cccounter::CounterSystem, &ccchecker::Spec) -> ccchecker::CheckOutcome,
+>(
+    sys: &cccounter::CounterSystem,
+    specs: &[ccchecker::Spec],
+    check: &F,
+) -> usize {
+    specs
+        .iter()
+        .map(|spec| check(sys, spec).states_explored)
+        .sum()
+}
+
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    let names = ["Rabin83", "CC85(a)", "KS16", "MMR14", "ABY22"];
+    {
+        let mut group = c.benchmark_group("engine");
+        group.sample_size(10);
+        for name in names {
+            let protocol = protocol_by_name(name).expect("benchmark protocol");
+            let workload = catalogue_workload(&protocol);
+            group.bench_with_input(
+                BenchmarkId::new("catalogue", name),
+                &workload,
+                |b, (sys, specs)| {
+                    b.iter(|| {
+                        check_catalogue_with(sys, specs, &|sys, spec| {
+                            ExplicitChecker::new(sys).check(spec)
+                        })
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+    {
+        let mut group = c.benchmark_group("reference");
+        group.sample_size(10);
+        for name in names {
+            let protocol = protocol_by_name(name).expect("benchmark protocol");
+            let workload = catalogue_workload(&protocol);
+            group.bench_with_input(
+                BenchmarkId::new("catalogue", name),
+                &workload,
+                |b, (sys, specs)| {
+                    b.iter(|| {
+                        check_catalogue_with(sys, specs, &|sys, spec| {
+                            reference_check(sys, spec, &CheckerOptions::default())
+                        })
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+    // speedup summary from the recorded measurements (`measurements()` is
+    // an extension of the in-tree criterion shim; with real criterion this
+    // summary would be rebuilt from its saved estimates instead)
+    println!("\nengine speedup over the pre-refactor reference (single-threaded):");
+    let (mut engine_total, mut reference_total) = (0.0, 0.0);
+    for name in names {
+        let engine = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == format!("engine/catalogue/{name}"))
+            .map(|m| m.mean_ns);
+        let reference = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == format!("reference/catalogue/{name}"))
+            .map(|m| m.mean_ns);
+        if let (Some(e), Some(r)) = (engine, reference) {
+            engine_total += e;
+            reference_total += r;
+            println!("  {name:<10} {:>6.2}x", r / e);
+        }
+    }
+    if engine_total > 0.0 {
+        println!(
+            "  {:<10} {:>6.2}x (total wall-clock over the five-protocol workload)",
+            "overall",
+            reference_total / engine_total
+        );
+    }
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    // a broader sweep so the grid has enough cells to parallelise
+    let protocol = protocol_by_name("ABY22").expect("benchmark protocol");
+    let single = protocol.single_round();
+    let obligations = obligations_for(&protocol, &single);
+    let all_specs: Vec<ccchecker::Spec> = obligations
+        .agreement
+        .iter()
+        .chain(obligations.validity.iter())
+        .chain(obligations.termination.iter())
+        .cloned()
+        .collect();
+    let valuations = VerifierConfig::thorough().select_valuations(&single);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(5);
+    for (label, threads) in [("1-thread", 1), ("all-cores", cores)] {
+        group.bench_with_input(
+            BenchmarkId::new("scaling", label),
+            &(&single, &all_specs, &valuations),
+            |b, (single, specs, valuations)| {
+                b.iter(|| {
+                    check_over_sweep_with_threads(
+                        single,
+                        specs,
+                        valuations,
+                        CheckerOptions::default(),
+                        threads,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_property_checking,
+    bench_engine_vs_reference,
+    bench_sweep_scaling
+);
 criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Criterion benchmark behind Table IV: schema enumeration cost as a
 //! function of the number of milestones.
 
-use cccore::obligations_for;
 use ccchecker::{milestones, schema_count};
+use cccore::obligations_for;
 use ccprotocols::fixed::{aby22, aby22_variants};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

@@ -1,0 +1,57 @@
+//! Per-obligation engine-vs-reference timing, used to locate exploration
+//! bottlenecks.  Not part of the published tables.
+
+use ccchecker::reference::reference_check;
+use ccchecker::{CheckerOptions, ExplicitChecker};
+use cccore::obligations_for;
+use cccore::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "MMR14".into());
+    let protocol = protocol_by_name(&name).expect("protocol");
+    let single = protocol.single_round();
+    let obligations = obligations_for(&protocol, &single);
+    let config = ccbench::bench_config();
+    let valuation = config
+        .select_valuations(&single)
+        .into_iter()
+        .next()
+        .expect("valuation");
+    let sys = cccounter::CounterSystem::new(single, valuation).expect("admissible");
+    let options = CheckerOptions::default();
+    println!("{name}: per-obligation engine vs reference (3 runs each, best)");
+    for (group, specs) in [
+        ("agreement", &obligations.agreement),
+        ("validity", &obligations.validity),
+        ("termination", &obligations.termination),
+    ] {
+        for spec in specs.iter() {
+            let engine = (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    let o = ExplicitChecker::new(&sys).check(spec);
+                    (t.elapsed(), o.states_explored, o.transitions_explored)
+                })
+                .min()
+                .unwrap();
+            let reference = (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    let o = reference_check(&sys, spec, &options);
+                    (t.elapsed(), o.states_explored, o.transitions_explored)
+                })
+                .min()
+                .unwrap();
+            println!(
+                "  {group:<12} {:<14} engine {:>10.3?} ref {:>10.3?} ({:.2}x)  states={} transitions={}",
+                spec.name(),
+                engine.0,
+                reference.0,
+                reference.0.as_secs_f64() / engine.0.as_secs_f64(),
+                engine.1,
+                engine.2,
+            );
+        }
+    }
+}

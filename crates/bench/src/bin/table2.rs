@@ -10,6 +10,10 @@ fn main() {
     println!("{}", render_table2(&results));
     for r in &results {
         let vals: Vec<String> = r.valuations.iter().map(|v| v.to_string()).collect();
-        println!("{:<10} checked at parameter valuations (n, t, f, cc): {}", r.protocol, vals.join(", "));
+        println!(
+            "{:<10} checked at parameter valuations (n, t, f, cc): {}",
+            r.protocol,
+            vals.join(", ")
+        );
     }
 }

@@ -1,14 +1,13 @@
 //! Counterexamples reported by the checker.
 
-use ccta::ParamValuation;
 use cccounter::{Configuration, CounterSystem, Schedule};
-use serde::{Deserialize, Serialize};
+use ccta::ParamValuation;
 use std::fmt;
 
 /// A counterexample to a single-round query: the system settings, an initial
 /// configuration and a schedule leading to the violation (the same data ByMC
 /// reports, cf. Sect. VI of the paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Counterexample {
     /// Name of the violated query.
     pub spec: String,

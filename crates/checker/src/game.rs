@@ -15,20 +15,51 @@
 //! The condition holds iff the adversary has no winning strategy from any
 //! start configuration.  On the finite single-round graph this is decided by
 //! a standard attractor computation.
+//!
+//! The forward game-graph construction runs on the same packed-state engine
+//! as the explicit checker: nodes are byte rows interned in a [`StateStore`]
+//! arena keyed by the incremental Zobrist hash, successors are generated
+//! with the in-place delta expansion of
+//! [`RowEngine::for_each_successor`], and the game graph itself is stored
+//! in flat CSR arenas for the O(edges) worklist attractor pass.
 
 use crate::counterexample::Counterexample;
+use crate::explicit::ExplicitChecker;
 use crate::result::CheckOutcome;
 use crate::spec::LocSet;
+use crate::store::{Frontier, StateStore};
 use crate::CheckerOptions;
-use cccounter::{Configuration, CounterSystem, Schedule, ScheduledStep};
-use std::collections::HashMap;
+use cccounter::{Action, Configuration, CounterSystem, RowEngine, Schedule, ScheduledStep};
+use std::ops::ControlFlow;
 
-struct GameNode {
-    config: Configuration,
-    bits: u8,
-    /// For each applicable progress action: the outgoing edges
-    /// (scheduled step, successor node index), one per branch.
-    actions: Vec<Vec<(ScheduledStep, usize)>>,
+/// The explored game graph in flat CSR form: every node owns a span of
+/// actions, every action owns a span of edges (`(scheduled step, successor)`
+/// per branch).  Nodes are expanded in discovery order, so all three arenas
+/// are append-only — no per-node or per-action `Vec` allocation.
+#[derive(Default)]
+struct GameGraph {
+    /// Per node: `(start, end)` span into `action_nodes`/`action_spans`.
+    node_spans: Vec<(u32, u32)>,
+    /// Per action: the node it belongs to.
+    action_nodes: Vec<u32>,
+    /// Per action: `(start, end)` span into `edge_list`.
+    action_spans: Vec<(u32, u32)>,
+    /// All edges, back to back.
+    edge_list: Vec<(ScheduledStep, u32)>,
+}
+
+impl GameGraph {
+    /// The actions of a node, as indices into the action arenas.
+    fn actions_of(&self, node: u32) -> std::ops::Range<usize> {
+        let (start, end) = self.node_spans[node as usize];
+        start as usize..end as usize
+    }
+
+    /// The edges of an action.
+    fn edges_of(&self, action: usize) -> &[(ScheduledStep, u32)] {
+        let (start, end) = self.action_spans[action];
+        &self.edge_list[start as usize..end as usize]
+    }
 }
 
 /// Checks `∀ adversary ∃ path. ⋁ᵢ G ¬EX{setsᵢ}` from the given start
@@ -47,121 +78,149 @@ pub fn check_exists_avoid(
     let all_bits: u8 = ((1u16 << sets.len()) - 1) as u8;
 
     // ---------------- forward exploration of the game graph ----------------
-    let mut index: HashMap<(Vec<u8>, u8), usize> = HashMap::new();
-    let mut nodes: Vec<GameNode> = Vec::new();
+    let engine = RowEngine::new(sys);
+    let mut store = StateStore::new(sys);
+    let mut graph = GameGraph::default();
+    let mut frontier = Frontier::new();
     let mut start_ids = Vec::new();
     let mut transitions = 0usize;
 
-    let occupancy = |cfg: &Configuration| -> u8 {
-        let mut bits = 0u8;
-        for (i, set) in sets.iter().enumerate() {
-            if set.is_occupied(cfg) {
-                bits |= 1 << i;
-            }
-        }
-        bits
-    };
-
-    let mut queue: Vec<usize> = Vec::new();
     for cfg in starts {
-        let bits = occupancy(cfg);
-        let key = (cfg.fingerprint_bytes(), bits);
-        let id = *index.entry(key).or_insert_with(|| {
-            nodes.push(GameNode {
-                config: cfg.clone(),
-                bits,
-                actions: Vec::new(),
-            });
-            queue.push(nodes.len() - 1);
-            nodes.len() - 1
-        });
+        let mut start_row = Vec::with_capacity(store.stride());
+        engine.encode_into(cfg, &mut start_row);
+        let bits = ExplicitChecker::row_occupancy_bits(sets, &start_row);
+        let (id, fresh) = store.intern_row(&start_row, bits, engine.hash(&start_row), None);
+        if fresh {
+            graph.node_spans.push((0, 0));
+            frontier.push(id);
+        }
         start_ids.push(id);
     }
 
-    let mut head = 0usize;
-    while head < queue.len() {
-        let current = queue[head];
-        head += 1;
-        let cfg = nodes[current].config.clone();
-        let bits = nodes[current].bits;
+    enum Stop {
+        TransitionBound,
+        StateBound,
+    }
+
+    let mut actions: Vec<Action> = Vec::new();
+    let mut row: Vec<u8> = Vec::new();
+    while let Some(current) = frontier.pop() {
+        let bits = store.bits(current);
         if bits == all_bits {
             // already losing for the coin; no need to expand further
             continue;
         }
-        let mut action_edges = Vec::new();
-        for action in sys.progress_actions(&cfg) {
-            let outcomes = sys
-                .outcomes(&cfg, action)
-                .expect("progress actions are applicable");
-            let mut edges = Vec::with_capacity(outcomes.len());
-            for outcome in outcomes {
-                transitions += 1;
-                if transitions > options.max_transitions {
-                    return CheckOutcome::unknown(
-                        nodes.len(),
+        store.copy_row_into(current, &mut row);
+        let node_hash = store.hash64(current);
+        engine.progress_actions_into(&row, &mut actions);
+        let actions_start = graph.action_spans.len() as u32;
+        for &action in &actions {
+            let edges_start = graph.edge_list.len() as u32;
+            let flow = engine.for_each_successor(
+                &mut row,
+                action,
+                node_hash,
+                |branch, _prob, succ, succ_hash| {
+                    transitions += 1;
+                    if transitions > options.max_transitions {
+                        return ControlFlow::Break(Stop::TransitionBound);
+                    }
+                    let new_bits = bits | ExplicitChecker::row_occupancy_bits(sets, succ);
+                    let (id, fresh) = store.intern_row(succ, new_bits, succ_hash, None);
+                    if fresh {
+                        if store.len() > options.max_states {
+                            return ControlFlow::Break(Stop::StateBound);
+                        }
+                        graph.node_spans.push((0, 0));
+                        frontier.push(id);
+                    }
+                    graph
+                        .edge_list
+                        .push((ScheduledStep::with_branch(action, branch), id));
+                    ControlFlow::Continue(())
+                },
+            );
+            if let ControlFlow::Break(stop) = flow {
+                return match stop {
+                    Stop::TransitionBound => CheckOutcome::unknown(
+                        store.len(),
                         transitions,
                         "transition bound exhausted",
-                    );
-                }
-                let new_bits = bits | occupancy(&outcome.config);
-                let key = (outcome.config.fingerprint_bytes(), new_bits);
-                let id = match index.get(&key) {
-                    Some(&id) => id,
-                    None => {
-                        if nodes.len() >= options.max_states {
-                            return CheckOutcome::unknown(
-                                nodes.len(),
-                                transitions,
-                                "state bound exhausted",
-                            );
-                        }
-                        nodes.push(GameNode {
-                            config: outcome.config.clone(),
-                            bits: new_bits,
-                            actions: Vec::new(),
-                        });
-                        index.insert(key, nodes.len() - 1);
-                        queue.push(nodes.len() - 1);
-                        nodes.len() - 1
+                    ),
+                    // match the reference, which stops before storing the
+                    // over-budget state
+                    Stop::StateBound => {
+                        CheckOutcome::unknown(store.len() - 1, transitions, "state bound exhausted")
                     }
                 };
-                edges.push((ScheduledStep::with_branch(action, outcome.branch), id));
             }
-            action_edges.push(edges);
+            graph.action_nodes.push(current);
+            graph
+                .action_spans
+                .push((edges_start, graph.edge_list.len() as u32));
         }
-        nodes[current].actions = action_edges;
+        graph.node_spans[current as usize] = (actions_start, graph.action_spans.len() as u32);
     }
 
     // ---------------- backward attractor for the adversary ----------------
     // winning[i] = the adversary can force all resolutions from node i to a
-    // node whose bits cover every tracked set.
-    let mut winning: Vec<bool> = nodes.iter().map(|n| n.bits == all_bits).collect();
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in 0..nodes.len() {
-            if winning[i] {
-                continue;
+    // node whose bits cover every tracked set.  Computed with a worklist in
+    // O(edges): `pending[a]` counts the not-yet-winning successors of action
+    // `a`; an action whose count reaches zero forces its node.
+    let mut winning: Vec<bool> = (0..store.len())
+        .map(|i| store.bits(i as u32) == all_bits)
+        .collect();
+    {
+        // flat predecessor arena, one entry per edge (duplicates intended:
+        // an action with two branches into the same successor must
+        // decrement twice), built with a two-pass counting sort
+        let mut pred_offsets: Vec<u32> = vec![0; store.len() + 1];
+        for &(_, succ) in &graph.edge_list {
+            pred_offsets[succ as usize + 1] += 1;
+        }
+        for i in 0..store.len() {
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut pred_actions: Vec<u32> = vec![0; graph.edge_list.len()];
+        let mut fill = pred_offsets.clone();
+        let mut pending: Vec<u32> = Vec::with_capacity(graph.action_spans.len());
+        for (a, &(start, end)) in graph.action_spans.iter().enumerate() {
+            pending.push(end - start);
+            for &(_, succ) in &graph.edge_list[start as usize..end as usize] {
+                let slot = &mut fill[succ as usize];
+                pred_actions[*slot as usize] = a as u32;
+                *slot += 1;
             }
-            let can_force = nodes[i]
-                .actions
-                .iter()
-                .any(|edges| !edges.is_empty() && edges.iter().all(|&(_, succ)| winning[succ]));
-            if can_force {
-                winning[i] = true;
-                changed = true;
+        }
+        let mut worklist: Vec<u32> = (0..store.len() as u32)
+            .filter(|&i| winning[i as usize])
+            .collect();
+        while let Some(w) = worklist.pop() {
+            let span = pred_offsets[w as usize] as usize..pred_offsets[w as usize + 1] as usize;
+            for &action in &pred_actions[span] {
+                let count = &mut pending[action as usize];
+                *count -= 1;
+                // an action with no branches never forces (empty spans start
+                // at zero and are never decremented)
+                if *count == 0 {
+                    let node = graph.action_nodes[action as usize] as usize;
+                    if !winning[node] {
+                        winning[node] = true;
+                        worklist.push(node as u32);
+                    }
+                }
             }
         }
     }
 
-    match start_ids.iter().find(|&&s| winning[s]) {
-        None => CheckOutcome::holds(nodes.len(), transitions),
+    match start_ids.iter().find(|&&s| winning[s as usize]) {
+        None => CheckOutcome::holds(store.len(), transitions),
         Some(&bad_start) => {
-            let schedule = extract_strategy_path(&nodes, &winning, bad_start, all_bits);
+            let schedule = extract_strategy_path(&store, &graph, &winning, bad_start, all_bits);
             let ce = Counterexample {
                 spec: spec_name.to_string(),
                 params: sys.params().clone(),
-                initial: nodes[bad_start].config.clone(),
+                initial: store.decode(bad_start),
                 schedule,
                 explanation: format!(
                     "an adversary can force every coin resolution to occupy all of: {}",
@@ -171,7 +230,7 @@ pub fn check_exists_avoid(
                         .join(", ")
                 ),
             };
-            CheckOutcome::violated(nodes.len(), transitions, ce)
+            CheckOutcome::violated(store.len(), transitions, ce)
         }
     }
 }
@@ -180,20 +239,21 @@ pub fn check_exists_avoid(
 /// probabilistic choice) until every tracked set has been occupied, returning
 /// the corresponding schedule as a sample violating execution.
 fn extract_strategy_path(
-    nodes: &[GameNode],
+    store: &StateStore,
+    graph: &GameGraph,
     winning: &[bool],
-    start: usize,
+    start: u32,
     all_bits: u8,
 ) -> Schedule {
     let mut steps = Vec::new();
     let mut current = start;
     let mut guard = 0usize;
-    while nodes[current].bits != all_bits && guard < nodes.len() + 1 {
+    while store.bits(current) != all_bits && guard < store.len() + 1 {
         guard += 1;
-        let Some(edges) = nodes[current]
-            .actions
-            .iter()
-            .find(|edges| !edges.is_empty() && edges.iter().all(|&(_, succ)| winning[succ]))
+        let Some(edges) = graph
+            .actions_of(current)
+            .map(|a| graph.edges_of(a))
+            .find(|e| !e.is_empty() && e.iter().all(|&(_, succ)| winning[succ as usize]))
         else {
             break;
         };
@@ -305,12 +365,6 @@ mod tests {
     fn empty_set_family_is_rejected() {
         let sys = sys();
         let starts = sys.round_start_configurations();
-        let _ = check_exists_avoid(
-            &sys,
-            "bad",
-            &starts,
-            &[],
-            &CheckerOptions::default(),
-        );
+        let _ = check_exists_avoid(&sys, "bad", &starts, &[], &CheckerOptions::default());
     }
 }

@@ -10,7 +10,8 @@
 //!   location sets.
 //! * [`explicit`] — an explicit-state checker that verifies the universal
 //!   (safety-shaped) queries on the single-round counter system for a
-//!   concrete admissible parameter valuation, with counterexample extraction.
+//!   concrete admissible parameter valuation, with counterexample
+//!   extraction.
 //! * [`game`] — a qualitative game solver for the probabilistic conditions
 //!   `C1` and `C2'`, which by Lemma 2 reduce to `∀ adversary ∃ path`
 //!   queries; the adversary controls scheduling, the coin controls
@@ -20,17 +21,53 @@
 //! * [`sweep`] — checking a query across a sweep of admissible parameter
 //!   valuations, which is the bounded-parameter substitute for ByMC's fully
 //!   parameterized reasoning.
+//!
+//! # Engine architecture
+//!
+//! The paper's headline results are wall-clock checking times, so this crate
+//! treats exploration throughput as part of the reproduced artifact.  All
+//! search loops (monitored BFS, non-blocking check, game-graph construction)
+//! share one engine:
+//!
+//! * **Packed state rows** ([`store::StateStore`]) — a single-round state
+//!   is one fixed-stride byte row (`locations ++ variables`,
+//!   [`cccounter::RowEngine`]); visited rows live back to back in one
+//!   contiguous arena, deduplicated through a flat open-addressing index
+//!   keyed by an incrementally-maintained Zobrist hash.  A duplicate
+//!   lookup is one probe plus a `memcmp` — no allocation, no re-hashing;
+//!   full configurations are decoded back only for counterexample
+//!   reconstruction.
+//! * **Delta expansion** ([`cccounter::RowEngine::for_each_successor`]) —
+//!   successors are produced by applying and undoing per-rule byte deltas
+//!   in place on a scratch row, updating the state hash in O(1) per delta;
+//!   guards evaluate straight off the row with their parameter bounds
+//!   pre-evaluated at system construction.
+//! * **Parallel sweep** ([`sweep::check_over_sweep`]) — the
+//!   `query × valuation` grid fans out over a scoped worker pool with
+//!   deterministic report assembly and early cancellation after a
+//!   violation.
+//!
+//! [`reference`] preserves the original clone-per-transition engine
+//! (`HashMap<(Vec<u8>, u8), usize>` keys, per-branch `Configuration`
+//! clones); the `engine_equivalence` integration tests assert that both
+//! engines visit the same number of states and transitions and return the
+//! same verdicts, and the `table2_checking` bench measures the speedup.
 
 pub mod counterexample;
 pub mod explicit;
 pub mod game;
+pub mod reference;
 pub mod result;
 pub mod schema;
 pub mod spec;
+pub mod store;
 pub mod sweep;
 
-#[cfg(test)]
-pub(crate) mod fixtures;
+/// Small models shared by this crate's unit tests and the
+/// `engine_equivalence` integration tests.  Not part of the public API
+/// surface.
+#[doc(hidden)]
+pub mod fixtures;
 
 pub use counterexample::Counterexample;
 pub use explicit::{CheckerOptions, ExplicitChecker};
@@ -40,4 +77,5 @@ pub use schema::{
     Milestone,
 };
 pub use spec::{LocSet, Spec, StartRestriction};
-pub use sweep::{check_over_sweep, SweepOutcome, SweepReport};
+pub use store::{Frontier, StateStore};
+pub use sweep::{check_over_sweep, check_over_sweep_with_threads, SweepOutcome, SweepReport};

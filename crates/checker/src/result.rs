@@ -1,11 +1,10 @@
 //! Outcomes of checking a query.
 
 use crate::counterexample::Counterexample;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The verdict of a check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckStatus {
     /// The query holds (for the checked parameter valuation).
     Holds,
@@ -26,7 +25,7 @@ impl fmt::Display for CheckStatus {
 }
 
 /// The full outcome of checking one query on one counter system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckOutcome {
     /// The verdict.
     pub status: CheckStatus,
@@ -102,8 +101,8 @@ impl fmt::Display for CheckOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccta::ParamValuation;
     use cccounter::{Configuration, Schedule};
+    use ccta::ParamValuation;
 
     #[test]
     fn constructors_set_status() {

@@ -14,11 +14,10 @@
 
 use crate::spec::Spec;
 use ccta::{AtomicGuard, SystemModel};
-use serde::{Deserialize, Serialize};
 
 /// A milestone: a threshold atom whose truth value changes at most once along
 /// a run (rising `>=` guards unlock, falling `<` guards lock).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Milestone {
     /// The guard atom.
     pub atom: AtomicGuard,
@@ -127,6 +126,7 @@ pub fn count_linear_extensions(n: usize, precedence: &[(usize, usize)]) -> u128 
         if dp[mask as usize] == 0 {
             continue;
         }
+        #[allow(clippy::needless_range_loop)]
         for next in 0..n {
             let bit = 1u32 << next;
             if mask & bit != 0 {

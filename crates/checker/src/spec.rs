@@ -8,13 +8,12 @@
 //!
 //! and four temporal shapes, captured by [`Spec`].
 
-use ccta::{BinValue, LocId, SystemModel};
 use cccounter::{Configuration, CounterSystem};
-use serde::{Deserialize, Serialize};
+use ccta::{BinValue, LocId, SystemModel};
 use std::fmt;
 
 /// A named set of locations used in a query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocSet {
     name: String,
     locs: Vec<LocId>,
@@ -87,7 +86,7 @@ impl fmt::Display for LocSet {
 }
 
 /// Which configurations a query starts from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StartRestriction {
     /// All round-start configurations `Σ_u`: every split of the correct
     /// processes over the border locations (Theorem 2).
@@ -121,7 +120,7 @@ impl StartRestriction {
 }
 
 /// A single-round query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Spec {
     /// `A (F EX{trigger} → G ¬EX{forbidden})`: once a location of `trigger`
     /// is ever occupied, no location of `forbidden` is ever occupied on the
@@ -216,9 +215,7 @@ impl Spec {
                 start.label(),
                 forbidden.display_with(model)
             ),
-            Spec::ExistsAvoidOneOf {
-                forbidden_sets, ..
-            } => {
+            Spec::ExistsAvoidOneOf { forbidden_sets, .. } => {
                 let parts: Vec<String> = forbidden_sets
                     .iter()
                     .map(|s| format!("G(!EX{})", s.display_with(model)))

@@ -1,0 +1,373 @@
+//! The shared state store of the explicit-state engine.
+//!
+//! All three search loops of this crate — the monitored BFS of
+//! [`crate::explicit`], its non-blocking variant, and the game-graph
+//! construction of [`crate::game`] — need the same bookkeeping: dedup
+//! visited `(configuration, monitor-bits)` states, remember how each state
+//! was reached, and decode stored states back for counterexample
+//! reconstruction.  [`StateStore`] centralises that bookkeeping around the
+//! row representation of [`cccounter::RowEngine`]:
+//!
+//! * **Contiguous packed rows.**  A single-round state is one fixed-stride
+//!   byte row (`locations ++ variables`), so the store keeps all visited
+//!   states in one contiguous `Vec<u8>` arena — no per-node boxing, no
+//!   `Configuration` clone next to a separate `Vec<u8>` hash-map key, and
+//!   duplicate detection is a single `memcmp` against the arena.
+//! * **A u64-keyed open-addressing index.**  Dedup probes a flat
+//!   quadratic-probing table keyed by the incremental Zobrist hash that the
+//!   row engine maintains across delta application; no SipHash, no
+//!   re-hashing of the full state per lookup.
+//!
+//! Full [`Configuration`]s are decoded back on demand only — for expansion
+//! entry points and counterexample reconstruction.
+
+use cccounter::{Configuration, CounterSystem, RowEngine, Schedule, ScheduledStep};
+
+/// Marker for an empty slot of the index table.
+const EMPTY: u32 = u32::MAX;
+
+/// A flat open-addressing hash index mapping 64-bit hashes to node ids.
+///
+/// Collisions are resolved by triangular-number probing; full-key equality
+/// is delegated to the caller through a closure, so the table itself stays
+/// generic over how nodes are stored.
+#[derive(Debug)]
+struct RawTable {
+    /// `(cached hash, node id)` per slot; `EMPTY` id marks a free slot.
+    slots: Vec<(u64, u32)>,
+    mask: usize,
+    len: usize,
+}
+
+impl RawTable {
+    fn with_capacity(capacity: usize) -> Self {
+        let cap = (capacity.max(16) * 2).next_power_of_two();
+        RawTable {
+            slots: vec![(0, EMPTY); cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Finds the id stored for `hash` (with `eq` confirming full-key
+    /// equality), or the slot index where it would be inserted.
+    fn probe(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Result<u32, usize> {
+        let mut idx = hash as usize & self.mask;
+        let mut step = 0usize;
+        loop {
+            let (slot_hash, slot_id) = self.slots[idx];
+            if slot_id == EMPTY {
+                return Err(idx);
+            }
+            if slot_hash == hash && eq(slot_id) {
+                return Ok(slot_id);
+            }
+            step += 1;
+            idx = (idx + step) & self.mask;
+        }
+    }
+
+    fn insert_at(&mut self, slot: usize, hash: u64, id: u32) {
+        self.slots[slot] = (hash, id);
+        self.len += 1;
+    }
+
+    fn needs_grow(&self) -> bool {
+        // grow at 2/3 load
+        self.len * 3 >= self.slots.len() * 2
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(0, EMPTY); new_cap]);
+        self.mask = new_cap - 1;
+        for (hash, id) in old {
+            if id == EMPTY {
+                continue;
+            }
+            let mut idx = hash as usize & self.mask;
+            let mut step = 0usize;
+            while self.slots[idx].1 != EMPTY {
+                step += 1;
+                idx = (idx + step) & self.mask;
+            }
+            self.slots[idx] = (hash, id);
+        }
+    }
+}
+
+/// Deduplicating storage of the explored `(state row, bits)` graph.
+pub struct StateStore {
+    num_locations: usize,
+    num_vars: usize,
+    stride: usize,
+    table: RawTable,
+    /// All stored rows, back to back (`node id * stride` offsets).
+    rows: Vec<u8>,
+    /// Monitor bits per node (0 when unused).
+    bits: Vec<u8>,
+    /// Zobrist hash per node, as maintained by the row engine.
+    hashes: Vec<u64>,
+    /// First-discovery parent edge per node.
+    parents: Vec<Option<(u32, ScheduledStep)>>,
+}
+
+impl StateStore {
+    /// An empty store for states of the given (single-round) counter system.
+    pub fn new(sys: &CounterSystem) -> Self {
+        let num_locations = sys.model().locations().len();
+        let num_vars = sys.model().vars().len();
+        StateStore {
+            num_locations,
+            num_vars,
+            stride: num_locations + num_vars,
+            table: RawTable::with_capacity(64),
+            rows: Vec::new(),
+            bits: Vec::new(),
+            hashes: Vec::new(),
+            parents: Vec::new(),
+        }
+    }
+
+    /// Number of stored states.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bytes per stored row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Interns a `(row, bits)` state: returns its id and whether it was
+    /// newly inserted.  `parent` is only recorded on first insertion.
+    ///
+    /// `hash` is the row's Zobrist hash as produced by
+    /// [`RowEngine::hash`](cccounter::RowEngine::hash) and maintained
+    /// incrementally by `RowEngine::for_each_successor`; a duplicate lookup
+    /// costs one table probe plus a `memcmp` against the row arena — no
+    /// allocation, no re-hashing.
+    pub fn intern_row(
+        &mut self,
+        row: &[u8],
+        bits: u8,
+        hash: u64,
+        parent: Option<(u32, ScheduledStep)>,
+    ) -> (u32, bool) {
+        debug_assert_eq!(row.len(), self.stride);
+        // fold the monitor bits into the key hash
+        let key_hash = hash ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(bits as u64 + 1));
+        let (rows, bits_arr, stride) = (&self.rows, &self.bits, self.stride);
+        match self.table.probe(key_hash, |id| {
+            bits_arr[id as usize] == bits
+                && &rows[id as usize * stride..(id as usize + 1) * stride] == row
+        }) {
+            Ok(id) => (id, false),
+            Err(slot) => {
+                let id = self.bits.len() as u32;
+                self.rows.extend_from_slice(row);
+                self.bits.push(bits);
+                self.hashes.push(hash);
+                self.parents.push(parent);
+                self.table.insert_at(slot, key_hash, id);
+                if self.table.needs_grow() {
+                    self.table.grow();
+                }
+                (id, true)
+            }
+        }
+    }
+
+    /// The stored row of a node.
+    pub fn row(&self, id: u32) -> &[u8] {
+        &self.rows[id as usize * self.stride..(id as usize + 1) * self.stride]
+    }
+
+    /// Copies a stored row into a scratch buffer (resized to the stride).
+    pub fn copy_row_into(&self, id: u32, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.extend_from_slice(self.row(id));
+    }
+
+    /// The monitor bits of a node.
+    pub fn bits(&self, id: u32) -> u8 {
+        self.bits[id as usize]
+    }
+
+    /// The Zobrist hash of a node's row.
+    pub fn hash64(&self, id: u32) -> u64 {
+        self.hashes[id as usize]
+    }
+
+    /// The first-discovery parent edge of a node.
+    pub fn parent(&self, id: u32) -> Option<(u32, ScheduledStep)> {
+        self.parents[id as usize]
+    }
+
+    /// Decodes a stored row back into a full round-0 configuration.
+    pub fn decode(&self, id: u32) -> Configuration {
+        cccounter::decode_row(self.row(id), self.num_locations, self.num_vars)
+    }
+
+    /// Rebuilds the initial configuration and schedule leading to `target`
+    /// by walking the first-discovery parent edges (decode-on-demand: only
+    /// the root is decoded).
+    pub fn reconstruct_path(&self, target: u32) -> (Configuration, Schedule) {
+        let mut steps = Vec::new();
+        let mut current = target;
+        while let Some((parent, step)) = self.parents[current as usize] {
+            steps.push(step);
+            current = parent;
+        }
+        steps.reverse();
+        (self.decode(current), Schedule::from_steps(steps))
+    }
+
+    /// Interns a configuration directly (expansion entry points, tests);
+    /// the hot path interns rows via [`StateStore::intern_row`].
+    pub fn intern_config(
+        &mut self,
+        engine: &RowEngine<'_>,
+        cfg: &Configuration,
+        bits: u8,
+        parent: Option<(u32, ScheduledStep)>,
+    ) -> (u32, bool) {
+        let mut row = Vec::with_capacity(self.stride);
+        engine.encode_into(cfg, &mut row);
+        let hash = engine.hash(&row);
+        self.intern_row(&row, bits, hash, parent)
+    }
+}
+
+/// A FIFO frontier of node ids (BFS work list with an advancing head).
+#[derive(Debug, Default)]
+pub struct Frontier {
+    queue: Vec<u32>,
+    head: usize,
+}
+
+impl Frontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    /// Enqueues a node.
+    pub fn push(&mut self, id: u32) {
+        self.queue.push(id);
+    }
+
+    /// Dequeues the next node in discovery order.
+    pub fn pop(&mut self) -> Option<u32> {
+        let id = self.queue.get(self.head).copied();
+        self.head += id.is_some() as usize;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cccounter::testutil::{small_params, voting_model};
+    use cccounter::CounterSystem;
+
+    fn sys() -> CounterSystem {
+        let model = voting_model().single_round().unwrap();
+        CounterSystem::new(model, small_params()).unwrap()
+    }
+
+    #[test]
+    fn intern_dedups_by_row_and_bits() {
+        let sys = sys();
+        let engine = RowEngine::new(&sys);
+        let mut store = StateStore::new(&sys);
+        let cfg = sys.round_start_configurations()[0].clone();
+        let (a, fresh_a) = store.intern_config(&engine, &cfg, 0, None);
+        let (b, fresh_b) = store.intern_config(&engine, &cfg, 0, None);
+        let (c, fresh_c) = store.intern_config(&engine, &cfg, 1, None);
+        assert!(fresh_a && !fresh_b && fresh_c);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.bits(a), 0);
+        assert_eq!(store.bits(c), 1);
+        assert_eq!(store.decode(a), cfg);
+        assert_eq!(store.row(a), store.row(c));
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn intern_survives_table_growth() {
+        let sys = sys();
+        let engine = RowEngine::new(&sys);
+        let mut store = StateStore::new(&sys);
+        // insert thousands of distinct states to force several grows
+        let mut cfg = sys.empty_configuration();
+        let loc = sys.model().location_id("I0").unwrap();
+        let var = sys.model().var_id("v0").unwrap();
+        let mut ids = Vec::new();
+        for c in 0..60u64 {
+            for v in 0..60u64 {
+                cfg.set_counter(loc, 0, c);
+                cfg.set_var(var, 0, v);
+                let (id, fresh) = store.intern_config(&engine, &cfg, 0, None);
+                assert!(fresh);
+                ids.push(id);
+            }
+        }
+        assert_eq!(store.len(), 3600);
+        // every previously interned state is still found, not re-inserted
+        for (i, id) in ids.iter().enumerate() {
+            let (c, v) = ((i / 60) as u64, (i % 60) as u64);
+            cfg.set_counter(loc, 0, c);
+            cfg.set_var(var, 0, v);
+            let (again, fresh) = store.intern_config(&engine, &cfg, 0, None);
+            assert!(!fresh);
+            assert_eq!(again, *id);
+        }
+    }
+
+    #[test]
+    fn reconstruct_path_walks_parent_edges() {
+        let sys = sys();
+        let engine = RowEngine::new(&sys);
+        let mut store = StateStore::new(&sys);
+        let start = sys.unanimous_start_configurations(ccta::BinValue::Zero)[0].clone();
+        let (root, _) = store.intern_config(&engine, &start, 0, None);
+        // take two real steps
+        let actions = sys.progress_actions(&start);
+        let step1 = ScheduledStep::dirac(actions[0]);
+        let mid = sys.apply_dirac(&start, actions[0]).unwrap();
+        let (mid_id, _) = store.intern_config(&engine, &mid, 0, Some((root, step1)));
+        let actions2 = sys.progress_actions(&mid);
+        let step2 = ScheduledStep::dirac(actions2[0]);
+        let end = sys.apply_dirac(&mid, actions2[0]).unwrap();
+        let (end_id, _) = store.intern_config(&engine, &end, 0, Some((mid_id, step2)));
+
+        assert_eq!(store.parent(end_id), Some((mid_id, step2)));
+        let (initial, schedule) = store.reconstruct_path(end_id);
+        assert_eq!(initial, start);
+        assert_eq!(schedule.steps(), &[step1, step2]);
+        // the reconstructed schedule replays to the stored state
+        let path = schedule.apply(&sys, &initial).unwrap();
+        assert_eq!(path.last(), &end);
+    }
+
+    #[test]
+    fn frontier_is_fifo() {
+        let mut f = Frontier::new();
+        assert!(f.pop().is_none());
+        f.push(3);
+        f.push(5);
+        assert_eq!(f.pop(), Some(3));
+        f.push(8);
+        assert_eq!(f.pop(), Some(5));
+        assert_eq!(f.pop(), Some(8));
+        assert!(f.pop().is_none());
+    }
+}

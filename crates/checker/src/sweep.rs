@@ -4,17 +4,30 @@
 //! reproduction instead checks every query on a family of small admissible
 //! valuations (the sweep); a query "holds" if it holds on every member of the
 //! sweep and is "violated" as soon as one member yields a counterexample.
+//!
+//! # Parallelism
+//!
+//! The `query × valuation` grid is embarrassingly parallel, so
+//! [`check_over_sweep`] fans the individual checks out over a scoped worker
+//! pool (one worker per available core by default; override with the
+//! `CC_SWEEP_THREADS` environment variable, `1` forces the sequential
+//! path).  Reports keep the deterministic sequential semantics: outcomes are
+//! assembled in valuation order and each query's outcome list is truncated
+//! at its first violation, exactly as if the valuations had been checked one
+//! by one.  A query's remaining valuations are cancelled (skipped) as soon
+//! as an earlier valuation finds a violation.
 
 use crate::explicit::{CheckerOptions, ExplicitChecker};
 use crate::result::{CheckOutcome, CheckStatus};
 use crate::spec::Spec;
-use ccta::{ParamValuation, SystemModel};
 use cccounter::CounterSystem;
-use serde::{Deserialize, Serialize};
+use ccta::{ParamValuation, SystemModel};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The outcome of one query on one parameter valuation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepOutcome {
     /// The parameter valuation checked.
     pub params: ParamValuation,
@@ -25,7 +38,7 @@ pub struct SweepOutcome {
 }
 
 /// The aggregated result of one query over the whole sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// Name of the query.
     pub spec_name: String,
@@ -71,7 +84,10 @@ impl SweepReport {
 
     /// Total number of explored states across the sweep.
     pub fn total_states(&self) -> usize {
-        self.outcomes.iter().map(|o| o.outcome.states_explored).sum()
+        self.outcomes
+            .iter()
+            .map(|o| o.outcome.states_explored)
+            .sum()
     }
 
     /// Total wall-clock time across the sweep.
@@ -80,35 +96,121 @@ impl SweepReport {
     }
 }
 
-/// Checks each query on every valuation of the sweep.
+/// The number of sweep workers: `CC_SWEEP_THREADS` if set, otherwise the
+/// available parallelism.
+fn sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("CC_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One cell of the `query × valuation` grid.
+fn run_one(sys: &CounterSystem, spec: &Spec, options: CheckerOptions) -> SweepOutcome {
+    let started = Instant::now();
+    let checker = ExplicitChecker::with_options(sys, options);
+    let outcome = checker.check(spec);
+    SweepOutcome {
+        params: sys.params().clone(),
+        outcome,
+        duration: started.elapsed(),
+    }
+}
+
+/// Checks each query on every valuation of the sweep, in parallel.
 ///
 /// The model must be a single-round model (Definition 3).  Valuations that
-/// are not admissible for the model's environment are skipped.  Checking of a
-/// query stops at its first violation.
+/// are not admissible for the model's environment are skipped.  The report
+/// for each query lists its outcomes in valuation order and stops at the
+/// query's first violation, exactly like a sequential sweep.
 pub fn check_over_sweep(
     model: &SystemModel,
     specs: &[Spec],
     valuations: &[ParamValuation],
     options: CheckerOptions,
 ) -> Vec<SweepReport> {
+    check_over_sweep_with_threads(model, specs, valuations, options, sweep_threads())
+}
+
+/// [`check_over_sweep`] with an explicit worker count (`1` forces the
+/// sequential path), bypassing the `CC_SWEEP_THREADS` environment lookup.
+pub fn check_over_sweep_with_threads(
+    model: &SystemModel,
+    specs: &[Spec],
+    valuations: &[ParamValuation],
+    options: CheckerOptions,
+    threads: usize,
+) -> Vec<SweepReport> {
     let systems: Vec<CounterSystem> = valuations
         .iter()
         .filter_map(|v| CounterSystem::new(model.clone(), v.clone()).ok())
         .collect();
+    let total = specs.len() * systems.len();
+    let workers = threads.max(1).min(total.max(1));
+
+    // one slot per (spec, valuation) cell, filled by the workers
+    let mut slots: Vec<Option<SweepOutcome>> = Vec::new();
+    slots.resize_with(total, || None);
+
+    if workers <= 1 || total <= 1 {
+        // sequential fast path: skip a query's remaining valuations after a
+        // violation, like the parallel scheduler below
+        for (s, spec) in specs.iter().enumerate() {
+            for (v, sys) in systems.iter().enumerate() {
+                let cell = run_one(sys, spec, options);
+                let violated = cell.outcome.status == CheckStatus::Violated;
+                slots[s * systems.len() + v] = Some(cell);
+                if violated {
+                    break;
+                }
+            }
+        }
+    } else {
+        // a lock-free work queue over the grid; `violated_at[s]` records the
+        // smallest violating valuation index of query `s` so far, letting
+        // workers cancel cells that a sequential sweep would never reach
+        let next = AtomicUsize::new(0);
+        let violated_at: Vec<AtomicUsize> =
+            specs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let slot_refs: Vec<Mutex<&mut Option<SweepOutcome>>> =
+            slots.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let (s, v) = (i / systems.len(), i % systems.len());
+                    if v > violated_at[s].load(Ordering::Acquire) {
+                        continue; // cancelled: an earlier valuation violated
+                    }
+                    let cell = run_one(&systems[v], &specs[s], options);
+                    if cell.outcome.status == CheckStatus::Violated {
+                        violated_at[s].fetch_min(v, Ordering::AcqRel);
+                    }
+                    **slot_refs[i].lock().unwrap() = Some(cell);
+                });
+            }
+        });
+    }
+
+    // deterministic assembly: valuation order, truncated at first violation
     specs
         .iter()
-        .map(|spec| {
+        .enumerate()
+        .map(|(s, spec)| {
             let mut outcomes = Vec::new();
-            for sys in &systems {
-                let started = Instant::now();
-                let checker = ExplicitChecker::with_options(sys, options);
-                let outcome = checker.check(spec);
-                let violated = outcome.status == CheckStatus::Violated;
-                outcomes.push(SweepOutcome {
-                    params: sys.params().clone(),
-                    outcome,
-                    duration: started.elapsed(),
-                });
+            for v in 0..systems.len() {
+                let Some(cell) = slots[s * systems.len() + v].take() else {
+                    break;
+                };
+                let violated = cell.outcome.status == CheckStatus::Violated;
+                outcomes.push(cell);
                 if violated {
                     break;
                 }
@@ -176,6 +278,56 @@ mod tests {
         assert_eq!(violated.outcomes.len(), 1);
         assert!(violated.first_violation().is_some());
         assert!(violated.total_time() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let model = fixtures::voting_model().single_round().unwrap();
+        let specs = vec![
+            Spec::NeverFrom {
+                name: "unreachable-I1".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+            },
+            Spec::NeverFrom {
+                name: "reachable-E0".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "E0", &["E0"]),
+            },
+            Spec::NonBlocking {
+                name: "termination".into(),
+                start: StartRestriction::RoundStart,
+            },
+        ];
+        let parallel = check_over_sweep_with_threads(
+            &model,
+            &specs,
+            &sweep_valuations(),
+            CheckerOptions::default(),
+            4,
+        );
+        let sequential = check_over_sweep_with_threads(
+            &model,
+            &specs,
+            &sweep_valuations(),
+            CheckerOptions::default(),
+            1,
+        );
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.spec_name, s.spec_name);
+            assert_eq!(p.status(), s.status());
+            assert_eq!(p.outcomes.len(), s.outcomes.len());
+            for (po, so) in p.outcomes.iter().zip(&s.outcomes) {
+                assert_eq!(po.params, so.params);
+                assert_eq!(po.outcome.status, so.outcome.status);
+                assert_eq!(po.outcome.states_explored, so.outcome.states_explored);
+                assert_eq!(
+                    po.outcome.transitions_explored,
+                    so.outcome.transitions_explored
+                );
+            }
+        }
     }
 
     #[test]

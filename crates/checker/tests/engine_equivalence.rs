@@ -1,0 +1,186 @@
+//! Engine equivalence: the packed-state engine must explore exactly the
+//! state space that the pre-refactor reference engine explored.
+//!
+//! For every query shape, on the `voting_model`/`blocking_model` fixtures
+//! and on a real benchmark protocol, both engines must agree on
+//!
+//! * the verdict,
+//! * the number of distinct states visited,
+//! * the number of transitions explored, and
+//! * (for violations) a counterexample that replays on the counter system
+//!   via [`cccounter::Schedule::apply`].
+//!
+//! Because both engines run the same BFS in the same action order, the
+//! counterexample schedules are required to be identical step for step.
+
+use ccchecker::fixtures;
+use ccchecker::reference::reference_check;
+use ccchecker::{CheckStatus, CheckerOptions, ExplicitChecker, LocSet, Spec, StartRestriction};
+use cccounter::CounterSystem;
+use ccta::{BinValue, Owner, ParamValuation, SystemModel};
+
+/// Checks one spec with both engines and asserts exact agreement.
+fn assert_engines_agree(sys: &CounterSystem, spec: &Spec) -> CheckStatus {
+    let options = CheckerOptions::default();
+    let engine = ExplicitChecker::with_options(sys, options).check(spec);
+    let reference = reference_check(sys, spec, &options);
+
+    assert_eq!(
+        engine.status,
+        reference.status,
+        "verdicts differ on {}",
+        spec.name()
+    );
+    assert_eq!(
+        engine.states_explored,
+        reference.states_explored,
+        "state counts differ on {}",
+        spec.name()
+    );
+    assert_eq!(
+        engine.transitions_explored,
+        reference.transitions_explored,
+        "transition counts differ on {}",
+        spec.name()
+    );
+
+    if engine.status == CheckStatus::Violated {
+        let e = engine.counterexample.expect("engine counterexample");
+        let r = reference.counterexample.expect("reference counterexample");
+        assert_eq!(
+            e.initial,
+            r.initial,
+            "initial configs differ on {}",
+            spec.name()
+        );
+        assert_eq!(
+            e.schedule.steps(),
+            r.schedule.steps(),
+            "counterexample schedules differ on {}",
+            spec.name()
+        );
+        // the counterexample is a real execution of the counter system
+        let path = e
+            .schedule
+            .apply(sys, &e.initial)
+            .expect("counterexample must replay");
+        assert_eq!(path.len(), e.schedule.len());
+    }
+    engine.status
+}
+
+/// The full catalogue of query shapes over a single-round model whose final
+/// locations carry values.
+fn spec_catalogue(model: &SystemModel) -> Vec<Spec> {
+    let finals0 = LocSet::new(
+        "F0",
+        model.final_locations(Owner::Process, Some(BinValue::Zero)),
+    );
+    let finals1 = LocSet::new(
+        "F1",
+        model.final_locations(Owner::Process, Some(BinValue::One)),
+    );
+    vec![
+        Spec::NeverFrom {
+            name: "validity-style".into(),
+            start: StartRestriction::Unanimous(BinValue::Zero),
+            forbidden: finals1.clone(),
+        },
+        Spec::NeverFrom {
+            name: "reachable-finals".into(),
+            start: StartRestriction::RoundStart,
+            forbidden: finals0.clone(),
+        },
+        Spec::CoverNever {
+            name: "cover".into(),
+            start: StartRestriction::RoundStart,
+            trigger: finals0.clone(),
+            forbidden: finals1.clone(),
+        },
+        Spec::ExistsAvoidOneOf {
+            name: "C1-style".into(),
+            start: StartRestriction::RoundStart,
+            forbidden_sets: vec![finals0.clone(), finals1.clone()],
+        },
+        Spec::ExistsAvoidOneOf {
+            name: "avoid-one".into(),
+            start: StartRestriction::Unanimous(BinValue::Zero),
+            forbidden_sets: vec![finals0],
+        },
+        Spec::NonBlocking {
+            name: "termination".into(),
+            start: StartRestriction::RoundStart,
+        },
+    ]
+}
+
+#[test]
+fn engines_agree_on_the_voting_fixture() {
+    let model = fixtures::voting_model().single_round().unwrap();
+    let sys = CounterSystem::new(model.clone(), fixtures::small_params()).unwrap();
+    let mut statuses = Vec::new();
+    for spec in spec_catalogue(&model) {
+        statuses.push(assert_engines_agree(&sys, &spec));
+    }
+    // the catalogue exercises both verdicts
+    assert!(statuses.contains(&CheckStatus::Holds));
+    assert!(statuses.contains(&CheckStatus::Violated));
+}
+
+#[test]
+fn engines_agree_on_the_blocking_fixture() {
+    let model = fixtures::blocking_model().single_round().unwrap();
+    let sys = CounterSystem::new(model.clone(), ParamValuation::new(vec![4, 1, 1, 1])).unwrap();
+    let spec = Spec::NonBlocking {
+        name: "termination".into(),
+        start: StartRestriction::RoundStart,
+    };
+    assert_eq!(assert_engines_agree(&sys, &spec), CheckStatus::Violated);
+}
+
+#[test]
+fn engines_agree_on_a_real_benchmark_protocol() {
+    let protocol = ccprotocols::protocol_by_name("Rabin83").expect("benchmark protocol");
+    let model = protocol.single_round();
+    // the smallest admissible valuation with at least two modelled processes
+    let env = model.env();
+    let valuation = env
+        .admissible_valuations(8)
+        .into_iter()
+        .filter(|v| {
+            env.system_size(v)
+                .is_some_and(|s| s.processes >= 2 && s.processes <= 3 && s.coins <= 1)
+        })
+        .min_by_key(|v| v.values().to_vec())
+        .expect("admissible valuation");
+    let sys = CounterSystem::new(model.clone(), valuation).unwrap();
+    let mut checked = 0;
+    for spec in spec_catalogue(&model) {
+        assert_engines_agree(&sys, &spec);
+        checked += 1;
+    }
+    assert_eq!(checked, 6);
+}
+
+#[test]
+fn engines_agree_on_bounded_searches() {
+    // resource-bounded runs must produce Unknown on both engines
+    let model = fixtures::voting_model().single_round().unwrap();
+    let sys = CounterSystem::new(model.clone(), fixtures::small_params()).unwrap();
+    let options = CheckerOptions {
+        max_states: 50,
+        max_transitions: 10_000,
+    };
+    let spec = Spec::NeverFrom {
+        name: "bounded".into(),
+        start: StartRestriction::Unanimous(BinValue::Zero),
+        forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+    };
+    let engine = ExplicitChecker::with_options(&sys, options).check(&spec);
+    let reference = reference_check(&sys, &spec, &options);
+    assert_eq!(engine.status, CheckStatus::Unknown);
+    assert_eq!(reference.status, CheckStatus::Unknown);
+    // the engines agree on the reported exploration size even at the bound
+    assert_eq!(engine.states_explored, reference.states_explored);
+    assert_eq!(engine.transitions_explored, reference.transitions_explored);
+}

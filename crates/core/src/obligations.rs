@@ -39,10 +39,7 @@ impl Obligations {
 }
 
 fn loc_set_from_names(model: &SystemModel, name: &str, names: &[String]) -> LocSet {
-    let locs: Vec<LocId> = names
-        .iter()
-        .filter_map(|n| model.location_id(n))
-        .collect();
+    let locs: Vec<LocId> = names.iter().filter_map(|n| model.location_id(n)).collect();
     LocSet::new(name, locs)
 }
 
@@ -121,10 +118,7 @@ pub fn obligations_for(protocol: &ProtocolModel, single_round: &SystemModel) -> 
             let n0 = loc_set_from_names(single_round, "N0", &crusader.n0);
             let n1 = loc_set_from_names(single_round, "N1", &crusader.n1);
             let nbot = loc_set_from_names(single_round, "Nbot", &crusader.nbot);
-            let m01 = LocSet::new(
-                "M0M1",
-                m0.locs().iter().chain(m1.locs()).copied().collect(),
-            );
+            let m01 = LocSet::new("M0M1", m0.locs().iter().chain(m1.locs()).copied().collect());
             let cover = |name: &str, trigger: &LocSet, forbidden: &LocSet| Spec::CoverNever {
                 name: name.to_string(),
                 start: StartRestriction::RoundStart,
@@ -241,11 +235,7 @@ mod tests {
             assert!(!formula.is_empty());
         }
         // the CB2 trigger is the refined N0 location
-        let cb2 = obl
-            .termination
-            .iter()
-            .find(|s| s.name() == "CB2")
-            .unwrap();
+        let cb2 = obl.termination.iter().find(|s| s.name() == "CB2").unwrap();
         assert!(cb2.formula(&rd).contains("N0"));
     }
 }

@@ -5,7 +5,6 @@ use crate::verifier::{PropertyResult, ProtocolVerification};
 use ccchecker::{max_schema_count, milestones, schema_count, CheckStatus};
 use ccprotocols::ProtocolModel;
 use ccta::SystemModel;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 fn property_cell(result: &PropertyResult) -> (String, String) {
@@ -77,7 +76,7 @@ pub fn render_table3(protocol: &ProtocolModel) -> String {
 
 /// One row of Table IV: a model variant, its milestone count and the maximum
 /// schema count over the checked formulas.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// Variant name (e.g. `"ABY22-2"`).
     pub name: String,
@@ -92,9 +91,7 @@ pub struct Table4Row {
 /// Computes the Table IV rows for a family of model variants: for each
 /// variant, the milestone count and the maximum schema count of its CB0-shaped
 /// and Inv2-shaped obligations.
-pub fn table4_rows(
-    variants: &[(SystemModel, ProtocolModel)],
-) -> Vec<Table4Row> {
+pub fn table4_rows(variants: &[(SystemModel, ProtocolModel)]) -> Vec<Table4Row> {
     let mut rows = Vec::new();
     for (variant, protocol) in variants {
         let single_round = variant

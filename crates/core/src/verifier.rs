@@ -8,11 +8,10 @@
 
 use crate::obligations::{obligations_for, Obligations};
 use ccchecker::{
-    schema_count, check_over_sweep, CheckStatus, CheckerOptions, Counterexample, Spec, SweepReport,
+    check_over_sweep, schema_count, CheckStatus, CheckerOptions, Counterexample, Spec, SweepReport,
 };
 use ccprotocols::ProtocolModel;
 use ccta::{ModelStats, ParamValuation, ProtocolCategory, SystemModel};
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Configuration of the verification sweep.
@@ -89,7 +88,7 @@ impl VerifierConfig {
 }
 
 /// The aggregated verdict for one consensus property of one protocol.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PropertyResult {
     /// Property name ("Agreement", "Validity", "A.S. Termination").
     pub property: String,
@@ -129,7 +128,7 @@ impl PropertyResult {
 }
 
 /// The full verification result of one protocol (one row of Table II).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolVerification {
     /// Protocol name.
     pub protocol: String,
@@ -162,10 +161,7 @@ fn check_property(
     config: &VerifierConfig,
 ) -> PropertyResult {
     let reports = check_over_sweep(single_round, specs, valuations, config.checker);
-    let status = if reports
-        .iter()
-        .any(|r| r.status() == CheckStatus::Violated)
-    {
+    let status = if reports.iter().any(|r| r.status() == CheckStatus::Violated) {
         CheckStatus::Violated
     } else if reports.iter().any(|r| r.status() == CheckStatus::Unknown) {
         CheckStatus::Unknown
@@ -177,10 +173,7 @@ fn check_property(
         .filter_map(|r| r.first_violation())
         .filter_map(|o| o.outcome.counterexample.clone())
         .next();
-    let nschemas = specs
-        .iter()
-        .map(|s| schema_count(single_round, s))
-        .sum();
+    let nschemas = specs.iter().map(|s| schema_count(single_round, s)).sum();
     PropertyResult {
         property: property.to_string(),
         status,
@@ -282,7 +275,10 @@ mod tests {
         assert!(result.validity.holds());
         assert!(result.termination.is_violated());
         let violated = result.termination.violated_obligation().unwrap();
-        assert!(violated.starts_with("CB"), "violated obligation: {violated}");
+        assert!(
+            violated.starts_with("CB"),
+            "violated obligation: {violated}"
+        );
         let ce = result.termination.counterexample.as_ref().unwrap();
         assert!(!ce.schedule.is_empty());
     }

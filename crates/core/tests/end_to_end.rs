@@ -5,7 +5,6 @@
 use cccore::prelude::*;
 use cccounter::{CounterSystem, EagerAdversary, RandomAdversary, RoundRigid, RunOutcome};
 use ccta::{BinValue, ModelKind, Owner, ParamValuation};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,7 +65,8 @@ fn single_round_models_keep_the_variable_alphabet() {
         // border copies are added, nothing else disappears
         assert_eq!(
             single.locations().len(),
-            multi.locations().len() + multi.border_locations(Owner::Process, None).len()
+            multi.locations().len()
+                + multi.border_locations(Owner::Process, None).len()
                 + multi.border_locations(Owner::Coin, None).len()
         );
     }
@@ -116,43 +116,38 @@ fn validity_holds_dynamically_for_unanimous_starts() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Theorem 1, property-based: any applicable schedule sampled by a random
-    /// adversary on the multi-round MMR14 system can be reordered into a
-    /// round-rigid schedule that is applicable and reaches the same
-    /// configuration.
-    #[test]
-    fn theorem_1_reordering_on_sampled_schedules(seed in 0u64..500) {
-        let mmr14 = protocol_by_name("MMR14").unwrap();
-        let sys = CounterSystem::new(
-            mmr14.model().clone(),
-            ParamValuation::new(vec![4, 1, 1, 1]),
-        )
-        .unwrap();
-        let init = sys.round_start_configurations()[0].clone();
+/// Theorem 1, sampled: any applicable schedule sampled by a random adversary
+/// on the multi-round MMR14 system can be reordered into a round-rigid
+/// schedule that is applicable and reaches the same configuration.
+#[test]
+fn theorem_1_reordering_on_sampled_schedules() {
+    let mmr14 = protocol_by_name("MMR14").unwrap();
+    let sys =
+        CounterSystem::new(mmr14.model().clone(), ParamValuation::new(vec![4, 1, 1, 1])).unwrap();
+    let init = sys.round_start_configurations()[0].clone();
+    for seed in (0u64..500).step_by(31) {
         let mut adv = RandomAdversary::new(StdRng::seed_from_u64(seed));
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
         let (path, _) =
             cccounter::adversary::run_adversary(&sys, init.clone(), &mut adv, &mut rng, 120);
         let schedule = path.schedule();
         let rigid = cccounter::schedule::reorder_round_rigid(&sys, &init, &schedule).unwrap();
-        prop_assert!(rigid.is_round_rigid());
+        assert!(rigid.is_round_rigid(), "seed {seed}");
         let rigid_final = rigid.apply(&sys, &init).unwrap().last().clone();
-        prop_assert_eq!(rigid_final, path.last().clone());
+        assert_eq!(&rigid_final, path.last(), "seed {seed}");
     }
+}
 
-    /// The schema-count metric is monotone in the query shape: the two-cut
-    /// CoverNever queries always cost at least as much as single-cut queries
-    /// on the same automaton.
-    #[test]
-    fn schema_counts_are_monotone_in_cut_points(idx in 0usize..8) {
-        let protocol = all_protocols().swap_remove(idx);
+/// The schema-count metric is monotone in the query shape: the two-cut
+/// CoverNever queries always cost at least as much as single-cut queries on
+/// the same automaton.
+#[test]
+fn schema_counts_are_monotone_in_cut_points() {
+    for protocol in all_protocols() {
         let single = protocol.single_round();
         let obligations = obligations_for(&protocol, &single);
         let inv1 = ccchecker::schema_count(&single, &obligations.agreement[0]);
         let inv2 = ccchecker::schema_count(&single, &obligations.validity[0]);
-        prop_assert!(inv1 >= inv2);
+        assert!(inv1 >= inv2, "{}", protocol.name());
     }
 }

@@ -4,13 +4,24 @@
 //! and variable values `g[x, k]` for every round `k`, plus the parameter
 //! values `p` (stored once in the [`crate::CounterSystem`], not per
 //! configuration).
+//!
+//! # Performance notes
+//!
+//! Counter and variable updates are O(1): trailing all-zero rounds are *not*
+//! trimmed eagerly on every mutation (that would make each update O(rounds)).
+//! Instead, equality, hashing and the packed fingerprints ignore trailing
+//! all-zero rounds, so two configurations describing the same state still
+//! compare (and hash) equal regardless of which rounds happen to be
+//! materialised.  The hot exploration path additionally mutates
+//! configurations in place through the delta API of
+//! [`crate::CounterSystem::expand_action`] instead of cloning per successor.
 
 use ccta::{LocId, VarId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Counters and variable values of a single round.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RoundData {
     counters: Vec<u64>,
     vars: Vec<u64>,
@@ -22,6 +33,10 @@ impl RoundData {
             counters: vec![0; num_locations],
             vars: vec![0; num_vars],
         }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0) && self.vars.iter().all(|&v| v == 0)
     }
 
     /// Location counters of this round.
@@ -38,9 +53,10 @@ impl RoundData {
 /// A configuration of the counter system.
 ///
 /// Rounds are materialised lazily: reads of rounds that were never touched
-/// return zeros, and trailing all-zero rounds are trimmed so that two
-/// configurations describing the same state compare (and hash) equal.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// return zeros, and trailing all-zero rounds are ignored by equality,
+/// hashing and fingerprints, so that two configurations describing the same
+/// state compare (and hash) equal.
+#[derive(Debug, Clone)]
 pub struct Configuration {
     num_locations: usize,
     num_vars: usize,
@@ -68,6 +84,17 @@ impl Configuration {
         self.num_vars
     }
 
+    /// Number of materialised rounds that are part of the observable state:
+    /// the length of the prefix up to the last round with any non-zero
+    /// counter or variable.
+    pub(crate) fn active_len(&self) -> usize {
+        let mut len = self.rounds.len();
+        while len > 0 && self.rounds[len - 1].is_zero() {
+            len -= 1;
+        }
+        len
+    }
+
     /// The counter `κ[loc, round]`.
     pub fn counter(&self, loc: LocId, round: u32) -> u64 {
         self.rounds
@@ -82,6 +109,20 @@ impl Configuration {
             .get(round as usize)
             .map(|r| r.vars[var.0])
             .unwrap_or(0)
+    }
+
+    /// All variable values of a round as a borrowed slice, or `None` if the
+    /// round was never materialised (all values are zero then).
+    pub fn vars_slice(&self, round: u32) -> Option<&[u64]> {
+        self.rounds.get(round as usize).map(|r| r.vars.as_slice())
+    }
+
+    /// All location counters of a round as a borrowed slice, or `None` if
+    /// the round was never materialised.
+    pub fn counters_slice(&self, round: u32) -> Option<&[u64]> {
+        self.rounds
+            .get(round as usize)
+            .map(|r| r.counters.as_slice())
     }
 
     /// All variable values of a round (zeros if the round was never touched).
@@ -102,14 +143,10 @@ impl Configuration {
 
     /// The largest round index with a non-zero counter or variable, if any.
     pub fn max_active_round(&self) -> Option<u32> {
-        self.rounds
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, r)| {
-                r.counters.iter().any(|&c| c > 0) || r.vars.iter().any(|&v| v > 0)
-            })
-            .map(|(i, _)| i as u32)
+        match self.active_len() {
+            0 => None,
+            n => Some(n as u32 - 1),
+        }
     }
 
     /// Sum of the location counters over a set of locations in a round.
@@ -133,26 +170,32 @@ impl Configuration {
         &mut self.rounds[round as usize]
     }
 
-    fn normalize(&mut self) {
-        while let Some(last) = self.rounds.last() {
-            if last.counters.iter().all(|&c| c == 0) && last.vars.iter().all(|&v| v == 0) {
-                self.rounds.pop();
-            } else {
-                break;
-            }
+    /// Drops trailing all-zero rounds.  Only needed before handing the
+    /// configuration to code that inspects `rounds` directly; the public
+    /// observers already ignore trailing zeros.
+    pub fn trim(&mut self) {
+        let len = self.active_len();
+        self.rounds.truncate(len);
+    }
+
+    /// Zeroes every materialised round in place, keeping the round buffers
+    /// allocated.  The result is observably equal to
+    /// [`Configuration::zero`].
+    pub fn clear(&mut self) {
+        for r in &mut self.rounds {
+            r.counters.fill(0);
+            r.vars.fill(0);
         }
     }
 
     /// Sets the counter `κ[loc, round]`.
     pub fn set_counter(&mut self, loc: LocId, round: u32, value: u64) {
         self.ensure_round(round).counters[loc.0] = value;
-        self.normalize();
     }
 
     /// Adds `delta` to the counter `κ[loc, round]`.
     pub fn add_counter(&mut self, loc: LocId, round: u32, delta: u64) {
         self.ensure_round(round).counters[loc.0] += delta;
-        self.normalize();
     }
 
     /// Decreases the counter `κ[loc, round]` by one.
@@ -167,26 +210,41 @@ impl Configuration {
             "counter underflow at location {loc} round {round}"
         );
         data.counters[loc.0] -= 1;
-        self.normalize();
+    }
+
+    /// Decreases the counter `κ[loc, round]` by one without the underflow
+    /// check.  Used by the delta-application fast path of the expander, which
+    /// only fires actions whose applicability was already established.
+    pub(crate) fn decrement_counter_unchecked(&mut self, loc: LocId, round: u32) {
+        let data = self.ensure_round(round);
+        debug_assert!(data.counters[loc.0] > 0, "counter underflow at {loc}");
+        data.counters[loc.0] -= 1;
+    }
+
+    /// Subtracts `delta` from the variable `g[var, round]` (undo of an
+    /// update increment).
+    pub(crate) fn sub_var_unchecked(&mut self, var: VarId, round: u32, delta: u64) {
+        let data = self.ensure_round(round);
+        debug_assert!(data.vars[var.0] >= delta, "variable underflow at {var}");
+        data.vars[var.0] -= delta;
     }
 
     /// Sets the variable `g[var, round]`.
     pub fn set_var(&mut self, var: VarId, round: u32, value: u64) {
         self.ensure_round(round).vars[var.0] = value;
-        self.normalize();
     }
 
     /// Adds `delta` to the variable `g[var, round]`.
     pub fn add_var(&mut self, var: VarId, round: u32, delta: u64) {
         self.ensure_round(round).vars[var.0] += delta;
-        self.normalize();
     }
 
     /// A compact fingerprint suitable as a hash-map key in explicit-state
-    /// search (flattens all rounds into one vector).
+    /// search (flattens all active rounds into one vector).
     pub fn fingerprint(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.rounds.len() * (self.num_locations + self.num_vars));
-        for r in &self.rounds {
+        let active = self.active_len();
+        let mut out = Vec::with_capacity(active * (self.num_locations + self.num_vars));
+        for r in &self.rounds[..active] {
             out.extend_from_slice(&r.counters);
             out.extend_from_slice(&r.vars);
         }
@@ -200,8 +258,9 @@ impl Configuration {
     /// Panics if any counter or variable exceeds 255 — explicit-state
     /// checking is only intended for small concrete parameter valuations.
     pub fn fingerprint_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.rounds.len() * (self.num_locations + self.num_vars));
-        for r in &self.rounds {
+        let active = self.active_len();
+        let mut out = Vec::with_capacity(active * (self.num_locations + self.num_vars));
+        for r in &self.rounds[..active] {
             for &c in r.counters.iter().chain(r.vars.iter()) {
                 assert!(
                     c <= u8::MAX as u64,
@@ -214,12 +273,34 @@ impl Configuration {
     }
 }
 
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_locations == other.num_locations && self.num_vars == other.num_vars && {
+            let (a, b) = (self.active_len(), other.active_len());
+            a == b && self.rounds[..a] == other.rounds[..b]
+        }
+    }
+}
+
+impl Eq for Configuration {}
+
+impl Hash for Configuration {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let active = self.active_len();
+        self.num_locations.hash(state);
+        self.num_vars.hash(state);
+        active.hash(state);
+        self.rounds[..active].hash(state);
+    }
+}
+
 impl fmt::Display for Configuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.rounds.is_empty() {
+        let active = self.active_len();
+        if active == 0 {
             return f.write_str("<empty>");
         }
-        for (k, r) in self.rounds.iter().enumerate() {
+        for (k, r) in self.rounds[..active].iter().enumerate() {
             if k > 0 {
                 writeln!(f)?;
             }
@@ -232,6 +313,13 @@ impl fmt::Display for Configuration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(c: &Configuration) -> u64 {
+        let mut h = DefaultHasher::new();
+        c.hash(&mut h);
+        h.finish()
+    }
 
     #[test]
     fn zero_configuration_reads_zeros_everywhere() {
@@ -272,6 +360,32 @@ mod tests {
         b.set_counter(LocId(1), 3, 0);
         assert_eq!(a, b);
         assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint_bytes(), b.fingerprint_bytes());
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(b.max_active_round(), Some(0));
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn trim_drops_trailing_zero_rounds() {
+        let mut c = Configuration::zero(2, 1);
+        c.add_counter(LocId(0), 4, 1);
+        c.set_counter(LocId(0), 4, 0);
+        c.add_counter(LocId(1), 1, 2);
+        c.trim();
+        assert_eq!(c.max_active_round(), Some(1));
+        assert_eq!(c.counter(LocId(1), 1), 2);
+        assert_eq!(c.counter(LocId(0), 4), 0);
+    }
+
+    #[test]
+    fn fully_cleared_configuration_equals_the_zero_one() {
+        let mut c = Configuration::zero(2, 1);
+        c.add_counter(LocId(0), 0, 1);
+        c.decrement_counter(LocId(0), 0);
+        assert_eq!(c, Configuration::zero(2, 1));
+        assert_eq!(hash_of(&c), hash_of(&Configuration::zero(2, 1)));
+        assert_eq!(format!("{c}"), "<empty>");
     }
 
     #[test]
@@ -298,5 +412,16 @@ mod tests {
         let s = format!("{c}");
         assert!(s.contains("round 0"));
         assert!(s.contains("round 1"));
+    }
+
+    #[test]
+    fn slices_expose_materialised_rounds_only() {
+        let mut c = Configuration::zero(2, 2);
+        assert!(c.vars_slice(0).is_none());
+        assert!(c.counters_slice(0).is_none());
+        c.add_var(VarId(1), 0, 3);
+        assert_eq!(c.vars_slice(0), Some(&[0, 3][..]));
+        assert_eq!(c.counters_slice(0), Some(&[0, 0][..]));
+        assert!(c.vars_slice(1).is_none());
     }
 }

@@ -21,7 +21,10 @@ impl fmt::Display for CounterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CounterError::NotAdmissible { valuation } => {
-                write!(f, "parameter valuation {valuation} violates the resilience condition")
+                write!(
+                    f,
+                    "parameter valuation {valuation} violates the resilience condition"
+                )
             }
             CounterError::NotApplicable { action } => {
                 write!(f, "action {action} is not applicable")

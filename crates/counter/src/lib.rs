@@ -9,10 +9,29 @@
 //!
 //! The crate provides:
 //!
-//! * [`Configuration`] — round-indexed location counters and variable values.
+//! * [`Configuration`] — round-indexed location counters and variable
+//!   values, with O(1) mutation (trailing-zero-round trimming is deferred to
+//!   the comparison/fingerprint boundaries instead of running on every
+//!   update).
+//! * [`PackedConfig`] — the packed byte encoding of a configuration
+//!   (canonical with respect to trailing zero rounds), carrying a
+//!   precomputed 64-bit pre-hash; full configurations are decoded back on
+//!   demand (e.g. for counterexample reconstruction).
 //! * [`CounterSystem`] — applicability, the `apply` function and the
 //!   probabilistic transition function `∆` for a concrete admissible
-//!   parameter valuation.
+//!   parameter valuation.  Rules are precompiled at construction (branch
+//!   lists, variable increments, guard bounds evaluated at the valuation),
+//!   and the exploration fast path ([`CounterSystem::expand_action`],
+//!   [`CounterSystem::progress_actions_into`], [`Expander`]) generates
+//!   successors by applying and undoing counter deltas in place — no
+//!   `Configuration` clone per branch, no `round_vars` clone per guard.
+//! * [`RowEngine`] — the single-round specialisation the explicit checker
+//!   actually runs on: a state is one fixed-stride byte row
+//!   (`locations ++ variables`), successor generation applies byte deltas
+//!   in place, guards evaluate straight off the row, and a tabulated
+//!   Zobrist hash ([`CounterSystem::state_hash`]) is maintained
+//!   incrementally in O(1) per delta.  The hot loop of the checker performs
+//!   no allocation per transition.
 //! * [`Schedule`] / [`Path`] — finite schedules and paths, round-rigidity,
 //!   and the Theorem-1 reordering of arbitrary schedules into round-rigid
 //!   ones.
@@ -23,14 +42,18 @@
 pub mod adversary;
 pub mod config;
 pub mod error;
+pub mod packed;
 pub mod schedule;
 pub mod system;
 
-#[cfg(test)]
-pub(crate) mod testutil;
+/// Small models shared by this crate's unit tests and the engine-equivalence
+/// integration tests of `ccchecker`.  Not part of the public API surface.
+#[doc(hidden)]
+pub mod testutil;
 
 pub use adversary::{Adversary, EagerAdversary, RandomAdversary, RoundRigid, RunOutcome};
 pub use config::Configuration;
 pub use error::CounterError;
+pub use packed::PackedConfig;
 pub use schedule::{Path, Schedule, ScheduledStep};
-pub use system::{Action, CounterSystem};
+pub use system::{decode_row, Action, CounterSystem, Expander, RowEngine};

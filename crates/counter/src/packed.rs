@@ -1,0 +1,292 @@
+//! Packed configurations: a compact multi-round snapshot representation.
+//!
+//! The single-round explicit checker runs on the even flatter fixed-stride
+//! rows of [`crate::RowEngine`]; `PackedConfig` is the general,
+//! variable-length packing that also covers multi-round configurations,
+//! kept for future multi-round search and decode-on-demand snapshots.
+//!
+//! Explicit-state checking only needs three things from a visited
+//! configuration: a dedup key, a stored representation that survives until
+//! counterexample reconstruction, and (rarely) the full [`Configuration`]
+//! back.  [`PackedConfig`] serves all three with a single boxed byte buffer
+//! — the flattened `(counters, vars)` matrix of the active rounds, one byte
+//! per value — plus a precomputed FxHash-style 64-bit pre-hash, so hash-map
+//! probes never re-walk the bytes and stored nodes never carry a redundant
+//! `Configuration` clone next to a byte-key copy.
+//!
+//! Encoding into a caller-provided scratch buffer
+//! ([`PackedConfig::encode_into`]) lets the search test membership of a
+//! candidate successor without allocating; only genuinely new states are
+//! committed to a boxed buffer.
+
+use crate::config::Configuration;
+use ccta::{LocId, VarId};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One step of an FxHash-style multiply-xor hash (the firefox hash used by
+/// rustc): cheap, deterministic and good enough for byte-fingerprint keys.
+#[inline]
+pub fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Hashes a byte slice with the FxHash-style mixer, 8 bytes at a time.
+#[inline]
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash = fx_mix(hash, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut word = [0u8; 8];
+        word[..rest.len()].copy_from_slice(rest);
+        hash = fx_mix(hash, u64::from_le_bytes(word));
+    }
+    hash
+}
+
+/// A packed, immutable snapshot of a [`Configuration`].
+///
+/// The byte layout is the active-round prefix of the configuration,
+/// flattened round by round as `counters ++ vars`, one byte per value
+/// (explicit-state checking only runs on small concrete valuations, so every
+/// value fits in a `u8`; encoding panics otherwise).  Equality is byte
+/// equality; the 64-bit pre-hash is stored so repeated hashing is free.
+#[derive(Debug, Clone)]
+pub struct PackedConfig {
+    bytes: Box<[u8]>,
+    hash: u64,
+}
+
+impl PackedConfig {
+    /// Packs a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter or variable value exceeds 255.
+    pub fn encode(cfg: &Configuration) -> Self {
+        let mut bytes = Vec::new();
+        let hash = Self::encode_into(cfg, &mut bytes);
+        PackedConfig {
+            bytes: bytes.into_boxed_slice(),
+            hash,
+        }
+    }
+
+    /// Packs a configuration into a reusable scratch buffer (cleared first)
+    /// and returns the pre-hash of the encoded bytes.  This is the
+    /// allocation-free membership-test path of the search loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter or variable value exceeds 255.
+    pub fn encode_into(cfg: &Configuration, out: &mut Vec<u8>) -> u64 {
+        out.clear();
+        let active = cfg.max_active_round().map_or(0, |r| r as usize + 1);
+        out.reserve(active * (cfg.num_locations() + cfg.num_vars()));
+        for round in 0..active as u32 {
+            // the active prefix is materialised by construction
+            let counters = cfg.counters_slice(round).expect("active round");
+            let vars = cfg.vars_slice(round).expect("active round");
+            // range-check with one vectorisable OR-fold per row, then cast
+            let max = counters.iter().chain(vars.iter()).fold(0u64, |a, &v| a | v);
+            assert!(
+                max <= u8::MAX as u64,
+                "configuration value {max} too large for packed encoding"
+            );
+            out.extend(counters.iter().map(|&v| v as u8));
+            out.extend(vars.iter().map(|&v| v as u8));
+        }
+        fx_hash_bytes(out)
+    }
+
+    /// A packed configuration adopted from an already-encoded scratch buffer
+    /// and its pre-hash (as produced by [`PackedConfig::encode_into`]).
+    pub fn from_encoded(bytes: &[u8], hash: u64) -> Self {
+        PackedConfig {
+            bytes: bytes.into(),
+            hash,
+        }
+    }
+
+    /// The packed bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Whether this packed snapshot describes the same state as `cfg`,
+    /// compared in place — no allocation, no re-encoding of `cfg`.
+    pub fn matches(&self, cfg: &Configuration) -> bool {
+        let stride = cfg.num_locations() + cfg.num_vars();
+        let active = cfg.max_active_round().map_or(0, |r| r as usize + 1);
+        if self.bytes.len() != active * stride {
+            return false;
+        }
+        for (round, chunk) in self.bytes.chunks_exact(stride).enumerate() {
+            let round = round as u32;
+            let counters = cfg.counters_slice(round).expect("active round");
+            let vars = cfg.vars_slice(round).expect("active round");
+            let (cb, vb) = chunk.split_at(cfg.num_locations());
+            if !cb.iter().zip(counters).all(|(&b, &v)| b as u64 == v)
+                || !vb.iter().zip(vars).all(|(&b, &v)| b as u64 == v)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The precomputed 64-bit hash of the packed bytes.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// Decodes back into a full configuration with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte length is not a multiple of the per-round size.
+    pub fn decode(&self, num_locations: usize, num_vars: usize) -> Configuration {
+        let mut cfg = Configuration::zero(num_locations, num_vars);
+        self.decode_into(&mut cfg);
+        cfg
+    }
+
+    /// Decodes into an existing configuration (cleared first), reusing its
+    /// round buffers instead of allocating fresh ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte length is not a multiple of the configuration's
+    /// per-round size.
+    pub fn decode_into(&self, cfg: &mut Configuration) {
+        let (num_locations, num_vars) = (cfg.num_locations(), cfg.num_vars());
+        let stride = num_locations + num_vars;
+        assert!(
+            stride > 0 && self.bytes.len().is_multiple_of(stride),
+            "packed length {} is not a multiple of the round size {stride}",
+            self.bytes.len()
+        );
+        cfg.clear();
+        for (round, chunk) in self.bytes.chunks_exact(stride).enumerate() {
+            for (l, &v) in chunk[..num_locations].iter().enumerate() {
+                if v > 0 {
+                    cfg.set_counter(LocId(l), round as u32, v as u64);
+                }
+            }
+            for (x, &v) in chunk[num_locations..].iter().enumerate() {
+                if v > 0 {
+                    cfg.set_var(VarId(x), round as u32, v as u64);
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for PackedConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // bytes only: the carried hash is a probe accelerator whose scheme
+        // (content hash or incremental Zobrist hash) depends on the producer
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for PackedConfig {}
+
+impl std::hash::Hash for PackedConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let mut cfg = Configuration::zero(3, 2);
+        cfg.add_counter(LocId(0), 0, 2);
+        cfg.add_counter(LocId(2), 1, 1);
+        cfg.add_var(VarId(1), 0, 7);
+        let packed = PackedConfig::encode(&cfg);
+        assert_eq!(packed.bytes().len(), 2 * 5);
+        let decoded = packed.decode(3, 2);
+        assert_eq!(decoded, cfg);
+        assert_eq!(PackedConfig::encode(&decoded), packed);
+    }
+
+    #[test]
+    fn trailing_zero_rounds_are_not_encoded() {
+        let mut a = Configuration::zero(2, 1);
+        a.add_counter(LocId(1), 0, 1);
+        let mut b = a.clone();
+        b.add_counter(LocId(0), 5, 1);
+        b.set_counter(LocId(0), 5, 0);
+        let (pa, pb) = (PackedConfig::encode(&a), PackedConfig::encode(&b));
+        assert_eq!(pa, pb);
+        assert_eq!(pa.hash64(), pb.hash64());
+        assert_eq!(pa.bytes().len(), 3);
+    }
+
+    #[test]
+    fn empty_configuration_packs_to_empty_bytes() {
+        let cfg = Configuration::zero(4, 4);
+        let packed = PackedConfig::encode(&cfg);
+        assert!(packed.bytes().is_empty());
+        assert_eq!(packed.decode(4, 4), cfg);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let mut cfg = Configuration::zero(2, 2);
+        cfg.add_counter(LocId(0), 0, 3);
+        cfg.add_var(VarId(0), 1, 2);
+        let mut scratch = vec![0xFF; 32];
+        let hash = PackedConfig::encode_into(&cfg, &mut scratch);
+        let packed = PackedConfig::encode(&cfg);
+        assert_eq!(packed.hash64(), hash);
+        assert_eq!(packed.bytes(), &scratch[..]);
+        let adopted = PackedConfig::from_encoded(&scratch, hash);
+        assert_eq!(adopted, packed);
+    }
+
+    #[test]
+    fn matches_compares_without_encoding() {
+        let mut cfg = Configuration::zero(3, 2);
+        cfg.add_counter(LocId(1), 0, 2);
+        cfg.add_var(VarId(0), 1, 4);
+        let packed = PackedConfig::encode(&cfg);
+        assert!(packed.matches(&cfg));
+        // trailing zero rounds do not break matching
+        let mut padded = cfg.clone();
+        padded.add_counter(LocId(0), 3, 1);
+        padded.set_counter(LocId(0), 3, 0);
+        assert!(packed.matches(&padded));
+        // a real difference is detected
+        let mut other = cfg.clone();
+        other.add_counter(LocId(0), 0, 1);
+        assert!(!packed.matches(&other));
+        let mut shorter = cfg.clone();
+        shorter.set_var(VarId(0), 1, 0);
+        assert!(!packed.matches(&shorter));
+    }
+
+    #[test]
+    fn fx_hash_distinguishes_lengths_and_content() {
+        assert_ne!(fx_hash_bytes(&[0]), fx_hash_bytes(&[0, 0]));
+        assert_ne!(fx_hash_bytes(&[1, 2, 3]), fx_hash_bytes(&[3, 2, 1]));
+        assert_eq!(fx_hash_bytes(&[7; 16]), fx_hash_bytes(&[7; 16]));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large for packed encoding")]
+    fn oversized_values_are_rejected() {
+        let mut cfg = Configuration::zero(1, 1);
+        cfg.add_counter(LocId(0), 0, 300);
+        let _ = PackedConfig::encode(&cfg);
+    }
+}

@@ -3,12 +3,11 @@
 use crate::config::Configuration;
 use crate::error::CounterError;
 use crate::system::{Action, CounterSystem};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One step of a schedule: an action plus the chosen probabilistic outcome.
 /// For Dirac rules the branch is always 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScheduledStep {
     /// The action `(rule, round)`.
     pub action: Action,
@@ -39,7 +38,7 @@ impl fmt::Display for ScheduledStep {
 }
 
 /// A finite schedule `τ = t₁, t₂, …`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schedule {
     steps: Vec<ScheduledStep>,
 }
@@ -199,12 +198,12 @@ impl Path {
 
     /// Whether some visited configuration satisfies the predicate.
     pub fn visits(&self, mut pred: impl FnMut(&Configuration) -> bool) -> bool {
-        self.configs.iter().any(|c| pred(c))
+        self.configs.iter().any(&mut pred)
     }
 
     /// Whether every visited configuration satisfies the predicate.
     pub fn always(&self, mut pred: impl FnMut(&Configuration) -> bool) -> bool {
-        self.configs.iter().all(|c| pred(c))
+        self.configs.iter().all(&mut pred)
     }
 }
 
@@ -346,10 +345,8 @@ mod tests {
     fn reordering_rejects_inapplicable_schedules() {
         let sys = system();
         let cfg = sys.empty_configuration();
-        let sched = Schedule::from_actions(vec![Action::new(
-            sys.model().rule_id("bcast0").unwrap(),
-            0,
-        )]);
+        let sched =
+            Schedule::from_actions(vec![Action::new(sys.model().rule_id("bcast0").unwrap(), 0)]);
         assert!(reorder_round_rigid(&sys, &cfg, &sched).is_err());
     }
 

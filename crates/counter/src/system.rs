@@ -1,17 +1,39 @@
 //! The counter system `Sys(TAⁿ, PTAᶜ)` for a concrete parameter valuation.
+//!
+//! # The successor-generation fast path
+//!
+//! Explicit-state checking spends nearly all of its time enumerating
+//! applicable actions and producing successor configurations, so
+//! [`CounterSystem::new`] precompiles the model into flat per-rule records:
+//! the source location, the positive-probability branches, the variable
+//! increments, and the guard with its threshold bounds already evaluated at
+//! the (fixed) parameter valuation.  On top of these records,
+//!
+//! * [`CounterSystem::progress_actions_into`] enumerates applicable progress
+//!   actions into a caller-owned buffer (no per-expansion allocation),
+//! * guard evaluation borrows the round's variable slice directly from the
+//!   configuration (no `round_vars` clone), and
+//! * [`CounterSystem::expand_action`] visits every probabilistic successor
+//!   of an action by applying and undoing counter deltas *in place* on a
+//!   scratch configuration — no `Configuration` clone per branch.
+//!
+//! The allocating APIs ([`CounterSystem::outcomes`],
+//! [`CounterSystem::progress_actions`], …) are retained for tests,
+//! adversaries and counterexample replay; they are thin wrappers over the
+//! same compiled records.
 
 use crate::config::Configuration;
 use crate::error::CounterError;
 use ccta::{
-    BinValue, LocId, ModelKind, Owner, ParamValuation, Probability, RuleId, SystemModel,
-    SystemSize,
+    AtomicGuard, BinValue, GuardRel, LocId, ModelKind, Owner, ParamValuation, Probability, RuleId,
+    SystemModel, SystemSize, VarId,
 };
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::ControlFlow;
 
 /// An action `α = (r, k)`: the execution of rule `r` in round `k` by a single
 /// automaton copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Action {
     /// The rule being executed.
     pub rule: RuleId,
@@ -43,6 +65,35 @@ pub struct Outcome {
     pub config: Configuration,
 }
 
+/// A guard atom with its parameter-dependent bound evaluated at the fixed
+/// valuation of the counter system.
+#[derive(Debug, Clone)]
+struct CompiledAtom {
+    atom: AtomicGuard,
+    rel: GuardRel,
+    bound: i128,
+}
+
+/// A rule flattened for the exploration fast path.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    from: LocId,
+    round_switch: bool,
+    /// Positive-probability branches: `(branch index, target, probability)`.
+    branches: Vec<(usize, LocId, Probability)>,
+    increments: Vec<(VarId, u64)>,
+    guard: Vec<CompiledAtom>,
+}
+
+impl CompiledRule {
+    #[inline]
+    fn guard_holds(&self, vars: &[u64]) -> bool {
+        self.guard
+            .iter()
+            .all(|g| g.rel.holds(g.atom.lhs_value(vars), g.bound))
+    }
+}
+
 /// The counter system of a model instantiated at a concrete admissible
 /// parameter valuation.
 #[derive(Debug, Clone)]
@@ -50,10 +101,30 @@ pub struct CounterSystem {
     model: SystemModel,
     params: ParamValuation,
     size: SystemSize,
+    multi_round: bool,
+    rules: Vec<CompiledRule>,
+    /// Progress rule ids grouped by source location, so expansion only
+    /// scans rules whose source is occupied.
+    progress_rules_from: Vec<Vec<RuleId>>,
+    /// Progress rules as a compact `(rule index, source slot)` table in
+    /// rule order, for the row engine's linear enumeration pass.
+    progress_compact: Vec<(u32, u16)>,
+    /// All-zero variable row, lent out for never-materialised rounds.
+    zero_vars: Vec<u64>,
+    /// Zobrist keys: one 64-bit key per `(slot, value)` pair, where slots
+    /// are the locations followed by the variables and values range over
+    /// `0..=255` (value 0 maps to key 0, so unmaterialised and trailing
+    /// zero rounds contribute nothing).  Round `k` rotates the key by `k`.
+    zobrist: Vec<u64>,
 }
 
+/// Number of tabulated values per Zobrist slot (the packed-byte range).
+const ZOBRIST_VALUES: usize = 256;
+
 impl CounterSystem {
-    /// Creates the counter system for an admissible valuation.
+    /// Creates the counter system for an admissible valuation, precompiling
+    /// every rule (branches, increments, guard bounds) for the exploration
+    /// fast path.
     ///
     /// # Errors
     ///
@@ -66,10 +137,69 @@ impl CounterSystem {
             .ok_or_else(|| CounterError::NotAdmissible {
                 valuation: params.to_string(),
             })?;
+        let param_values = params.values();
+        let rules: Vec<CompiledRule> = model
+            .rules()
+            .iter()
+            .map(|rule| CompiledRule {
+                from: rule.from(),
+                round_switch: rule.is_round_switch(),
+                branches: rule
+                    .branches()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.prob.is_zero())
+                    .map(|(i, b)| (i, b.to, b.prob))
+                    .collect(),
+                increments: rule.update().increments().to_vec(),
+                guard: rule
+                    .guard()
+                    .atoms()
+                    .iter()
+                    .map(|atom| CompiledAtom {
+                        atom: atom.clone(),
+                        rel: atom.rel(),
+                        bound: atom.bound().eval(param_values),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let progress_rules: Vec<RuleId> = model
+            .rule_ids()
+            .filter(|&r| !model.rule(r).is_self_loop())
+            .collect();
+        let mut progress_rules_from: Vec<Vec<RuleId>> = vec![Vec::new(); model.locations().len()];
+        let mut progress_compact = Vec::with_capacity(progress_rules.len());
+        for r in progress_rules {
+            progress_rules_from[rules[r.0].from.0].push(r);
+            progress_compact.push((r.0 as u32, rules[r.0].from.0 as u16));
+        }
+        let zero_vars = vec![0; model.vars().len()];
+        let slots = model.locations().len() + model.vars().len();
+        let mut seed = 0x0DD5_B007_5EED_C0DEu64;
+        let zobrist: Vec<u64> = (0..slots * ZOBRIST_VALUES)
+            .map(|i| {
+                if i % ZOBRIST_VALUES == 0 {
+                    return 0; // value 0 contributes nothing
+                }
+                // SplitMix64 stream, deterministic across runs
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect();
         Ok(CounterSystem {
+            multi_round: model.kind() == ModelKind::MultiRound,
             model,
             params,
             size,
+            rules,
+            progress_rules_from,
+            progress_compact,
+            zero_vars,
+            zobrist,
         })
     }
 
@@ -200,28 +330,31 @@ impl CounterSystem {
     // Actions
     // ------------------------------------------------------------------
 
+    /// The variable row of a round, borrowed from the configuration, or the
+    /// all-zero row if the round was never materialised.
+    #[inline]
+    fn round_vars_ref<'a>(&'a self, cfg: &'a Configuration, round: u32) -> &'a [u64] {
+        cfg.vars_slice(round).unwrap_or(&self.zero_vars)
+    }
+
     /// Whether the guard of `rule` evaluates to true in round `round` of
     /// configuration `cfg` (written `c, k ⊨ φ` in the paper).
     pub fn is_unlocked(&self, cfg: &Configuration, rule: RuleId, round: u32) -> bool {
-        let vars = cfg.round_vars(round);
-        self.model
-            .rule(rule)
-            .guard()
-            .holds(&vars, self.params.values())
+        self.rules[rule.0].guard_holds(self.round_vars_ref(cfg, round))
     }
 
     /// Whether the action is applicable: its rule is unlocked and the source
     /// location counter is at least one.
     pub fn is_applicable(&self, cfg: &Configuration, action: Action) -> bool {
-        let rule = self.model.rule(action.rule);
-        cfg.counter(rule.from(), action.round) >= 1
-            && self.is_unlocked(cfg, action.rule, action.round)
+        let rule = &self.rules[action.rule.0];
+        cfg.counter(rule.from, action.round) >= 1
+            && rule.guard_holds(self.round_vars_ref(cfg, action.round))
     }
 
     /// The round that the destination of a rule lands in: round-switch rules
     /// of multi-round models move the automaton to the next round.
     fn destination_round(&self, rule: RuleId, round: u32) -> u32 {
-        if self.model.kind() == ModelKind::MultiRound && self.model.rule(rule).is_round_switch() {
+        if self.multi_round && self.rules[rule.0].round_switch {
             round + 1
         } else {
             round
@@ -277,8 +410,124 @@ impl CounterSystem {
         self.apply(cfg, action, 0)
     }
 
+    /// The Zobrist key of holding `value` in the location slot `loc` of
+    /// round `round`.
+    #[inline]
+    fn loc_key(&self, loc: LocId, round: u32, value: u64) -> u64 {
+        debug_assert!(value < ZOBRIST_VALUES as u64, "counter too large to hash");
+        self.zobrist[loc.0 * ZOBRIST_VALUES + value as usize].rotate_left(round)
+    }
+
+    /// The Zobrist key of variable slot `var` holding `value` in `round`.
+    #[inline]
+    fn var_key(&self, var: VarId, round: u32, value: u64) -> u64 {
+        debug_assert!(value < ZOBRIST_VALUES as u64, "variable too large to hash");
+        self.zobrist[(self.model.locations().len() + var.0) * ZOBRIST_VALUES + value as usize]
+            .rotate_left(round)
+    }
+
+    /// The incremental Zobrist hash of a configuration: the XOR of the keys
+    /// of every non-zero counter and variable value.  Trailing zero rounds
+    /// contribute nothing, so observably equal configurations hash equal.
+    /// [`CounterSystem::expand_action_hashed`] maintains this hash across
+    /// delta application in O(deltas) instead of O(state size).
+    pub fn state_hash(&self, cfg: &Configuration) -> u64 {
+        let mut hash = 0u64;
+        for round in self.active_rounds(cfg) {
+            if let Some(counters) = cfg.counters_slice(round) {
+                for (loc, &v) in counters.iter().enumerate() {
+                    if v > 0 {
+                        hash ^= self.loc_key(LocId(loc), round, v);
+                    }
+                }
+            }
+            if let Some(vars) = cfg.vars_slice(round) {
+                for (var, &v) in vars.iter().enumerate() {
+                    if v > 0 {
+                        hash ^= self.var_key(VarId(var), round, v);
+                    }
+                }
+            }
+        }
+        hash
+    }
+
+    /// Visits every positive-probability successor of an *applicable* action
+    /// by mutating `cfg` in place: the source decrement and the variable
+    /// increments are applied once, then each branch target is added,
+    /// handed to `visit`, and removed again.  After the call (including on
+    /// early exit) `cfg` describes the same state as before, though trailing
+    /// zero rounds may have been materialised (which observers ignore).
+    ///
+    /// `visit` receives the branch index, its probability, and the successor
+    /// configuration; returning [`ControlFlow::Break`] stops the visit.
+    ///
+    /// The caller must have established applicability (e.g. by enumerating
+    /// actions with [`CounterSystem::progress_actions_into`]); applicability
+    /// is *not* re-checked per branch.
+    pub fn expand_action<B>(
+        &self,
+        cfg: &mut Configuration,
+        action: Action,
+        mut visit: impl FnMut(usize, Probability, &Configuration) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        self.expand_action_hashed(cfg, action, 0, |branch, prob, succ, _hash| {
+            visit(branch, prob, succ)
+        })
+    }
+
+    /// [`CounterSystem::expand_action`] with incremental state hashing: the
+    /// caller passes the [`CounterSystem::state_hash`] of `cfg` and `visit`
+    /// additionally receives the hash of each successor, maintained across
+    /// the in-place deltas in O(1) per delta.
+    pub fn expand_action_hashed<B>(
+        &self,
+        cfg: &mut Configuration,
+        action: Action,
+        hash: u64,
+        mut visit: impl FnMut(usize, Probability, &Configuration, u64) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        let rule = &self.rules[action.rule.0];
+        debug_assert!(
+            self.is_applicable(cfg, action),
+            "expand of inapplicable {action}"
+        );
+        let dest_round = self.destination_round(action.rule, action.round);
+        let mut base = hash;
+
+        let from_count = cfg.counter(rule.from, action.round);
+        base ^= self.loc_key(rule.from, action.round, from_count)
+            ^ self.loc_key(rule.from, action.round, from_count - 1);
+        cfg.decrement_counter_unchecked(rule.from, action.round);
+        for &(var, delta) in &rule.increments {
+            let old = cfg.var(var, action.round);
+            base ^=
+                self.var_key(var, action.round, old) ^ self.var_key(var, action.round, old + delta);
+            cfg.add_var(var, action.round, delta);
+        }
+        let mut flow = ControlFlow::Continue(());
+        for &(branch, to, prob) in &rule.branches {
+            let old = cfg.counter(to, dest_round);
+            let succ_hash =
+                base ^ self.loc_key(to, dest_round, old) ^ self.loc_key(to, dest_round, old + 1);
+            cfg.add_counter(to, dest_round, 1);
+            let result = visit(branch, prob, cfg, succ_hash);
+            cfg.decrement_counter_unchecked(to, dest_round);
+            if let ControlFlow::Break(b) = result {
+                flow = ControlFlow::Break(b);
+                break;
+            }
+        }
+        for &(var, delta) in &rule.increments {
+            cfg.sub_var_unchecked(var, action.round, delta);
+        }
+        cfg.add_counter(rule.from, action.round, 1);
+        flow
+    }
+
     /// The probabilistic transition function `∆(c, α)`: all outcomes of the
-    /// action with their probabilities.
+    /// action with their probabilities.  Applicability is validated once,
+    /// not once per branch.
     ///
     /// # Errors
     ///
@@ -293,18 +542,18 @@ impl CounterSystem {
                 action: action.to_string(),
             });
         }
-        let rule = self.model.rule(action.rule);
-        let mut out = Vec::with_capacity(rule.branches().len());
-        for (i, b) in rule.branches().iter().enumerate() {
-            if b.prob.is_zero() {
-                continue;
-            }
+        let mut scratch = cfg.clone();
+        let mut out = Vec::with_capacity(self.rules[action.rule.0].branches.len());
+        let _ = self.expand_action(&mut scratch, action, |branch, probability, succ| {
+            let mut config = succ.clone();
+            config.trim();
             out.push(Outcome {
-                branch: i,
-                probability: b.prob,
-                config: self.apply(cfg, action, i)?,
+                branch,
+                probability,
+                config,
             });
-        }
+            ControlFlow::<()>::Continue(())
+        });
         Ok(out)
     }
 
@@ -314,33 +563,86 @@ impl CounterSystem {
         0..=cfg.max_active_round().unwrap_or(0)
     }
 
-    /// All applicable actions in the configuration.
-    pub fn applicable_actions(&self, cfg: &Configuration) -> Vec<Action> {
-        let mut out = Vec::new();
+    /// Appends all applicable actions in the configuration to `out`
+    /// (cleared first), in `(round, rule)` order.
+    pub fn applicable_actions_into(&self, cfg: &Configuration, out: &mut Vec<Action>) {
+        out.clear();
         for round in self.active_rounds(cfg) {
-            for rule in self.model.rule_ids() {
-                let action = Action::new(rule, round);
-                if self.is_applicable(cfg, action) {
-                    out.push(action);
+            let vars = self.round_vars_ref(cfg, round);
+            let counters = cfg.counters_slice(round);
+            for (idx, rule) in self.rules.iter().enumerate() {
+                let occupied = counters.map_or(0, |c| c[rule.from.0]) >= 1;
+                if occupied && rule.guard_holds(vars) {
+                    out.push(Action::new(RuleId(idx), round));
                 }
             }
         }
+    }
+
+    /// Appends all applicable *progress* (non-self-loop) actions to `out`
+    /// (cleared first), in `(round, rule)` order.  This is the
+    /// allocation-free enumeration used by the explicit-state engine;
+    /// self-loops only produce stuttering and are irrelevant for
+    /// reachability.
+    pub fn progress_actions_into(&self, cfg: &Configuration, out: &mut Vec<Action>) {
+        out.clear();
+        for round in self.active_rounds(cfg) {
+            let Some(counters) = cfg.counters_slice(round) else {
+                continue; // an unmaterialised round holds no automata
+            };
+            let vars = self.round_vars_ref(cfg, round);
+            let round_start = out.len();
+            for (loc, &count) in counters.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                for &rule_id in &self.progress_rules_from[loc] {
+                    if self.rules[rule_id.0].guard_holds(vars) {
+                        out.push(Action::new(rule_id, round));
+                    }
+                }
+            }
+            // restore global rule order within the round (the per-location
+            // scan yields rules grouped by source location)
+            out[round_start..].sort_unstable_by_key(|a| a.rule.0);
+        }
+    }
+
+    /// All applicable actions in the configuration.
+    pub fn applicable_actions(&self, cfg: &Configuration) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.applicable_actions_into(cfg, &mut out);
         out
     }
 
     /// Applicable actions whose rule is not a self-loop (self-loops only
     /// produce stuttering and are irrelevant for reachability).
     pub fn progress_actions(&self, cfg: &Configuration) -> Vec<Action> {
-        self.applicable_actions(cfg)
-            .into_iter()
-            .filter(|a| !self.model.rule(a.rule).is_self_loop())
-            .collect()
+        let mut out = Vec::new();
+        self.progress_actions_into(cfg, &mut out);
+        out
     }
 
     /// Whether no progress action is applicable (the configuration is
     /// terminal up to stuttering).
     pub fn is_terminal(&self, cfg: &Configuration) -> bool {
-        self.progress_actions(cfg).is_empty()
+        for round in self.active_rounds(cfg) {
+            let Some(counters) = cfg.counters_slice(round) else {
+                continue;
+            };
+            let vars = self.round_vars_ref(cfg, round);
+            for (loc, &count) in counters.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                for &rule_id in &self.progress_rules_from[loc] {
+                    if self.rules[rule_id.0].guard_holds(vars) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Number of correct processes currently occupying any of the given
@@ -359,6 +661,216 @@ impl CounterSystem {
     }
 }
 
+/// The byte-row fast engine for single-round systems.
+///
+/// In a single-round model every automaton and every variable lives in
+/// round 0, so a configuration is exactly one fixed-stride byte row:
+/// `locations ++ variables`, one byte per value.  The explicit-state
+/// checker runs its entire search on these rows — guard evaluation, action
+/// enumeration, delta application and incremental Zobrist hashing all
+/// operate on `&[u8]` without ever materialising a [`Configuration`]
+/// (states are decoded back only for counterexample reconstruction).
+#[derive(Debug, Clone, Copy)]
+pub struct RowEngine<'a> {
+    sys: &'a CounterSystem,
+    num_locations: usize,
+    stride: usize,
+}
+
+impl<'a> RowEngine<'a> {
+    /// A row engine over a single-round counter system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is multi-round (rows cannot represent round
+    /// switches into later rounds).
+    pub fn new(sys: &'a CounterSystem) -> Self {
+        assert!(
+            !sys.multi_round,
+            "the row engine requires a single-round model"
+        );
+        let num_locations = sys.model.locations().len();
+        RowEngine {
+            sys,
+            num_locations,
+            stride: num_locations + sys.model.vars().len(),
+        }
+    }
+
+    /// Bytes per row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Encodes a round-0 configuration into a row (resized and overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration occupies a round other than 0 or holds a
+    /// value above 255.
+    pub fn encode_into(&self, cfg: &Configuration, out: &mut Vec<u8>) {
+        assert!(
+            cfg.max_active_round().unwrap_or(0) == 0,
+            "row encoding requires a round-0 configuration"
+        );
+        out.clear();
+        out.resize(self.stride, 0);
+        if let Some(counters) = cfg.counters_slice(0) {
+            for (i, &v) in counters.iter().enumerate() {
+                assert!(v <= u8::MAX as u64, "counter {v} too large for a row");
+                out[i] = v as u8;
+            }
+        }
+        if let Some(vars) = cfg.vars_slice(0) {
+            for (i, &v) in vars.iter().enumerate() {
+                assert!(v <= u8::MAX as u64, "variable {v} too large for a row");
+                out[self.num_locations + i] = v as u8;
+            }
+        }
+    }
+
+    /// Decodes a row back into a full configuration.
+    pub fn decode(&self, row: &[u8]) -> Configuration {
+        decode_row(row, self.num_locations, self.stride - self.num_locations)
+    }
+
+    #[inline]
+    fn key(&self, slot: usize, value: u8) -> u64 {
+        self.sys.zobrist[slot * ZOBRIST_VALUES + value as usize]
+    }
+
+    /// The Zobrist hash of a row (XOR of the keys of all non-zero values).
+    /// [`RowEngine::for_each_successor`] maintains it incrementally.
+    pub fn hash(&self, row: &[u8]) -> u64 {
+        let mut hash = 0u64;
+        for (slot, &v) in row.iter().enumerate() {
+            if v > 0 {
+                hash ^= self.key(slot, v);
+            }
+        }
+        hash
+    }
+
+    /// Appends the applicable progress actions of the row to `out` (cleared
+    /// first), in rule order — the same order the `Configuration`-based
+    /// enumeration produces.
+    ///
+    /// The row fits in a cache line or two, so a linear pass over the
+    /// compact `(rule, source slot)` table with one byte test per rule
+    /// beats gathering per occupied location and re-sorting.
+    pub fn progress_actions_into(&self, row: &[u8], out: &mut Vec<Action>) {
+        out.clear();
+        let vars = &row[self.num_locations..];
+        for &(rule_idx, from) in &self.sys.progress_compact {
+            if row[from as usize] == 0 {
+                continue;
+            }
+            let rule = &self.sys.rules[rule_idx as usize];
+            if rule
+                .guard
+                .iter()
+                .all(|g| g.rel.holds(g.atom.lhs_value_bytes(vars), g.bound))
+            {
+                out.push(Action::new(RuleId(rule_idx as usize), 0));
+            }
+        }
+    }
+
+    /// Visits every positive-probability successor row of an applicable
+    /// action by applying and undoing byte deltas in place, maintaining the
+    /// row's Zobrist hash incrementally.  Mirrors
+    /// [`CounterSystem::expand_action_hashed`].
+    pub fn for_each_successor<B>(
+        &self,
+        row: &mut [u8],
+        action: Action,
+        hash: u64,
+        mut visit: impl FnMut(usize, Probability, &[u8], u64) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        let rule = &self.sys.rules[action.rule.0];
+        let from = rule.from.0;
+        debug_assert!(row[from] >= 1, "expand of inapplicable {action}");
+        let mut base = hash;
+        base ^= self.key(from, row[from]) ^ self.key(from, row[from] - 1);
+        row[from] -= 1;
+        for &(var, delta) in &rule.increments {
+            let slot = self.num_locations + var.0;
+            let old = row[slot];
+            let new = old as u64 + delta;
+            debug_assert!(new <= u8::MAX as u64, "variable overflow in row");
+            base ^= self.key(slot, old) ^ self.key(slot, new as u8);
+            row[slot] = new as u8;
+        }
+        let mut flow = ControlFlow::Continue(());
+        for &(branch, to, prob) in &rule.branches {
+            let slot = to.0;
+            let succ_hash = base ^ self.key(slot, row[slot]) ^ self.key(slot, row[slot] + 1);
+            row[slot] += 1;
+            let result = visit(branch, prob, row, succ_hash);
+            row[slot] -= 1;
+            if let ControlFlow::Break(b) = result {
+                flow = ControlFlow::Break(b);
+                break;
+            }
+        }
+        for &(var, delta) in &rule.increments {
+            let slot = self.num_locations + var.0;
+            row[slot] -= delta as u8;
+        }
+        row[from] += 1;
+        flow
+    }
+}
+
+/// Decodes a state row (`locations ++ variables`, one byte per value) back
+/// into a round-0 configuration.  Shared by [`RowEngine::decode`] and the
+/// checker's state store so the row layout is interpreted in exactly one
+/// place.
+pub fn decode_row(row: &[u8], num_locations: usize, num_vars: usize) -> Configuration {
+    assert_eq!(row.len(), num_locations + num_vars, "row length mismatch");
+    let mut cfg = Configuration::zero(num_locations, num_vars);
+    for (i, &v) in row.iter().enumerate() {
+        if v > 0 {
+            if i < num_locations {
+                cfg.set_counter(LocId(i), 0, v as u64);
+            } else {
+                cfg.set_var(VarId(i - num_locations), 0, v as u64);
+            }
+        }
+    }
+    cfg
+}
+
+/// A reusable scratch buffer for successor generation.
+///
+/// One expander per search loop amortises the action-buffer allocation over
+/// the whole exploration: [`Expander::refill`] re-enumerates the applicable
+/// progress actions of the current configuration in place, and the buffer is
+/// read back via [`Expander::actions`] while the configuration is mutated
+/// through [`CounterSystem::expand_action`].
+#[derive(Debug, Default)]
+pub struct Expander {
+    actions: Vec<Action>,
+}
+
+impl Expander {
+    /// Creates an empty expander.
+    pub fn new() -> Self {
+        Expander::default()
+    }
+
+    /// Re-enumerates the applicable progress actions of `cfg`.
+    pub fn refill(&mut self, sys: &CounterSystem, cfg: &Configuration) -> &[Action] {
+        sys.progress_actions_into(cfg, &mut self.actions);
+        &self.actions
+    }
+
+    /// The actions enumerated by the last [`Expander::refill`].
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,8 +882,8 @@ mod tests {
 
     #[test]
     fn construction_checks_admissibility() {
-        let err = CounterSystem::new(voting_model(), ParamValuation::new(vec![3, 1, 1, 1]))
-            .unwrap_err();
+        let err =
+            CounterSystem::new(voting_model(), ParamValuation::new(vec![3, 1, 1, 1])).unwrap_err();
         assert!(matches!(err, CounterError::NotAdmissible { .. }));
         let sys = system();
         assert_eq!(sys.num_processes(), 3);
@@ -509,15 +1021,64 @@ mod tests {
     }
 
     #[test]
+    fn outcomes_match_apply_per_branch() {
+        let sys = system();
+        let model = sys.model().clone();
+        let toss = model.rule_id("toss").unwrap();
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(model.location_id("IC").unwrap(), 0, 1);
+        let action = Action::new(toss, 0);
+        for outcome in sys.outcomes(&cfg, action).unwrap() {
+            let via_apply = sys.apply(&cfg, action, outcome.branch).unwrap();
+            assert_eq!(outcome.config, via_apply);
+        }
+    }
+
+    #[test]
+    fn expand_action_restores_the_configuration() {
+        let sys = system();
+        let model = sys.model().clone();
+        let bcast0 = model.rule_id("bcast0").unwrap();
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(model.location_id("I0").unwrap(), 0, 2);
+        let snapshot = cfg.clone();
+        let action = Action::new(bcast0, 0);
+        let expected = sys.apply_dirac(&cfg, action).unwrap();
+        let mut seen = 0;
+        let _ = sys.expand_action(&mut cfg, action, |branch, prob, succ| {
+            assert_eq!(branch, 0);
+            assert!(prob.is_one());
+            assert_eq!(*succ, expected);
+            seen += 1;
+            ControlFlow::<()>::Continue(())
+        });
+        assert_eq!(seen, 1);
+        assert_eq!(cfg, snapshot);
+    }
+
+    #[test]
+    fn expand_action_early_exit_still_restores() {
+        let sys = system();
+        let model = sys.model().clone();
+        let toss = model.rule_id("toss").unwrap();
+        let mut cfg = sys.empty_configuration();
+        cfg.add_counter(model.location_id("IC").unwrap(), 0, 1);
+        let snapshot = cfg.clone();
+        let flow = sys.expand_action(&mut cfg, Action::new(toss, 0), |branch, _, _| {
+            ControlFlow::Break(branch)
+        });
+        assert_eq!(flow, ControlFlow::Break(0));
+        assert_eq!(cfg, snapshot);
+    }
+
+    #[test]
     fn applicable_and_progress_actions() {
         let sys = system();
         let inits = sys.initial_configurations();
         // all processes with value 0: applicable actions are bcast0 x?, and the toss
         let all_zero = inits
             .iter()
-            .find(|c| {
-                c.counter(sys.model().location_id("I0").unwrap(), 0) == 3
-            })
+            .find(|c| c.counter(sys.model().location_id("I0").unwrap(), 0) == 3)
             .unwrap();
         let actions = sys.applicable_actions(all_zero);
         let names: Vec<&str> = actions
@@ -533,9 +1094,69 @@ mod tests {
     }
 
     #[test]
+    fn expander_reuses_its_buffer_and_matches_the_allocating_api() {
+        let sys = system();
+        let mut expander = Expander::new();
+        for cfg in sys.initial_configurations() {
+            assert_eq!(expander.refill(&sys, &cfg), sys.progress_actions(&cfg));
+        }
+        assert!(expander.refill(&sys, &sys.empty_configuration()).is_empty());
+    }
+
+    #[test]
     fn describe_action_uses_rule_names() {
         let sys = system();
         let bcast0 = sys.model().rule_id("bcast0").unwrap();
-        assert_eq!(sys.describe_action(Action::new(bcast0, 2)), "(bcast0, round 2)");
+        assert_eq!(
+            sys.describe_action(Action::new(bcast0, 2)),
+            "(bcast0, round 2)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "single-round")]
+    fn row_engine_rejects_multi_round_models() {
+        let sys = system();
+        let _ = RowEngine::new(&sys);
+    }
+
+    #[test]
+    fn row_engine_matches_the_configuration_semantics() {
+        let rd = voting_model().single_round().unwrap();
+        let sys = CounterSystem::new(rd, small_params()).unwrap();
+        let engine = RowEngine::new(&sys);
+        let mut row = Vec::new();
+        for cfg in sys.round_start_configurations() {
+            engine.encode_into(&cfg, &mut row);
+            assert_eq!(row.len(), engine.stride());
+            // encode/decode round-trips
+            assert_eq!(engine.decode(&row), cfg);
+            // row hash equals the configuration hash
+            assert_eq!(engine.hash(&row), sys.state_hash(&cfg));
+            // action enumeration agrees with the configuration-based one
+            let mut actions = Vec::new();
+            engine.progress_actions_into(&row, &mut actions);
+            assert_eq!(actions, sys.progress_actions(&cfg));
+            // successors agree with `outcomes` per action and branch, with
+            // correctly maintained hashes, and the row is restored after
+            let hash = engine.hash(&row);
+            for action in actions {
+                let outcomes = sys.outcomes(&cfg, action).unwrap();
+                let snapshot = row.clone();
+                let mut seen = 0;
+                let _ =
+                    engine.for_each_successor(&mut row, action, hash, |branch, prob, succ, h| {
+                        let outcome = &outcomes[seen];
+                        assert_eq!(branch, outcome.branch);
+                        assert_eq!(prob, outcome.probability);
+                        assert_eq!(engine.decode(succ), outcome.config);
+                        assert_eq!(h, sys.state_hash(&outcome.config));
+                        seen += 1;
+                        ControlFlow::<()>::Continue(())
+                    });
+                assert_eq!(seen, outcomes.len());
+                assert_eq!(row, snapshot);
+            }
+        }
     }
 }

@@ -138,7 +138,9 @@ fn one_step_protocol(
     b.round_switch(d0, j0);
     b.round_switch(d1, j1);
 
-    let model = b.build().expect("one-step category-(B) model must validate");
+    let model = b
+        .build()
+        .expect("one-step category-(B) model must validate");
     ProtocolModel::new(name, ProtocolCategory::B, model, None, description)
 }
 

@@ -232,12 +232,48 @@ pub fn aby22_model(merge_level: usize) -> SystemModel {
     b.rule("settle1", n1, mbot, Guard::top(), Update::none());
     b.rule("settlebot", nbot, mbot, Guard::top(), Update::none());
     // common-coin estimate update / decision
-    b.rule("decide0", m0, d0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
-    b.rule("keep0", m0, fe0, Guard::ge(coin.cc1, th.constant(1)), Update::none());
-    b.rule("decide1", m1, d1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
-    b.rule("keep1", m1, fe1, Guard::ge(coin.cc0, th.constant(1)), Update::none());
-    b.rule("adopt0", mbot, fe0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
-    b.rule("adopt1", mbot, fe1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule(
+        "decide0",
+        m0,
+        d0,
+        Guard::ge(coin.cc0, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "keep0",
+        m0,
+        fe0,
+        Guard::ge(coin.cc1, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "decide1",
+        m1,
+        d1,
+        Guard::ge(coin.cc1, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "keep1",
+        m1,
+        fe1,
+        Guard::ge(coin.cc0, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "adopt0",
+        mbot,
+        fe0,
+        Guard::ge(coin.cc0, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "adopt1",
+        mbot,
+        fe1,
+        Guard::ge(coin.cc1, th.constant(1)),
+        Update::none(),
+    );
     b.round_switch(fe0, j0);
     b.round_switch(fe1, j1);
     b.round_switch(d0, j0);

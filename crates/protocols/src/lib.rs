@@ -28,11 +28,10 @@ pub mod naive;
 pub mod rabin83;
 
 use ccta::{ModelStats, ProtocolCategory, SystemModel};
-use serde::{Deserialize, Serialize};
 
 /// Names of the crusader-agreement locations of a category-(C) model,
 /// needed to state the binding conditions `CB0`–`CB4` (Sect. V-B.3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrusaderLocations {
     /// Locations where the crusader output is 0 (`M0`).
     pub m0: Vec<String>,
@@ -50,7 +49,7 @@ pub struct CrusaderLocations {
 
 /// A benchmark protocol: its category, its (multi-round) system model and the
 /// metadata needed to generate its proof obligations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolModel {
     name: String,
     category: ProtocolCategory,
@@ -147,9 +146,7 @@ mod tests {
         let names: Vec<&str> = protocols.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec![
-                "Rabin83", "CC85(a)", "CC85(b)", "FMR05", "KS16", "MMR14", "Miller18", "ABY22"
-            ]
+            vec!["Rabin83", "CC85(a)", "CC85(b)", "FMR05", "KS16", "MMR14", "Miller18", "ABY22"]
         );
     }
 
@@ -171,14 +168,13 @@ mod tests {
                 p.name()
             );
             if let Some(c) = p.crusader() {
-                for name in c
-                    .m0
-                    .iter()
-                    .chain(&c.m1)
-                    .chain(&c.mbot)
-                    .chain(&c.n0)
-                    .chain(&c.n1)
-                    .chain(&c.nbot)
+                for name in
+                    c.m0.iter()
+                        .chain(&c.m1)
+                        .chain(&c.mbot)
+                        .chain(&c.n0)
+                        .chain(&c.n1)
+                        .chain(&c.nbot)
                 {
                     assert!(
                         p.model().location_id(name).is_some(),

@@ -141,13 +141,49 @@ pub fn mmr14_base() -> SystemModel {
         Update::none(),
     );
     // r15-r17: n-t AUX messages all carrying 0 (values = {0})
-    b.rule("r15", bb0, m0, Guard::ge(a0, th.n_minus_t_minus_f()), Update::none());
-    b.rule("r16", bb0p, m0, Guard::ge(a0, th.n_minus_t_minus_f()), Update::none());
-    b.rule("r17", bb2, m0, Guard::ge(a0, th.n_minus_t_minus_f()), Update::none());
+    b.rule(
+        "r15",
+        bb0,
+        m0,
+        Guard::ge(a0, th.n_minus_t_minus_f()),
+        Update::none(),
+    );
+    b.rule(
+        "r16",
+        bb0p,
+        m0,
+        Guard::ge(a0, th.n_minus_t_minus_f()),
+        Update::none(),
+    );
+    b.rule(
+        "r17",
+        bb2,
+        m0,
+        Guard::ge(a0, th.n_minus_t_minus_f()),
+        Update::none(),
+    );
     // r18-r20: n-t AUX messages all carrying 1 (values = {1})
-    b.rule("r18", bb1, m1, Guard::ge(a1, th.n_minus_t_minus_f()), Update::none());
-    b.rule("r19", bb1p, m1, Guard::ge(a1, th.n_minus_t_minus_f()), Update::none());
-    b.rule("r20", bb2, m1, Guard::ge(a1, th.n_minus_t_minus_f()), Update::none());
+    b.rule(
+        "r18",
+        bb1,
+        m1,
+        Guard::ge(a1, th.n_minus_t_minus_f()),
+        Update::none(),
+    );
+    b.rule(
+        "r19",
+        bb1p,
+        m1,
+        Guard::ge(a1, th.n_minus_t_minus_f()),
+        Update::none(),
+    );
+    b.rule(
+        "r20",
+        bb2,
+        m1,
+        Guard::ge(a1, th.n_minus_t_minus_f()),
+        Update::none(),
+    );
     // r21: n-t AUX messages with both values present (values = {0, 1})
     b.rule(
         "r21",
@@ -157,12 +193,48 @@ pub fn mmr14_base() -> SystemModel {
         Update::none(),
     );
     // r22-r27: coin-based rules
-    b.rule("r22", m0, d0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
-    b.rule("r23", m0, e0, Guard::ge(coin.cc1, th.constant(1)), Update::none());
-    b.rule("r24", m1, d1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
-    b.rule("r25", m1, e1, Guard::ge(coin.cc0, th.constant(1)), Update::none());
-    b.rule("r26", mbot, e0, Guard::ge(coin.cc0, th.constant(1)), Update::none());
-    b.rule("r27", mbot, e1, Guard::ge(coin.cc1, th.constant(1)), Update::none());
+    b.rule(
+        "r22",
+        m0,
+        d0,
+        Guard::ge(coin.cc0, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "r23",
+        m0,
+        e0,
+        Guard::ge(coin.cc1, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "r24",
+        m1,
+        d1,
+        Guard::ge(coin.cc1, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "r25",
+        m1,
+        e1,
+        Guard::ge(coin.cc0, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "r26",
+        mbot,
+        e0,
+        Guard::ge(coin.cc0, th.constant(1)),
+        Update::none(),
+    );
+    b.rule(
+        "r27",
+        mbot,
+        e1,
+        Guard::ge(coin.cc1, th.constant(1)),
+        Update::none(),
+    );
     // round-switch rules (dashed in Fig. 4)
     b.round_switch(e0, j0);
     b.round_switch(e1, j1);
@@ -279,11 +351,17 @@ mod tests {
         };
         for name in ["r5", "r8", "r10", "r13", "r18", "r19", "r20"] {
             let rule = m.rule(m.rule_id(name).unwrap());
-            assert!(!rule.guard().holds(&vars, &params), "{name} should be locked");
+            assert!(
+                !rule.guard().holds(&vars, &params),
+                "{name} should be locked"
+            );
         }
         for name in ["r7", "r15", "r6"] {
             let rule = m.rule(m.rule_id(name).unwrap());
-            assert!(rule.guard().holds(&vars, &params), "{name} should be unlocked");
+            assert!(
+                rule.guard().holds(&vars, &params),
+                "{name} should be unlocked"
+            );
         }
     }
 }

@@ -48,8 +48,20 @@ pub fn naive_voting() -> SystemModel {
     let majority = LinearExpr::param(k, n)
         .plus_const(1)
         .sub(&LinearExpr::term(k, f, 2));
-    b.rule("r3", s, d0, Guard::ge_scaled(2, v0, majority.clone()), Update::none());
-    b.rule("r4", s, d1, Guard::ge_scaled(2, v1, majority), Update::none());
+    b.rule(
+        "r3",
+        s,
+        d0,
+        Guard::ge_scaled(2, v0, majority.clone()),
+        Update::none(),
+    );
+    b.rule(
+        "r4",
+        s,
+        d1,
+        Guard::ge_scaled(2, v1, majority),
+        Update::none(),
+    );
     b.round_switch(d0, j0);
     b.round_switch(d1, j1);
 

@@ -1,0 +1,163 @@
+//! Offline shim for the subset of the `rand` 0.8 API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! provides API-compatible `Rng` / `SeedableRng` traits and an `StdRng`
+//! backed by SplitMix64.  Only deterministic, seeded use is supported (all
+//! call sites in the workspace seed explicitly), and only integer
+//! `gen_range` over half-open and inclusive ranges is implemented.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value in the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntRange<T>,
+    {
+        let (low, span) = range.bounds();
+        assert!(span > 0, "cannot sample from an empty range");
+        // Lemire-style unbiased rejection sampling over the span.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return T::from_offset(low, v % span);
+            }
+        }
+    }
+
+    /// A uniformly distributed boolean with probability `p` of being true.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can produce.
+pub trait UniformInt: Copy {
+    /// Converts to the `u64` sampling domain.
+    fn to_u64(self) -> u64;
+    /// Rebuilds a value as `low + offset`.
+    fn from_offset(low: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_offset(low: Self, offset: u64) -> Self {
+                low + offset as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait IntRange<T: UniformInt> {
+    /// The lower bound and the number of admissible values.
+    fn bounds(&self) -> (T, u64);
+}
+
+impl<T: UniformInt> IntRange<T> for Range<T> {
+    fn bounds(&self) -> (T, u64) {
+        (
+            self.start,
+            self.end.to_u64().wrapping_sub(self.start.to_u64()),
+        )
+    }
+}
+
+impl<T: UniformInt> IntRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (T, u64) {
+        (
+            *self.start(),
+            self.end()
+                .to_u64()
+                .wrapping_sub(self.start().to_u64())
+                .wrapping_add(1),
+        )
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic RNG (SplitMix64), standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_rngs_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..7);
+            assert!(x < 7);
+            let y: u8 = rng.gen_range(0..=1);
+            assert!(y <= 1);
+            let z: u64 = rng.gen_range(5..6);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -20,7 +20,6 @@ use crate::coin::CommonCoin;
 use crate::network::Network;
 use crate::protocol::{ConsensusProcess, Process, ProtocolKind};
 use crate::types::{Message, MessageKind, ProcessId, Value};
-use serde::{Deserialize, Serialize};
 
 const A1: ProcessId = ProcessId(0);
 const A2: ProcessId = ProcessId(1);
@@ -30,7 +29,7 @@ const N: usize = 4;
 const T: usize = 1;
 
 /// The outcome of an adaptive-adversary execution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttackOutcome {
     /// Protocol variant that was attacked.
     pub protocol: String,
@@ -190,8 +189,24 @@ pub fn run_adaptive_attack_traced(
         // 2. let A1 and B1 finish the round; A1 BV-delivers 0 first, B1
         //    delivers 1 first, so one correct AUX message exists for each
         //    value once the coin is revealed
-        drive_target(A1, round, Some(Value::ZERO), false, &mut processes, &mut network, &mut coin);
-        drive_target(B1, round, Some(Value::ONE), false, &mut processes, &mut network, &mut coin);
+        drive_target(
+            A1,
+            round,
+            Some(Value::ZERO),
+            false,
+            &mut processes,
+            &mut network,
+            &mut coin,
+        );
+        drive_target(
+            B1,
+            round,
+            Some(Value::ONE),
+            false,
+            &mut processes,
+            &mut network,
+            &mut coin,
+        );
 
         // 3. if the coin leaked before A2 fixed its values, steer A2 to 1 - s
         if let Some(s) = coin.revealed_value(round) {

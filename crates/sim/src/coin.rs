@@ -45,7 +45,8 @@ impl CommonCoin {
     fn value_of(&mut self, round: u32) -> Value {
         let seed = self.seed;
         *self.drawn.entry(round).or_insert_with(|| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             Value(rng.gen_range(0..=1))
         })
     }

@@ -5,10 +5,9 @@
 //! or modifies messages, matching the `BAMP` model of Sect. I.
 
 use crate::types::{Message, ProcessId};
-use serde::{Deserialize, Serialize};
 
 /// The multiset of in-flight messages.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Network {
     inflight: Vec<Message>,
     delivered: usize,
@@ -57,13 +56,13 @@ impl Network {
 
     /// Delivers the first in-flight message matching the predicate, if any.
     pub fn deliver_matching(&mut self, mut pred: impl FnMut(&Message) -> bool) -> Option<Message> {
-        let idx = self.inflight.iter().position(|m| pred(m))?;
+        let idx = self.inflight.iter().position(&mut pred)?;
         Some(self.deliver_at(idx))
     }
 
     /// Whether some in-flight message matches the predicate.
     pub fn has_matching(&self, mut pred: impl FnMut(&Message) -> bool) -> bool {
-        self.inflight.iter().any(|m| pred(m))
+        self.inflight.iter().any(&mut pred)
     }
 
     /// Drops every in-flight message addressed to the given process (used for

@@ -55,6 +55,7 @@ pub struct FixedProcess;
 
 impl Mmr14Process {
     /// Creates an MMR14 process.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(id: ProcessId, n: usize, t: usize, input: Value) -> Process {
         Process::new(id, ProtocolKind::Mmr14, n, t, input)
     }
@@ -62,6 +63,7 @@ impl Mmr14Process {
 
 impl FixedProcess {
     /// Creates a repaired-protocol process.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(id: ProcessId, n: usize, t: usize, input: Value) -> Process {
         Process::new(id, ProtocolKind::Fixed, n, t, input)
     }
@@ -183,7 +185,7 @@ impl Process {
         // BV-broadcast: echo a value supported by t + 1 EST messages
         for v in [Value::ZERO, Value::ONE] {
             let idx = v.0 as usize;
-            if !state.echoed[idx] && state.est_senders[idx].len() >= t + 1 {
+            if !state.echoed[idx] && state.est_senders[idx].len() > t {
                 state.echoed[idx] = true;
                 out.extend(broadcast(id, n, round, MessageKind::Est(v)));
             }
@@ -192,7 +194,7 @@ impl Process {
         // bin_values; broadcast AUX for the first delivered value
         for v in [Value::ZERO, Value::ONE] {
             let idx = v.0 as usize;
-            if !state.bin_values[idx] && state.est_senders[idx].len() >= 2 * t + 1 {
+            if !state.bin_values[idx] && state.est_senders[idx].len() > 2 * t {
                 state.bin_values[idx] = true;
                 if state.aux_sent.is_none() {
                     state.aux_sent = Some(v);
@@ -211,10 +213,7 @@ impl Process {
                     // announcements before touching the coin
                     let state = self.rounds.entry(round).or_default();
                     if state.conf_sent.is_none() {
-                        let set = [
-                            values.contains(&Value::ZERO),
-                            values.contains(&Value::ONE),
-                        ];
+                        let set = [values.contains(&Value::ZERO), values.contains(&Value::ONE)];
                         state.conf_sent = Some(set);
                         // the own announcement counts towards the quorum
                         state.conf_received.insert(id, set);
@@ -241,7 +240,12 @@ impl Process {
     }
 
     /// Queries the coin and applies the estimate/decision rule of Fig. 1.
-    fn finish_round(&mut self, round: u32, values: &[Value], coin: &mut CommonCoin) -> Vec<Message> {
+    fn finish_round(
+        &mut self,
+        round: u32,
+        values: &[Value],
+        coin: &mut CommonCoin,
+    ) -> Vec<Message> {
         let state = self.rounds.entry(round).or_default();
         if state.completed {
             return Vec::new();
@@ -275,9 +279,7 @@ impl Process {
         let accepted: Vec<&[bool; 2]> = state
             .conf_received
             .values()
-            .filter(|set| {
-                (!set[0] || state.bin_values[0]) && (!set[1] || state.bin_values[1])
-            })
+            .filter(|set| (!set[0] || state.bin_values[0]) && (!set[1] || state.bin_values[1]))
             .collect();
         if accepted.len() < quorum {
             return None;
@@ -365,8 +367,8 @@ mod tests {
         // deliver everything repeatedly until quiescent
         for _ in 0..10 {
             let msgs = std::mem::take(&mut inflight);
-            for i in 0..procs.len() {
-                inflight.extend(deliver_all(&mut procs[i], &msgs, &mut coin));
+            for proc in procs.iter_mut() {
+                inflight.extend(deliver_all(proc, &msgs, &mut coin));
             }
             if inflight.is_empty() {
                 break;
@@ -411,11 +413,21 @@ mod tests {
         // deliver 3 EST(0) and 3 EST(1): both values enter bin_values
         for sender in [1, 2, 3] {
             p.deliver(
-                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ZERO)),
+                Message::new(
+                    ProcessId(sender),
+                    ProcessId(0),
+                    0,
+                    MessageKind::Est(Value::ZERO),
+                ),
                 &mut coin,
             );
             p.deliver(
-                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ONE)),
+                Message::new(
+                    ProcessId(sender),
+                    ProcessId(0),
+                    0,
+                    MessageKind::Est(Value::ONE),
+                ),
                 &mut coin,
             );
         }
@@ -444,7 +456,10 @@ mod tests {
                 ProcessId(1),
                 ProcessId(0),
                 0,
-                MessageKind::Conf { zero: true, one: true },
+                MessageKind::Conf {
+                    zero: true,
+                    one: true,
+                },
             ),
             &mut coin,
         );
@@ -454,7 +469,10 @@ mod tests {
                 ProcessId(2),
                 ProcessId(0),
                 0,
-                MessageKind::Conf { zero: false, one: true },
+                MessageKind::Conf {
+                    zero: false,
+                    one: true,
+                },
             ),
             &mut coin,
         );
@@ -469,11 +487,21 @@ mod tests {
         let _ = p.start();
         for sender in [1, 2, 3] {
             p.deliver(
-                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ZERO)),
+                Message::new(
+                    ProcessId(sender),
+                    ProcessId(0),
+                    0,
+                    MessageKind::Est(Value::ZERO),
+                ),
                 &mut coin,
             );
             p.deliver(
-                Message::new(ProcessId(sender), ProcessId(0), 0, MessageKind::Est(Value::ONE)),
+                Message::new(
+                    ProcessId(sender),
+                    ProcessId(0),
+                    0,
+                    MessageKind::Est(Value::ONE),
+                ),
                 &mut coin,
             );
         }

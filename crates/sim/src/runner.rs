@@ -11,10 +11,9 @@ use crate::protocol::{ConsensusProcess, Process, ProtocolKind};
 use crate::types::{ProcessId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The result of a fair run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FairRunReport {
     /// The decided value of every correct process (in id order).
     pub decisions: Vec<Option<Value>>,

@@ -1,10 +1,9 @@
 //! Basic types of the message-passing model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A binary consensus value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Value(pub u8);
 
 impl Value {
@@ -26,7 +25,7 @@ impl fmt::Display for Value {
 }
 
 /// Identifier of a process (correct or Byzantine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub usize);
 
 impl fmt::Display for ProcessId {
@@ -36,7 +35,7 @@ impl fmt::Display for ProcessId {
 }
 
 /// The message types of MMR14 and its fixed variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageKind {
     /// `EST` message of the binary-value broadcast.
     Est(Value),
@@ -53,7 +52,7 @@ pub enum MessageKind {
 }
 
 /// A point-to-point message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Message {
     /// Sender.
     pub from: ProcessId,

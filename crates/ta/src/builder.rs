@@ -164,8 +164,9 @@ impl SystemBuilder {
             .into_iter()
             .map(|(to, prob)| Branch::new(to, prob))
             .collect();
-        self.rules
-            .push(Rule::probabilistic(name, from, branches, guard, update, owner));
+        self.rules.push(Rule::probabilistic(
+            name, from, branches, guard, update, owner,
+        ));
         RuleId(self.rules.len() - 1)
     }
 

@@ -10,11 +10,10 @@
 //!   the binding conditions `(CB0)`–`(CB4)` (which imply `(C1)`) plus
 //!   `(C2')`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The design category of a common-coin consensus protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolCategory {
     /// No decide action (e.g. Rabin83 as modelled in the paper).
     A,

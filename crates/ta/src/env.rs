@@ -7,12 +7,11 @@
 //! processes and common coins (Sect. III-B(a) of the paper).
 
 use crate::expr::{LinearConstraint, LinearExpr, ParamId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of explicitly modelled processes and common coins for a concrete
 /// parameter valuation: the value `N(p)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SystemSize {
     /// Number of copies of the correct-process threshold automaton.
     pub processes: u64,
@@ -22,7 +21,7 @@ pub struct SystemSize {
 
 /// A concrete assignment of natural numbers to all parameters of an
 /// environment.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ParamValuation {
     values: Vec<u64>,
 }
@@ -68,7 +67,7 @@ impl fmt::Display for ParamValuation {
 }
 
 /// The environment `Env = (Π, RC, N)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Environment {
     params: Vec<String>,
     resilience: Vec<LinearConstraint>,

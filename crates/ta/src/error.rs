@@ -80,13 +80,22 @@ impl fmt::Display for ModelError {
                 write!(f, "{owner} automaton has |B| != |I|")
             }
             ModelError::BadBorderRule { rule } => {
-                write!(f, "border rule {rule} is not of the form (border, initial, true, 0)")
+                write!(
+                    f,
+                    "border rule {rule} is not of the form (border, initial, true, 0)"
+                )
             }
             ModelError::BadFinalLocation { location } => {
-                write!(f, "final location {location} must have exactly one outgoing round-switch rule")
+                write!(
+                    f,
+                    "final location {location} must have exactly one outgoing round-switch rule"
+                )
             }
             ModelError::BadRoundSwitchRule { rule } => {
-                write!(f, "round-switch rule {rule} must go from a final to a border location")
+                write!(
+                    f,
+                    "round-switch rule {rule} must go from a final to a border location"
+                )
             }
             ModelError::PartitionViolation { rule } => {
                 write!(f, "rule {rule} does not respect the binary-value partition")

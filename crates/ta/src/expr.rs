@@ -4,11 +4,10 @@
 //! all expressed as linear expressions over the parameter vector `p`
 //! (e.g. `n`, `t`, `f`, `cc`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a parameter inside an [`crate::Environment`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ParamId(pub usize);
 
 impl fmt::Display for ParamId {
@@ -22,7 +21,7 @@ impl fmt::Display for ParamId {
 /// The number of coefficients is fixed when the expression is created and
 /// must match the number of parameters of the environment the expression is
 /// evaluated against.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LinearExpr {
     coeffs: Vec<i64>,
     constant: i64,
@@ -188,7 +187,7 @@ impl fmt::Display for LinearExpr {
 }
 
 /// Comparison relations used in resilience conditions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rel {
     /// `lhs >= rhs`
     Ge,
@@ -234,7 +233,7 @@ impl fmt::Display for Rel {
 
 /// A linear constraint `lhs ⋈ rhs` over the parameters, used in resilience
 /// conditions.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LinearConstraint {
     lhs: LinearExpr,
     rel: Rel,

@@ -12,11 +12,10 @@
 
 use crate::expr::LinearExpr;
 use crate::variable::{VarId, VarKind, Variable};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two comparison forms allowed in threshold guards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GuardRel {
     /// `lhs >= bound`
     Ge,
@@ -49,7 +48,7 @@ impl fmt::Display for GuardRel {
 }
 
 /// A single threshold comparison `Σᵢ bᵢ·xᵢ ⋈ bound`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AtomicGuard {
     /// The left-hand side: variable terms with integer coefficients.
     pub terms: Vec<(i64, VarId)>,
@@ -124,8 +123,27 @@ impl AtomicGuard {
         self.terms.iter().map(|&(_, v)| v)
     }
 
+    /// The comparison relation of the atom.
+    pub fn rel(&self) -> GuardRel {
+        self.rel
+    }
+
+    /// The right-hand-side bound of the atom.
+    pub fn bound(&self) -> &LinearExpr {
+        &self.bound
+    }
+
     /// Evaluates the left-hand side against variable values.
     pub fn lhs_value(&self, var_values: &[u64]) -> i128 {
+        self.terms
+            .iter()
+            .map(|&(c, v)| c as i128 * var_values[v.0] as i128)
+            .sum()
+    }
+
+    /// Evaluates the left-hand side against byte-packed variable values
+    /// (the row representation of explicit-state search).
+    pub fn lhs_value_bytes(&self, var_values: &[u8]) -> i128 {
         self.terms
             .iter()
             .map(|&(c, v)| c as i128 * var_values[v.0] as i128)
@@ -177,7 +195,7 @@ impl AtomicGuard {
 }
 
 /// Classification of a full rule guard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GuardKind {
     /// The trivially-true guard (no conjuncts).
     True,
@@ -192,7 +210,7 @@ pub enum GuardKind {
 /// A conjunction of atomic threshold guards.
 ///
 /// The empty conjunction is the guard `true`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Guard {
     atoms: Vec<AtomicGuard>,
 }
@@ -280,9 +298,7 @@ impl Guard {
 
     /// Evaluates the guard against variable and parameter values.
     pub fn holds(&self, var_values: &[u64], param_values: &[u64]) -> bool {
-        self.atoms
-            .iter()
-            .all(|a| a.holds(var_values, param_values))
+        self.atoms.iter().all(|a| a.holds(var_values, param_values))
     }
 
     /// Classifies the guard as true / shared / coin / mixed with respect to a

@@ -7,11 +7,10 @@
 //! binary value tag so that `I = I0 ⊎ I1`, `F = F0 ⊎ F1`, `B = B0 ⊎ B1`
 //! (Sect. III-B(b) of the paper).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a location inside a [`crate::SystemModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocId(pub usize);
 
 impl fmt::Display for LocId {
@@ -21,7 +20,7 @@ impl fmt::Display for LocId {
 }
 
 /// A binary consensus value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BinValue {
     /// Value 0.
     Zero,
@@ -66,7 +65,7 @@ impl fmt::Display for BinValue {
 }
 
 /// Structural class of a location inside the round structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LocClass {
     /// Border location (`B`): the location a process occupies between rounds.
     Border,
@@ -97,7 +96,7 @@ impl fmt::Display for LocClass {
 }
 
 /// Which automaton a location (or rule) belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Owner {
     /// The non-probabilistic threshold automaton of correct processes.
     Process,
@@ -115,7 +114,7 @@ impl fmt::Display for Owner {
 }
 
 /// A declared location.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Location {
     name: String,
     class: LocClass,

@@ -75,9 +75,11 @@ pub fn refine_rule_with_cases(
             name: format!("refinable process rule {}", original.name()),
         });
     }
-    let target = original.dirac_to().ok_or_else(|| ModelError::UnknownEntity {
-        name: format!("Dirac rule {}", original.name()),
-    })?;
+    let target = original
+        .dirac_to()
+        .ok_or_else(|| ModelError::UnknownEntity {
+            name: format!("Dirac rule {}", original.name()),
+        })?;
 
     let mut locations: Vec<Location> = model.locations().to_vec();
     let mut new_locs = Vec::with_capacity(cases.len());
@@ -152,10 +154,7 @@ pub fn refine_for_binding(
     let cases = vec![
         RefinementCase::new("N0", Guard::ge(m0, one.clone())),
         RefinementCase::new("N1", Guard::ge(m1, one.clone())),
-        RefinementCase::new(
-            "Nbot",
-            Guard::lt(m0, one.clone()).and_lt(m1, one),
-        ),
+        RefinementCase::new("Nbot", Guard::lt(m0, one.clone()).and_lt(m1, one)),
     ];
     let (refined, locs) = refine_rule_with_cases(model, rule, &cases)?;
     Ok((

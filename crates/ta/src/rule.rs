@@ -9,11 +9,10 @@
 use crate::guard::Guard;
 use crate::location::{LocId, Owner};
 use crate::variable::{VarId, Variable};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a rule inside a [`crate::SystemModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RuleId(pub usize);
 
 impl fmt::Display for RuleId {
@@ -23,7 +22,7 @@ impl fmt::Display for RuleId {
 }
 
 /// An exact rational probability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Probability {
     num: u64,
     den: u64,
@@ -44,13 +43,9 @@ impl Probability {
         assert!(den != 0, "probability denominator must be non-zero");
         assert!(num <= den, "probability must not exceed 1");
         let g = gcd(num, den);
-        if g == 0 {
-            Probability { num: 0, den: 1 }
-        } else {
-            Probability {
-                num: num / g,
-                den: den / g,
-            }
+        match (num.checked_div(g), den.checked_div(g)) {
+            (Some(num), Some(den)) => Probability { num, den },
+            _ => Probability { num: 0, den: 1 },
         }
     }
 
@@ -122,7 +117,7 @@ fn gcd128(a: u128, b: u128) -> u128 {
 }
 
 /// One probabilistic destination of a rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Branch {
     /// Destination location.
     pub to: LocId,
@@ -140,7 +135,7 @@ impl Branch {
 /// The update vector `u` of a rule, stored sparsely as per-variable
 /// increments.  Updates can only increment variables (threshold automata
 /// never decrease shared variables).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Update {
     increments: Vec<(VarId, u64)>,
 }
@@ -201,9 +196,7 @@ impl Update {
 
     /// Whether any incremented variable satisfies `pred`.
     pub fn touches(&self, mut pred: impl FnMut(VarId) -> bool) -> bool {
-        self.increments
-            .iter()
-            .any(|&(v, k)| k > 0 && pred(v))
+        self.increments.iter().any(|&(v, k)| k > 0 && pred(v))
     }
 
     /// Renders the update with variable names.
@@ -231,7 +224,7 @@ impl Update {
 }
 
 /// A transition rule of either automaton.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     name: String,
     from: LocId,

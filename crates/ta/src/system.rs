@@ -8,13 +8,12 @@ use crate::guard::GuardKind;
 use crate::location::{BinValue, LocClass, LocId, Location, Owner};
 use crate::rule::{Rule, RuleId};
 use crate::variable::{VarId, VarKind, Variable};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Whether a model still has its multi-round structure or has been rewritten
 /// into the single-round automaton of Definition 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// The original multi-round automaton with round-switch rules.
     MultiRound,
@@ -23,7 +22,7 @@ pub enum ModelKind {
 }
 
 /// Aggregate size statistics, used for the `|L|` / `|R|` columns of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelStats {
     /// Locations of the correct-process automaton.
     pub process_locations: usize,
@@ -41,7 +40,7 @@ pub struct ModelStats {
 
 /// A complete model: environment, shared variable alphabet, the locations and
 /// rules of both automata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemModel {
     name: String,
     env: Environment,
@@ -523,10 +522,9 @@ impl SystemModel {
                 continue;
             }
             let from_comp = scc[r.from().0];
-            let on_cycle = r
-                .branches()
-                .iter()
-                .any(|b| b.to == r.from() || scc[b.to.0] == from_comp && self.scc_has_cycle(&scc, from_comp));
+            let on_cycle = r.branches().iter().any(|b| {
+                b.to == r.from() || scc[b.to.0] == from_comp && self.scc_has_cycle(&scc, from_comp)
+            });
             if on_cycle {
                 return Err(ModelError::NotCanonical {
                     rule: r.name().to_string(),
@@ -546,13 +544,11 @@ impl SystemModel {
             return true;
         }
         let only = members[0];
-        self.rules
-            .iter()
-            .any(|r| {
-                !r.is_round_switch()
-                    && r.from().0 == only
-                    && r.branches().iter().any(|b| b.to.0 == only)
-            })
+        self.rules.iter().any(|r| {
+            !r.is_round_switch()
+                && r.from().0 == only
+                && r.branches().iter().any(|b| b.to.0 == only)
+        })
     }
 
     /// Computes strongly connected components over the location graph
@@ -648,9 +644,7 @@ impl SystemModel {
                         })
                     }
                 };
-                if !r.guard().is_true()
-                    || !r.update().is_empty()
-                    || !self.location(to).is_initial()
+                if !r.guard().is_true() || !r.update().is_empty() || !self.location(to).is_initial()
                 {
                     return Err(ModelError::BadBorderRule {
                         rule: r.name().to_string(),
@@ -929,7 +923,8 @@ mod tests {
         let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
         let e0 = b.process_location("E0", LocClass::Final, Some(BinValue::Zero));
         b.start_rule(j0, i0);
-        let guard = Guard::ge(v0, LinearExpr::constant(k, 1)).and_ge(cc0, LinearExpr::constant(k, 1));
+        let guard =
+            Guard::ge(v0, LinearExpr::constant(k, 1)).and_ge(cc0, LinearExpr::constant(k, 1));
         b.rule("mixed", i0, e0, guard, Update::none());
         b.round_switch(e0, j0);
         let err = b.build().unwrap_err();
@@ -1014,8 +1009,8 @@ mod tests {
             true,
             Owner::Process,
         )];
-        let err = SystemModel::new("bad", env, vec![], locs, vec![], ModelKind::MultiRound)
-            .unwrap_err();
+        let err =
+            SystemModel::new("bad", env, vec![], locs, vec![], ModelKind::MultiRound).unwrap_err();
         assert!(matches!(err, ModelError::DecisionNotFinal { .. }));
     }
 

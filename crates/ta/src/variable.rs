@@ -5,11 +5,10 @@
 //! (written only by the common-coin automaton, read by correct processes via
 //! coin guards).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a variable inside a [`crate::SystemModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub usize);
 
 impl fmt::Display for VarId {
@@ -19,7 +18,7 @@ impl fmt::Display for VarId {
 }
 
 /// Whether a variable belongs to the shared set `Γ` or the coin set `Ω`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VarKind {
     /// A shared message counter, incremented by correct-process rules.
     Shared,
@@ -38,7 +37,7 @@ impl fmt::Display for VarKind {
 }
 
 /// A declared variable.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Variable {
     name: String,
     kind: VarKind,

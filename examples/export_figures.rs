@@ -14,7 +14,10 @@ fn main() -> std::io::Result<()> {
     fs::create_dir_all(out_dir)?;
 
     // Fig. 3: the naive voting automaton
-    fs::write(out_dir.join("fig3_naive_voting.dot"), to_dot(&naive_voting()))?;
+    fs::write(
+        out_dir.join("fig3_naive_voting.dot"),
+        to_dot(&naive_voting()),
+    )?;
 
     // Fig. 4 (and the Fig. 6 refinement) for every benchmark protocol,
     // both the multi-round and the single-round form
@@ -29,7 +32,11 @@ fn main() -> std::io::Result<()> {
             to_dot(&protocol.single_round()),
         )?;
     }
-    println!("wrote {} DOT files to {}", 2 + 2 * all_protocols().len(), out_dir.display());
+    println!(
+        "wrote {} DOT files to {}",
+        2 + 2 * all_protocols().len(),
+        out_dir.display()
+    );
     println!("render with: dot -Tpdf target/figures/MMR14.dot -o mmr14.pdf");
     Ok(())
 }

@@ -20,16 +20,12 @@ fn main() {
         );
     }
 
-    println!("\nfair (non-adversarial) scheduling, average round of the last decision over 50 runs");
+    println!(
+        "\nfair (non-adversarial) scheduling, average round of the last decision over 50 runs"
+    );
     for kind in [ProtocolKind::Mmr14, ProtocolKind::Fixed] {
-        let avg = average_decision_round(
-            kind,
-            4,
-            1,
-            &[Value::ZERO, Value::ONE, Value::ZERO],
-            50,
-            7,
-        );
+        let avg =
+            average_decision_round(kind, 4, 1, &[Value::ZERO, Value::ONE, Value::ZERO], 50, 7);
         println!("{kind:?}: {avg:.2} rounds (the paper's analysis expects at most ~4)");
     }
 
@@ -37,7 +33,13 @@ fn main() {
         ProtocolKind::Fixed,
         7,
         2,
-        &[Value::ZERO, Value::ONE, Value::ZERO, Value::ONE, Value::ZERO],
+        &[
+            Value::ZERO,
+            Value::ONE,
+            Value::ZERO,
+            Value::ONE,
+            Value::ZERO,
+        ],
         11,
         300_000,
     );

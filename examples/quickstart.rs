@@ -14,12 +14,13 @@ fn main() {
     println!("model: {naive}");
     println!(
         "single-round form has {} locations",
-        naive.single_round().expect("multi-round model").locations().len()
+        naive
+            .single_round()
+            .expect("multi-round model")
+            .locations()
+            .len()
     );
-    assert_eq!(
-        naive.single_round().unwrap().kind(),
-        ModelKind::SingleRound
-    );
+    assert_eq!(naive.single_round().unwrap().kind(), ModelKind::SingleRound);
 
     // 2. Verify a common-coin protocol of the Table II benchmark.
     let protocol = protocol_by_name("CC85(a)").expect("benchmark protocol");
@@ -34,7 +35,11 @@ fn main() {
         result.termination.status
     );
     for report in &result.termination.reports {
-        println!("  obligation {:<18} -> {}", report.spec_name, report.status());
+        println!(
+            "  obligation {:<18} -> {}",
+            report.spec_name,
+            report.status()
+        );
     }
 
     // 3. The broken protocol: MMR14's almost-sure termination is refuted by a
@@ -47,6 +52,10 @@ fn main() {
         result.termination.violated_obligation().unwrap_or("-")
     );
     if let Some(ce) = &result.termination.counterexample {
-        println!("counterexample with parameters {} and {} steps", ce.params, ce.len());
+        println!(
+            "counterexample with parameters {} and {} steps",
+            ce.params,
+            ce.len()
+        );
     }
 }
