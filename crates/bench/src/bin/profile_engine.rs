@@ -1,5 +1,10 @@
 //! Per-obligation engine-vs-reference timing, used to locate exploration
-//! bottlenecks.  Not part of the published tables.
+//! bottlenecks, plus state-store occupancy statistics to guide shard-count
+//! defaults.  Not part of the published tables.
+//!
+//! Usage: `profile_engine [PROTOCOL] [--threads N]` — `N` sets the
+//! in-check worker count of the engine runs (default: `CC_CHECK_THREADS`,
+//! then all cores; the reference is always sequential).
 
 use ccchecker::reference::reference_check;
 use ccchecker::{CheckerOptions, ExplicitChecker};
@@ -8,7 +13,30 @@ use cccore::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "MMR14".into());
+    let mut name = String::from("MMR14");
+    let mut workers = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other if !other.starts_with('-') => name = other.to_string(),
+            other => {
+                eprintln!(
+                    "unknown argument: {other}\nusage: profile_engine [PROTOCOL] [--threads N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let protocol = protocol_by_name(&name).expect("protocol");
     let single = protocol.single_round();
     let obligations = obligations_for(&protocol, &single);
@@ -19,18 +47,31 @@ fn main() {
         .next()
         .expect("valuation");
     let sys = cccounter::CounterSystem::new(single, valuation).expect("admissible");
-    let options = CheckerOptions::default();
-    println!("{name}: per-obligation engine vs reference (3 runs each, best)");
+    let options = CheckerOptions::default().with_workers(workers);
+    let reference_options = CheckerOptions::sequential();
+    println!(
+        "{name}: per-obligation engine vs reference (3 runs each, best; engine workers: {})",
+        if workers == 0 {
+            "auto".into()
+        } else {
+            workers.to_string()
+        }
+    );
     for (group, specs) in [
         ("agreement", &obligations.agreement),
         ("validity", &obligations.validity),
         ("termination", &obligations.termination),
     ] {
         for spec in specs.iter() {
+            // stats are identical across runs and cost O(index) to collect,
+            // so fold them into the timed runs instead of a fourth check
+            let mut stats = Default::default();
             let engine = (0..3)
                 .map(|_| {
                     let t = Instant::now();
-                    let o = ExplicitChecker::new(&sys).check(spec);
+                    let (o, s) =
+                        ExplicitChecker::with_options(&sys, options).check_with_stats(spec);
+                    stats = s;
                     (t.elapsed(), o.states_explored, o.transitions_explored)
                 })
                 .min()
@@ -38,7 +79,7 @@ fn main() {
             let reference = (0..3)
                 .map(|_| {
                     let t = Instant::now();
-                    let o = reference_check(&sys, spec, &options);
+                    let o = reference_check(&sys, spec, &reference_options);
                     (t.elapsed(), o.states_explored, o.transitions_explored)
                 })
                 .min()
@@ -52,6 +93,7 @@ fn main() {
                 engine.1,
                 engine.2,
             );
+            println!("  {:<27} store: {stats}", "");
         }
     }
 }

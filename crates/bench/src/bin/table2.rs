@@ -1,9 +1,34 @@
 //! Regenerates Table II: verification of the eight common-coin protocols.
+//!
+//! Usage: `table2 [--threads N]` — `N` is the total thread budget per
+//! property sweep, split between `query × valuation` grid cells and
+//! in-check workers (default: `CC_SWEEP_THREADS`, then all cores; any
+//! value produces identical verdicts and counts).
 
 use cccore::prelude::*;
 
 fn main() {
-    let config = ccbench::bench_config();
+    let mut config = ccbench::bench_config();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    });
+                config = config.with_threads(n);
+            }
+            other => {
+                eprintln!("unknown argument: {other}\nusage: table2 [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
     let results = verify_all(&config);
     println!("Table II — benchmarks of 8 different common-coin-based protocols");
     println!("(schema counts and wall-clock times from this run; 'CE' marks a counterexample)\n");

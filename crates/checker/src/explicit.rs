@@ -8,33 +8,39 @@
 //!
 //! # Engine
 //!
-//! Both search loops below (the monitored BFS and the non-blocking check)
-//! run on the packed-state engine: visited states live in a shared
-//! [`StateStore`] as packed byte snapshots keyed by an FxHash-style 64-bit
-//! pre-hash, successor candidates are packed into a reusable scratch buffer
-//! (duplicates allocate nothing), and successors are generated by applying
-//! and undoing counter deltas in place via
-//! [`CounterSystem::expand_action`] — the hot loop performs no
-//! per-transition allocation.  Full configurations are decoded on demand:
-//! once per expanded node, and for the endpoints of counterexample
-//! reconstruction.
+//! Both query shapes implemented here (the monitored reachability queries
+//! and the non-blocking side condition) are visitors over the generic
+//! [`crate::explorer::Explorer`] driver: the driver owns the
+//! expand → intern → frontier cycle on the packed row substrate (and its
+//! deterministic in-check parallelisation), while [`MonitorVisitor`]
+//! propagates occupancy bits and detects violating states, and
+//! [`NonBlockingVisitor`] classifies terminal states.  See the
+//! [`crate::explorer`] docs for the engine and determinism story.
 
 use crate::counterexample::Counterexample;
+use crate::explorer::{row_occupancy_bits, Exploration, Explorer, Visitor};
 use crate::game;
 use crate::result::CheckOutcome;
 use crate::spec::{LocSet, Spec};
-use crate::store::{Frontier, StateStore};
-use cccounter::{Action, Configuration, CounterSystem, RowEngine, Schedule, ScheduledStep};
+use crate::store::StoreStats;
+use cccounter::{Configuration, CounterSystem, Schedule, ScheduledStep};
 use ccta::{LocClass, ModelKind};
-use std::ops::ControlFlow;
 
-/// Resource limits of the explicit-state search.
+/// Resource limits and thread configuration of the explicit-state search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckerOptions {
     /// Maximum number of distinct (configuration, monitor) states.
     pub max_states: usize,
     /// Maximum number of explored transitions.
     pub max_transitions: usize,
+    /// In-check worker threads for a single exploration: `1` forces the
+    /// sequential loop, `0` resolves `CC_CHECK_THREADS` and then the
+    /// available parallelism.  Any worker count produces identical
+    /// verdicts, state counts, transition counts and counterexamples.
+    pub workers: usize,
+    /// State-store shards: `0` derives one shard per resolved worker.
+    /// Like the worker count, the shard count never changes results.
+    pub shards: usize,
 }
 
 impl Default for CheckerOptions {
@@ -42,18 +48,80 @@ impl Default for CheckerOptions {
         CheckerOptions {
             max_states: 2_000_000,
             max_transitions: 30_000_000,
+            workers: 0,
+            shards: 0,
         }
     }
 }
 
-/// Why a search loop stopped early.
-pub(crate) enum Stop {
-    /// The transition budget was exhausted.
-    TransitionBound,
-    /// The state budget was exhausted.
-    StateBound,
-    /// A violating node was discovered.
-    Violation(u32),
+impl CheckerOptions {
+    /// Options forcing the plain sequential search loop.
+    pub fn sequential() -> Self {
+        CheckerOptions {
+            workers: 1,
+            ..CheckerOptions::default()
+        }
+    }
+
+    /// These options with an explicit in-check worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// The monitored-reachability visitor: propagates the occupancy bits of the
+/// tracked location sets along every path and reports a violation as soon
+/// as a state carries all `violation_bits`.
+struct MonitorVisitor<'s> {
+    sets: &'s [LocSet],
+    violation_bits: u8,
+}
+
+impl Visitor for MonitorVisitor<'_> {
+    fn successor_bits(&self, parent_bits: u8, row: &[u8]) -> u8 {
+        parent_bits | row_occupancy_bits(self.sets, row)
+    }
+
+    fn start_node(&mut self, _node: u32, bits: u8, fresh: bool) -> bool {
+        fresh && bits & self.violation_bits == self.violation_bits
+    }
+
+    fn edge(
+        &mut self,
+        _from: u32,
+        _step: ScheduledStep,
+        _to: u32,
+        to_bits: u8,
+        fresh: bool,
+    ) -> bool {
+        fresh && to_bits & self.violation_bits == self.violation_bits
+    }
+}
+
+/// The non-blocking visitor: carries no monitor bits and flags terminal
+/// states that strand an automaton outside the border-copy sinks.
+struct NonBlockingVisitor<'a> {
+    sys: &'a CounterSystem,
+}
+
+impl Visitor for NonBlockingVisitor<'_> {
+    fn successor_bits(&self, _parent_bits: u8, _row: &[u8]) -> u8 {
+        0
+    }
+
+    fn terminal_violates(&self, row: &[u8]) -> bool {
+        blocked_location_in_row(self.sys, row).is_some()
+    }
+}
+
+/// In a terminal state row, returns a location outside the sink set (border
+/// copies) that still holds an automaton, if any.
+fn blocked_location_in_row(sys: &CounterSystem, row: &[u8]) -> Option<ccta::LocId> {
+    let model = sys.model();
+    model
+        .loc_ids()
+        .find(|&l| row[l.0] > 0 && model.location(l).class() != LocClass::BorderCopy)
 }
 
 /// Explicit-state checker over a single-round counter system.
@@ -95,6 +163,16 @@ impl<'a> ExplicitChecker<'a> {
 
     /// Checks one query.
     pub fn check(&self, spec: &Spec) -> CheckOutcome {
+        self.check_impl(spec, false).0
+    }
+
+    /// Checks one query and reports the state-store occupancy statistics of
+    /// the exploration (to guide shard-count tuning).
+    pub fn check_with_stats(&self, spec: &Spec) -> (CheckOutcome, StoreStats) {
+        self.check_impl(spec, true)
+    }
+
+    fn check_impl(&self, spec: &Spec, want_stats: bool) -> (CheckOutcome, StoreStats) {
         match spec {
             Spec::CoverNever {
                 name,
@@ -111,6 +189,7 @@ impl<'a> ExplicitChecker<'a> {
                     trigger.name(),
                     forbidden.name()
                 ),
+                want_stats,
             ),
             Spec::NeverFrom {
                 name,
@@ -122,34 +201,24 @@ impl<'a> ExplicitChecker<'a> {
                 std::slice::from_ref(forbidden),
                 0b1,
                 format!("a path occupies {}", forbidden.name()),
+                want_stats,
             ),
             Spec::ExistsAvoidOneOf {
                 name,
                 start,
                 forbidden_sets,
-            } => game::check_exists_avoid(
+            } => game::check_exists_avoid_impl(
                 self.sys,
                 name,
                 &start.configurations(self.sys),
                 forbidden_sets,
                 &self.options,
+                want_stats,
             ),
             Spec::NonBlocking { name, start } => {
-                self.check_non_blocking(name, &start.configurations(self.sys))
+                self.check_non_blocking(name, &start.configurations(self.sys), want_stats)
             }
         }
-    }
-
-    /// Monitor bits of a state row: the location prefix of the row is
-    /// indexed directly by `LocId`.
-    pub(crate) fn row_occupancy_bits(sets: &[LocSet], row: &[u8]) -> u8 {
-        let mut bits = 0u8;
-        for (i, set) in sets.iter().enumerate() {
-            if set.locs().iter().any(|l| row[l.0] > 0) {
-                bits |= 1 << i;
-            }
-        }
-        bits
     }
 
     /// BFS over (configuration, monitor-bits); reports a violation when a
@@ -161,98 +230,49 @@ impl<'a> ExplicitChecker<'a> {
         sets: &[LocSet],
         violation_bits: u8,
         explanation: String,
-    ) -> CheckOutcome {
-        let engine = RowEngine::new(self.sys);
-        let mut store = StateStore::new(self.sys);
-        let mut frontier = Frontier::new();
-        let mut transitions = 0usize;
-
-        for cfg in starts {
-            let mut row = Vec::with_capacity(store.stride());
-            engine.encode_into(cfg, &mut row);
-            let bits = Self::row_occupancy_bits(sets, &row);
-            let (id, fresh) = store.intern_row(&row, bits, engine.hash(&row), None);
-            if !fresh {
-                continue;
-            }
-            frontier.push(id);
-            if bits & violation_bits == violation_bits {
-                return self.violation(spec_name, &store, id, explanation, transitions);
-            }
-        }
-
-        let mut actions: Vec<Action> = Vec::new();
-        let mut row: Vec<u8> = Vec::new();
-        while let Some(current) = frontier.pop() {
-            store.copy_row_into(current, &mut row);
-            let bits = store.bits(current);
-            let node_hash = store.hash64(current);
-            engine.progress_actions_into(&row, &mut actions);
-            for &action in &actions {
-                let max_transitions = self.options.max_transitions;
-                let max_states = self.options.max_states;
-                let flow = engine.for_each_successor(
-                    &mut row,
-                    action,
-                    node_hash,
-                    |branch, _prob, succ, succ_hash| {
-                        transitions += 1;
-                        if transitions > max_transitions {
-                            return ControlFlow::Break(Stop::TransitionBound);
-                        }
-                        let new_bits = bits | Self::row_occupancy_bits(sets, succ);
-                        let step = ScheduledStep::with_branch(action, branch);
-                        let (id, fresh) =
-                            store.intern_row(succ, new_bits, succ_hash, Some((current, step)));
-                        if fresh {
-                            if store.len() > max_states {
-                                return ControlFlow::Break(Stop::StateBound);
-                            }
-                            frontier.push(id);
-                            if new_bits & violation_bits == violation_bits {
-                                return ControlFlow::Break(Stop::Violation(id));
-                            }
-                        }
-                        ControlFlow::Continue(())
-                    },
-                );
-                if let ControlFlow::Break(stop) = flow {
-                    return match stop {
-                        Stop::TransitionBound => CheckOutcome::unknown(
-                            store.len(),
-                            transitions,
-                            "transition bound exhausted",
-                        ),
-                        // the over-budget state was interned before the
-                        // bound tripped; report the budget like the
-                        // reference engine, which stops before storing it
-                        Stop::StateBound => CheckOutcome::unknown(
-                            store.len() - 1,
-                            transitions,
-                            "state bound exhausted",
-                        ),
-                        Stop::Violation(id) => {
-                            self.violation(spec_name, &store, id, explanation, transitions)
-                        }
-                    };
-                }
-            }
-        }
-        CheckOutcome::holds(store.len(), transitions)
+        want_stats: bool,
+    ) -> (CheckOutcome, StoreStats) {
+        let mut explorer = Explorer::new(self.sys, &self.options);
+        let mut visitor = MonitorVisitor {
+            sets,
+            violation_bits,
+        };
+        let outcome = match explorer.run(starts, &mut visitor) {
+            Exploration::Complete => CheckOutcome::holds(explorer.states(), explorer.transitions()),
+            Exploration::TransitionBound => CheckOutcome::unknown(
+                explorer.states(),
+                explorer.transitions(),
+                "transition bound exhausted",
+            ),
+            // the over-budget state was counted before the bound tripped;
+            // report the budget like the reference engine, which stops
+            // before storing it
+            Exploration::StateBound => CheckOutcome::unknown(
+                explorer.states() - 1,
+                explorer.transitions(),
+                "state bound exhausted",
+            ),
+            Exploration::Violation(id) => self.violation(spec_name, &explorer, id, explanation),
+        };
+        let stats = if want_stats {
+            explorer.store().stats()
+        } else {
+            StoreStats::default()
+        };
+        (outcome, stats)
     }
 
     fn violation(
         &self,
         spec_name: &str,
-        store: &StateStore,
+        explorer: &Explorer<'_>,
         violating: u32,
         explanation: String,
-        transitions: usize,
     ) -> CheckOutcome {
-        let (initial, schedule) = store.reconstruct_path(violating);
+        let (initial, schedule) = explorer.store().reconstruct_path(violating);
         CheckOutcome::violated(
-            store.len(),
-            transitions,
+            explorer.states(),
+            explorer.transitions(),
             Counterexample {
                 spec: spec_name.to_string(),
                 params: self.sys.params().clone(),
@@ -266,7 +286,12 @@ impl<'a> ExplicitChecker<'a> {
     /// Checks the Theorem-2 side condition: the progress graph is acyclic and
     /// every reachable terminal configuration has all automata parked in
     /// border-copy (sink) locations.
-    fn check_non_blocking(&self, spec_name: &str, starts: &[Configuration]) -> CheckOutcome {
+    fn check_non_blocking(
+        &self,
+        spec_name: &str,
+        starts: &[Configuration],
+        want_stats: bool,
+    ) -> (CheckOutcome, StoreStats) {
         // 1. structural acyclicity of the progress graph
         if let Some(loc) = self.find_progress_cycle() {
             let ce = Counterexample {
@@ -282,88 +307,49 @@ impl<'a> ExplicitChecker<'a> {
                     self.sys.model().location(loc).name()
                 ),
             };
-            return CheckOutcome::violated(0, 0, ce);
+            return (CheckOutcome::violated(0, 0, ce), StoreStats::default());
         }
 
         // 2. every reachable terminal configuration is a sink configuration
-        let engine = RowEngine::new(self.sys);
-        let mut store = StateStore::new(self.sys);
-        let mut frontier = Frontier::new();
-        let mut transitions = 0usize;
-        for cfg in starts {
-            let mut row = Vec::with_capacity(store.stride());
-            engine.encode_into(cfg, &mut row);
-            let (id, fresh) = store.intern_row(&row, 0, engine.hash(&row), None);
-            if fresh {
-                frontier.push(id);
+        let mut explorer = Explorer::new(self.sys, &self.options);
+        let mut visitor = NonBlockingVisitor { sys: self.sys };
+        let outcome = match explorer.run(starts, &mut visitor) {
+            Exploration::Complete => CheckOutcome::holds(explorer.states(), explorer.transitions()),
+            Exploration::TransitionBound => CheckOutcome::unknown(
+                explorer.states(),
+                explorer.transitions(),
+                "transition bound exhausted",
+            ),
+            // match the reference, which stops before storing the
+            // over-budget state
+            Exploration::StateBound => CheckOutcome::unknown(
+                explorer.states() - 1,
+                explorer.transitions(),
+                "state bound exhausted",
+            ),
+            Exploration::Violation(node) => {
+                let loc = blocked_location_in_row(self.sys, explorer.store().row(node))
+                    .expect("a violating terminal state has a blocked location");
+                let (initial, schedule) = explorer.store().reconstruct_path(node);
+                let ce = Counterexample {
+                    spec: spec_name.to_string(),
+                    params: self.sys.params().clone(),
+                    initial,
+                    schedule,
+                    explanation: format!(
+                        "a fair execution blocks with an automaton stuck in {}",
+                        self.sys.model().location(loc).name()
+                    ),
+                };
+                CheckOutcome::violated(explorer.states(), explorer.transitions(), ce)
             }
-        }
-        let mut actions: Vec<Action> = Vec::new();
-        let mut row: Vec<u8> = Vec::new();
-        while let Some(current) = frontier.pop() {
-            store.copy_row_into(current, &mut row);
-            engine.progress_actions_into(&row, &mut actions);
-            if actions.is_empty() {
-                if let Some(loc) = self.blocked_location_in_row(&row) {
-                    let (initial, schedule) = store.reconstruct_path(current);
-                    let ce = Counterexample {
-                        spec: spec_name.to_string(),
-                        params: self.sys.params().clone(),
-                        initial,
-                        schedule,
-                        explanation: format!(
-                            "a fair execution blocks with an automaton stuck in {}",
-                            self.sys.model().location(loc).name()
-                        ),
-                    };
-                    return CheckOutcome::violated(store.len(), transitions, ce);
-                }
-                continue;
-            }
-            let node_hash = store.hash64(current);
-            for &action in &actions {
-                let max_transitions = self.options.max_transitions;
-                let max_states = self.options.max_states;
-                let flow = engine.for_each_successor(
-                    &mut row,
-                    action,
-                    node_hash,
-                    |branch, _prob, succ, succ_hash| {
-                        transitions += 1;
-                        if transitions > max_transitions {
-                            return ControlFlow::Break(Stop::TransitionBound);
-                        }
-                        let step = ScheduledStep::with_branch(action, branch);
-                        let (id, fresh) =
-                            store.intern_row(succ, 0, succ_hash, Some((current, step)));
-                        if fresh {
-                            if store.len() > max_states {
-                                return ControlFlow::Break(Stop::StateBound);
-                            }
-                            frontier.push(id);
-                        }
-                        ControlFlow::Continue(())
-                    },
-                );
-                if let ControlFlow::Break(stop) = flow {
-                    return match stop {
-                        Stop::TransitionBound => CheckOutcome::unknown(
-                            store.len(),
-                            transitions,
-                            "transition bound exhausted",
-                        ),
-                        // match the reference, which stops before storing
-                        // the over-budget state
-                        _ => CheckOutcome::unknown(
-                            store.len() - 1,
-                            transitions,
-                            "state bound exhausted",
-                        ),
-                    };
-                }
-            }
-        }
-        CheckOutcome::holds(store.len(), transitions)
+        };
+        let stats = if want_stats {
+            explorer.store().stats()
+        } else {
+            StoreStats::default()
+        };
+        (outcome, stats)
     }
 
     /// Returns a location lying on a cycle of non-self-loop rules, if any.
@@ -406,15 +392,6 @@ impl<'a> ExplicitChecker<'a> {
             }
         }
         None
-    }
-
-    /// In a terminal state row, returns a location outside the sink set
-    /// (border copies) that still holds an automaton, if any.
-    fn blocked_location_in_row(&self, row: &[u8]) -> Option<ccta::LocId> {
-        let model = self.sys.model();
-        model
-            .loc_ids()
-            .find(|&l| row[l.0] > 0 && model.location(l).class() != LocClass::BorderCopy)
     }
 }
 
@@ -557,6 +534,7 @@ mod tests {
             CheckerOptions {
                 max_states: 2,
                 max_transitions: 1_000,
+                ..CheckerOptions::default()
             },
         );
         let spec = Spec::NeverFrom {
@@ -577,6 +555,7 @@ mod tests {
             CheckerOptions {
                 max_states: 1_000,
                 max_transitions: 3,
+                ..CheckerOptions::default()
             },
         );
         let spec = Spec::NeverFrom {
@@ -587,5 +566,27 @@ mod tests {
         let outcome = checker.check(&spec);
         assert_eq!(outcome.status, crate::CheckStatus::Unknown);
         assert!(outcome.detail.contains("transition"));
+    }
+
+    #[test]
+    fn stats_report_the_explored_store() {
+        let sys = sys();
+        let checker = ExplicitChecker::with_options(
+            &sys,
+            CheckerOptions {
+                shards: 4,
+                ..CheckerOptions::default()
+            },
+        );
+        let spec = Spec::NonBlocking {
+            name: "termination".into(),
+            start: StartRestriction::RoundStart,
+        };
+        let (outcome, stats) = checker.check_with_stats(&spec);
+        assert!(outcome.is_holds());
+        assert_eq!(stats.states, outcome.states_explored);
+        assert_eq!(stats.shards, 4);
+        assert!(stats.row_bytes > 0);
+        assert!(stats.index_load > 0.0);
     }
 }

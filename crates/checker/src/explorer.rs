@@ -1,0 +1,557 @@
+//! The generic exploration driver shared by every search of this crate.
+//!
+//! The monitored BFS of [`crate::explicit`], its non-blocking variant, and
+//! the game-graph construction of [`crate::game`] are all the same loop: pop
+//! a node, enumerate its applicable progress actions, expand every
+//! probabilistic branch in place on the row substrate, intern the successor
+//! into the [`StateStore`], and enqueue fresh states — they differ only in
+//! what they *observe* along the way.  [`Explorer`] owns that
+//! expand → intern → frontier cycle once, and a [`Visitor`] supplies the
+//! loop-specific observations: monitor-bit propagation, terminal-state
+//! classification, and CSR edge emission.
+//!
+//! # Deterministic in-check parallelism
+//!
+//! The explorer runs the search level-synchronously: the BFS frontier of
+//! depth *d* is fully expanded before any node of depth *d + 1*.  For a
+//! FIFO BFS this changes nothing — but it creates a natural unit of
+//! parallelism with a *deterministic global candidate order*: frontier
+//! position × action order × branch order.  A level is processed in three
+//! phases:
+//!
+//! 1. **Expand** (parallel over frontier chunks): workers generate all
+//!    successor candidates of their chunk — row bytes, incremental Zobrist
+//!    hash, monitor bits — without touching the shared index.
+//! 2. **Intern** (parallel over shards): each store shard interns *its*
+//!    candidates (selected by hash prefix, see
+//!    [`StateStore`](crate::store::StateStore)) in global candidate order,
+//!    lock-free because the shards are disjoint.
+//! 3. **Replay** (sequential, cheap): a scalar walk over the candidate
+//!    metadata in global order re-applies the budget accounting
+//!    (transition/state bounds), fires the visitor hooks, detects
+//!    violations, and builds the next frontier — exactly as the sequential
+//!    loop would have, at a few instructions per candidate.
+//!
+//! Because the candidate order, the shard partition, and the replay are all
+//! independent of the worker count, a parallel run produces *bit-identical*
+//! verdicts, state counts, transition counts, parent edges (and therefore
+//! counterexample schedules) to the sequential run — at any worker or shard
+//! count.  The `parallel_determinism` integration test pins this, and
+//! `engine_equivalence` pins the sequential semantics against
+//! [`crate::reference`].
+//!
+//! Small frontiers skip the phase machinery entirely and run the plain
+//! sequential loop (same results, no buffering or thread overhead), so a
+//! deep-but-narrow exploration pays nothing for the parallel capability.
+//!
+//! Known trade-off: a parallel level buffers every successor candidate
+//! (row bytes + ~24B metadata, duplicates included) until its replay, so
+//! peak memory is O(transitions of the widest level) rather than the
+//! sequential loop's O(states), and a level is always expanded to
+//! completion even when a budget bound trips mid-replay.  Within the
+//! default budgets this is modest; chunked intern/replay waves for
+//! extremely wide levels are a future lever (see ROADMAP).
+
+use crate::explicit::CheckerOptions;
+use crate::spec::LocSet;
+use crate::store::{Shard, StateStore, MAX_SHARDS};
+use cccounter::{Action, Configuration, CounterSystem, RowEngine, ScheduledStep};
+use std::ops::ControlFlow;
+
+/// Don't spin up worker threads for levels narrower than this; the
+/// sequential loop is faster and produces identical results.
+const MIN_PARALLEL_FRONTIER: usize = 64;
+
+/// Monitor bits of a state row: the location prefix of the row is indexed
+/// directly by `LocId`.
+pub(crate) fn row_occupancy_bits(sets: &[LocSet], row: &[u8]) -> u8 {
+    let mut bits = 0u8;
+    for (i, set) in sets.iter().enumerate() {
+        if set.locs().iter().any(|l| row[l.0] > 0) {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+/// The loop-specific observations of a search.  Read-only classification
+/// hooks (`successor_bits`, `should_expand`, `terminal_violates`) may be
+/// called from worker threads; the mutating replay hooks (`start_node`,
+/// `begin_*`/`end_*`, `edge`) are always called sequentially, in
+/// deterministic discovery order.
+pub(crate) trait Visitor: Sync {
+    /// Monitor bits of a successor row reached from a node with
+    /// `parent_bits` (also used for start rows, with `parent_bits == 0`).
+    fn successor_bits(&self, parent_bits: u8, row: &[u8]) -> u8;
+
+    /// Whether a dequeued node with these bits should be expanded at all.
+    fn should_expand(&self, _bits: u8) -> bool {
+        true
+    }
+
+    /// Whether a terminal node (no applicable progress action) violates the
+    /// property.  Must be a pure function of the row.
+    fn terminal_violates(&self, _row: &[u8]) -> bool {
+        false
+    }
+
+    /// A start configuration was interned.  Returning `true` aborts the
+    /// search with [`Exploration::Violation`] at that node.
+    fn start_node(&mut self, _node: u32, _bits: u8, _fresh: bool) -> bool {
+        false
+    }
+
+    /// A node with at least one applicable action is about to be expanded.
+    fn begin_node(&mut self, _node: u32) {}
+
+    /// An action of the current node is about to be expanded.
+    fn begin_action(&mut self, _node: u32, _action: Action) {}
+
+    /// One explored transition: `from --step--> to`, where `to_bits` are the
+    /// successor's monitor bits and `fresh` says whether `to` was newly
+    /// discovered.  Returning `true` aborts with
+    /// [`Exploration::Violation`] at `to`.
+    fn edge(
+        &mut self,
+        _from: u32,
+        _step: ScheduledStep,
+        _to: u32,
+        _to_bits: u8,
+        _fresh: bool,
+    ) -> bool {
+        false
+    }
+
+    /// All branches of the current action have been explored.
+    fn end_action(&mut self, _node: u32, _action: Action) {}
+
+    /// All actions of the current node have been explored.
+    fn end_node(&mut self, _node: u32) {}
+}
+
+/// Why an exploration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Exploration {
+    /// The full reachable space was explored.
+    Complete,
+    /// The transition budget was exhausted.
+    TransitionBound,
+    /// The state budget was exhausted.
+    StateBound,
+    /// The visitor reported a violation at this node.
+    Violation(u32),
+}
+
+/// The number of in-check worker threads for the given options: an explicit
+/// `workers` setting wins; `0` defers to the `CC_CHECK_THREADS` environment
+/// variable and then to the available parallelism.  The auto resolution is
+/// cached process-wide — `available_parallelism` reads cgroup files on
+/// Linux, which would otherwise tax every sub-millisecond check.
+pub(crate) fn resolved_workers(options: &CheckerOptions) -> usize {
+    if options.workers > 0 {
+        return options.workers;
+    }
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(v) = std::env::var("CC_CHECK_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The shard count for the given options and resolved worker count: an
+/// explicit `shards` setting wins (rounded to a power of two); `0` derives
+/// one shard per worker.  Sequential runs use a single shard.
+fn resolved_shards(options: &CheckerOptions, workers: usize) -> usize {
+    let requested = if options.shards > 0 {
+        options.shards
+    } else if workers == 1 {
+        1
+    } else {
+        workers
+    };
+    requested.clamp(1, MAX_SHARDS).next_power_of_two()
+}
+
+/// One successor candidate produced by the expand phase, in deterministic
+/// global order.  The row bytes live in the owning chunk's `rows` arena.
+struct CandMeta {
+    /// Zobrist hash of the successor row.
+    hash: u64,
+    /// Key hash (row hash with the monitor bits folded in).
+    key: u64,
+    /// Monitor bits of the successor.
+    bits: u8,
+    /// The scheduled step that produced it.
+    step: ScheduledStep,
+    /// The frontier node it was expanded from.
+    parent: u32,
+}
+
+/// Per-action candidate grouping of the expand phase.
+struct ActRec {
+    action: Action,
+    cands: u32,
+}
+
+/// Per-node action grouping of the expand phase.  `actions == 0` marks a
+/// terminal node.
+struct NodeRec {
+    node: u32,
+    actions: u32,
+    terminal_violation: bool,
+}
+
+/// Everything one worker produced for its contiguous frontier chunk.
+struct ChunkOut {
+    rows: Vec<u8>,
+    cands: Vec<CandMeta>,
+    acts: Vec<ActRec>,
+    nodes: Vec<NodeRec>,
+    /// Candidate indices per store shard, in candidate order.
+    per_shard: Vec<Vec<u32>>,
+}
+
+/// The generic expand → intern → frontier driver (see the module docs).
+pub(crate) struct Explorer<'a> {
+    engine: RowEngine<'a>,
+    store: StateStore,
+    workers: usize,
+    max_states: usize,
+    max_transitions: usize,
+    /// Replayed exploration counters: these mirror what the sequential loop
+    /// would have counted, even when a parallel level over-expands past a
+    /// budget bound before the replay detects it.
+    states: usize,
+    transitions: usize,
+}
+
+impl<'a> Explorer<'a> {
+    /// An explorer over a single-round counter system with the given
+    /// resource limits and thread/shard configuration.
+    pub(crate) fn new(sys: &'a CounterSystem, options: &CheckerOptions) -> Self {
+        let workers = resolved_workers(options);
+        let shards = resolved_shards(options, workers);
+        Explorer {
+            engine: RowEngine::new(sys),
+            store: StateStore::with_shards(sys, shards),
+            workers,
+            max_states: options.max_states,
+            max_transitions: options.max_transitions,
+            states: 0,
+            transitions: 0,
+        }
+    }
+
+    /// The store of explored states (for counterexample reconstruction,
+    /// attractor passes and occupancy stats).
+    pub(crate) fn store(&self) -> &StateStore {
+        &self.store
+    }
+
+    /// Number of distinct states the *sequential* search would have
+    /// counted when the exploration ended.
+    pub(crate) fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of transitions the sequential search would have counted.
+    pub(crate) fn transitions(&self) -> usize {
+        self.transitions
+    }
+
+    /// Runs the search from the given start configurations.
+    pub(crate) fn run<V: Visitor>(
+        &mut self,
+        starts: &[Configuration],
+        visitor: &mut V,
+    ) -> Exploration {
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut row = Vec::with_capacity(self.store.stride());
+        for cfg in starts {
+            self.engine.encode_into(cfg, &mut row);
+            let bits = visitor.successor_bits(0, &row);
+            let (id, fresh) = self
+                .store
+                .intern_row(&row, bits, self.engine.hash(&row), None);
+            if fresh {
+                self.states += 1;
+                frontier.push(id);
+            }
+            if visitor.start_node(id, bits, fresh) {
+                return Exploration::Violation(id);
+            }
+        }
+
+        let mut next: Vec<u32> = Vec::new();
+        let mut actions: Vec<Action> = Vec::new();
+        while !frontier.is_empty() {
+            let flow = if self.workers > 1 && frontier.len() >= MIN_PARALLEL_FRONTIER {
+                self.level_parallel(&frontier, &mut next, visitor)
+            } else {
+                self.level_sequential(&frontier, &mut next, &mut row, &mut actions, visitor)
+            };
+            if let ControlFlow::Break(stop) = flow {
+                return stop;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+        }
+        Exploration::Complete
+    }
+
+    /// Expands one BFS level in the plain sequential loop.  `row` and
+    /// `actions` are caller-owned scratch buffers reused across levels.
+    fn level_sequential<V: Visitor>(
+        &mut self,
+        frontier: &[u32],
+        next: &mut Vec<u32>,
+        row: &mut Vec<u8>,
+        actions: &mut Vec<Action>,
+        visitor: &mut V,
+    ) -> ControlFlow<Exploration> {
+        let Explorer {
+            engine,
+            store,
+            states,
+            transitions,
+            max_states,
+            max_transitions,
+            ..
+        } = self;
+        for &node in frontier {
+            let bits = store.bits(node);
+            if !visitor.should_expand(bits) {
+                continue;
+            }
+            store.copy_row_into(node, row);
+            engine.progress_actions_into(row, actions);
+            if actions.is_empty() {
+                if visitor.terminal_violates(row) {
+                    return ControlFlow::Break(Exploration::Violation(node));
+                }
+                continue;
+            }
+            visitor.begin_node(node);
+            let node_hash = store.hash64(node);
+            for &action in actions.iter() {
+                visitor.begin_action(node, action);
+                let flow = engine.for_each_successor(
+                    row,
+                    action,
+                    node_hash,
+                    |branch, _prob, succ, succ_hash| {
+                        *transitions += 1;
+                        if *transitions > *max_transitions {
+                            return ControlFlow::Break(Exploration::TransitionBound);
+                        }
+                        let new_bits = visitor.successor_bits(bits, succ);
+                        let step = ScheduledStep::with_branch(action, branch);
+                        let (id, fresh) =
+                            store.intern_row(succ, new_bits, succ_hash, Some((node, step)));
+                        if fresh {
+                            *states += 1;
+                            if *states > *max_states {
+                                return ControlFlow::Break(Exploration::StateBound);
+                            }
+                            next.push(id);
+                        }
+                        if visitor.edge(node, step, id, new_bits, fresh) {
+                            return ControlFlow::Break(Exploration::Violation(id));
+                        }
+                        ControlFlow::Continue(())
+                    },
+                );
+                flow?;
+                visitor.end_action(node, action);
+            }
+            visitor.end_node(node);
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Expands one BFS level with the three-phase parallel pipeline (see
+    /// the module docs).  Produces exactly the same store mutations,
+    /// visitor calls, counters and next frontier as
+    /// [`Explorer::level_sequential`].
+    fn level_parallel<V: Visitor>(
+        &mut self,
+        frontier: &[u32],
+        next: &mut Vec<u32>,
+        visitor: &mut V,
+    ) -> ControlFlow<Exploration> {
+        let num_shards = self.store.num_shards();
+        let chunk_size = frontier.len().div_ceil(self.workers);
+
+        // Phase 1: expand frontier chunks in parallel (read-only store).
+        let chunks: Vec<ChunkOut> = {
+            let (engine, store) = (&self.engine, &self.store);
+            let v: &V = visitor;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || expand_chunk(engine, store, v, chunk, num_shards))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("expand worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Phase 2: intern candidates, one thread per shard, each consuming
+        // its candidates in global order.
+        let mut interned: Vec<Vec<(u32, bool)>> = (0..num_shards).map(|_| Vec::new()).collect();
+        {
+            let stride = self.store.stride();
+            let shards = self.store.shards_mut();
+            let chunks_ref = &chunks;
+            std::thread::scope(|scope| {
+                for (tag, (shard, out)) in shards.iter_mut().zip(interned.iter_mut()).enumerate() {
+                    scope.spawn(move || intern_shard(shard, out, chunks_ref, tag, stride));
+                }
+            });
+        }
+
+        // Phase 3: sequential replay of the budget accounting and visitor
+        // hooks in global candidate order.
+        let mut cursors = vec![0usize; num_shards];
+        for chunk in &chunks {
+            let (mut act_i, mut cand_i) = (0usize, 0usize);
+            for nrec in &chunk.nodes {
+                if nrec.actions == 0 {
+                    if nrec.terminal_violation {
+                        return ControlFlow::Break(Exploration::Violation(nrec.node));
+                    }
+                    continue;
+                }
+                visitor.begin_node(nrec.node);
+                for _ in 0..nrec.actions {
+                    let arec = &chunk.acts[act_i];
+                    act_i += 1;
+                    visitor.begin_action(nrec.node, arec.action);
+                    for _ in 0..arec.cands {
+                        let m = &chunk.cands[cand_i];
+                        cand_i += 1;
+                        let shard = self.store.shard_of(m.key);
+                        let (id, fresh) = interned[shard][cursors[shard]];
+                        cursors[shard] += 1;
+                        self.transitions += 1;
+                        if self.transitions > self.max_transitions {
+                            return ControlFlow::Break(Exploration::TransitionBound);
+                        }
+                        if fresh {
+                            self.states += 1;
+                            if self.states > self.max_states {
+                                return ControlFlow::Break(Exploration::StateBound);
+                            }
+                            next.push(id);
+                        }
+                        if visitor.edge(nrec.node, m.step, id, m.bits, fresh) {
+                            return ControlFlow::Break(Exploration::Violation(id));
+                        }
+                    }
+                    visitor.end_action(nrec.node, arec.action);
+                }
+                visitor.end_node(nrec.node);
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Phase-1 worker: expands a contiguous frontier chunk into candidate
+/// records without touching the shared index.
+fn expand_chunk<V: Visitor>(
+    engine: &RowEngine<'_>,
+    store: &StateStore,
+    visitor: &V,
+    chunk: &[u32],
+    num_shards: usize,
+) -> ChunkOut {
+    let stride = store.stride();
+    let mut out = ChunkOut {
+        rows: Vec::with_capacity(chunk.len() * stride),
+        cands: Vec::with_capacity(chunk.len()),
+        acts: Vec::new(),
+        nodes: Vec::with_capacity(chunk.len()),
+        per_shard: (0..num_shards).map(|_| Vec::new()).collect(),
+    };
+    let mut row: Vec<u8> = Vec::with_capacity(stride);
+    let mut actions: Vec<Action> = Vec::new();
+    for &node in chunk {
+        let bits = store.bits(node);
+        if !visitor.should_expand(bits) {
+            continue;
+        }
+        store.copy_row_into(node, &mut row);
+        engine.progress_actions_into(&row, &mut actions);
+        if actions.is_empty() {
+            out.nodes.push(NodeRec {
+                node,
+                actions: 0,
+                terminal_violation: visitor.terminal_violates(&row),
+            });
+            continue;
+        }
+        let node_hash = store.hash64(node);
+        for &action in &actions {
+            let cands_before = out.cands.len();
+            let _: ControlFlow<()> = engine.for_each_successor(
+                &mut row,
+                action,
+                node_hash,
+                |branch, _prob, succ, succ_hash| {
+                    let new_bits = visitor.successor_bits(bits, succ);
+                    let key = StateStore::key_hash(succ_hash, new_bits);
+                    let idx = out.cands.len() as u32;
+                    out.per_shard[store.shard_of(key)].push(idx);
+                    out.rows.extend_from_slice(succ);
+                    out.cands.push(CandMeta {
+                        hash: succ_hash,
+                        key,
+                        bits: new_bits,
+                        step: ScheduledStep::with_branch(action, branch),
+                        parent: node,
+                    });
+                    ControlFlow::Continue(())
+                },
+            );
+            out.acts.push(ActRec {
+                action,
+                cands: (out.cands.len() - cands_before) as u32,
+            });
+        }
+        out.nodes.push(NodeRec {
+            node,
+            actions: actions.len() as u32,
+            terminal_violation: false,
+        });
+    }
+    out
+}
+
+/// Phase-2 worker: interns shard `tag`'s candidates in global candidate
+/// order (chunks in order, per-chunk shard lists in order).
+fn intern_shard(
+    shard: &mut Shard,
+    out: &mut Vec<(u32, bool)>,
+    chunks: &[ChunkOut],
+    tag: usize,
+    stride: usize,
+) {
+    for chunk in chunks {
+        for &ci in &chunk.per_shard[tag] {
+            let m = &chunk.cands[ci as usize];
+            let row = &chunk.rows[ci as usize * stride..(ci as usize + 1) * stride];
+            out.push(shard.intern(row, m.bits, m.hash, m.key, Some((m.parent, m.step))));
+        }
+    }
+}

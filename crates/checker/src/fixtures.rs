@@ -123,3 +123,27 @@ pub fn blocking_model() -> SystemModel {
 pub fn small_params() -> ParamValuation {
     ParamValuation::new(vec![4, 1, 1, 1])
 }
+
+/// The benchmark valuation of a single-round model: the smallest admissible
+/// valuation (parameter values up to 8) with two or three modelled
+/// processes and at most one coin, using the same Byzantine-first
+/// preference key as `cccore::VerifierConfig::select_valuations` (which
+/// lives a layer above this crate and applies its own configured bounds).
+/// Shared by the `engine_equivalence` and `parallel_determinism` suites so
+/// both pin the same state spaces.
+pub fn benchmark_valuation(model: &SystemModel) -> ParamValuation {
+    let env = model.env();
+    let f_id = env.param_id("f");
+    env.admissible_valuations(8)
+        .into_iter()
+        .filter(|v| {
+            env.system_size(v)
+                .is_some_and(|s| s.processes >= 2 && s.processes <= 3 && s.coins <= 1)
+        })
+        .min_by_key(|v| {
+            let byz = f_id.map(|f| v.value(f) >= 1).unwrap_or(false);
+            let procs = env.system_size(v).map(|s| s.processes).unwrap_or(u64::MAX);
+            (std::cmp::Reverse(byz as u8), procs, v.values().to_vec())
+        })
+        .expect("admissible benchmark valuation")
+}

@@ -16,26 +16,30 @@
 //! start configuration.  On the finite single-round graph this is decided by
 //! a standard attractor computation.
 //!
-//! The forward game-graph construction runs on the same packed-state engine
-//! as the explicit checker: nodes are byte rows interned in a [`StateStore`]
-//! arena keyed by the incremental Zobrist hash, successors are generated
-//! with the in-place delta expansion of
-//! [`RowEngine::for_each_successor`], and the game graph itself is stored
-//! in flat CSR arenas for the O(edges) worklist attractor pass.
+//! The forward game-graph construction is a [`Visitor`] over the generic
+//! [`crate::explorer::Explorer`] driver — the same engine (and the same
+//! deterministic in-check parallelism) as the explicit checker —
+//! accumulating the game graph in flat CSR arenas as the driver replays
+//! edges in discovery order.  The backward attractor pass then runs an
+//! O(edges) worklist over those arenas.
 
 use crate::counterexample::Counterexample;
-use crate::explicit::ExplicitChecker;
+use crate::explorer::{row_occupancy_bits, Exploration, Explorer, Visitor};
 use crate::result::CheckOutcome;
 use crate::spec::LocSet;
-use crate::store::{Frontier, StateStore};
+use crate::store::{StateStore, StoreStats};
 use crate::CheckerOptions;
-use cccounter::{Action, Configuration, CounterSystem, RowEngine, Schedule, ScheduledStep};
-use std::ops::ControlFlow;
+use cccounter::{Action, Configuration, CounterSystem, Schedule, ScheduledStep};
 
 /// The explored game graph in flat CSR form: every node owns a span of
 /// actions, every action owns a span of edges (`(scheduled step, successor)`
 /// per branch).  Nodes are expanded in discovery order, so all three arenas
 /// are append-only — no per-node or per-action `Vec` allocation.
+///
+/// `node_spans` is indexed by the store's node ids; with a sharded store
+/// those interleave the shard tag, so the array is grown on demand (ids stay
+/// near-dense as long as the shards stay balanced) and unexpanded nodes
+/// read back an empty span.
 #[derive(Default)]
 struct GameGraph {
     /// Per node: `(start, end)` span into `action_nodes`/`action_spans`.
@@ -51,7 +55,11 @@ struct GameGraph {
 impl GameGraph {
     /// The actions of a node, as indices into the action arenas.
     fn actions_of(&self, node: u32) -> std::ops::Range<usize> {
-        let (start, end) = self.node_spans[node as usize];
+        let (start, end) = self
+            .node_spans
+            .get(node as usize)
+            .copied()
+            .unwrap_or((0, 0));
         start as usize..end as usize
     }
 
@@ -59,6 +67,68 @@ impl GameGraph {
     fn edges_of(&self, action: usize) -> &[(ScheduledStep, u32)] {
         let (start, end) = self.action_spans[action];
         &self.edge_list[start as usize..end as usize]
+    }
+}
+
+/// The game-graph construction visitor: records every explored edge in CSR
+/// form and stops expanding nodes that are already losing for the coin.
+struct GameVisitor<'s> {
+    sets: &'s [LocSet],
+    all_bits: u8,
+    graph: GameGraph,
+    start_ids: Vec<u32>,
+    actions_start: u32,
+    edges_start: u32,
+}
+
+impl Visitor for GameVisitor<'_> {
+    fn successor_bits(&self, parent_bits: u8, row: &[u8]) -> u8 {
+        parent_bits | row_occupancy_bits(self.sets, row)
+    }
+
+    fn should_expand(&self, bits: u8) -> bool {
+        // already losing for the coin; no need to expand further
+        bits != self.all_bits
+    }
+
+    fn start_node(&mut self, node: u32, _bits: u8, _fresh: bool) -> bool {
+        self.start_ids.push(node);
+        false
+    }
+
+    fn begin_node(&mut self, _node: u32) {
+        self.actions_start = self.graph.action_spans.len() as u32;
+    }
+
+    fn begin_action(&mut self, _node: u32, _action: Action) {
+        self.edges_start = self.graph.edge_list.len() as u32;
+    }
+
+    fn edge(
+        &mut self,
+        _from: u32,
+        step: ScheduledStep,
+        to: u32,
+        _to_bits: u8,
+        _fresh: bool,
+    ) -> bool {
+        self.graph.edge_list.push((step, to));
+        false
+    }
+
+    fn end_action(&mut self, node: u32, _action: Action) {
+        self.graph.action_nodes.push(node);
+        self.graph
+            .action_spans
+            .push((self.edges_start, self.graph.edge_list.len() as u32));
+    }
+
+    fn end_node(&mut self, node: u32) {
+        if self.graph.node_spans.len() <= node as usize {
+            self.graph.node_spans.resize(node as usize + 1, (0, 0));
+        }
+        self.graph.node_spans[node as usize] =
+            (self.actions_start, self.graph.action_spans.len() as u32);
     }
 }
 
@@ -71,6 +141,18 @@ pub fn check_exists_avoid(
     sets: &[LocSet],
     options: &CheckerOptions,
 ) -> CheckOutcome {
+    check_exists_avoid_impl(sys, spec_name, starts, sets, options, false).0
+}
+
+/// [`check_exists_avoid`] with optional store occupancy statistics.
+pub(crate) fn check_exists_avoid_impl(
+    sys: &CounterSystem,
+    spec_name: &str,
+    starts: &[Configuration],
+    sets: &[LocSet],
+    options: &CheckerOptions,
+    want_stats: bool,
+) -> (CheckOutcome, StoreStats) {
     assert!(
         !sets.is_empty() && sets.len() <= 8,
         "between 1 and 8 tracked location sets are supported"
@@ -78,107 +160,75 @@ pub fn check_exists_avoid(
     let all_bits: u8 = ((1u16 << sets.len()) - 1) as u8;
 
     // ---------------- forward exploration of the game graph ----------------
-    let engine = RowEngine::new(sys);
-    let mut store = StateStore::new(sys);
-    let mut graph = GameGraph::default();
-    let mut frontier = Frontier::new();
-    let mut start_ids = Vec::new();
-    let mut transitions = 0usize;
-
-    for cfg in starts {
-        let mut start_row = Vec::with_capacity(store.stride());
-        engine.encode_into(cfg, &mut start_row);
-        let bits = ExplicitChecker::row_occupancy_bits(sets, &start_row);
-        let (id, fresh) = store.intern_row(&start_row, bits, engine.hash(&start_row), None);
-        if fresh {
-            graph.node_spans.push((0, 0));
-            frontier.push(id);
+    let mut explorer = Explorer::new(sys, options);
+    let mut visitor = GameVisitor {
+        sets,
+        all_bits,
+        graph: GameGraph::default(),
+        start_ids: Vec::new(),
+        actions_start: 0,
+        edges_start: 0,
+    };
+    let exploration = explorer.run(starts, &mut visitor);
+    let stats = if want_stats {
+        explorer.store().stats()
+    } else {
+        StoreStats::default()
+    };
+    match exploration {
+        Exploration::Complete => {}
+        Exploration::TransitionBound => {
+            return (
+                CheckOutcome::unknown(
+                    explorer.states(),
+                    explorer.transitions(),
+                    "transition bound exhausted",
+                ),
+                stats,
+            )
         }
-        start_ids.push(id);
+        // match the reference, which stops before storing the over-budget
+        // state
+        Exploration::StateBound => {
+            return (
+                CheckOutcome::unknown(
+                    explorer.states() - 1,
+                    explorer.transitions(),
+                    "state bound exhausted",
+                ),
+                stats,
+            )
+        }
+        Exploration::Violation(_) => unreachable!("the game visitor never reports violations"),
     }
 
-    enum Stop {
-        TransitionBound,
-        StateBound,
-    }
-
-    let mut actions: Vec<Action> = Vec::new();
-    let mut row: Vec<u8> = Vec::new();
-    while let Some(current) = frontier.pop() {
-        let bits = store.bits(current);
-        if bits == all_bits {
-            // already losing for the coin; no need to expand further
-            continue;
-        }
-        store.copy_row_into(current, &mut row);
-        let node_hash = store.hash64(current);
-        engine.progress_actions_into(&row, &mut actions);
-        let actions_start = graph.action_spans.len() as u32;
-        for &action in &actions {
-            let edges_start = graph.edge_list.len() as u32;
-            let flow = engine.for_each_successor(
-                &mut row,
-                action,
-                node_hash,
-                |branch, _prob, succ, succ_hash| {
-                    transitions += 1;
-                    if transitions > options.max_transitions {
-                        return ControlFlow::Break(Stop::TransitionBound);
-                    }
-                    let new_bits = bits | ExplicitChecker::row_occupancy_bits(sets, succ);
-                    let (id, fresh) = store.intern_row(succ, new_bits, succ_hash, None);
-                    if fresh {
-                        if store.len() > options.max_states {
-                            return ControlFlow::Break(Stop::StateBound);
-                        }
-                        graph.node_spans.push((0, 0));
-                        frontier.push(id);
-                    }
-                    graph
-                        .edge_list
-                        .push((ScheduledStep::with_branch(action, branch), id));
-                    ControlFlow::Continue(())
-                },
-            );
-            if let ControlFlow::Break(stop) = flow {
-                return match stop {
-                    Stop::TransitionBound => CheckOutcome::unknown(
-                        store.len(),
-                        transitions,
-                        "transition bound exhausted",
-                    ),
-                    // match the reference, which stops before storing the
-                    // over-budget state
-                    Stop::StateBound => {
-                        CheckOutcome::unknown(store.len() - 1, transitions, "state bound exhausted")
-                    }
-                };
-            }
-            graph.action_nodes.push(current);
-            graph
-                .action_spans
-                .push((edges_start, graph.edge_list.len() as u32));
-        }
-        graph.node_spans[current as usize] = (actions_start, graph.action_spans.len() as u32);
-    }
+    let store = explorer.store();
+    let graph = &visitor.graph;
+    let (states, transitions) = (explorer.states(), explorer.transitions());
 
     // ---------------- backward attractor for the adversary ----------------
     // winning[i] = the adversary can force all resolutions from node i to a
     // node whose bits cover every tracked set.  Computed with a worklist in
     // O(edges): `pending[a]` counts the not-yet-winning successors of action
     // `a`; an action whose count reaches zero forces its node.
-    let mut winning: Vec<bool> = (0..store.len())
-        .map(|i| store.bits(i as u32) == all_bits)
-        .collect();
+    let id_bound = store.id_bound();
+    let mut winning: Vec<bool> = vec![false; id_bound];
+    let mut worklist: Vec<u32> = Vec::new();
+    for id in store.ids() {
+        if store.bits(id) == all_bits {
+            winning[id as usize] = true;
+            worklist.push(id);
+        }
+    }
     {
         // flat predecessor arena, one entry per edge (duplicates intended:
         // an action with two branches into the same successor must
         // decrement twice), built with a two-pass counting sort
-        let mut pred_offsets: Vec<u32> = vec![0; store.len() + 1];
+        let mut pred_offsets: Vec<u32> = vec![0; id_bound + 1];
         for &(_, succ) in &graph.edge_list {
             pred_offsets[succ as usize + 1] += 1;
         }
-        for i in 0..store.len() {
+        for i in 0..id_bound {
             pred_offsets[i + 1] += pred_offsets[i];
         }
         let mut pred_actions: Vec<u32> = vec![0; graph.edge_list.len()];
@@ -192,9 +242,6 @@ pub fn check_exists_avoid(
                 *slot += 1;
             }
         }
-        let mut worklist: Vec<u32> = (0..store.len() as u32)
-            .filter(|&i| winning[i as usize])
-            .collect();
         while let Some(w) = worklist.pop() {
             let span = pred_offsets[w as usize] as usize..pred_offsets[w as usize + 1] as usize;
             for &action in &pred_actions[span] {
@@ -213,10 +260,10 @@ pub fn check_exists_avoid(
         }
     }
 
-    match start_ids.iter().find(|&&s| winning[s as usize]) {
-        None => CheckOutcome::holds(store.len(), transitions),
+    let outcome = match visitor.start_ids.iter().find(|&&s| winning[s as usize]) {
+        None => CheckOutcome::holds(states, transitions),
         Some(&bad_start) => {
-            let schedule = extract_strategy_path(&store, &graph, &winning, bad_start, all_bits);
+            let schedule = extract_strategy_path(store, graph, &winning, bad_start, all_bits);
             let ce = Counterexample {
                 spec: spec_name.to_string(),
                 params: sys.params().clone(),
@@ -230,9 +277,10 @@ pub fn check_exists_avoid(
                         .join(", ")
                 ),
             };
-            CheckOutcome::violated(store.len(), transitions, ce)
+            CheckOutcome::violated(states, transitions, ce)
         }
-    }
+    };
+    (outcome, stats)
 }
 
 /// Follows the adversary's winning strategy (taking the first branch at every

@@ -22,17 +22,19 @@
 //!   valuations, which is the bounded-parameter substitute for ByMC's fully
 //!   parameterized reasoning.
 //!
-//! # Engine architecture
+//! # Engine architecture: one driver, three visitors
 //!
 //! The paper's headline results are wall-clock checking times, so this crate
 //! treats exploration throughput as part of the reproduced artifact.  All
-//! search loops (monitored BFS, non-blocking check, game-graph construction)
-//! share one engine:
+//! three searches — the monitored BFS and the non-blocking check of
+//! [`explicit`], and the game-graph construction of [`game`] — are *visitors*
+//! over a single generic driver, [`explorer::Explorer`], which owns the
+//! expand → intern → frontier cycle:
 //!
 //! * **Packed state rows** ([`store::StateStore`]) — a single-round state
 //!   is one fixed-stride byte row (`locations ++ variables`,
-//!   [`cccounter::RowEngine`]); visited rows live back to back in one
-//!   contiguous arena, deduplicated through a flat open-addressing index
+//!   [`cccounter::RowEngine`]); visited rows live back to back in
+//!   contiguous arenas, deduplicated through flat open-addressing indexes
 //!   keyed by an incrementally-maintained Zobrist hash.  A duplicate
 //!   lookup is one probe plus a `memcmp` — no allocation, no re-hashing;
 //!   full configurations are decoded back only for counterexample
@@ -42,19 +44,45 @@
 //!   in place on a scratch row, updating the state hash in O(1) per delta;
 //!   guards evaluate straight off the row with their parameter bounds
 //!   pre-evaluated at system construction.
-//! * **Parallel sweep** ([`sweep::check_over_sweep`]) — the
-//!   `query × valuation` grid fans out over a scoped worker pool with
-//!   deterministic report assembly and early cancellation after a
-//!   violation.
+//! * **Deterministic in-check parallelism** ([`explorer`]) — the store is
+//!   sharded by hash prefix and the driver explores level-synchronously:
+//!   worker threads expand frontier chunks and intern into disjoint shards
+//!   lock-free, and a cheap sequential replay in the deterministic global
+//!   candidate order re-applies budgets and visitor hooks.  Verdicts,
+//!   state counts, transition counts and counterexample schedules are
+//!   bit-identical at every worker and shard count.
+//! * **Two-level parallel sweep** ([`sweep::check_over_sweep`]) — the
+//!   `query × valuation` grid fans out over a scoped worker pool, and the
+//!   thread budget left over after covering the grid is handed to the
+//!   in-check workers of each cell.  Reports are deterministic; cells
+//!   cancelled after an earlier violation appear as explicit skipped
+//!   outcomes.
+//!
+//! # Thread-budget precedence
+//!
+//! From strongest to weakest:
+//!
+//! 1. Explicit configuration: [`CheckerOptions::workers`] /
+//!    [`CheckerOptions::shards`] for one check,
+//!    [`sweep::check_over_sweep_with_threads`]'s budget (fed by
+//!    `VerifierConfig::threads` and the `--threads` flag of the `table2` /
+//!    `profile_engine` binaries) for a sweep.
+//! 2. Environment: `CC_CHECK_THREADS` (in-check workers when
+//!    `CheckerOptions::workers == 0`), `CC_SWEEP_THREADS` (total sweep
+//!    budget when none was configured).
+//! 3. The available parallelism of the machine.
 //!
 //! [`reference`] preserves the original clone-per-transition engine
 //! (`HashMap<(Vec<u8>, u8), usize>` keys, per-branch `Configuration`
-//! clones); the `engine_equivalence` integration tests assert that both
-//! engines visit the same number of states and transitions and return the
-//! same verdicts, and the `table2_checking` bench measures the speedup.
+//! clones); the `engine_equivalence` integration tests assert that the
+//! engine visits the same number of states and transitions and returns the
+//! same verdicts on all eight Table II protocols, the `parallel_determinism`
+//! tests pin sequential-vs-parallel equality, and the `table2_checking` /
+//! `scaling` benches measure the speedup and the worker scaling.
 
 pub mod counterexample;
 pub mod explicit;
+pub(crate) mod explorer;
 pub mod game;
 pub mod reference;
 pub mod result;
@@ -77,5 +105,7 @@ pub use schema::{
     Milestone,
 };
 pub use spec::{LocSet, Spec, StartRestriction};
-pub use store::{Frontier, StateStore};
-pub use sweep::{check_over_sweep, check_over_sweep_with_threads, SweepOutcome, SweepReport};
+pub use store::{StateStore, StoreStats};
+pub use sweep::{
+    check_over_sweep, check_over_sweep_with_threads, sweep_thread_budget, SweepOutcome, SweepReport,
+};

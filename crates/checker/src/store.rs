@@ -1,30 +1,43 @@
-//! The shared state store of the explicit-state engine.
+//! The shared, shardable state store of the explicit-state engine.
 //!
-//! All three search loops of this crate — the monitored BFS of
-//! [`crate::explicit`], its non-blocking variant, and the game-graph
-//! construction of [`crate::game`] — need the same bookkeeping: dedup
-//! visited `(configuration, monitor-bits)` states, remember how each state
-//! was reached, and decode stored states back for counterexample
+//! Every search of this crate runs through the generic
+//! [`crate::explorer::Explorer`] driver, and the driver's bookkeeping lives
+//! here: dedup visited `(configuration, monitor-bits)` states, remember how
+//! each state was reached, and decode stored states back for counterexample
 //! reconstruction.  [`StateStore`] centralises that bookkeeping around the
 //! row representation of [`cccounter::RowEngine`]:
 //!
 //! * **Contiguous packed rows.**  A single-round state is one fixed-stride
-//!   byte row (`locations ++ variables`), so the store keeps all visited
-//!   states in one contiguous `Vec<u8>` arena — no per-node boxing, no
+//!   byte row (`locations ++ variables`), so each shard keeps its states in
+//!   one contiguous `Vec<u8>` arena — no per-node boxing, no
 //!   `Configuration` clone next to a separate `Vec<u8>` hash-map key, and
 //!   duplicate detection is a single `memcmp` against the arena.
-//! * **A u64-keyed open-addressing index.**  Dedup probes a flat
+//! * **A u64-keyed open-addressing index per shard.**  Dedup probes a flat
 //!   quadratic-probing table keyed by the incremental Zobrist hash that the
 //!   row engine maintains across delta application; no SipHash, no
 //!   re-hashing of the full state per lookup.
+//! * **Hash-prefix sharding.**  The store is split into `2^k` shards; a
+//!   state belongs to the shard selected by the *top* bits of its key hash
+//!   (the index probes use the low bits, so the two never interfere).  The
+//!   shard of a state is a pure function of its content, which makes the
+//!   partition — and therefore every derived count — independent of how
+//!   many worker threads fill the store.  Worker threads intern into
+//!   disjoint shards without locks; node ids interleave the shard tag in
+//!   the low bits (`local_index << shard_bits | shard`) so ids stay dense
+//!   as long as the shards stay balanced.
 //!
 //! Full [`Configuration`]s are decoded back on demand only — for expansion
 //! entry points and counterexample reconstruction.
 
 use cccounter::{Configuration, CounterSystem, RowEngine, Schedule, ScheduledStep};
+use std::fmt;
 
 /// Marker for an empty slot of the index table.
 const EMPTY: u32 = u32::MAX;
+
+/// Hard cap on the shard count (a power of two; beyond this the per-shard
+/// index tables get too small to be worth the fan-out).
+pub(crate) const MAX_SHARDS: usize = 64;
 
 /// A flat open-addressing hash index mapping 64-bit hashes to node ids.
 ///
@@ -94,15 +107,34 @@ impl RawTable {
             self.slots[idx] = (hash, id);
         }
     }
+
+    /// The longest probe sequence of any stored entry (0 = every entry sits
+    /// in its home slot).  Recomputed on demand for [`StoreStats`].
+    fn max_probe(&self) -> usize {
+        let mut max = 0;
+        for (slot_idx, &(hash, id)) in self.slots.iter().enumerate() {
+            if id == EMPTY {
+                continue;
+            }
+            let mut idx = hash as usize & self.mask;
+            let mut step = 0usize;
+            while idx != slot_idx {
+                step += 1;
+                idx = (idx + step) & self.mask;
+            }
+            max = max.max(step);
+        }
+        max
+    }
 }
 
-/// Deduplicating storage of the explored `(state row, bits)` graph.
-pub struct StateStore {
-    num_locations: usize,
-    num_vars: usize,
-    stride: usize,
+/// One shard of the store: a private row arena plus its own index table.
+/// The explorer's intern phase hands each worker thread exclusive `&mut`
+/// access to one shard, so filling the store in parallel needs no locks.
+#[derive(Debug)]
+pub(crate) struct Shard {
     table: RawTable,
-    /// All stored rows, back to back (`node id * stride` offsets).
+    /// All stored rows, back to back (`local id * stride` offsets).
     rows: Vec<u8>,
     /// Monitor bits per node (0 when unused).
     bits: Vec<u8>,
@@ -110,38 +142,228 @@ pub struct StateStore {
     hashes: Vec<u64>,
     /// First-discovery parent edge per node.
     parents: Vec<Option<(u32, ScheduledStep)>>,
+    /// Bytes per row (mirrors the owning store).
+    stride: usize,
+    /// This shard's index, stored in the low bits of every node id.
+    tag: u32,
+    /// `log2` of the owning store's shard count.
+    shard_bits: u32,
 }
 
-impl StateStore {
-    /// An empty store for states of the given (single-round) counter system.
-    pub fn new(sys: &CounterSystem) -> Self {
-        let num_locations = sys.model().locations().len();
-        let num_vars = sys.model().vars().len();
-        StateStore {
-            num_locations,
-            num_vars,
-            stride: num_locations + num_vars,
+impl Shard {
+    fn new(stride: usize, tag: u32, shard_bits: u32) -> Self {
+        Shard {
             table: RawTable::with_capacity(64),
             rows: Vec::new(),
             bits: Vec::new(),
             hashes: Vec::new(),
             parents: Vec::new(),
+            stride,
+            tag,
+            shard_bits,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Interns a `(row, bits)` state into this shard, returning its *global*
+    /// node id (`local << shard_bits | tag`) and whether it was fresh.
+    /// `key_hash` must select this shard under the owning store's
+    /// [`StateStore::shard_of`].
+    pub(crate) fn intern(
+        &mut self,
+        row: &[u8],
+        bits: u8,
+        hash: u64,
+        key_hash: u64,
+        parent: Option<(u32, ScheduledStep)>,
+    ) -> (u32, bool) {
+        let stride = self.stride;
+        debug_assert_eq!(row.len(), stride);
+        let (rows, bits_arr) = (&self.rows, &self.bits);
+        match self.table.probe(key_hash, |local| {
+            bits_arr[local as usize] == bits
+                && &rows[local as usize * stride..(local as usize + 1) * stride] == row
+        }) {
+            Ok(local) => ((local << self.shard_bits) | self.tag, false),
+            Err(slot) => {
+                let local = self.bits.len() as u32;
+                // a real assert: `local << shard_bits` wrapping in release
+                // would silently alias node ids and corrupt verdicts
+                assert!(
+                    (local as u64) << self.shard_bits <= u32::MAX as u64,
+                    "node id space exhausted ({} states in shard {} of {})",
+                    local,
+                    self.tag,
+                    1u32 << self.shard_bits,
+                );
+                self.rows.extend_from_slice(row);
+                self.bits.push(bits);
+                self.hashes.push(hash);
+                self.parents.push(parent);
+                self.table.insert_at(slot, key_hash, local);
+                if self.table.needs_grow() {
+                    self.table.grow();
+                }
+                ((local << self.shard_bits) | self.tag, true)
+            }
+        }
+    }
+}
+
+/// Occupancy statistics of a [`StateStore`], used to guide shard-count
+/// defaults (printed by the `profile_engine` binary).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreStats {
+    /// Number of stored states.
+    pub states: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// Total bytes of the row arenas.
+    pub row_bytes: usize,
+    /// Total slots across all shard index tables.
+    pub index_slots: usize,
+    /// Occupied fraction of the index tables (0.0–1.0).
+    pub index_load: f64,
+    /// Longest probe sequence of any index entry.
+    pub max_probe_len: usize,
+    /// States in the emptiest shard (shard balance floor).
+    pub min_shard_len: usize,
+    /// States in the fullest shard (shard balance ceiling).
+    pub max_shard_len: usize,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states in {} shard(s) ({}..{} per shard), {} row bytes, \
+             index load {:.2} over {} slots, max probe {}",
+            self.states,
+            self.shards,
+            self.min_shard_len,
+            self.max_shard_len,
+            self.row_bytes,
+            self.index_load,
+            self.index_slots,
+            self.max_probe_len
+        )
+    }
+}
+
+/// Deduplicating storage of the explored `(state row, bits)` graph, split
+/// into `2^shard_bits` hash-prefix shards (see the module docs).
+pub struct StateStore {
+    num_locations: usize,
+    num_vars: usize,
+    stride: usize,
+    shard_bits: u32,
+    shards: Vec<Shard>,
+}
+
+impl StateStore {
+    /// An empty single-shard store for states of the given (single-round)
+    /// counter system.
+    pub fn new(sys: &CounterSystem) -> Self {
+        Self::with_shards(sys, 1)
+    }
+
+    /// An empty store with (at least) the requested number of shards,
+    /// rounded up to a power of two and capped at 64.
+    ///
+    /// The hash-prefix partition makes the stored content of every shard —
+    /// and all derived counts — a pure function of the interned state set,
+    /// never of the thread interleaving that filled it.
+    pub fn with_shards(sys: &CounterSystem, shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let num_locations = sys.model().locations().len();
+        let num_vars = sys.model().vars().len();
+        let stride = num_locations + num_vars;
+        let shard_bits = shards.trailing_zeros();
+        StateStore {
+            num_locations,
+            num_vars,
+            stride,
+            shard_bits,
+            shards: (0..shards)
+                .map(|tag| Shard::new(stride, tag as u32, shard_bits))
+                .collect(),
         }
     }
 
     /// Number of stored states.
     pub fn len(&self) -> usize {
-        self.bits.len()
+        self.shards.iter().map(Shard::len).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.shards.iter().all(|s| s.bits.is_empty())
     }
 
     /// Bytes per stored row.
     pub fn stride(&self) -> usize {
         self.stride
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// An exclusive upper bound on the node ids currently in use.  With
+    /// balanced shards this is close to [`StateStore::len`], so it is safe
+    /// to use as the length of id-indexed side arrays.
+    pub fn id_bound(&self) -> usize {
+        self.shards
+            .iter()
+            .map(Shard::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_mul(self.shards.len())
+    }
+
+    /// All node ids currently in use, grouped by shard (the order is *not*
+    /// discovery order).
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        let bits = self.shard_bits;
+        self.shards.iter().enumerate().flat_map(move |(tag, s)| {
+            (0..s.len() as u32).map(move |local| (local << bits) | tag as u32)
+        })
+    }
+
+    /// The key hash of a `(row hash, monitor bits)` pair: the monitor bits
+    /// are folded into the Zobrist row hash so states differing only in
+    /// bits dedup separately.
+    #[inline]
+    pub(crate) fn key_hash(hash: u64, bits: u8) -> u64 {
+        hash ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(bits as u64 + 1))
+    }
+
+    /// The shard owning a key hash (selected by its top bits; the index
+    /// tables probe with the low bits).
+    #[inline]
+    pub(crate) fn shard_of(&self, key_hash: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (key_hash >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    #[inline]
+    fn split(&self, id: u32) -> (&Shard, usize) {
+        let tag = (id as usize) & (self.shards.len() - 1);
+        (&self.shards[tag], (id >> self.shard_bits) as usize)
+    }
+
+    /// The shard arenas, for the explorer's parallel intern phase.  Shard
+    /// `k` must only be handed candidates whose [`StateStore::shard_of`]
+    /// is `k`, in deterministic candidate order.
+    pub(crate) fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
     }
 
     /// Interns a `(row, bits)` state: returns its id and whether it was
@@ -159,33 +381,15 @@ impl StateStore {
         hash: u64,
         parent: Option<(u32, ScheduledStep)>,
     ) -> (u32, bool) {
-        debug_assert_eq!(row.len(), self.stride);
-        // fold the monitor bits into the key hash
-        let key_hash = hash ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(bits as u64 + 1));
-        let (rows, bits_arr, stride) = (&self.rows, &self.bits, self.stride);
-        match self.table.probe(key_hash, |id| {
-            bits_arr[id as usize] == bits
-                && &rows[id as usize * stride..(id as usize + 1) * stride] == row
-        }) {
-            Ok(id) => (id, false),
-            Err(slot) => {
-                let id = self.bits.len() as u32;
-                self.rows.extend_from_slice(row);
-                self.bits.push(bits);
-                self.hashes.push(hash);
-                self.parents.push(parent);
-                self.table.insert_at(slot, key_hash, id);
-                if self.table.needs_grow() {
-                    self.table.grow();
-                }
-                (id, true)
-            }
-        }
+        let key_hash = Self::key_hash(hash, bits);
+        let tag = self.shard_of(key_hash);
+        self.shards[tag].intern(row, bits, hash, key_hash, parent)
     }
 
     /// The stored row of a node.
     pub fn row(&self, id: u32) -> &[u8] {
-        &self.rows[id as usize * self.stride..(id as usize + 1) * self.stride]
+        let (shard, local) = self.split(id);
+        &shard.rows[local * self.stride..(local + 1) * self.stride]
     }
 
     /// Copies a stored row into a scratch buffer (resized to the stride).
@@ -196,17 +400,20 @@ impl StateStore {
 
     /// The monitor bits of a node.
     pub fn bits(&self, id: u32) -> u8 {
-        self.bits[id as usize]
+        let (shard, local) = self.split(id);
+        shard.bits[local]
     }
 
     /// The Zobrist hash of a node's row.
     pub fn hash64(&self, id: u32) -> u64 {
-        self.hashes[id as usize]
+        let (shard, local) = self.split(id);
+        shard.hashes[local]
     }
 
     /// The first-discovery parent edge of a node.
     pub fn parent(&self, id: u32) -> Option<(u32, ScheduledStep)> {
-        self.parents[id as usize]
+        let (shard, local) = self.split(id);
+        shard.parents[local]
     }
 
     /// Decodes a stored row back into a full round-0 configuration.
@@ -220,7 +427,7 @@ impl StateStore {
     pub fn reconstruct_path(&self, target: u32) -> (Configuration, Schedule) {
         let mut steps = Vec::new();
         let mut current = target;
-        while let Some((parent, step)) = self.parents[current as usize] {
+        while let Some((parent, step)) = self.parent(current) {
             steps.push(step);
             current = parent;
         }
@@ -242,31 +449,31 @@ impl StateStore {
         let hash = engine.hash(&row);
         self.intern_row(&row, bits, hash, parent)
     }
-}
 
-/// A FIFO frontier of node ids (BFS work list with an advancing head).
-#[derive(Debug, Default)]
-pub struct Frontier {
-    queue: Vec<u32>,
-    head: usize,
-}
-
-impl Frontier {
-    /// An empty frontier.
-    pub fn new() -> Self {
-        Frontier::default()
-    }
-
-    /// Enqueues a node.
-    pub fn push(&mut self, id: u32) {
-        self.queue.push(id);
-    }
-
-    /// Dequeues the next node in discovery order.
-    pub fn pop(&mut self) -> Option<u32> {
-        let id = self.queue.get(self.head).copied();
-        self.head += id.is_some() as usize;
-        id
+    /// Occupancy statistics (see [`StoreStats`]).
+    pub fn stats(&self) -> StoreStats {
+        let lens: Vec<usize> = self.shards.iter().map(Shard::len).collect();
+        let index_slots: usize = self.shards.iter().map(|s| s.table.slots.len()).sum();
+        let occupied: usize = self.shards.iter().map(|s| s.table.len).sum();
+        StoreStats {
+            states: lens.iter().sum(),
+            shards: self.shards.len(),
+            row_bytes: self.shards.iter().map(|s| s.rows.len()).sum(),
+            index_slots,
+            index_load: if index_slots == 0 {
+                0.0
+            } else {
+                occupied as f64 / index_slots as f64
+            },
+            max_probe_len: self
+                .shards
+                .iter()
+                .map(|s| s.table.max_probe())
+                .max()
+                .unwrap_or(0),
+            min_shard_len: lens.iter().copied().min().unwrap_or(0),
+            max_shard_len: lens.iter().copied().max().unwrap_or(0),
+        }
     }
 }
 
@@ -333,10 +540,45 @@ mod tests {
     }
 
     #[test]
+    fn sharded_store_partitions_by_content() {
+        let sys = sys();
+        let engine = RowEngine::new(&sys);
+        let mut sharded = StateStore::with_shards(&sys, 4);
+        let mut flat = StateStore::new(&sys);
+        assert_eq!(sharded.num_shards(), 4);
+        let mut cfg = sys.empty_configuration();
+        let loc = sys.model().location_id("I0").unwrap();
+        let var = sys.model().var_id("v0").unwrap();
+        for c in 0..40u64 {
+            for v in 0..40u64 {
+                cfg.set_counter(loc, 0, c);
+                cfg.set_var(var, 0, v);
+                let (sid, sfresh) = sharded.intern_config(&engine, &cfg, 0, None);
+                let (_, ffresh) = flat.intern_config(&engine, &cfg, 0, None);
+                assert_eq!(sfresh, ffresh);
+                // the sharded id decodes back to the same state
+                assert_eq!(
+                    sharded.decode(sid),
+                    engine.decode(flat.row(flat.len() as u32 - 1))
+                );
+            }
+        }
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.ids().count(), sharded.len());
+        assert!(sharded.id_bound() >= sharded.len());
+        let stats = sharded.stats();
+        assert_eq!(stats.states, 1600);
+        assert_eq!(stats.shards, 4);
+        assert!(stats.min_shard_len > 0, "{stats}");
+        assert!(stats.index_load > 0.0 && stats.index_load < 1.0);
+        assert_eq!(stats.row_bytes, 1600 * sharded.stride());
+    }
+
+    #[test]
     fn reconstruct_path_walks_parent_edges() {
         let sys = sys();
         let engine = RowEngine::new(&sys);
-        let mut store = StateStore::new(&sys);
+        let mut store = StateStore::with_shards(&sys, 2);
         let start = sys.unanimous_start_configurations(ccta::BinValue::Zero)[0].clone();
         let (root, _) = store.intern_config(&engine, &start, 0, None);
         // take two real steps
@@ -356,18 +598,5 @@ mod tests {
         // the reconstructed schedule replays to the stored state
         let path = schedule.apply(&sys, &initial).unwrap();
         assert_eq!(path.last(), &end);
-    }
-
-    #[test]
-    fn frontier_is_fifo() {
-        let mut f = Frontier::new();
-        assert!(f.pop().is_none());
-        f.push(3);
-        f.push(5);
-        assert_eq!(f.pop(), Some(3));
-        f.push(8);
-        assert_eq!(f.pop(), Some(5));
-        assert_eq!(f.pop(), Some(8));
-        assert!(f.pop().is_none());
     }
 }

@@ -5,17 +5,27 @@
 //! valuations (the sweep); a query "holds" if it holds on every member of the
 //! sweep and is "violated" as soon as one member yields a counterexample.
 //!
-//! # Parallelism
+//! # Two-level parallelism
 //!
-//! The `query × valuation` grid is embarrassingly parallel, so
-//! [`check_over_sweep`] fans the individual checks out over a scoped worker
-//! pool (one worker per available core by default; override with the
-//! `CC_SWEEP_THREADS` environment variable, `1` forces the sequential
-//! path).  Reports keep the deterministic sequential semantics: outcomes are
-//! assembled in valuation order and each query's outcome list is truncated
-//! at its first violation, exactly as if the valuations had been checked one
-//! by one.  A query's remaining valuations are cancelled (skipped) as soon
-//! as an earlier valuation finds a violation.
+//! The `query × valuation` grid is embarrassingly parallel, and each cell's
+//! exploration can itself run on multiple workers (see [`crate::explorer`]).
+//! [`check_over_sweep`] therefore splits one *thread budget* across both
+//! levels: enough outer workers to cover the grid, and the remaining factor
+//! handed to each cell as in-check workers.  A 16-thread budget over a
+//! 4-cell grid runs 4 cells concurrently with 4 workers each; a single huge
+//! cell gets all 16 workers.  The budget comes from
+//! [`check_over_sweep_with_threads`]'s argument, or (for
+//! [`check_over_sweep`]) from the `CC_SWEEP_THREADS` environment variable,
+//! falling back to the available parallelism; an explicit
+//! [`CheckerOptions::workers`] setting always wins over the derived
+//! per-cell worker count.
+//!
+//! Reports keep the deterministic sequential semantics regardless of any of
+//! these knobs: outcomes are assembled in valuation order, and every grid
+//! cell that a sequential sweep would never have reached (because an earlier
+//! valuation of the same query violated) is reported as an explicit
+//! *skipped* outcome — so each report accounts for every cell of the grid,
+//! and cancelled work is visible instead of silently dropped.
 
 use crate::explicit::{CheckerOptions, ExplicitChecker};
 use crate::result::{CheckOutcome, CheckStatus};
@@ -35,6 +45,22 @@ pub struct SweepOutcome {
     pub outcome: CheckOutcome,
     /// Wall-clock time of the check.
     pub duration: Duration,
+    /// Whether this cell was skipped (cancelled because an earlier
+    /// valuation of the same query already violated); skipped cells carry
+    /// an empty `Unknown` outcome and a zero duration.
+    pub skipped: bool,
+}
+
+impl SweepOutcome {
+    /// The explicit record of a cancelled grid cell.
+    fn skipped(params: ParamValuation) -> Self {
+        SweepOutcome {
+            params,
+            outcome: CheckOutcome::unknown(0, 0, "skipped: an earlier valuation violated"),
+            duration: Duration::ZERO,
+            skipped: true,
+        }
+    }
 }
 
 /// The aggregated result of one query over the whole sweep.
@@ -44,14 +70,16 @@ pub struct SweepReport {
     pub spec_name: String,
     /// The query rendered in Table-III notation.
     pub formula: String,
-    /// Per-valuation outcomes (checking stops at the first violation).
+    /// Per-valuation outcomes, one per admissible valuation of the sweep;
+    /// cells after a query's first violation are explicit skipped records.
     pub outcomes: Vec<SweepOutcome>,
 }
 
 impl SweepReport {
     /// The overall status: `Violated` if any valuation produced a
     /// counterexample, `Unknown` if some check was inconclusive and none was
-    /// violated, `Holds` otherwise.
+    /// violated, `Holds` otherwise.  Skipped cells never influence the
+    /// status.
     pub fn status(&self) -> CheckStatus {
         if self
             .outcomes
@@ -62,7 +90,7 @@ impl SweepReport {
         } else if self
             .outcomes
             .iter()
-            .any(|o| o.outcome.status == CheckStatus::Unknown)
+            .any(|o| !o.skipped && o.outcome.status == CheckStatus::Unknown)
         {
             CheckStatus::Unknown
         } else {
@@ -82,7 +110,13 @@ impl SweepReport {
             .find(|o| o.outcome.status == CheckStatus::Violated)
     }
 
-    /// Total number of explored states across the sweep.
+    /// Number of grid cells that were skipped after an earlier violation.
+    pub fn skipped_cells(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.skipped).count()
+    }
+
+    /// Total number of explored states across the sweep (skipped cells
+    /// contribute nothing).
     pub fn total_states(&self) -> usize {
         self.outcomes
             .iter()
@@ -96,17 +130,25 @@ impl SweepReport {
     }
 }
 
-/// The number of sweep workers: `CC_SWEEP_THREADS` if set, otherwise the
-/// available parallelism.
-fn sweep_threads() -> usize {
-    if let Ok(v) = std::env::var("CC_SWEEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+/// Resolves a sweep thread budget: an explicit non-zero request wins,
+/// otherwise `CC_SWEEP_THREADS`, otherwise the available parallelism.  The
+/// fallback is cached process-wide (`available_parallelism` reads cgroup
+/// files on Linux, too slow to pay per sub-millisecond sweep).
+pub fn sweep_thread_budget(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(v) = std::env::var("CC_SWEEP_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// One cell of the `query × valuation` grid.
@@ -118,26 +160,31 @@ fn run_one(sys: &CounterSystem, spec: &Spec, options: CheckerOptions) -> SweepOu
         params: sys.params().clone(),
         outcome,
         duration: started.elapsed(),
+        skipped: false,
     }
 }
 
 /// Checks each query on every valuation of the sweep, in parallel.
 ///
 /// The model must be a single-round model (Definition 3).  Valuations that
-/// are not admissible for the model's environment are skipped.  The report
-/// for each query lists its outcomes in valuation order and stops at the
-/// query's first violation, exactly like a sequential sweep.
+/// are not admissible for the model's environment are dropped before the
+/// grid is formed.  The report for each query lists one outcome per grid
+/// cell in valuation order; cells after the query's first violation are
+/// explicit skipped records, exactly as a sequential sweep would have left
+/// them unchecked.
 pub fn check_over_sweep(
     model: &SystemModel,
     specs: &[Spec],
     valuations: &[ParamValuation],
     options: CheckerOptions,
 ) -> Vec<SweepReport> {
-    check_over_sweep_with_threads(model, specs, valuations, options, sweep_threads())
+    check_over_sweep_with_threads(model, specs, valuations, options, sweep_thread_budget(0))
 }
 
-/// [`check_over_sweep`] with an explicit worker count (`1` forces the
-/// sequential path), bypassing the `CC_SWEEP_THREADS` environment lookup.
+/// [`check_over_sweep`] with an explicit total thread budget, bypassing the
+/// `CC_SWEEP_THREADS` environment lookup.  The budget is split between grid
+/// cells and in-check workers (see the module docs); `1` forces the fully
+/// sequential path.
 pub fn check_over_sweep_with_threads(
     model: &SystemModel,
     specs: &[Spec],
@@ -150,18 +197,26 @@ pub fn check_over_sweep_with_threads(
         .filter_map(|v| CounterSystem::new(model.clone(), v.clone()).ok())
         .collect();
     let total = specs.len() * systems.len();
-    let workers = threads.max(1).min(total.max(1));
+    let budget = threads.max(1);
+    let outer = budget.min(total.max(1));
+    // the budget left over after covering the grid goes into each cell,
+    // unless the caller pinned an in-check worker count explicitly
+    let cell_options = if options.workers == 0 {
+        options.with_workers((budget / outer.max(1)).max(1))
+    } else {
+        options
+    };
 
     // one slot per (spec, valuation) cell, filled by the workers
     let mut slots: Vec<Option<SweepOutcome>> = Vec::new();
     slots.resize_with(total, || None);
 
-    if workers <= 1 || total <= 1 {
+    if outer <= 1 || total <= 1 {
         // sequential fast path: skip a query's remaining valuations after a
         // violation, like the parallel scheduler below
         for (s, spec) in specs.iter().enumerate() {
             for (v, sys) in systems.iter().enumerate() {
-                let cell = run_one(sys, spec, options);
+                let cell = run_one(sys, spec, cell_options);
                 let violated = cell.outcome.status == CheckStatus::Violated;
                 slots[s * systems.len() + v] = Some(cell);
                 if violated {
@@ -179,7 +234,7 @@ pub fn check_over_sweep_with_threads(
         let slot_refs: Vec<Mutex<&mut Option<SweepOutcome>>> =
             slots.iter_mut().map(Mutex::new).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for _ in 0..outer {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
@@ -189,7 +244,7 @@ pub fn check_over_sweep_with_threads(
                     if v > violated_at[s].load(Ordering::Acquire) {
                         continue; // cancelled: an earlier valuation violated
                     }
-                    let cell = run_one(&systems[v], &specs[s], options);
+                    let cell = run_one(&systems[v], &specs[s], cell_options);
                     if cell.outcome.status == CheckStatus::Violated {
                         violated_at[s].fetch_min(v, Ordering::AcqRel);
                     }
@@ -199,22 +254,26 @@ pub fn check_over_sweep_with_threads(
         });
     }
 
-    // deterministic assembly: valuation order, truncated at first violation
+    // deterministic assembly: valuation order; every cell past the query's
+    // first violation becomes an explicit skipped record, even if a parallel
+    // worker happened to compute it before the cancellation landed
     specs
         .iter()
         .enumerate()
         .map(|(s, spec)| {
-            let mut outcomes = Vec::new();
-            for v in 0..systems.len() {
-                let Some(cell) = slots[s * systems.len() + v].take() else {
-                    break;
-                };
-                let violated = cell.outcome.status == CheckStatus::Violated;
-                outcomes.push(cell);
-                if violated {
-                    break;
-                }
-            }
+            let row = &mut slots[s * systems.len()..(s + 1) * systems.len()];
+            let first_violation = row.iter().position(|slot| {
+                slot.as_ref()
+                    .is_some_and(|c| c.outcome.status == CheckStatus::Violated)
+            });
+            let outcomes = row
+                .iter_mut()
+                .enumerate()
+                .map(|(v, slot)| match slot.take() {
+                    Some(cell) if first_violation.is_none_or(|fv| v <= fv) => cell,
+                    _ => SweepOutcome::skipped(systems[v].params().clone()),
+                })
+                .collect();
             SweepReport {
                 spec_name: spec.name().to_string(),
                 formula: spec.formula(model),
@@ -268,14 +327,20 @@ mod tests {
         assert_eq!(holds.status(), CheckStatus::Holds);
         // two admissible valuations were checked
         assert_eq!(holds.outcomes.len(), 2);
+        assert_eq!(holds.skipped_cells(), 0);
         assert!(holds.total_states() > 0);
         assert!(holds.first_violation().is_none());
         assert!(!holds.formula.is_empty());
 
         let violated = &reports[1];
         assert_eq!(violated.status(), CheckStatus::Violated);
-        // stops at the first violating valuation
-        assert_eq!(violated.outcomes.len(), 1);
+        // stops at the first violating valuation; the cancelled second cell
+        // is reported explicitly instead of dropped
+        assert_eq!(violated.outcomes.len(), 2);
+        assert_eq!(violated.skipped_cells(), 1);
+        assert!(violated.outcomes[0].outcome.is_violated());
+        assert!(violated.outcomes[1].skipped);
+        assert_eq!(violated.outcomes[1].outcome.states_explored, 0);
         assert!(violated.first_violation().is_some());
         assert!(violated.total_time() >= Duration::ZERO);
     }
@@ -320,6 +385,7 @@ mod tests {
             assert_eq!(p.outcomes.len(), s.outcomes.len());
             for (po, so) in p.outcomes.iter().zip(&s.outcomes) {
                 assert_eq!(po.params, so.params);
+                assert_eq!(po.skipped, so.skipped);
                 assert_eq!(po.outcome.status, so.outcome.status);
                 assert_eq!(po.outcome.states_explored, so.outcome.states_explored);
                 assert_eq!(
@@ -328,6 +394,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn thread_budget_feeds_in_check_workers() {
+        // a 1-cell grid with a budget of 4 hands all four threads to the
+        // single check; the result must match the sequential run exactly
+        let model = fixtures::voting_model().single_round().unwrap();
+        let specs = vec![Spec::NeverFrom {
+            name: "unreachable-I1".into(),
+            start: StartRestriction::Unanimous(BinValue::Zero),
+            forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+        }];
+        let valuations = [ParamValuation::new(vec![5, 1, 1, 1])];
+        let wide = check_over_sweep_with_threads(
+            &model,
+            &specs,
+            &valuations,
+            CheckerOptions::default(),
+            4,
+        );
+        let sequential = check_over_sweep_with_threads(
+            &model,
+            &specs,
+            &valuations,
+            CheckerOptions::sequential(),
+            1,
+        );
+        assert_eq!(wide[0].status(), sequential[0].status());
+        assert_eq!(wide[0].total_states(), sequential[0].total_states());
     }
 
     #[test]
@@ -345,6 +440,7 @@ mod tests {
             CheckerOptions {
                 max_states: 1,
                 max_transitions: 10,
+                ..CheckerOptions::default()
             },
         );
         assert_eq!(reports[0].status(), CheckStatus::Unknown);

@@ -2,7 +2,8 @@
 //! state space that the pre-refactor reference engine explored.
 //!
 //! For every query shape, on the `voting_model`/`blocking_model` fixtures
-//! and on a real benchmark protocol, both engines must agree on
+//! and on *all eight* Table II benchmark protocols, both engines must agree
+//! on
 //!
 //! * the verdict,
 //! * the number of distinct states visited,
@@ -12,6 +13,9 @@
 //!
 //! Because both engines run the same BFS in the same action order, the
 //! counterexample schedules are required to be identical step for step.
+//! The engine side runs with default options, so on a multi-core machine
+//! this suite also exercises the parallel exploration path against the
+//! strictly sequential reference.
 
 use ccchecker::fixtures;
 use ccchecker::reference::reference_check;
@@ -20,8 +24,7 @@ use cccounter::CounterSystem;
 use ccta::{BinValue, Owner, ParamValuation, SystemModel};
 
 /// Checks one spec with both engines and asserts exact agreement.
-fn assert_engines_agree(sys: &CounterSystem, spec: &Spec) -> CheckStatus {
-    let options = CheckerOptions::default();
+fn assert_engines_agree(sys: &CounterSystem, spec: &Spec, options: CheckerOptions) -> CheckStatus {
     let engine = ExplicitChecker::with_options(sys, options).check(spec);
     let reference = reference_check(sys, spec, &options);
 
@@ -120,7 +123,7 @@ fn engines_agree_on_the_voting_fixture() {
     let sys = CounterSystem::new(model.clone(), fixtures::small_params()).unwrap();
     let mut statuses = Vec::new();
     for spec in spec_catalogue(&model) {
-        statuses.push(assert_engines_agree(&sys, &spec));
+        statuses.push(assert_engines_agree(&sys, &spec, CheckerOptions::default()));
     }
     // the catalogue exercises both verdicts
     assert!(statuses.contains(&CheckStatus::Holds));
@@ -135,31 +138,64 @@ fn engines_agree_on_the_blocking_fixture() {
         name: "termination".into(),
         start: StartRestriction::RoundStart,
     };
-    assert_eq!(assert_engines_agree(&sys, &spec), CheckStatus::Violated);
+    assert_eq!(
+        assert_engines_agree(&sys, &spec, CheckerOptions::default()),
+        CheckStatus::Violated
+    );
 }
 
-#[test]
-fn engines_agree_on_a_real_benchmark_protocol() {
-    let protocol = ccprotocols::protocol_by_name("Rabin83").expect("benchmark protocol");
+/// Runs the whole query catalogue on one benchmark protocol with both
+/// engines, at the default (never-tripped) resource budgets.
+fn assert_protocol_equivalence(name: &str) {
+    let protocol = ccprotocols::protocol_by_name(name).expect("benchmark protocol");
     let model = protocol.single_round();
-    // the smallest admissible valuation with at least two modelled processes
-    let env = model.env();
-    let valuation = env
-        .admissible_valuations(8)
-        .into_iter()
-        .filter(|v| {
-            env.system_size(v)
-                .is_some_and(|s| s.processes >= 2 && s.processes <= 3 && s.coins <= 1)
-        })
-        .min_by_key(|v| v.values().to_vec())
-        .expect("admissible valuation");
-    let sys = CounterSystem::new(model.clone(), valuation).unwrap();
+    let sys = CounterSystem::new(model.clone(), fixtures::benchmark_valuation(&model)).unwrap();
     let mut checked = 0;
     for spec in spec_catalogue(&model) {
-        assert_engines_agree(&sys, &spec);
+        assert_engines_agree(&sys, &spec, CheckerOptions::default());
         checked += 1;
     }
     assert_eq!(checked, 6);
+}
+
+#[test]
+fn engines_agree_on_rabin83() {
+    assert_protocol_equivalence("Rabin83");
+}
+
+#[test]
+fn engines_agree_on_cc85a() {
+    assert_protocol_equivalence("CC85(a)");
+}
+
+#[test]
+fn engines_agree_on_cc85b() {
+    assert_protocol_equivalence("CC85(b)");
+}
+
+#[test]
+fn engines_agree_on_fmr05() {
+    assert_protocol_equivalence("FMR05");
+}
+
+#[test]
+fn engines_agree_on_ks16() {
+    assert_protocol_equivalence("KS16");
+}
+
+#[test]
+fn engines_agree_on_mmr14() {
+    assert_protocol_equivalence("MMR14");
+}
+
+#[test]
+fn engines_agree_on_miller18() {
+    assert_protocol_equivalence("Miller18");
+}
+
+#[test]
+fn engines_agree_on_aby22() {
+    assert_protocol_equivalence("ABY22");
 }
 
 #[test]
@@ -170,6 +206,7 @@ fn engines_agree_on_bounded_searches() {
     let options = CheckerOptions {
         max_states: 50,
         max_transitions: 10_000,
+        ..CheckerOptions::default()
     };
     let spec = Spec::NeverFrom {
         name: "bounded".into(),

@@ -8,7 +8,8 @@
 
 use crate::obligations::{obligations_for, Obligations};
 use ccchecker::{
-    check_over_sweep, schema_count, CheckStatus, CheckerOptions, Counterexample, Spec, SweepReport,
+    check_over_sweep_with_threads, schema_count, sweep_thread_budget, CheckStatus, CheckerOptions,
+    Counterexample, Spec, SweepReport,
 };
 use ccprotocols::ProtocolModel;
 use ccta::{ModelStats, ParamValuation, ProtocolCategory, SystemModel};
@@ -23,7 +24,14 @@ pub struct VerifierConfig {
     pub max_processes: u64,
     /// Maximum number of valuations checked per protocol.
     pub max_valuations: usize,
-    /// Resource limits of the explicit-state checker.
+    /// Total thread budget for each property sweep, split between grid
+    /// cells and in-check workers (see `ccchecker::sweep`): `0` defers to
+    /// the `CC_SWEEP_THREADS` environment variable and then to the
+    /// available parallelism.
+    pub threads: usize,
+    /// Resource limits and in-check thread/shard knobs of the
+    /// explicit-state checker; `checker.workers == 0` lets the sweep derive
+    /// the per-cell worker count from the thread budget.
     pub checker: CheckerOptions,
 }
 
@@ -33,6 +41,7 @@ impl Default for VerifierConfig {
             max_param_value: 8,
             max_processes: 4,
             max_valuations: 2,
+            threads: 0,
             checker: CheckerOptions::default(),
         }
     }
@@ -46,7 +55,7 @@ impl VerifierConfig {
             max_param_value: 6,
             max_processes: 3,
             max_valuations: 1,
-            checker: CheckerOptions::default(),
+            ..VerifierConfig::default()
         }
     }
 
@@ -56,8 +65,14 @@ impl VerifierConfig {
             max_param_value: 9,
             max_processes: 5,
             max_valuations: 3,
-            checker: CheckerOptions::default(),
+            ..VerifierConfig::default()
         }
+    }
+
+    /// This configuration with an explicit total thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Selects the sweep valuations for a model: the smallest admissible
@@ -160,7 +175,13 @@ fn check_property(
     valuations: &[ParamValuation],
     config: &VerifierConfig,
 ) -> PropertyResult {
-    let reports = check_over_sweep(single_round, specs, valuations, config.checker);
+    let reports = check_over_sweep_with_threads(
+        single_round,
+        specs,
+        valuations,
+        config.checker,
+        sweep_thread_budget(config.threads),
+    );
     let status = if reports.iter().any(|r| r.status() == CheckStatus::Violated) {
         CheckStatus::Violated
     } else if reports.iter().any(|r| r.status() == CheckStatus::Unknown) {

@@ -21,6 +21,13 @@
 //! [`CounterSystem::progress_actions`], …) are retained for tests,
 //! adversaries and counterexample replay; they are thin wrappers over the
 //! same compiled records.
+//!
+//! All compiled state (rules, guard bounds, Zobrist tables) is immutable
+//! after construction, so one `CounterSystem` — and any number of
+//! [`RowEngine`]s over it — is `Sync`-shareable across the checker's worker
+//! threads: every mutation happens on caller-owned scratch
+//! (configurations, rows, action buffers), never on the system itself.
+//! The `shared_state_is_sync` test pins this contract.
 
 use crate::config::Configuration;
 use crate::error::CounterError;
@@ -1111,6 +1118,16 @@ mod tests {
             sys.describe_action(Action::new(bcast0, 2)),
             "(bcast0, round 2)"
         );
+    }
+
+    #[test]
+    fn shared_state_is_sync() {
+        // the explorer shares one system (and row engines over it) across
+        // worker threads; this must never regress to interior mutability
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<CounterSystem>();
+        assert_sync::<RowEngine<'static>>();
+        assert_sync::<Configuration>();
     }
 
     #[test]
