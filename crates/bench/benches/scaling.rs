@@ -1,11 +1,13 @@
-//! Worker-count scaling of the in-check parallel engine.
+//! Worker-count and wave-size scaling of the in-check parallel engine.
 //!
 //! Runs the full obligation catalogue of the two heaviest Table II
-//! workloads (MMR14, ABY22) at 1, 2, 4, … in-check workers, and a
-//! multi-valuation sweep at matching total thread budgets.  Every run
-//! produces identical verdicts and state counts (the engine is
-//! deterministic at any worker count — see `ccchecker::explorer`), so the
-//! only thing that varies is wall-clock time.
+//! workloads (MMR14, ABY22) at 1, 2, 4, … in-check workers, the MMR14
+//! catalogue across parallel wave sizes (the O(wave) candidate-buffer
+//! bound of the pooled explorer), and a multi-valuation sweep at matching
+//! total thread budgets.  Every run produces identical verdicts and state
+//! counts (the engine is deterministic at any worker count and wave size —
+//! see `ccchecker::explorer`), so the only thing that varies is wall-clock
+//! time.
 //!
 //! This bench is the quick-mode CI scaling job: run with
 //! `BENCH_JSON=BENCH_scaling.json cargo bench -p ccbench --bench scaling`
@@ -82,6 +84,44 @@ fn bench_in_check_worker_scaling(c: &mut Criterion) {
     }
 }
 
+/// Wave-size axis: the same catalogue workload at the widest worker count,
+/// sweeping the per-wave frontier bound.  Tiny waves measure the pool
+/// round-trip overhead, the unbounded wave reproduces the unchunked
+/// per-level buffering this engine replaced.
+fn bench_wave_size_scaling(c: &mut Criterion) {
+    let workers = *worker_counts().last().expect("at least one worker count");
+    let (sys, specs) = catalogue_workload("MMR14");
+    let mut group = c.benchmark_group("waves/MMR14");
+    group.sample_size(5);
+    for (label, wave_size) in [
+        ("64", 64),
+        ("1024", 1024),
+        ("8192", 8192),
+        ("unbounded", usize::MAX),
+    ] {
+        let options = CheckerOptions::default()
+            .with_workers(workers)
+            .with_wave_size(wave_size);
+        group.bench_with_input(
+            BenchmarkId::new("catalogue", label),
+            &(&sys, &specs),
+            |b, (sys, specs)| {
+                b.iter(|| {
+                    specs
+                        .iter()
+                        .map(|spec| {
+                            ExplicitChecker::with_options(sys, options)
+                                .check(spec)
+                                .states_explored
+                        })
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_sweep_budget_scaling(c: &mut Criterion) {
     // a broader sweep so both levels (grid cells and in-check workers) of
     // the thread budget have work to absorb
@@ -142,6 +182,7 @@ fn bench_sweep_budget_scaling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_in_check_worker_scaling,
+    bench_wave_size_scaling,
     bench_sweep_budget_scaling
 );
 criterion_main!(benches);

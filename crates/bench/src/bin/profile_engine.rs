@@ -2,9 +2,11 @@
 //! bottlenecks, plus state-store occupancy statistics to guide shard-count
 //! defaults.  Not part of the published tables.
 //!
-//! Usage: `profile_engine [PROTOCOL] [--threads N]` — `N` sets the
-//! in-check worker count of the engine runs (default: `CC_CHECK_THREADS`,
-//! then all cores; the reference is always sequential).
+//! Usage: `profile_engine [PROTOCOL] [--threads N] [--wave-size W]` — `N`
+//! sets the in-check worker count of the engine runs (default:
+//! `CC_CHECK_THREADS`, then all cores; the reference is always
+//! sequential), `W` the parallel wave size (default: `CC_WAVE_SIZE`, then
+//! the engine default).
 
 use ccchecker::reference::reference_check;
 use ccchecker::{CheckerOptions, ExplicitChecker};
@@ -15,23 +17,17 @@ use std::time::Instant;
 fn main() {
     let mut name = String::from("MMR14");
     let mut workers = 0usize;
+    let mut wave_size = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--threads" => {
-                workers = args
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads expects a positive integer");
-                        std::process::exit(2);
-                    });
-            }
+            "--threads" => workers = ccbench::parse_positive_flag("--threads", &mut args),
+            "--wave-size" => wave_size = ccbench::parse_positive_flag("--wave-size", &mut args),
             other if !other.starts_with('-') => name = other.to_string(),
             other => {
                 eprintln!(
-                    "unknown argument: {other}\nusage: profile_engine [PROTOCOL] [--threads N]"
+                    "unknown argument: {other}\n\
+                     usage: profile_engine [PROTOCOL] [--threads N] [--wave-size W]"
                 );
                 std::process::exit(2);
             }
@@ -47,14 +43,22 @@ fn main() {
         .next()
         .expect("valuation");
     let sys = cccounter::CounterSystem::new(single, valuation).expect("admissible");
-    let options = CheckerOptions::default().with_workers(workers);
+    let options = CheckerOptions::default()
+        .with_workers(workers)
+        .with_wave_size(wave_size);
     let reference_options = CheckerOptions::sequential();
     println!(
-        "{name}: per-obligation engine vs reference (3 runs each, best; engine workers: {})",
+        "{name}: per-obligation engine vs reference (3 runs each, best; \
+         engine workers: {}, wave: {})",
         if workers == 0 {
             "auto".into()
         } else {
             workers.to_string()
+        },
+        if wave_size == 0 {
+            "auto".into()
+        } else {
+            wave_size.to_string()
         }
     );
     for (group, specs) in [

@@ -1,9 +1,11 @@
 //! Regenerates Table II: verification of the eight common-coin protocols.
 //!
-//! Usage: `table2 [--threads N]` — `N` is the total thread budget per
-//! property sweep, split between `query × valuation` grid cells and
-//! in-check workers (default: `CC_SWEEP_THREADS`, then all cores; any
-//! value produces identical verdicts and counts).
+//! Usage: `table2 [--threads N] [--wave-size W]` — `N` is the total thread
+//! budget per property sweep, split between `query × valuation` grid cells
+//! and in-check workers (default: `CC_SWEEP_THREADS`, then all cores); `W`
+//! bounds a parallel level's candidate buffers (default: `CC_WAVE_SIZE`,
+//! then the engine default).  Any value of either produces identical
+//! verdicts and counts.
 
 use cccore::prelude::*;
 
@@ -13,18 +15,15 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {
-                let n = args
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads expects a positive integer");
-                        std::process::exit(2);
-                    });
+                let n = ccbench::parse_positive_flag("--threads", &mut args);
                 config = config.with_threads(n);
             }
+            "--wave-size" => {
+                let w = ccbench::parse_positive_flag("--wave-size", &mut args);
+                config = config.with_wave_size(w);
+            }
             other => {
-                eprintln!("unknown argument: {other}\nusage: table2 [--threads N]");
+                eprintln!("unknown argument: {other}\nusage: table2 [--threads N] [--wave-size W]");
                 std::process::exit(2);
             }
         }

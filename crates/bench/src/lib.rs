@@ -29,6 +29,19 @@ pub fn verify_named(name: &str) -> ProtocolVerification {
     verify_protocol(&protocol, &bench_config())
 }
 
+/// Parses the value of a CLI flag as a positive integer, exiting with the
+/// conventional usage-error status when it is missing or malformed.
+/// Shared by the `table2` / `profile_engine` flag loops.
+pub fn parse_positive_flag(flag: &str, args: &mut dyn Iterator<Item = String>) -> usize {
+    args.next()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} expects a positive integer");
+            std::process::exit(2);
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

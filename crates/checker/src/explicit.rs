@@ -18,8 +18,9 @@
 //! [`crate::explorer`] docs for the engine and determinism story.
 
 use crate::counterexample::Counterexample;
-use crate::explorer::{row_occupancy_bits, Exploration, Explorer, Visitor};
+use crate::explorer::{resolved_workers, row_occupancy_bits, Exploration, Explorer, Visitor};
 use crate::game;
+use crate::pool::WorkerPool;
 use crate::result::CheckOutcome;
 use crate::spec::{LocSet, Spec};
 use crate::store::StoreStats;
@@ -41,6 +42,12 @@ pub struct CheckerOptions {
     /// State-store shards: `0` derives one shard per resolved worker.
     /// Like the worker count, the shard count never changes results.
     pub shards: usize,
+    /// Frontier nodes per parallel wave: a parallel level buffers (and
+    /// recycles) candidate arenas of at most one wave, so peak memory stays
+    /// O(wave) instead of O(level).  `0` resolves `CC_WAVE_SIZE` and then
+    /// [`crate::explorer::DEFAULT_WAVE_SIZE`].  Like the worker and shard
+    /// counts, the wave size never changes results.
+    pub wave_size: usize,
 }
 
 impl Default for CheckerOptions {
@@ -50,6 +57,7 @@ impl Default for CheckerOptions {
             max_transitions: 30_000_000,
             workers: 0,
             shards: 0,
+            wave_size: 0,
         }
     }
 }
@@ -67,6 +75,31 @@ impl CheckerOptions {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
+    }
+
+    /// These options with an explicit parallel wave size.
+    pub fn with_wave_size(mut self, wave_size: usize) -> Self {
+        self.wave_size = wave_size;
+        self
+    }
+}
+
+/// The worker pool a checker runs on: its own (one pool per checker, reused
+/// across every check and every level), or one shared by the caller — the
+/// sweep hands each of its grid workers one pool reused across all the
+/// cells that worker processes.
+#[derive(Debug)]
+enum PoolSource<'a> {
+    Owned(WorkerPool),
+    Shared(&'a WorkerPool),
+}
+
+impl PoolSource<'_> {
+    fn get(&self) -> &WorkerPool {
+        match self {
+            PoolSource::Owned(pool) => pool,
+            PoolSource::Shared(pool) => pool,
+        }
     }
 }
 
@@ -129,6 +162,7 @@ fn blocked_location_in_row(sys: &CounterSystem, row: &[u8]) -> Option<ccta::LocI
 pub struct ExplicitChecker<'a> {
     sys: &'a CounterSystem,
     options: CheckerOptions,
+    pool: PoolSource<'a>,
 }
 
 impl<'a> ExplicitChecker<'a> {
@@ -142,18 +176,42 @@ impl<'a> ExplicitChecker<'a> {
         Self::with_options(sys, CheckerOptions::default())
     }
 
-    /// Creates a checker with explicit resource limits.
+    /// Creates a checker with explicit resource limits.  The checker spawns
+    /// its persistent [`WorkerPool`] here — once — and reuses it across
+    /// every [`ExplicitChecker::check`] call and every exploration level
+    /// (a resolved worker count of 1 spawns no threads at all).
     ///
     /// # Panics
     ///
     /// Panics if the counter system is built over a multi-round model.
     pub fn with_options(sys: &'a CounterSystem, options: CheckerOptions) -> Self {
+        let pool = PoolSource::Owned(WorkerPool::new(resolved_workers(&options)));
+        Self::assemble(sys, options, pool)
+    }
+
+    /// Creates a checker running its parallel phases on a caller-owned
+    /// pool, whose lane count overrides [`CheckerOptions::workers`].  This
+    /// is how [`crate::check_over_sweep`] shares one pool across all the
+    /// grid cells a sweep worker processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter system is built over a multi-round model.
+    pub fn with_pool(
+        sys: &'a CounterSystem,
+        options: CheckerOptions,
+        pool: &'a WorkerPool,
+    ) -> Self {
+        Self::assemble(sys, options, PoolSource::Shared(pool))
+    }
+
+    fn assemble(sys: &'a CounterSystem, options: CheckerOptions, pool: PoolSource<'a>) -> Self {
         assert_eq!(
             sys.model().kind(),
             ModelKind::SingleRound,
             "the explicit checker operates on single-round models (Definition 3)"
         );
-        ExplicitChecker { sys, options }
+        ExplicitChecker { sys, options, pool }
     }
 
     /// The counter system under check.
@@ -213,6 +271,7 @@ impl<'a> ExplicitChecker<'a> {
                 &start.configurations(self.sys),
                 forbidden_sets,
                 &self.options,
+                self.pool.get(),
                 want_stats,
             ),
             Spec::NonBlocking { name, start } => {
@@ -232,7 +291,7 @@ impl<'a> ExplicitChecker<'a> {
         explanation: String,
         want_stats: bool,
     ) -> (CheckOutcome, StoreStats) {
-        let mut explorer = Explorer::new(self.sys, &self.options);
+        let mut explorer = Explorer::new(self.sys, &self.options, self.pool.get());
         let mut visitor = MonitorVisitor {
             sets,
             violation_bits,
@@ -311,7 +370,7 @@ impl<'a> ExplicitChecker<'a> {
         }
 
         // 2. every reachable terminal configuration is a sink configuration
-        let mut explorer = Explorer::new(self.sys, &self.options);
+        let mut explorer = Explorer::new(self.sys, &self.options, self.pool.get());
         let mut visitor = NonBlockingVisitor { sys: self.sys };
         let outcome = match explorer.run(starts, &mut visitor) {
             Exploration::Complete => CheckOutcome::holds(explorer.states(), explorer.transitions()),

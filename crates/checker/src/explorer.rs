@@ -16,10 +16,11 @@
 //! depth *d* is fully expanded before any node of depth *d + 1*.  For a
 //! FIFO BFS this changes nothing — but it creates a natural unit of
 //! parallelism with a *deterministic global candidate order*: frontier
-//! position × action order × branch order.  A level is processed in three
-//! phases:
+//! position × action order × branch order.  A wide level is processed in
+//! bounded **waves** of at most `wave_size` frontier nodes, and each wave
+//! runs three phases on the persistent [`WorkerPool`] of the check:
 //!
-//! 1. **Expand** (parallel over frontier chunks): workers generate all
+//! 1. **Expand** (parallel over wave chunks): workers generate all
 //!    successor candidates of their chunk — row bytes, incremental Zobrist
 //!    hash, monitor bits — without touching the shared index.
 //! 2. **Intern** (parallel over shards): each store shard interns *its*
@@ -32,35 +33,51 @@
 //!    violations, and builds the next frontier — exactly as the sequential
 //!    loop would have, at a few instructions per candidate.
 //!
-//! Because the candidate order, the shard partition, and the replay are all
-//! independent of the worker count, a parallel run produces *bit-identical*
-//! verdicts, state counts, transition counts, parent edges (and therefore
-//! counterexample schedules) to the sequential run — at any worker or shard
-//! count.  The `parallel_determinism` integration test pins this, and
-//! `engine_equivalence` pins the sequential semantics against
+//! Because the wave boundaries, the candidate order, the shard partition,
+//! and the replay are all independent of the worker count, a parallel run
+//! produces *bit-identical* verdicts, state counts, transition counts,
+//! parent edges (and therefore counterexample schedules) to the sequential
+//! run — at any worker count, shard count and wave size.  The
+//! `parallel_determinism` and `random_differential` integration tests pin
+//! this, and `engine_equivalence` pins the sequential semantics against
 //! [`crate::reference`].
 //!
 //! Small frontiers skip the phase machinery entirely and run the plain
 //! sequential loop (same results, no buffering or thread overhead), so a
 //! deep-but-narrow exploration pays nothing for the parallel capability.
 //!
-//! Known trade-off: a parallel level buffers every successor candidate
-//! (row bytes + ~24B metadata, duplicates included) until its replay, so
-//! peak memory is O(transitions of the widest level) rather than the
-//! sequential loop's O(states), and a level is always expanded to
-//! completion even when a budget bound trips mid-replay.  Within the
-//! default budgets this is modest; chunked intern/replay waves for
-//! extremely wide levels are a future lever (see ROADMAP).
+//! # Wave-bounded memory
+//!
+//! A wave buffers its successor candidates (row bytes + ~24B metadata,
+//! duplicates included) until its replay, so peak candidate memory is
+//! O(`wave_size` × branching) — *not* O(transitions of the widest level) as
+//! in the unchunked design this replaces — and all wave buffers (chunk
+//! arenas, per-shard id lists) are recycled across waves and levels.  A
+//! budget bound that trips mid-replay over-expands at most the remainder of
+//! the current wave.  The wave size comes from
+//! [`CheckerOptions::wave_size`], then the `CC_WAVE_SIZE` environment
+//! variable, then [`DEFAULT_WAVE_SIZE`].
 
 use crate::explicit::CheckerOptions;
+use crate::pool::WorkerPool;
 use crate::spec::LocSet;
 use crate::store::{Shard, StateStore, MAX_SHARDS};
 use cccounter::{Action, Configuration, CounterSystem, RowEngine, ScheduledStep};
 use std::ops::ControlFlow;
 
-/// Don't spin up worker threads for levels narrower than this; the
-/// sequential loop is faster and produces identical results.
+/// Don't enter the parallel wave machinery for levels narrower than this;
+/// the sequential loop is faster and produces identical results.  An
+/// explicitly *smaller* [`CheckerOptions::wave_size`] lowers the threshold
+/// to the wave size: a caller bounding waves that tightly wants the wave
+/// path exercised (and the results are identical either way).
 const MIN_PARALLEL_FRONTIER: usize = 64;
+
+/// Default number of frontier nodes per parallel wave when neither
+/// [`CheckerOptions::wave_size`] nor `CC_WAVE_SIZE` is set.  At typical row
+/// strides and branching factors a wave buffers a few megabytes of
+/// candidates — small enough to recycle hot in cache, large enough that the
+/// per-wave pool synchronisation is noise.
+pub const DEFAULT_WAVE_SIZE: usize = 8192;
 
 /// Monitor bits of a state row: the location prefix of the row is indexed
 /// directly by `LocId`.
@@ -142,26 +159,50 @@ pub(crate) enum Exploration {
     Violation(u32),
 }
 
+/// Resolves one auto knob: the environment variable if set to a positive
+/// integer, the fallback otherwise — memoised in the caller's `OnceLock`
+/// because the resolution sits on per-check paths (`available_parallelism`
+/// reads cgroup files on Linux, which would tax every sub-millisecond
+/// check).  Shared by the worker, sweep-budget and wave-size knobs.
+pub(crate) fn cached_env_usize(
+    cell: &'static std::sync::OnceLock<usize>,
+    var: &str,
+    fallback: impl FnOnce() -> usize,
+) -> usize {
+    *cell.get_or_init(|| {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        fallback()
+    })
+}
+
 /// The number of in-check worker threads for the given options: an explicit
 /// `workers` setting wins; `0` defers to the `CC_CHECK_THREADS` environment
-/// variable and then to the available parallelism.  The auto resolution is
-/// cached process-wide — `available_parallelism` reads cgroup files on
-/// Linux, which would otherwise tax every sub-millisecond check.
+/// variable and then to the available parallelism.
 pub(crate) fn resolved_workers(options: &CheckerOptions) -> usize {
     if options.workers > 0 {
         return options.workers;
     }
     static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *AUTO.get_or_init(|| {
-        if let Ok(v) = std::env::var("CC_CHECK_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
-            }
-        }
+    cached_env_usize(&AUTO, "CC_CHECK_THREADS", || {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// The wave size for the given options: an explicit `wave_size` setting
+/// wins; `0` defers to the `CC_WAVE_SIZE` environment variable and then to
+/// [`DEFAULT_WAVE_SIZE`].
+pub(crate) fn resolved_wave_size(options: &CheckerOptions) -> usize {
+    if options.wave_size > 0 {
+        return options.wave_size;
+    }
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    cached_env_usize(&AUTO, "CC_WAVE_SIZE", || DEFAULT_WAVE_SIZE)
 }
 
 /// The shard count for the given options and resolved worker count: an
@@ -207,7 +248,9 @@ struct NodeRec {
     terminal_violation: bool,
 }
 
-/// Everything one worker produced for its contiguous frontier chunk.
+/// Everything one worker produced for its contiguous wave chunk.  Recycled
+/// across waves: `reset` clears the arenas but keeps their capacity.
+#[derive(Default)]
 struct ChunkOut {
     rows: Vec<u8>,
     cands: Vec<CandMeta>,
@@ -217,15 +260,43 @@ struct ChunkOut {
     per_shard: Vec<Vec<u32>>,
 }
 
+impl ChunkOut {
+    fn reset(&mut self, num_shards: usize) {
+        self.rows.clear();
+        self.cands.clear();
+        self.acts.clear();
+        self.nodes.clear();
+        self.per_shard.resize_with(num_shards, Vec::new);
+        for list in &mut self.per_shard {
+            list.clear();
+        }
+    }
+}
+
+/// The recycled buffers of the parallel wave pipeline.  One instance lives
+/// for the whole `run` (allocated lazily on the first parallel level) so
+/// deep searches reuse the same arenas across every wave of every level.
+#[derive(Default)]
+struct WaveScratch {
+    /// One expand output per pool lane.
+    chunks: Vec<ChunkOut>,
+    /// Interned `(id, fresh)` per shard, in that shard's candidate order.
+    interned: Vec<Vec<(u32, bool)>>,
+    /// Replay cursors, one per shard.
+    cursors: Vec<usize>,
+}
+
 /// The generic expand → intern → frontier driver (see the module docs).
 pub(crate) struct Explorer<'a> {
     engine: RowEngine<'a>,
     store: StateStore,
+    pool: &'a WorkerPool,
     workers: usize,
+    wave_size: usize,
     max_states: usize,
     max_transitions: usize,
     /// Replayed exploration counters: these mirror what the sequential loop
-    /// would have counted, even when a parallel level over-expands past a
+    /// would have counted, even when a parallel wave over-expands past a
     /// budget bound before the replay detects it.
     states: usize,
     transitions: usize,
@@ -233,14 +304,22 @@ pub(crate) struct Explorer<'a> {
 
 impl<'a> Explorer<'a> {
     /// An explorer over a single-round counter system with the given
-    /// resource limits and thread/shard configuration.
-    pub(crate) fn new(sys: &'a CounterSystem, options: &CheckerOptions) -> Self {
-        let workers = resolved_workers(options);
+    /// resource limits, running its parallel phases on `pool` (whose lane
+    /// count is the worker count; a 1-lane pool forces the sequential
+    /// loop).
+    pub(crate) fn new(
+        sys: &'a CounterSystem,
+        options: &CheckerOptions,
+        pool: &'a WorkerPool,
+    ) -> Self {
+        let workers = pool.threads();
         let shards = resolved_shards(options, workers);
         Explorer {
             engine: RowEngine::new(sys),
             store: StateStore::with_shards(sys, shards),
+            pool,
             workers,
+            wave_size: resolved_wave_size(options),
             max_states: options.max_states,
             max_transitions: options.max_transitions,
             states: 0,
@@ -288,11 +367,16 @@ impl<'a> Explorer<'a> {
             }
         }
 
+        // an explicitly tiny wave size lowers the parallel threshold: the
+        // caller asked for bounded waves, so even small frontiers take the
+        // wave path (results are identical either way)
+        let min_parallel = MIN_PARALLEL_FRONTIER.min(self.wave_size.max(1));
+        let mut scratch = WaveScratch::default();
         let mut next: Vec<u32> = Vec::new();
         let mut actions: Vec<Action> = Vec::new();
         while !frontier.is_empty() {
-            let flow = if self.workers > 1 && frontier.len() >= MIN_PARALLEL_FRONTIER {
-                self.level_parallel(&frontier, &mut next, visitor)
+            let flow = if self.workers > 1 && frontier.len() >= min_parallel {
+                self.level_parallel(&frontier, &mut next, &mut scratch, visitor)
             } else {
                 self.level_sequential(&frontier, &mut next, &mut row, &mut actions, visitor)
             };
@@ -375,55 +459,84 @@ impl<'a> Explorer<'a> {
         ControlFlow::Continue(())
     }
 
-    /// Expands one BFS level with the three-phase parallel pipeline (see
-    /// the module docs).  Produces exactly the same store mutations,
-    /// visitor calls, counters and next frontier as
+    /// Expands one BFS level wave by wave with the three-phase parallel
+    /// pipeline (see the module docs).  Produces exactly the same store
+    /// mutations, visitor calls, counters and next frontier as
     /// [`Explorer::level_sequential`].
     fn level_parallel<V: Visitor>(
         &mut self,
         frontier: &[u32],
         next: &mut Vec<u32>,
+        scratch: &mut WaveScratch,
+        visitor: &mut V,
+    ) -> ControlFlow<Exploration> {
+        for wave in frontier.chunks(self.wave_size.max(1)) {
+            self.wave_parallel(wave, next, scratch, visitor)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Runs the expand → intern → replay phases for one wave of frontier
+    /// nodes, recycling the scratch buffers.
+    fn wave_parallel<V: Visitor>(
+        &mut self,
+        wave: &[u32],
+        next: &mut Vec<u32>,
+        scratch: &mut WaveScratch,
         visitor: &mut V,
     ) -> ControlFlow<Exploration> {
         let num_shards = self.store.num_shards();
-        let chunk_size = frontier.len().div_ceil(self.workers);
+        let chunk_size = wave.len().div_ceil(self.workers);
+        let num_chunks = wave.len().div_ceil(chunk_size);
+        scratch
+            .chunks
+            .resize_with(num_chunks.max(scratch.chunks.len()), ChunkOut::default);
+        scratch
+            .interned
+            .resize_with(num_shards.max(scratch.interned.len()), Vec::new);
 
-        // Phase 1: expand frontier chunks in parallel (read-only store).
-        let chunks: Vec<ChunkOut> = {
+        // Phase 1: expand wave chunks in parallel (read-only store).
+        {
             let (engine, store) = (&self.engine, &self.store);
             let v: &V = visitor;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = frontier
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        scope.spawn(move || expand_chunk(engine, store, v, chunk, num_shards))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("expand worker panicked"))
-                    .collect()
-            })
-        };
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = wave
+                .chunks(chunk_size)
+                .zip(scratch.chunks.iter_mut())
+                .map(|(chunk, out)| {
+                    let task: Box<dyn FnOnce() + Send + '_> =
+                        Box::new(move || expand_chunk(engine, store, v, chunk, num_shards, out));
+                    task
+                })
+                .collect();
+            self.pool.run(tasks);
+        }
+        let chunks = &scratch.chunks[..num_chunks];
 
-        // Phase 2: intern candidates, one thread per shard, each consuming
-        // its candidates in global order.
-        let mut interned: Vec<Vec<(u32, bool)>> = (0..num_shards).map(|_| Vec::new()).collect();
+        // Phase 2: intern this wave's candidates, one task per shard, each
+        // consuming its candidates in global order.
         {
             let stride = self.store.stride();
             let shards = self.store.shards_mut();
-            let chunks_ref = &chunks;
-            std::thread::scope(|scope| {
-                for (tag, (shard, out)) in shards.iter_mut().zip(interned.iter_mut()).enumerate() {
-                    scope.spawn(move || intern_shard(shard, out, chunks_ref, tag, stride));
-                }
-            });
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = shards
+                .iter_mut()
+                .zip(scratch.interned.iter_mut())
+                .enumerate()
+                .map(|(tag, (shard, out))| {
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        out.clear();
+                        intern_shard(shard, out, chunks, tag, stride)
+                    });
+                    task
+                })
+                .collect();
+            self.pool.run(tasks);
         }
 
         // Phase 3: sequential replay of the budget accounting and visitor
         // hooks in global candidate order.
-        let mut cursors = vec![0usize; num_shards];
-        for chunk in &chunks {
+        scratch.cursors.clear();
+        scratch.cursors.resize(num_shards, 0);
+        for chunk in chunks {
             let (mut act_i, mut cand_i) = (0usize, 0usize);
             for nrec in &chunk.nodes {
                 if nrec.actions == 0 {
@@ -441,8 +554,8 @@ impl<'a> Explorer<'a> {
                         let m = &chunk.cands[cand_i];
                         cand_i += 1;
                         let shard = self.store.shard_of(m.key);
-                        let (id, fresh) = interned[shard][cursors[shard]];
-                        cursors[shard] += 1;
+                        let (id, fresh) = scratch.interned[shard][scratch.cursors[shard]];
+                        scratch.cursors[shard] += 1;
                         self.transitions += 1;
                         if self.transitions > self.max_transitions {
                             return ControlFlow::Break(Exploration::TransitionBound);
@@ -467,23 +580,18 @@ impl<'a> Explorer<'a> {
     }
 }
 
-/// Phase-1 worker: expands a contiguous frontier chunk into candidate
-/// records without touching the shared index.
+/// Phase-1 worker: expands a contiguous wave chunk into candidate records
+/// (recycling `out`'s arenas) without touching the shared index.
 fn expand_chunk<V: Visitor>(
     engine: &RowEngine<'_>,
     store: &StateStore,
     visitor: &V,
     chunk: &[u32],
     num_shards: usize,
-) -> ChunkOut {
+    out: &mut ChunkOut,
+) {
+    out.reset(num_shards);
     let stride = store.stride();
-    let mut out = ChunkOut {
-        rows: Vec::with_capacity(chunk.len() * stride),
-        cands: Vec::with_capacity(chunk.len()),
-        acts: Vec::new(),
-        nodes: Vec::with_capacity(chunk.len()),
-        per_shard: (0..num_shards).map(|_| Vec::new()).collect(),
-    };
     let mut row: Vec<u8> = Vec::with_capacity(stride);
     let mut actions: Vec<Action> = Vec::new();
     for &node in chunk {
@@ -535,11 +643,11 @@ fn expand_chunk<V: Visitor>(
             terminal_violation: false,
         });
     }
-    out
 }
 
-/// Phase-2 worker: interns shard `tag`'s candidates in global candidate
-/// order (chunks in order, per-chunk shard lists in order).
+/// Phase-2 worker: interns shard `tag`'s candidates of the current wave in
+/// global candidate order (chunks in order, per-chunk shard lists in
+/// order).
 fn intern_shard(
     shard: &mut Shard,
     out: &mut Vec<(u32, bool)>,

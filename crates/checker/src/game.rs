@@ -24,7 +24,8 @@
 //! O(edges) worklist over those arenas.
 
 use crate::counterexample::Counterexample;
-use crate::explorer::{row_occupancy_bits, Exploration, Explorer, Visitor};
+use crate::explorer::{resolved_workers, row_occupancy_bits, Exploration, Explorer, Visitor};
+use crate::pool::WorkerPool;
 use crate::result::CheckOutcome;
 use crate::spec::LocSet;
 use crate::store::{StateStore, StoreStats};
@@ -141,16 +142,20 @@ pub fn check_exists_avoid(
     sets: &[LocSet],
     options: &CheckerOptions,
 ) -> CheckOutcome {
-    check_exists_avoid_impl(sys, spec_name, starts, sets, options, false).0
+    let pool = WorkerPool::new(resolved_workers(options));
+    check_exists_avoid_impl(sys, spec_name, starts, sets, options, &pool, false).0
 }
 
-/// [`check_exists_avoid`] with optional store occupancy statistics.
+/// [`check_exists_avoid`] with a caller-owned worker pool and optional
+/// store occupancy statistics.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn check_exists_avoid_impl(
     sys: &CounterSystem,
     spec_name: &str,
     starts: &[Configuration],
     sets: &[LocSet],
     options: &CheckerOptions,
+    pool: &WorkerPool,
     want_stats: bool,
 ) -> (CheckOutcome, StoreStats) {
     assert!(
@@ -160,7 +165,7 @@ pub(crate) fn check_exists_avoid_impl(
     let all_bits: u8 = ((1u16 << sets.len()) - 1) as u8;
 
     // ---------------- forward exploration of the game graph ----------------
-    let mut explorer = Explorer::new(sys, options);
+    let mut explorer = Explorer::new(sys, options, pool);
     let mut visitor = GameVisitor {
         sets,
         all_bits,

@@ -45,12 +45,13 @@
 //!   guards evaluate straight off the row with their parameter bounds
 //!   pre-evaluated at system construction.
 //! * **Deterministic in-check parallelism** ([`explorer`]) — the store is
-//!   sharded by hash prefix and the driver explores level-synchronously:
-//!   worker threads expand frontier chunks and intern into disjoint shards
-//!   lock-free, and a cheap sequential replay in the deterministic global
-//!   candidate order re-applies budgets and visitor hooks.  Verdicts,
-//!   state counts, transition counts and counterexample schedules are
-//!   bit-identical at every worker and shard count.
+//!   sharded by hash prefix and the driver explores level-synchronously in
+//!   bounded waves: worker threads expand wave chunks and intern into
+//!   disjoint shards lock-free, and a cheap sequential replay in the
+//!   deterministic global candidate order re-applies budgets and visitor
+//!   hooks.  Verdicts, state counts, transition counts and counterexample
+//!   schedules are bit-identical at every worker count, shard count and
+//!   wave size.
 //! * **Two-level parallel sweep** ([`sweep::check_over_sweep`]) — the
 //!   `query × valuation` grid fans out over a scoped worker pool, and the
 //!   thread budget left over after covering the grid is handed to the
@@ -58,19 +59,48 @@
 //!   cancelled after an earlier violation appear as explicit skipped
 //!   outcomes.
 //!
-//! # Thread-budget precedence
+//! # Memory model
 //!
-//! From strongest to weakest:
+//! The engine's peak memory is *wave-bounded*, and its threads are
+//! *pooled*:
+//!
+//! * **Wave-bounded candidate buffers.**  A parallel BFS level is processed
+//!   in waves of at most [`CheckerOptions::wave_size`] frontier nodes.  A
+//!   wave buffers its successor candidates (packed row bytes plus ~24 bytes
+//!   of metadata each, duplicates included) only until its sequential
+//!   replay, and every wave buffer — per-chunk candidate arenas, per-shard
+//!   id lists, replay cursors — is recycled across waves and levels.  Peak
+//!   transient memory is therefore O(`wave_size` × branching factor),
+//!   independent of how wide a level grows; the persistent memory is the
+//!   deduplicated [`StateStore`] itself (contiguous row arenas plus one
+//!   open-addressing index per shard).  A budget bound that trips
+//!   mid-replay over-expands at most the rest of the current wave.
+//! * **Pool lifetime.**  The worker threads live in a persistent
+//!   [`pool::WorkerPool`] spawned *once* per [`ExplicitChecker`] (not per
+//!   level, not per check call) and joined when the checker is dropped.  A
+//!   sweep creates one pool per grid worker and shares it across every
+//!   cell that worker processes ([`ExplicitChecker::with_pool`]).  A
+//!   resolved worker count of 1 spawns no threads at all — the sequential
+//!   loop pays no synchronisation.
+//!
+//! # Thread and wave knob precedence
+//!
+//! From strongest to weakest, for each knob:
 //!
 //! 1. Explicit configuration: [`CheckerOptions::workers`] /
-//!    [`CheckerOptions::shards`] for one check,
-//!    [`sweep::check_over_sweep_with_threads`]'s budget (fed by
+//!    [`CheckerOptions::shards`] / [`CheckerOptions::wave_size`] for one
+//!    check, [`sweep::check_over_sweep_with_threads`]'s budget (fed by
 //!    `VerifierConfig::threads` and the `--threads` flag of the `table2` /
 //!    `profile_engine` binaries) for a sweep.
 //! 2. Environment: `CC_CHECK_THREADS` (in-check workers when
 //!    `CheckerOptions::workers == 0`), `CC_SWEEP_THREADS` (total sweep
-//!    budget when none was configured).
-//! 3. The available parallelism of the machine.
+//!    budget when none was configured), `CC_WAVE_SIZE` (parallel wave size
+//!    when `CheckerOptions::wave_size == 0`).
+//! 3. Auto: the available parallelism of the machine for the thread knobs,
+//!    [`explorer::DEFAULT_WAVE_SIZE`] for the wave size.
+//!
+//! None of these knobs ever changes a verdict, a count or a counterexample
+//! — only wall-clock time and peak memory.
 //!
 //! [`reference`] preserves the original clone-per-transition engine
 //! (`HashMap<(Vec<u8>, u8), usize>` keys, per-branch `Configuration`
@@ -82,8 +112,9 @@
 
 pub mod counterexample;
 pub mod explicit;
-pub(crate) mod explorer;
+pub mod explorer;
 pub mod game;
+pub mod pool;
 pub mod reference;
 pub mod result;
 pub mod schema;
@@ -99,6 +130,7 @@ pub mod fixtures;
 
 pub use counterexample::Counterexample;
 pub use explicit::{CheckerOptions, ExplicitChecker};
+pub use pool::WorkerPool;
 pub use result::{CheckOutcome, CheckStatus};
 pub use schema::{
     count_linear_extensions, max_schema_count, milestone_precedence, milestones, schema_count,

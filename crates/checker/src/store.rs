@@ -229,22 +229,42 @@ pub struct StoreStats {
     pub index_load: f64,
     /// Longest probe sequence of any index entry.
     pub max_probe_len: usize,
-    /// States in the emptiest shard (shard balance floor).
+    /// Number of shards that hold at least one state.  Small explorations
+    /// routinely leave high-numbered shards empty; the balance figures
+    /// below are reported over the occupied shards only, so they describe
+    /// the actual skew instead of being dragged to zero by empty shards.
+    pub nonempty_shards: usize,
+    /// States in the emptiest *occupied* shard (shard balance floor).
     pub min_shard_len: usize,
     /// States in the fullest shard (shard balance ceiling).
     pub max_shard_len: usize,
+}
+
+impl StoreStats {
+    /// Mean states per *occupied* shard (0.0 when the store is empty).
+    /// This is the balance denominator: dividing by the total shard count
+    /// would understate the per-shard load whenever some shards are empty.
+    pub fn mean_occupied_len(&self) -> f64 {
+        if self.nonempty_shards == 0 {
+            0.0
+        } else {
+            self.states as f64 / self.nonempty_shards as f64
+        }
+    }
 }
 
 impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states in {} shard(s) ({}..{} per shard), {} row bytes, \
-             index load {:.2} over {} slots, max probe {}",
+            "{} states in {}/{} occupied shard(s) ({}..{} per occupied shard, \
+             mean {:.1}), {} row bytes, index load {:.2} over {} slots, max probe {}",
             self.states,
+            self.nonempty_shards,
             self.shards,
             self.min_shard_len,
             self.max_shard_len,
+            self.mean_occupied_len(),
             self.row_bytes,
             self.index_load,
             self.index_slots,
@@ -455,6 +475,10 @@ impl StateStore {
         let lens: Vec<usize> = self.shards.iter().map(Shard::len).collect();
         let index_slots: usize = self.shards.iter().map(|s| s.table.slots.len()).sum();
         let occupied: usize = self.shards.iter().map(|s| s.table.len).sum();
+        // shard balance is reported over *occupied* shards: an exploration
+        // smaller than the shard count would otherwise always report a
+        // floor of zero, hiding the actual skew
+        let occupied_lens = lens.iter().copied().filter(|&l| l > 0);
         StoreStats {
             states: lens.iter().sum(),
             shards: self.shards.len(),
@@ -471,8 +495,9 @@ impl StateStore {
                 .map(|s| s.table.max_probe())
                 .max()
                 .unwrap_or(0),
-            min_shard_len: lens.iter().copied().min().unwrap_or(0),
-            max_shard_len: lens.iter().copied().max().unwrap_or(0),
+            nonempty_shards: lens.iter().filter(|&&l| l > 0).count(),
+            min_shard_len: occupied_lens.clone().min().unwrap_or(0),
+            max_shard_len: occupied_lens.max().unwrap_or(0),
         }
     }
 }
@@ -572,6 +597,47 @@ mod tests {
         assert!(stats.min_shard_len > 0, "{stats}");
         assert!(stats.index_load > 0.0 && stats.index_load < 1.0);
         assert_eq!(stats.row_bytes, 1600 * sharded.stride());
+    }
+
+    #[test]
+    fn stats_balance_is_over_occupied_shards_only() {
+        // Regression: with fewer states than shards, the balance floor used
+        // to read 0 (and the mean was diluted by the empty shards), making
+        // every small exploration look maximally skewed in `profile_engine`.
+        let sys = sys();
+        let engine = RowEngine::new(&sys);
+        let mut store = StateStore::with_shards(&sys, 64);
+        let mut cfg = sys.empty_configuration();
+        let loc = sys.model().location_id("I0").unwrap();
+        for c in 0..3u64 {
+            cfg.set_counter(loc, 0, c);
+            store.intern_config(&engine, &cfg, 0, None);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.states, 3);
+        assert_eq!(stats.shards, 64);
+        // at most one shard per state can be occupied
+        assert!(
+            (1..=3).contains(&stats.nonempty_shards),
+            "{}",
+            stats.nonempty_shards
+        );
+        // the floor is over occupied shards, so it can never be zero while
+        // the store is non-empty
+        assert!(stats.min_shard_len >= 1, "{stats}");
+        assert!(stats.max_shard_len >= stats.min_shard_len);
+        let mean = stats.mean_occupied_len();
+        assert!(
+            mean >= 1.0 && (mean - 3.0 / stats.nonempty_shards as f64).abs() < 1e-9,
+            "{mean}"
+        );
+        assert!(format!("{stats}").contains("occupied shard"));
+
+        // an empty store reports zeros without dividing by zero
+        let empty = StateStore::with_shards(&sys, 8).stats();
+        assert_eq!(empty.nonempty_shards, 0);
+        assert_eq!(empty.mean_occupied_len(), 0.0);
+        assert_eq!(empty.min_shard_len, 0);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! and cancelled work is visible instead of silently dropped.
 
 use crate::explicit::{CheckerOptions, ExplicitChecker};
+use crate::explorer::resolved_workers;
+use crate::pool::WorkerPool;
 use crate::result::{CheckOutcome, CheckStatus};
 use crate::spec::Spec;
 use cccounter::CounterSystem;
@@ -131,30 +133,30 @@ impl SweepReport {
 }
 
 /// Resolves a sweep thread budget: an explicit non-zero request wins,
-/// otherwise `CC_SWEEP_THREADS`, otherwise the available parallelism.  The
-/// fallback is cached process-wide (`available_parallelism` reads cgroup
-/// files on Linux, too slow to pay per sub-millisecond sweep).
+/// otherwise `CC_SWEEP_THREADS`, otherwise the available parallelism,
+/// cached process-wide like the other auto knobs.
 pub fn sweep_thread_budget(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
     static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *AUTO.get_or_init(|| {
-        if let Ok(v) = std::env::var("CC_SWEEP_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
-            }
-        }
+    crate::explorer::cached_env_usize(&AUTO, "CC_SWEEP_THREADS", || {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     })
 }
 
-/// One cell of the `query × valuation` grid.
-fn run_one(sys: &CounterSystem, spec: &Spec, options: CheckerOptions) -> SweepOutcome {
+/// One cell of the `query × valuation` grid, run on the sweep worker's
+/// shared pool (one pool per worker, reused across all its cells).
+fn run_one(
+    sys: &CounterSystem,
+    spec: &Spec,
+    options: CheckerOptions,
+    pool: &WorkerPool,
+) -> SweepOutcome {
     let started = Instant::now();
-    let checker = ExplicitChecker::with_options(sys, options);
+    let checker = ExplicitChecker::with_pool(sys, options, pool);
     let outcome = checker.check(spec);
     SweepOutcome {
         params: sys.params().clone(),
@@ -212,11 +214,13 @@ pub fn check_over_sweep_with_threads(
     slots.resize_with(total, || None);
 
     if outer <= 1 || total <= 1 {
-        // sequential fast path: skip a query's remaining valuations after a
-        // violation, like the parallel scheduler below
+        // sequential fast path: one pool for the whole grid, skip a query's
+        // remaining valuations after a violation, like the parallel
+        // scheduler below
+        let pool = WorkerPool::new(resolved_workers(&cell_options));
         for (s, spec) in specs.iter().enumerate() {
             for (v, sys) in systems.iter().enumerate() {
-                let cell = run_one(sys, spec, cell_options);
+                let cell = run_one(sys, spec, cell_options, &pool);
                 let violated = cell.outcome.status == CheckStatus::Violated;
                 slots[s * systems.len() + v] = Some(cell);
                 if violated {
@@ -227,28 +231,34 @@ pub fn check_over_sweep_with_threads(
     } else {
         // a lock-free work queue over the grid; `violated_at[s]` records the
         // smallest violating valuation index of query `s` so far, letting
-        // workers cancel cells that a sequential sweep would never reach
+        // workers cancel cells that a sequential sweep would never reach.
+        // Each sweep worker owns one persistent in-check pool, shared
+        // across every grid cell it processes.
         let next = AtomicUsize::new(0);
+        let cell_workers = resolved_workers(&cell_options);
         let violated_at: Vec<AtomicUsize> =
             specs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
         let slot_refs: Vec<Mutex<&mut Option<SweepOutcome>>> =
             slots.iter_mut().map(Mutex::new).collect();
         std::thread::scope(|scope| {
             for _ in 0..outer {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
+                scope.spawn(|| {
+                    let pool = WorkerPool::new(cell_workers);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let (s, v) = (i / systems.len(), i % systems.len());
+                        if v > violated_at[s].load(Ordering::Acquire) {
+                            continue; // cancelled: an earlier valuation violated
+                        }
+                        let cell = run_one(&systems[v], &specs[s], cell_options, &pool);
+                        if cell.outcome.status == CheckStatus::Violated {
+                            violated_at[s].fetch_min(v, Ordering::AcqRel);
+                        }
+                        **slot_refs[i].lock().unwrap() = Some(cell);
                     }
-                    let (s, v) = (i / systems.len(), i % systems.len());
-                    if v > violated_at[s].load(Ordering::Acquire) {
-                        continue; // cancelled: an earlier valuation violated
-                    }
-                    let cell = run_one(&systems[v], &specs[s], cell_options);
-                    if cell.outcome.status == CheckStatus::Violated {
-                        violated_at[s].fetch_min(v, Ordering::AcqRel);
-                    }
-                    **slot_refs[i].lock().unwrap() = Some(cell);
                 });
             }
         });
@@ -423,6 +433,62 @@ mod tests {
         );
         assert_eq!(wide[0].status(), sequential[0].status());
         assert_eq!(wide[0].total_states(), sequential[0].total_states());
+    }
+
+    #[test]
+    fn cancelled_sweep_accounts_every_grid_cell() {
+        // A 2-query × 3-valuation grid where one query violates on its very
+        // first valuation: whatever the thread budget — and whether the
+        // cells run the plain or the wave-pooled in-check path — every grid
+        // cell must be accounted for, as either a completed or an explicit
+        // skipped outcome.
+        let model = fixtures::voting_model().single_round().unwrap();
+        let specs = vec![
+            Spec::NeverFrom {
+                name: "reachable-E0".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "E0", &["E0"]),
+            },
+            Spec::NeverFrom {
+                name: "unreachable-I1".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+            },
+        ];
+        let valuations = [
+            ParamValuation::new(vec![4, 1, 1, 1]),
+            ParamValuation::new(vec![5, 1, 1, 1]),
+            ParamValuation::new(vec![6, 1, 1, 1]),
+        ];
+        let grid_width = valuations.len();
+        let option_sets = [
+            CheckerOptions::default(),
+            // wave-pooled path: pooled workers with single-node waves
+            CheckerOptions::default().with_workers(2).with_wave_size(1),
+        ];
+        for options in option_sets {
+            for threads in [1, 2, 8] {
+                let reports =
+                    check_over_sweep_with_threads(&model, &specs, &valuations, options, threads);
+                assert_eq!(reports.len(), specs.len());
+                for report in &reports {
+                    let completed = report.outcomes.iter().filter(|o| !o.skipped).count();
+                    assert_eq!(
+                        completed + report.skipped_cells(),
+                        grid_width,
+                        "{} at budget {threads} lost a grid cell",
+                        report.spec_name
+                    );
+                }
+                // the violating query stops after its first valuation, so
+                // exactly the remaining cells are skipped — at every budget
+                assert_eq!(reports[0].status(), CheckStatus::Violated);
+                assert_eq!(reports[0].skipped_cells(), grid_width - 1);
+                assert!(reports[0].outcomes[0].outcome.is_violated());
+                assert_eq!(reports[1].status(), CheckStatus::Holds);
+                assert_eq!(reports[1].skipped_cells(), 0);
+            }
+        }
     }
 
     #[test]

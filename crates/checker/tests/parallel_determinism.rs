@@ -104,8 +104,9 @@ fn assert_outcomes_identical(spec: &Spec, workers: usize, seq: &CheckOutcome, pa
     }
 }
 
-/// Checks the whole catalogue sequentially and at 2 and 4 workers (with
-/// both derived and skewed shard counts) and requires identical outcomes.
+/// Checks the whole catalogue sequentially and at 1, 2 and 4 pooled
+/// workers — with both derived and skewed shard counts, and across wave
+/// sizes {1, 7, unbounded} — and requires identical outcomes.
 fn assert_deterministic_over_workers(sys: &CounterSystem, options: CheckerOptions) {
     let model = sys.model();
     for spec in spec_catalogue(model) {
@@ -122,6 +123,24 @@ fn assert_deterministic_over_workers(sys: &CounterSystem, options: CheckerOption
                 )
                 .check(&spec);
                 assert_outcomes_identical(&spec, workers, &sequential, &parallel);
+            }
+        }
+        // the wave size bounds a parallel level's candidate buffers; like
+        // the worker count it must never change results (a wave of 1 or 7
+        // also lowers the parallel-entry threshold, so even narrow levels
+        // exercise the pooled wave machinery)
+        for workers in [1, 2, 4] {
+            for wave_size in [1, 7, usize::MAX] {
+                let waved = ExplicitChecker::with_options(
+                    sys,
+                    CheckerOptions {
+                        workers,
+                        wave_size,
+                        ..options
+                    },
+                )
+                .check(&spec);
+                assert_outcomes_identical(&spec, workers, &sequential, &waved);
             }
         }
         // a replayable counterexample stays replayable in parallel mode

@@ -1,0 +1,323 @@
+//! Randomized differential testing of the exploration engine.
+//!
+//! The hand-picked fixtures and the eight benchmark protocols pin the
+//! engine on *known* shapes; this suite hammers it with ~100 seeded random
+//! small counter systems (random intra-round DAGs, guards, updates and
+//! tracked location sets, built through the in-tree `rand` shim so every
+//! run is reproducible from its seed) and checks two contracts on each:
+//!
+//! * **Engine ≡ reference** — verdict, distinct-state count, transition
+//!   count, and (for violations) the counterexample schedule step for step,
+//!   which must also replay on the counter system.
+//! * **Pooled waves ≡ sequential** — the persistent-pool wave pipeline at
+//!   1, 2 and 4 workers × wave sizes {1, 7, unbounded} is bit-identical to
+//!   the sequential loop (tiny wave sizes also lower the parallel-entry
+//!   threshold, so these small systems genuinely exercise the wave path).
+//!
+//! A failure message always includes the generator seed, so any
+//! counterexample system can be rebuilt deterministically.
+
+use ccchecker::reference::reference_check;
+use ccchecker::{CheckStatus, CheckerOptions, ExplicitChecker, LocSet, Spec, StartRestriction};
+use cccounter::CounterSystem;
+use ccta::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random systems per test.
+const SYSTEMS: usize = 100;
+
+/// A random guard over the shared/coin variables: mostly `true`, otherwise
+/// a single-atom threshold (mixing shared and coin atoms in one guard is
+/// structurally illegal, so each guard sticks to one variable).
+fn random_guard(
+    rng: &mut StdRng,
+    k: usize,
+    shared: &[VarId],
+    coins: &[VarId],
+    quorum: &LinearExpr,
+) -> Guard {
+    match rng.gen_range(0..6u32) {
+        0 | 1 => Guard::top(),
+        2 => Guard::ge(
+            shared[rng.gen_range(0..shared.len())],
+            LinearExpr::constant(k, rng.gen_range(1..=2u64) as i64),
+        ),
+        3 => Guard::ge(shared[rng.gen_range(0..shared.len())], quorum.clone()),
+        _ => Guard::ge(
+            coins[rng.gen_range(0..coins.len())],
+            LinearExpr::constant(k, 1),
+        ),
+    }
+}
+
+/// A random update: increment one shared variable, or nothing.
+fn random_update(rng: &mut StdRng, shared: &[VarId]) -> Update {
+    if rng.gen_bool(0.5) {
+        Update::increment(shared[rng.gen_range(0..shared.len())])
+    } else {
+        Update::none()
+    }
+}
+
+/// One random small system: a valid multi-round model (random intra-round
+/// process DAG plus the standard fair-coin automaton) and an admissible
+/// valuation with 2–3 modelled processes.
+fn random_system(seed: u64) -> (CounterSystem, Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let resilience = rng.gen_range(2..=3u64) as i64;
+    let env = ccta::env::byzantine_common_coin_env(resilience);
+    let k = env.num_params();
+    let n = env.param_id("n").unwrap();
+    let t = env.param_id("t").unwrap();
+    let f = env.param_id("f").unwrap();
+    let quorum = LinearExpr::param(k, n)
+        .sub(&LinearExpr::param(k, t))
+        .sub(&LinearExpr::param(k, f));
+
+    let mut b = SystemBuilder::new(format!("random-{seed}"), env);
+    let shared: Vec<VarId> = (0..rng.gen_range(1..=2usize))
+        .map(|i| b.shared_var(&format!("v{i}")))
+        .collect();
+    let cc0 = b.coin_var("cc0");
+    let cc1 = b.coin_var("cc1");
+    let coins = [cc0, cc1];
+
+    let j0 = b.process_location("J0", LocClass::Border, Some(BinValue::Zero));
+    let j1 = b.process_location("J1", LocClass::Border, Some(BinValue::One));
+    let i0 = b.process_location("I0", LocClass::Initial, Some(BinValue::Zero));
+    let i1 = b.process_location("I1", LocClass::Initial, Some(BinValue::One));
+    let num_mids = rng.gen_range(1..=3usize);
+    let mids: Vec<LocId> = (0..num_mids)
+        .map(|i| b.process_location(&format!("S{i}"), LocClass::Intermediate, None))
+        .collect();
+    let e0 = b.process_location("E0", LocClass::Final, Some(BinValue::Zero));
+    let e1 = b.process_location("E1", LocClass::Final, Some(BinValue::One));
+    b.start_rule(j0, i0);
+    b.start_rule(j1, i1);
+
+    // random acyclic progress rules: a source of rank r only targets mids
+    // of rank > r or a final location, so the intra-round graph is a DAG
+    // (rules on cycles would have to drop their updates to stay canonical)
+    let mut rule_no = 0usize;
+    let mut add_random_rules =
+        |b: &mut SystemBuilder, from: LocId, rank: usize, rng: &mut StdRng| {
+            let mut targets: Vec<LocId> = mids.iter().copied().skip(rank).collect();
+            targets.push(e0);
+            targets.push(e1);
+            for _ in 0..rng.gen_range(1..=2usize) {
+                let to = targets[rng.gen_range(0..targets.len())];
+                let guard = random_guard(rng, k, &shared, &coins, &quorum);
+                let update = random_update(rng, &shared);
+                b.rule(&format!("r{rule_no}"), from, to, guard, update);
+                rule_no += 1;
+            }
+        };
+    add_random_rules(&mut b, i0, 0, &mut rng);
+    add_random_rules(&mut b, i1, 0, &mut rng);
+    for (rank, &mid) in mids.iter().enumerate() {
+        add_random_rules(&mut b, mid, rank + 1, &mut rng);
+    }
+    b.round_switch(e0, j0);
+    b.round_switch(e1, j1);
+
+    // the standard fair-coin automaton publishing through cc0/cc1
+    let jc = b.coin_location("JC", LocClass::Border, None);
+    let ic = b.coin_location("IC", LocClass::Initial, None);
+    let h0 = b.coin_location("H0", LocClass::Intermediate, None);
+    let h1 = b.coin_location("H1", LocClass::Intermediate, None);
+    let c0 = b.coin_location("C0", LocClass::Final, Some(BinValue::Zero));
+    let c1 = b.coin_location("C1", LocClass::Final, Some(BinValue::One));
+    b.start_rule(jc, ic);
+    b.coin_toss(
+        "toss",
+        ic,
+        vec![(h0, Probability::HALF), (h1, Probability::HALF)],
+        Guard::top(),
+        Update::none(),
+    );
+    b.rule("publish0", h0, c0, Guard::top(), Update::increment(cc0));
+    b.rule("publish1", h1, c1, Guard::top(), Update::increment(cc1));
+    b.round_switch(c0, jc);
+    b.round_switch(c1, jc);
+
+    let model = b
+        .build()
+        .unwrap_or_else(|e| panic!("seed {seed}: generated model must validate: {e:?}"))
+        .single_round()
+        .unwrap();
+    // the smallest admissible valuations of the two environments: 2 or 3
+    // modelled correct processes plus the coin
+    let valuation = if resilience == 2 {
+        ParamValuation::new(vec![3, 1, 1, 1])
+    } else {
+        ParamValuation::new(vec![4, 1, 1, 1])
+    };
+    let sys = CounterSystem::new(model, valuation)
+        .unwrap_or_else(|e| panic!("seed {seed}: valuation must be admissible: {e:?}"));
+    let mid_names = (0..num_mids).map(|i| format!("S{i}")).collect();
+    (sys, mid_names)
+}
+
+/// A random tracked location set over the finals and intermediates.
+fn random_locset(rng: &mut StdRng, model: &SystemModel, mids: &[String], tag: usize) -> LocSet {
+    let mut pool: Vec<&str> = vec!["E0", "E1"];
+    pool.extend(mids.iter().map(String::as_str));
+    let size = rng.gen_range(1..=2usize.min(pool.len()));
+    let mut names: Vec<&str> = Vec::new();
+    while names.len() < size {
+        let pick = pool[rng.gen_range(0..pool.len())];
+        if !names.contains(&pick) {
+            names.push(pick);
+        }
+    }
+    LocSet::from_names(model, format!("T{tag}"), &names)
+}
+
+/// Random obligations over a random system: every query shape of the
+/// catalogue, over random tracked sets.
+fn random_specs(rng: &mut StdRng, model: &SystemModel, mids: &[String]) -> Vec<Spec> {
+    let value = if rng.gen_bool(0.5) {
+        BinValue::Zero
+    } else {
+        BinValue::One
+    };
+    vec![
+        Spec::NeverFrom {
+            name: "never".into(),
+            start: StartRestriction::Unanimous(value),
+            forbidden: random_locset(rng, model, mids, 0),
+        },
+        Spec::CoverNever {
+            name: "cover".into(),
+            start: StartRestriction::RoundStart,
+            trigger: random_locset(rng, model, mids, 1),
+            forbidden: random_locset(rng, model, mids, 2),
+        },
+        Spec::ExistsAvoidOneOf {
+            name: "avoid".into(),
+            start: StartRestriction::RoundStart,
+            forbidden_sets: vec![
+                LocSet::from_names(model, "F0", &["E0"]),
+                LocSet::from_names(model, "F1", &["E1"]),
+            ],
+        },
+        Spec::NonBlocking {
+            name: "nonblocking".into(),
+            start: StartRestriction::RoundStart,
+        },
+    ]
+}
+
+#[test]
+fn random_systems_match_the_reference_engine() {
+    let mut verdicts = [0usize; 3];
+    for i in 0..SYSTEMS {
+        let seed = 0xD1F_F0000 + i as u64;
+        let (sys, mids) = random_system(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC5);
+        let options = CheckerOptions::default();
+        for spec in random_specs(&mut rng, sys.model(), &mids) {
+            let engine = ExplicitChecker::with_options(&sys, options).check(&spec);
+            let reference = reference_check(&sys, &spec, &options);
+            assert_eq!(
+                engine.status,
+                reference.status,
+                "seed {seed}: verdicts differ on {}",
+                spec.name()
+            );
+            assert_eq!(
+                engine.states_explored,
+                reference.states_explored,
+                "seed {seed}: state counts differ on {}",
+                spec.name()
+            );
+            assert_eq!(
+                engine.transitions_explored,
+                reference.transitions_explored,
+                "seed {seed}: transition counts differ on {}",
+                spec.name()
+            );
+            verdicts[match engine.status {
+                CheckStatus::Holds => 0,
+                CheckStatus::Violated => 1,
+                CheckStatus::Unknown => 2,
+            }] += 1;
+            if engine.status == CheckStatus::Violated {
+                let e = engine.counterexample.expect("engine counterexample");
+                let r = reference.counterexample.expect("reference counterexample");
+                assert_eq!(
+                    e.initial,
+                    r.initial,
+                    "seed {seed}: counterexample initials differ on {}",
+                    spec.name()
+                );
+                assert_eq!(
+                    e.schedule.steps(),
+                    r.schedule.steps(),
+                    "seed {seed}: counterexample schedules differ on {}",
+                    spec.name()
+                );
+                // the counterexample is a real execution of the system
+                let path = e
+                    .schedule
+                    .apply(&sys, &e.initial)
+                    .unwrap_or_else(|err| panic!("seed {seed}: must replay: {err:?}"));
+                assert_eq!(path.len(), e.schedule.len());
+            }
+        }
+    }
+    // the random family is not degenerate: both verdicts actually occur
+    assert!(
+        verdicts[0] > 0 && verdicts[1] > 0,
+        "degenerate verdict distribution: {verdicts:?}"
+    );
+}
+
+#[test]
+fn random_systems_are_worker_and_wave_independent() {
+    for i in 0..SYSTEMS {
+        let seed = 0xD1F_F0000 + i as u64;
+        let (sys, mids) = random_system(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC5);
+        for spec in random_specs(&mut rng, sys.model(), &mids) {
+            let sequential =
+                ExplicitChecker::with_options(&sys, CheckerOptions::sequential()).check(&spec);
+            for workers in [1, 2, 4] {
+                for wave_size in [1, 7, usize::MAX] {
+                    let options = CheckerOptions {
+                        workers,
+                        wave_size,
+                        ..CheckerOptions::default()
+                    };
+                    let pooled = ExplicitChecker::with_options(&sys, options).check(&spec);
+                    let ctx = format!(
+                        "seed {seed}, {} at {workers} workers, wave {wave_size}",
+                        spec.name()
+                    );
+                    assert_eq!(pooled.status, sequential.status, "verdict differs: {ctx}");
+                    assert_eq!(
+                        pooled.states_explored, sequential.states_explored,
+                        "state count differs: {ctx}"
+                    );
+                    assert_eq!(
+                        pooled.transitions_explored, sequential.transitions_explored,
+                        "transition count differs: {ctx}"
+                    );
+                    match (&sequential.counterexample, &pooled.counterexample) {
+                        (None, None) => {}
+                        (Some(s), Some(p)) => {
+                            assert_eq!(s.initial, p.initial, "initial differs: {ctx}");
+                            assert_eq!(
+                                s.schedule.steps(),
+                                p.schedule.steps(),
+                                "schedule differs: {ctx}"
+                            );
+                        }
+                        _ => panic!("counterexample presence differs: {ctx}"),
+                    }
+                }
+            }
+        }
+    }
+}

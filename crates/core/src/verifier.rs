@@ -29,9 +29,12 @@ pub struct VerifierConfig {
     /// the `CC_SWEEP_THREADS` environment variable and then to the
     /// available parallelism.
     pub threads: usize,
-    /// Resource limits and in-check thread/shard knobs of the
+    /// Resource limits and in-check thread/shard/wave knobs of the
     /// explicit-state checker; `checker.workers == 0` lets the sweep derive
-    /// the per-cell worker count from the thread budget.
+    /// the per-cell worker count from the thread budget, and
+    /// `checker.wave_size == 0` defers to `CC_WAVE_SIZE` and then the
+    /// engine default (see the `ccchecker` crate docs for the full knob
+    /// precedence).
     pub checker: CheckerOptions,
 }
 
@@ -72,6 +75,14 @@ impl VerifierConfig {
     /// This configuration with an explicit total thread budget.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// This configuration with an explicit parallel wave size for every
+    /// check of the sweep (bounds a parallel level's candidate buffers;
+    /// never changes verdicts or counts).
+    pub fn with_wave_size(mut self, wave_size: usize) -> Self {
+        self.checker.wave_size = wave_size;
         self
     }
 
@@ -315,6 +326,33 @@ mod tests {
                 result.termination.violated_obligation()
             );
             assert!(result.all_hold(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn wave_size_never_changes_results() {
+        let p = protocol_by_name("Rabin83").unwrap();
+        let baseline = verify_protocol(&p, &VerifierConfig::quick());
+        for wave_size in [1, 7, usize::MAX] {
+            let waved = verify_protocol(&p, &VerifierConfig::quick().with_wave_size(wave_size));
+            for (b, w) in [
+                &baseline.agreement,
+                &baseline.validity,
+                &baseline.termination,
+            ]
+            .into_iter()
+            .zip([&waved.agreement, &waved.validity, &waved.termination])
+            {
+                assert_eq!(w.status, b.status, "wave {wave_size}: {}", b.property);
+                assert_eq!(w.states, b.states, "wave {wave_size}: {}", b.property);
+                assert_eq!(w.nschemas, b.nschemas);
+                assert_eq!(
+                    w.counterexample.is_some(),
+                    b.counterexample.is_some(),
+                    "wave {wave_size}: {}",
+                    b.property
+                );
+            }
         }
     }
 
