@@ -1,10 +1,14 @@
 //! Criterion benchmark behind Table II: per-property checking cost on
-//! representative protocols of each category, plus two engine benchmarks:
+//! representative protocols of each category, plus three engine benchmarks:
 //!
 //! * `engine/…` vs `reference/…` — the packed-state delta engine against
 //!   the pre-refactor clone-per-transition reference on the same query
 //!   catalogue (single-threaded; the summary prints the speedup ratio per
-//!   protocol), and
+//!   protocol),
+//! * `catalogue/cached/…` vs `catalogue/uncached/…` — the whole obligation
+//!   catalogue through one checker with the reachability-graph cache on vs
+//!   off (single-threaded; the summary prints the amortization factor per
+//!   protocol, compared on `min_ns`), and
 //! * `sweep/…` — `check_over_sweep` with 1 worker vs all cores on a
 //!   multi-valuation sweep (parallel scaling).
 //!
@@ -159,6 +163,66 @@ fn bench_engine_vs_reference(c: &mut Criterion) {
     }
 }
 
+/// The graph-cache amortization axis: whole-catalogue wall-clock per
+/// protocol with the reachability-graph cache on vs off (both
+/// single-threaded through one `ExplicitChecker::check_all` call, so the
+/// only difference is explore-once-evaluate-many vs explore-per-spec).
+/// The summary compares `min_ns` — the stable comparator for sub-ms runs
+/// on this container — and prints the measured amortization factor.
+fn bench_catalogue_cache(c: &mut Criterion) {
+    let names = ["Rabin83", "CC85(a)", "KS16", "MMR14", "ABY22"];
+    let mut group = c.benchmark_group("catalogue");
+    group.sample_size(10);
+    for name in names {
+        let protocol = protocol_by_name(name).expect("benchmark protocol");
+        let workload = catalogue_workload(&protocol);
+        for (label, cache) in [("cached", true), ("uncached", false)] {
+            let options = CheckerOptions::sequential().with_graph_cache(cache);
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &workload,
+                |b, (sys, specs)| {
+                    b.iter(|| {
+                        let checker = ExplicitChecker::with_options(sys, options);
+                        checker
+                            .check_all(specs)
+                            .iter()
+                            .map(|o| o.states_explored)
+                            .sum::<usize>()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+    println!("\nwhole-catalogue graph-cache amortization (single-threaded, min_ns):");
+    let (mut cached_total, mut uncached_total) = (0.0, 0.0);
+    for name in names {
+        let cached = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == format!("catalogue/cached/{name}"))
+            .map(|m| m.min_ns);
+        let uncached = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == format!("catalogue/uncached/{name}"))
+            .map(|m| m.min_ns);
+        if let (Some(on), Some(off)) = (cached, uncached) {
+            cached_total += on;
+            uncached_total += off;
+            println!("  {name:<10} {:>6.2}x", off / on);
+        }
+    }
+    if cached_total > 0.0 {
+        println!(
+            "  {:<10} {:>6.2}x (total whole-catalogue wall-clock, cache on vs off)",
+            "overall",
+            uncached_total / cached_total
+        );
+    }
+}
+
 fn bench_sweep_scaling(c: &mut Criterion) {
     // a broader sweep so the grid has enough cells to parallelise
     let protocol = protocol_by_name("ABY22").expect("benchmark protocol");
@@ -199,6 +263,7 @@ criterion_group!(
     benches,
     bench_property_checking,
     bench_engine_vs_reference,
+    bench_catalogue_cache,
     bench_sweep_scaling
 );
 criterion_main!(benches);

@@ -1,12 +1,16 @@
 //! Per-obligation engine-vs-reference timing, used to locate exploration
 //! bottlenecks, plus state-store occupancy statistics to guide shard-count
-//! defaults.  Not part of the published tables.
+//! defaults and the whole-catalogue graph-cache amortization.  Not part of
+//! the published tables.
 //!
-//! Usage: `profile_engine [PROTOCOL] [--threads N] [--wave-size W]` — `N`
-//! sets the in-check worker count of the engine runs (default:
+//! Usage:
+//! `profile_engine [PROTOCOL] [--threads N] [--wave-size W] [--no-graph-cache]`
+//! — `N` sets the in-check worker count of the engine runs (default:
 //! `CC_CHECK_THREADS`, then all cores; the reference is always
 //! sequential), `W` the parallel wave size (default: `CC_WAVE_SIZE`, then
-//! the engine default).
+//! the engine default), and `--no-graph-cache` drops the cached
+//! whole-catalogue run from the summary (the per-obligation rows always
+//! use the per-spec path).
 
 use ccchecker::reference::reference_check;
 use ccchecker::{CheckerOptions, ExplicitChecker};
@@ -18,16 +22,19 @@ fn main() {
     let mut name = String::from("MMR14");
     let mut workers = 0usize;
     let mut wave_size = 0usize;
+    let mut graph_cache = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => workers = ccbench::parse_positive_flag("--threads", &mut args),
             "--wave-size" => wave_size = ccbench::parse_positive_flag("--wave-size", &mut args),
+            "--no-graph-cache" => graph_cache = false,
             other if !other.starts_with('-') => name = other.to_string(),
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: profile_engine [PROTOCOL] [--threads N] [--wave-size W]"
+                     usage: profile_engine [PROTOCOL] [--threads N] [--wave-size W] \
+                     [--no-graph-cache]"
                 );
                 std::process::exit(2);
             }
@@ -99,5 +106,57 @@ fn main() {
             );
             println!("  {:<27} store: {stats}", "");
         }
+    }
+
+    // whole-catalogue graph-cache amortization: the full obligation slice
+    // through one cached checker vs the per-spec path, best of 3
+    let all_specs: Vec<ccchecker::Spec> = obligations
+        .agreement
+        .iter()
+        .chain(obligations.validity.iter())
+        .chain(obligations.termination.iter())
+        .cloned()
+        .collect();
+    println!("\nwhole-catalogue ({} obligations):", all_specs.len());
+    let uncached = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let checker = ExplicitChecker::with_options(&sys, options.with_graph_cache(false));
+            let _ = checker.check_all(&all_specs);
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    println!("  per-spec path: {uncached:>10.3?}");
+    if graph_cache {
+        let mut cache_stats = ccchecker::GraphCacheStats::default();
+        let cached = (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let checker = ExplicitChecker::with_options(&sys, options.with_graph_cache(true));
+                let (_, s) = checker.check_all_with_stats(&all_specs);
+                cache_stats = s;
+                t.elapsed()
+            })
+            .min()
+            .unwrap();
+        println!(
+            "  graph cache:   {cached:>10.3?} ({:.2}x)",
+            uncached.as_secs_f64() / cached.as_secs_f64()
+        );
+        println!("  {cache_stats}");
+        for g in &cache_stats.groups {
+            println!(
+                "    group {:<18} {} obligation(s) on {} states / {} transitions \
+                 (1 miss, {} hit(s))",
+                g.start,
+                g.specs,
+                g.states,
+                g.transitions,
+                g.specs - 1,
+            );
+        }
+    } else {
+        println!("  graph cache:   disabled (--no-graph-cache)");
     }
 }

@@ -1,11 +1,13 @@
 //! Regenerates Table II: verification of the eight common-coin protocols.
 //!
-//! Usage: `table2 [--threads N] [--wave-size W]` — `N` is the total thread
-//! budget per property sweep, split between `query × valuation` grid cells
-//! and in-check workers (default: `CC_SWEEP_THREADS`, then all cores); `W`
-//! bounds a parallel level's candidate buffers (default: `CC_WAVE_SIZE`,
-//! then the engine default).  Any value of either produces identical
-//! verdicts and counts.
+//! Usage: `table2 [--threads N] [--wave-size W] [--no-graph-cache]` — `N`
+//! is the total thread budget per property sweep, split between
+//! `query × valuation` grid cells and in-check workers (default:
+//! `CC_SWEEP_THREADS`, then all cores); `W` bounds a parallel level's
+//! candidate buffers (default: `CC_WAVE_SIZE`, then the engine default);
+//! `--no-graph-cache` disables the reachability-graph cache so every
+//! obligation re-explores its own state space (default: cached, unless
+//! `CC_GRAPH_CACHE=0`).  Any combination produces identical verdicts.
 
 use cccore::prelude::*;
 
@@ -22,8 +24,14 @@ fn main() {
                 let w = ccbench::parse_positive_flag("--wave-size", &mut args);
                 config = config.with_wave_size(w);
             }
+            "--no-graph-cache" => {
+                config = config.with_graph_cache(false);
+            }
             other => {
-                eprintln!("unknown argument: {other}\nusage: table2 [--threads N] [--wave-size W]");
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: table2 [--threads N] [--wave-size W] [--no-graph-cache]"
+                );
                 std::process::exit(2);
             }
         }
@@ -39,5 +47,9 @@ fn main() {
             r.protocol,
             vals.join(", ")
         );
+    }
+    println!("\nreachability-graph cache per protocol (one combined sweep over the catalogue):");
+    for r in &results {
+        println!("  {:<10} {}", r.protocol, r.cache_stats());
     }
 }

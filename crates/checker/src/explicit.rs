@@ -18,14 +18,20 @@
 //! [`crate::explorer`] docs for the engine and determinism story.
 
 use crate::counterexample::Counterexample;
-use crate::explorer::{resolved_workers, row_occupancy_bits, Exploration, Explorer, Visitor};
+use crate::explorer::{
+    resolved_graph_cache, resolved_workers, row_occupancy_bits, Exploration, Explorer, Visitor,
+};
 use crate::game;
+use crate::graph::ReachGraph;
 use crate::pool::WorkerPool;
-use crate::result::CheckOutcome;
-use crate::spec::{LocSet, Spec};
+use crate::result::{CheckOutcome, GraphCacheStats, GroupCacheRecord};
+use crate::spec::{LocSet, Spec, StartRestriction};
 use crate::store::StoreStats;
 use cccounter::{Configuration, CounterSystem, Schedule, ScheduledStep};
 use ccta::{LocClass, ModelKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// Resource limits and thread configuration of the explicit-state search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +54,16 @@ pub struct CheckerOptions {
     /// [`crate::explorer::DEFAULT_WAVE_SIZE`].  Like the worker and shard
     /// counts, the wave size never changes results.
     pub wave_size: usize,
+    /// Whether batched checks ([`ExplicitChecker::check_all`] and the
+    /// sweep) share one reachability graph across all the obligations of a
+    /// `(start restriction, valuation)` group instead of re-exploring per
+    /// obligation.  `None` resolves the `CC_GRAPH_CACHE` environment
+    /// variable (`0` disables) and defaults to enabled.  The cache never
+    /// changes a verdict; per-spec state/transition counts under the cache
+    /// are derived from the analysis pass (see the "Graph cache" section of
+    /// the crate docs).  [`ExplicitChecker::check`] always takes the
+    /// per-spec path regardless of this knob.
+    pub graph_cache: Option<bool>,
 }
 
 impl Default for CheckerOptions {
@@ -58,6 +74,7 @@ impl Default for CheckerOptions {
             workers: 0,
             shards: 0,
             wave_size: 0,
+            graph_cache: None,
         }
     }
 }
@@ -80,6 +97,13 @@ impl CheckerOptions {
     /// These options with an explicit parallel wave size.
     pub fn with_wave_size(mut self, wave_size: usize) -> Self {
         self.wave_size = wave_size;
+        self
+    }
+
+    /// These options with the reachability-graph cache explicitly enabled
+    /// or disabled (overriding the `CC_GRAPH_CACHE` environment variable).
+    pub fn with_graph_cache(mut self, enabled: bool) -> Self {
+        self.graph_cache = Some(enabled);
         self
     }
 }
@@ -149,20 +173,88 @@ impl Visitor for NonBlockingVisitor<'_> {
 }
 
 /// In a terminal state row, returns a location outside the sink set (border
-/// copies) that still holds an automaton, if any.
-fn blocked_location_in_row(sys: &CounterSystem, row: &[u8]) -> Option<ccta::LocId> {
+/// copies) that still holds an automaton, if any.  Shared with the
+/// graph-cache blocking scan ([`crate::graph`]).
+pub(crate) fn blocked_location_in_row(sys: &CounterSystem, row: &[u8]) -> Option<ccta::LocId> {
     let model = sys.model();
     model
         .loc_ids()
         .find(|&l| row[l.0] > 0 && model.location(l).class() != LocClass::BorderCopy)
 }
 
+/// Returns a location lying on a cycle of non-self-loop progress rules, if
+/// any — the structural half of the non-blocking side condition, shared by
+/// the per-spec path and the graph-cache evaluation.
+pub(crate) fn find_progress_cycle(sys: &CounterSystem) -> Option<ccta::LocId> {
+    let model = sys.model();
+    let n = model.locations().len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for rule in model.rules() {
+        if rule.is_self_loop() {
+            continue;
+        }
+        for b in rule.branches() {
+            adj[rule.from().0].push(b.to.0);
+        }
+    }
+    // iterative DFS with colors
+    let mut color = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < adj[node].len() {
+                let next = adj[node][*idx];
+                *idx += 1;
+                match color[next] {
+                    0 => {
+                        color[next] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => return Some(ccta::LocId(next)),
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Per-checker memoisation shared by every check: the enumerated start
+/// configurations per start restriction (reused even on the per-spec path)
+/// and — when the graph cache is enabled — the reachability graph per
+/// start restriction, plus its accounting.  The valuation is fixed per
+/// checker, so the start restriction alone keys a
+/// `(start restriction, valuation)` group.
+#[derive(Default)]
+struct CheckerMemo {
+    starts: Vec<(StartRestriction, Arc<Vec<Configuration>>)>,
+    /// Per cached graph: its key and its index into `stats.groups`.
+    graphs: Vec<(StartRestriction, Rc<ReachGraph>, usize)>,
+    stats: GraphCacheStats,
+}
+
 /// Explicit-state checker over a single-round counter system.
-#[derive(Debug)]
 pub struct ExplicitChecker<'a> {
     sys: &'a CounterSystem,
     options: CheckerOptions,
     pool: PoolSource<'a>,
+    memo: RefCell<CheckerMemo>,
+}
+
+impl std::fmt::Debug for ExplicitChecker<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplicitChecker")
+            .field("options", &self.options)
+            .field("pool", &self.pool)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> ExplicitChecker<'a> {
@@ -211,7 +303,12 @@ impl<'a> ExplicitChecker<'a> {
             ModelKind::SingleRound,
             "the explicit checker operates on single-round models (Definition 3)"
         );
-        ExplicitChecker { sys, options, pool }
+        ExplicitChecker {
+            sys,
+            options,
+            pool,
+            memo: RefCell::new(CheckerMemo::default()),
+        }
     }
 
     /// The counter system under check.
@@ -219,9 +316,111 @@ impl<'a> ExplicitChecker<'a> {
         self.sys
     }
 
-    /// Checks one query.
+    /// The start configurations of a restriction, enumerated once per
+    /// checker and shared by every spec with the same restriction (the
+    /// enumeration is combinatorial in the process count, so re-running it
+    /// per obligation was pure waste).
+    fn starts_for(&self, start: StartRestriction) -> Arc<Vec<Configuration>> {
+        let mut memo = self.memo.borrow_mut();
+        if let Some((_, cached)) = memo.starts.iter().find(|(s, _)| *s == start) {
+            return Arc::clone(cached);
+        }
+        let configs = Arc::new(start.configurations(self.sys));
+        memo.starts.push((start, Arc::clone(&configs)));
+        configs
+    }
+
+    /// The cached reachability graph of a start-restriction group and its
+    /// stats-group index, building it on the first request (a cache miss).
+    /// The caller records which counter the spec lands in — served by the
+    /// group, or fallen back to the per-spec path.
+    fn graph_for(&self, start: StartRestriction) -> (Rc<ReachGraph>, usize) {
+        {
+            let memo = self.memo.borrow();
+            if let Some((_, graph, group)) = memo.graphs.iter().find(|(s, _, _)| *s == start) {
+                return (Rc::clone(graph), *group);
+            }
+        }
+        // build outside the borrow so the memo is never held across the
+        // exploration
+        let starts = self.starts_for(start);
+        let graph = Rc::new(ReachGraph::build(
+            self.sys,
+            &starts,
+            &self.options,
+            self.pool.get(),
+        ));
+        let mut memo = self.memo.borrow_mut();
+        let group = memo.stats.groups.len();
+        memo.stats.groups.push(GroupCacheRecord {
+            start: start.label(),
+            specs: 0,
+            states: graph.states(),
+            transitions: graph.transitions(),
+        });
+        memo.graphs.push((start, Rc::clone(&graph), group));
+        (graph, group)
+    }
+
+    /// Checks one query on the per-spec path (its own exploration, exactly
+    /// the reference semantics — `engine_equivalence` compares this path
+    /// bit-for-bit against [`crate::reference`]).
     pub fn check(&self, spec: &Spec) -> CheckOutcome {
         self.check_impl(spec, false).0
+    }
+
+    /// Checks one query through the reachability-graph cache: the first
+    /// query of a `(start restriction, valuation)` group pays one
+    /// monitor-free exploration, every further query of the group is an
+    /// `O(states + edges)` analysis pass over the cached graph.  Falls back
+    /// to the per-spec path when the cache is disabled (see
+    /// [`CheckerOptions::graph_cache`]), the spec shape is not served by
+    /// the cache, or the group's build tripped a resource budget (the
+    /// pruned per-spec searches can still produce a definite verdict within
+    /// the same budget, so a bounded build must not blanket the group with
+    /// `Unknown`).
+    pub(crate) fn check_cached(&self, spec: &Spec) -> CheckOutcome {
+        // the analysis product over k tracked sets needs 2^k flat slots per
+        // node; the catalogue's game specs use at most two sets, so
+        // anything wider than k == 3 takes the (pruned) per-spec game
+        // search instead of paying the product blow-up
+        let cacheable = match spec {
+            Spec::ExistsAvoidOneOf { forbidden_sets, .. } => forbidden_sets.len() <= 3,
+            _ => true,
+        };
+        if !resolved_graph_cache(&self.options) || !cacheable {
+            self.memo.borrow_mut().stats.uncached_specs += 1;
+            return self.check(spec);
+        }
+        let (graph, group) = self.graph_for(spec.start());
+        if graph.is_bounded() {
+            self.memo.borrow_mut().stats.uncached_specs += 1;
+            return self.check(spec);
+        }
+        self.memo.borrow_mut().stats.groups[group].specs += 1;
+        graph.evaluate(self.sys, spec, &self.options)
+    }
+
+    /// Checks a slice of queries, sharing one reachability graph across all
+    /// the queries of each `(start restriction, valuation)` group when the
+    /// graph cache is enabled (the default; see
+    /// [`CheckerOptions::graph_cache`]).  Outcomes are returned in spec
+    /// order and verdicts are identical to checking each spec on its own.
+    pub fn check_all(&self, specs: &[Spec]) -> Vec<CheckOutcome> {
+        specs.iter().map(|spec| self.check_cached(spec)).collect()
+    }
+
+    /// [`ExplicitChecker::check_all`] plus the cache accounting accumulated
+    /// by this checker so far (including earlier `check_all` calls).
+    pub fn check_all_with_stats(&self, specs: &[Spec]) -> (Vec<CheckOutcome>, GraphCacheStats) {
+        let outcomes = self.check_all(specs);
+        (outcomes, self.cache_stats())
+    }
+
+    /// A snapshot of the graph-cache accounting accumulated by this
+    /// checker.
+    pub fn cache_stats(&self) -> GraphCacheStats {
+        self.memo.borrow().stats.clone()
     }
 
     /// Checks one query and reports the state-store occupancy statistics of
@@ -231,15 +430,18 @@ impl<'a> ExplicitChecker<'a> {
     }
 
     fn check_impl(&self, spec: &Spec, want_stats: bool) -> (CheckOutcome, StoreStats) {
+        // one start enumeration per (checker, restriction), shared across
+        // every spec of the restriction — with or without the graph cache
+        let starts = self.starts_for(spec.start());
         match spec {
             Spec::CoverNever {
                 name,
-                start,
                 trigger,
                 forbidden,
+                ..
             } => self.check_monitored(
                 name,
-                &start.configurations(self.sys),
+                &starts,
                 &[trigger.clone(), forbidden.clone()],
                 0b11,
                 format!(
@@ -250,12 +452,10 @@ impl<'a> ExplicitChecker<'a> {
                 want_stats,
             ),
             Spec::NeverFrom {
-                name,
-                start,
-                forbidden,
+                name, forbidden, ..
             } => self.check_monitored(
                 name,
-                &start.configurations(self.sys),
+                &starts,
                 std::slice::from_ref(forbidden),
                 0b1,
                 format!("a path occupies {}", forbidden.name()),
@@ -263,20 +463,18 @@ impl<'a> ExplicitChecker<'a> {
             ),
             Spec::ExistsAvoidOneOf {
                 name,
-                start,
                 forbidden_sets,
+                ..
             } => game::check_exists_avoid_impl(
                 self.sys,
                 name,
-                &start.configurations(self.sys),
+                &starts,
                 forbidden_sets,
                 &self.options,
                 self.pool.get(),
                 want_stats,
             ),
-            Spec::NonBlocking { name, start } => {
-                self.check_non_blocking(name, &start.configurations(self.sys), want_stats)
-            }
+            Spec::NonBlocking { name, .. } => self.check_non_blocking(name, &starts, want_stats),
         }
     }
 
@@ -352,7 +550,7 @@ impl<'a> ExplicitChecker<'a> {
         want_stats: bool,
     ) -> (CheckOutcome, StoreStats) {
         // 1. structural acyclicity of the progress graph
-        if let Some(loc) = self.find_progress_cycle() {
+        if let Some(loc) = find_progress_cycle(self.sys) {
             let ce = Counterexample {
                 spec: spec_name.to_string(),
                 params: self.sys.params().clone(),
@@ -409,48 +607,6 @@ impl<'a> ExplicitChecker<'a> {
             StoreStats::default()
         };
         (outcome, stats)
-    }
-
-    /// Returns a location lying on a cycle of non-self-loop rules, if any.
-    fn find_progress_cycle(&self) -> Option<ccta::LocId> {
-        let model = self.sys.model();
-        let n = model.locations().len();
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for rule in model.rules() {
-            if rule.is_self_loop() {
-                continue;
-            }
-            for b in rule.branches() {
-                adj[rule.from().0].push(b.to.0);
-            }
-        }
-        // iterative DFS with colors
-        let mut color = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
-        for start in 0..n {
-            if color[start] != 0 {
-                continue;
-            }
-            let mut stack = vec![(start, 0usize)];
-            color[start] = 1;
-            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-                if *idx < adj[node].len() {
-                    let next = adj[node][*idx];
-                    *idx += 1;
-                    match color[next] {
-                        0 => {
-                            color[next] = 1;
-                            stack.push((next, 0));
-                        }
-                        1 => return Some(ccta::LocId(next)),
-                        _ => {}
-                    }
-                } else {
-                    color[node] = 2;
-                    stack.pop();
-                }
-            }
-        }
-        None
     }
 }
 
@@ -625,6 +781,179 @@ mod tests {
         let outcome = checker.check(&spec);
         assert_eq!(outcome.status, crate::CheckStatus::Unknown);
         assert!(outcome.detail.contains("transition"));
+    }
+
+    /// One spec of every catalogue shape over the voting fixture, with two
+    /// different start restrictions so the cache forms two groups.
+    fn catalogue(sys: &CounterSystem) -> Vec<Spec> {
+        let model = sys.model();
+        vec![
+            Spec::NeverFrom {
+                name: "unreachable-I1".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(model, "I1", &["I1"]),
+            },
+            Spec::NeverFrom {
+                name: "reachable-E0".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(model, "E0", &["E0"]),
+            },
+            Spec::CoverNever {
+                name: "cover".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                trigger: LocSet::from_names(model, "E0", &["E0"]),
+                forbidden: LocSet::from_names(model, "E1", &["E1"]),
+            },
+            Spec::ExistsAvoidOneOf {
+                name: "C1".into(),
+                start: StartRestriction::RoundStart,
+                forbidden_sets: vec![
+                    LocSet::from_names(model, "F0", &["E0"]),
+                    LocSet::from_names(model, "F1", &["E1"]),
+                ],
+            },
+            Spec::NonBlocking {
+                name: "termination".into(),
+                start: StartRestriction::RoundStart,
+            },
+        ]
+    }
+
+    #[test]
+    fn cached_catalogue_agrees_with_the_per_spec_path() {
+        let sys = sys();
+        let specs = catalogue(&sys);
+        let cached_checker =
+            ExplicitChecker::with_options(&sys, CheckerOptions::default().with_graph_cache(true));
+        let (cached, stats) = cached_checker.check_all_with_stats(&specs);
+        let per_spec: Vec<_> = specs
+            .iter()
+            .map(|s| ExplicitChecker::new(&sys).check(s))
+            .collect();
+        for ((spec, c), p) in specs.iter().zip(&cached).zip(&per_spec) {
+            assert_eq!(c.status, p.status, "{}", spec.name());
+            if let Some(ce) = &c.counterexample {
+                // the cached counterexample replays to a genuine violation
+                let path = ce.schedule.apply(&sys, &ce.initial).unwrap();
+                match spec {
+                    Spec::NeverFrom { forbidden, .. } => {
+                        assert!(path.visits(|cfg| forbidden.is_occupied(cfg)))
+                    }
+                    Spec::CoverNever {
+                        trigger, forbidden, ..
+                    } => {
+                        assert!(path.visits(|cfg| trigger.is_occupied(cfg)));
+                        assert!(path.visits(|cfg| forbidden.is_occupied(cfg)));
+                    }
+                    _ => {}
+                }
+            } else {
+                assert!(p.counterexample.is_none(), "{}", spec.name());
+            }
+        }
+        // two start restrictions -> two graphs, serving all five specs
+        assert_eq!(stats.graphs_built(), 2);
+        assert_eq!(stats.specs_served(), specs.len());
+        assert_eq!(stats.uncached_specs, 0);
+        assert!(stats.cached_states() > 0);
+        assert!(stats.amortization() > 1.0);
+        assert!(format!("{stats}").contains("amortization"));
+    }
+
+    #[test]
+    fn disabled_cache_takes_the_per_spec_path() {
+        let sys = sys();
+        let specs = catalogue(&sys);
+        let checker =
+            ExplicitChecker::with_options(&sys, CheckerOptions::default().with_graph_cache(false));
+        let (outcomes, stats) = checker.check_all_with_stats(&specs);
+        assert_eq!(stats.graphs_built(), 0);
+        assert_eq!(stats.uncached_specs, specs.len());
+        assert!(format!("{stats}").contains("per-spec path"));
+        // the uncached batch matches checking each spec individually exactly
+        for ((spec, o), direct) in specs
+            .iter()
+            .zip(&outcomes)
+            .zip(specs.iter().map(|s| ExplicitChecker::new(&sys).check(s)))
+        {
+            assert_eq!(o.status, direct.status, "{}", spec.name());
+            assert_eq!(o.states_explored, direct.states_explored, "{}", spec.name());
+            assert_eq!(
+                o.transitions_explored,
+                direct.transitions_explored,
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_checks_are_worker_independent() {
+        let sys = sys();
+        let specs = catalogue(&sys);
+        let baseline = ExplicitChecker::with_options(
+            &sys,
+            CheckerOptions::sequential().with_graph_cache(true),
+        )
+        .check_all(&specs);
+        for workers in [2, 4] {
+            let options = CheckerOptions::default()
+                .with_workers(workers)
+                .with_wave_size(1)
+                .with_graph_cache(true);
+            let parallel = ExplicitChecker::with_options(&sys, options).check_all(&specs);
+            for ((spec, b), p) in specs.iter().zip(&baseline).zip(&parallel) {
+                assert_eq!(b.status, p.status, "{} at {workers} workers", spec.name());
+                assert_eq!(
+                    b.states_explored,
+                    p.states_explored,
+                    "{} at {workers} workers",
+                    spec.name()
+                );
+                assert_eq!(
+                    b.transitions_explored,
+                    p.transitions_explored,
+                    "{} at {workers} workers",
+                    spec.name()
+                );
+                match (&b.counterexample, &p.counterexample) {
+                    (None, None) => {}
+                    (Some(bc), Some(pc)) => {
+                        assert_eq!(bc.initial, pc.initial);
+                        assert_eq!(bc.schedule.steps(), pc.schedule.steps());
+                    }
+                    _ => panic!("{}: counterexample presence differs", spec.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cache_builds_fall_back_to_the_per_spec_path() {
+        // a budget that trips during the monitor-free build must not turn
+        // the group's obligations Unknown wholesale: the spec re-runs on
+        // the per-spec path, so the outcome matches it exactly
+        let sys = sys();
+        let options = CheckerOptions {
+            max_states: 2,
+            ..CheckerOptions::default()
+        };
+        let spec = Spec::NeverFrom {
+            name: "bounded".into(),
+            start: StartRestriction::RoundStart,
+            forbidden: LocSet::from_names(sys.model(), "I1", &["I1"]),
+        };
+        let checker = ExplicitChecker::with_options(&sys, options.with_graph_cache(true));
+        let (outcomes, stats) = checker.check_all_with_stats(std::slice::from_ref(&spec));
+        let direct = ExplicitChecker::with_options(&sys, options.with_graph_cache(false));
+        assert_eq!(outcomes[0], direct.check(&spec));
+        assert_eq!(outcomes[0].status, crate::CheckStatus::Unknown);
+        assert!(outcomes[0].detail.contains("bound"));
+        // the bounded build is recorded as a miss serving nothing; the spec
+        // counts as uncached
+        assert_eq!(stats.graphs_built(), 1);
+        assert_eq!(stats.specs_served(), 0);
+        assert_eq!(stats.uncached_specs, 1);
     }
 
     #[test]

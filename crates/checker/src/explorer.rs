@@ -194,6 +194,23 @@ pub(crate) fn resolved_workers(options: &CheckerOptions) -> usize {
     })
 }
 
+/// Whether checks should share reachability graphs across the obligations
+/// of one `(start restriction, valuation)` group: an explicit
+/// [`CheckerOptions::graph_cache`] setting wins; `None` defers to the
+/// `CC_GRAPH_CACHE` environment variable (`0` disables), defaulting to
+/// enabled.  Like the thread knobs, the resolution is memoised process-wide.
+pub(crate) fn resolved_graph_cache(options: &CheckerOptions) -> bool {
+    if let Some(explicit) = options.graph_cache {
+        return explicit;
+    }
+    static AUTO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("CC_GRAPH_CACHE")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true)
+    })
+}
+
 /// The wave size for the given options: an explicit `wave_size` setting
 /// wins; `0` defers to the `CC_WAVE_SIZE` environment variable and then to
 /// [`DEFAULT_WAVE_SIZE`].
@@ -331,6 +348,13 @@ impl<'a> Explorer<'a> {
     /// attractor passes and occupancy stats).
     pub(crate) fn store(&self) -> &StateStore {
         &self.store
+    }
+
+    /// Consumes the explorer, releasing the store of explored states — this
+    /// is how a cached reachability graph outlives the exploration that
+    /// built it (see [`crate::graph`]).
+    pub(crate) fn into_store(self) -> StateStore {
+        self.store
     }
 
     /// Number of distinct states the *sequential* search would have

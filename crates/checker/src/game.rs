@@ -28,34 +28,38 @@ use crate::explorer::{resolved_workers, row_occupancy_bits, Exploration, Explore
 use crate::pool::WorkerPool;
 use crate::result::CheckOutcome;
 use crate::spec::LocSet;
-use crate::store::{StateStore, StoreStats};
+use crate::store::StoreStats;
 use crate::CheckerOptions;
 use cccounter::{Action, Configuration, CounterSystem, Schedule, ScheduledStep};
 
-/// The explored game graph in flat CSR form: every node owns a span of
-/// actions, every action owns a span of edges (`(scheduled step, successor)`
-/// per branch).  Nodes are expanded in discovery order, so all three arenas
-/// are append-only — no per-node or per-action `Vec` allocation.
+/// An explored game (or reachability) graph in flat CSR form: every node
+/// owns a span of actions, every action owns a span of edges
+/// (`(scheduled step, successor)` per branch).  Nodes are expanded in
+/// discovery order, so all three arenas are append-only — no per-node or
+/// per-action `Vec` allocation.
 ///
 /// `node_spans` is indexed by the store's node ids; with a sharded store
 /// those interleave the shard tag, so the array is grown on demand (ids stay
 /// near-dense as long as the shards stay balanced) and unexpanded nodes
-/// read back an empty span.
+/// read back an empty span.  The graph-cache evaluation passes
+/// ([`crate::graph`]) reuse the same arenas, both for the cached
+/// reachability graph itself and for the product game graphs derived from
+/// it.
 #[derive(Default)]
-struct GameGraph {
+pub(crate) struct GameGraph {
     /// Per node: `(start, end)` span into `action_nodes`/`action_spans`.
-    node_spans: Vec<(u32, u32)>,
+    pub(crate) node_spans: Vec<(u32, u32)>,
     /// Per action: the node it belongs to.
-    action_nodes: Vec<u32>,
+    pub(crate) action_nodes: Vec<u32>,
     /// Per action: `(start, end)` span into `edge_list`.
-    action_spans: Vec<(u32, u32)>,
+    pub(crate) action_spans: Vec<(u32, u32)>,
     /// All edges, back to back.
-    edge_list: Vec<(ScheduledStep, u32)>,
+    pub(crate) edge_list: Vec<(ScheduledStep, u32)>,
 }
 
 impl GameGraph {
     /// The actions of a node, as indices into the action arenas.
-    fn actions_of(&self, node: u32) -> std::ops::Range<usize> {
+    pub(crate) fn actions_of(&self, node: u32) -> std::ops::Range<usize> {
         let (start, end) = self
             .node_spans
             .get(node as usize)
@@ -65,9 +69,48 @@ impl GameGraph {
     }
 
     /// The edges of an action.
-    fn edges_of(&self, action: usize) -> &[(ScheduledStep, u32)] {
+    pub(crate) fn edges_of(&self, action: usize) -> &[(ScheduledStep, u32)] {
         let (start, end) = self.action_spans[action];
         &self.edge_list[start as usize..end as usize]
+    }
+}
+
+/// Appends explorer callbacks to a [`GameGraph`]'s CSR arenas in discovery
+/// order.  Shared by [`GameVisitor`] and the graph-cache build visitor of
+/// [`crate::graph`], which record exactly the same shape.
+#[derive(Default)]
+pub(crate) struct CsrRecorder {
+    pub(crate) graph: GameGraph,
+    actions_start: u32,
+    edges_start: u32,
+}
+
+impl CsrRecorder {
+    pub(crate) fn begin_node(&mut self) {
+        self.actions_start = self.graph.action_spans.len() as u32;
+    }
+
+    pub(crate) fn begin_action(&mut self) {
+        self.edges_start = self.graph.edge_list.len() as u32;
+    }
+
+    pub(crate) fn edge(&mut self, step: ScheduledStep, to: u32) {
+        self.graph.edge_list.push((step, to));
+    }
+
+    pub(crate) fn end_action(&mut self, node: u32) {
+        self.graph.action_nodes.push(node);
+        self.graph
+            .action_spans
+            .push((self.edges_start, self.graph.edge_list.len() as u32));
+    }
+
+    pub(crate) fn end_node(&mut self, node: u32) {
+        if self.graph.node_spans.len() <= node as usize {
+            self.graph.node_spans.resize(node as usize + 1, (0, 0));
+        }
+        self.graph.node_spans[node as usize] =
+            (self.actions_start, self.graph.action_spans.len() as u32);
     }
 }
 
@@ -76,10 +119,8 @@ impl GameGraph {
 struct GameVisitor<'s> {
     sets: &'s [LocSet],
     all_bits: u8,
-    graph: GameGraph,
+    csr: CsrRecorder,
     start_ids: Vec<u32>,
-    actions_start: u32,
-    edges_start: u32,
 }
 
 impl Visitor for GameVisitor<'_> {
@@ -98,11 +139,11 @@ impl Visitor for GameVisitor<'_> {
     }
 
     fn begin_node(&mut self, _node: u32) {
-        self.actions_start = self.graph.action_spans.len() as u32;
+        self.csr.begin_node();
     }
 
     fn begin_action(&mut self, _node: u32, _action: Action) {
-        self.edges_start = self.graph.edge_list.len() as u32;
+        self.csr.begin_action();
     }
 
     fn edge(
@@ -113,23 +154,16 @@ impl Visitor for GameVisitor<'_> {
         _to_bits: u8,
         _fresh: bool,
     ) -> bool {
-        self.graph.edge_list.push((step, to));
+        self.csr.edge(step, to);
         false
     }
 
     fn end_action(&mut self, node: u32, _action: Action) {
-        self.graph.action_nodes.push(node);
-        self.graph
-            .action_spans
-            .push((self.edges_start, self.graph.edge_list.len() as u32));
+        self.csr.end_action(node);
     }
 
     fn end_node(&mut self, node: u32) {
-        if self.graph.node_spans.len() <= node as usize {
-            self.graph.node_spans.resize(node as usize + 1, (0, 0));
-        }
-        self.graph.node_spans[node as usize] =
-            (self.actions_start, self.graph.action_spans.len() as u32);
+        self.csr.end_node(node);
     }
 }
 
@@ -169,10 +203,8 @@ pub(crate) fn check_exists_avoid_impl(
     let mut visitor = GameVisitor {
         sets,
         all_bits,
-        graph: GameGraph::default(),
+        csr: CsrRecorder::default(),
         start_ids: Vec::new(),
-        actions_start: 0,
-        edges_start: 0,
     };
     let exploration = explorer.run(starts, &mut visitor);
     let stats = if want_stats {
@@ -208,67 +240,28 @@ pub(crate) fn check_exists_avoid_impl(
     }
 
     let store = explorer.store();
-    let graph = &visitor.graph;
+    let graph = &visitor.csr.graph;
     let (states, transitions) = (explorer.states(), explorer.transitions());
 
-    // ---------------- backward attractor for the adversary ----------------
-    // winning[i] = the adversary can force all resolutions from node i to a
-    // node whose bits cover every tracked set.  Computed with a worklist in
-    // O(edges): `pending[a]` counts the not-yet-winning successors of action
-    // `a`; an action whose count reaches zero forces its node.
+    // backward attractor: seed with the nodes already losing for the coin
     let id_bound = store.id_bound();
-    let mut winning: Vec<bool> = vec![false; id_bound];
-    let mut worklist: Vec<u32> = Vec::new();
-    for id in store.ids() {
-        if store.bits(id) == all_bits {
-            winning[id as usize] = true;
-            worklist.push(id);
-        }
-    }
-    {
-        // flat predecessor arena, one entry per edge (duplicates intended:
-        // an action with two branches into the same successor must
-        // decrement twice), built with a two-pass counting sort
-        let mut pred_offsets: Vec<u32> = vec![0; id_bound + 1];
-        for &(_, succ) in &graph.edge_list {
-            pred_offsets[succ as usize + 1] += 1;
-        }
-        for i in 0..id_bound {
-            pred_offsets[i + 1] += pred_offsets[i];
-        }
-        let mut pred_actions: Vec<u32> = vec![0; graph.edge_list.len()];
-        let mut fill = pred_offsets.clone();
-        let mut pending: Vec<u32> = Vec::with_capacity(graph.action_spans.len());
-        for (a, &(start, end)) in graph.action_spans.iter().enumerate() {
-            pending.push(end - start);
-            for &(_, succ) in &graph.edge_list[start as usize..end as usize] {
-                let slot = &mut fill[succ as usize];
-                pred_actions[*slot as usize] = a as u32;
-                *slot += 1;
-            }
-        }
-        while let Some(w) = worklist.pop() {
-            let span = pred_offsets[w as usize] as usize..pred_offsets[w as usize + 1] as usize;
-            for &action in &pred_actions[span] {
-                let count = &mut pending[action as usize];
-                *count -= 1;
-                // an action with no branches never forces (empty spans start
-                // at zero and are never decremented)
-                if *count == 0 {
-                    let node = graph.action_nodes[action as usize] as usize;
-                    if !winning[node] {
-                        winning[node] = true;
-                        worklist.push(node as u32);
-                    }
-                }
-            }
-        }
-    }
+    let seeds: Vec<u32> = store
+        .ids()
+        .filter(|&id| store.bits(id) == all_bits)
+        .collect();
+    let winning = adversary_winning(graph, id_bound, seeds);
 
     let outcome = match visitor.start_ids.iter().find(|&&s| winning[s as usize]) {
         None => CheckOutcome::holds(states, transitions),
         Some(&bad_start) => {
-            let schedule = extract_strategy_path(store, graph, &winning, bad_start, all_bits);
+            let schedule = extract_strategy_path(
+                graph,
+                &winning,
+                bad_start,
+                all_bits,
+                |id| store.bits(id),
+                store.len(),
+            );
             let ce = Counterexample {
                 spec: spec_name.to_string(),
                 params: sys.params().clone(),
@@ -288,20 +281,79 @@ pub(crate) fn check_exists_avoid_impl(
     (outcome, stats)
 }
 
+/// The adversary attractor over a game graph in CSR form.
+///
+/// `winning[i] = true` iff the adversary can force all probabilistic
+/// resolutions from node `i` into a node of `seeds` (the states already
+/// losing for the coin).  Computed with a worklist in O(edges):
+/// `pending[a]` counts the not-yet-winning successors of action `a`; an
+/// action whose count reaches zero forces its node.  `id_bound` is an
+/// exclusive upper bound on the node ids appearing in the graph and the
+/// seeds.  Shared by the direct game search above and the graph-cache
+/// product game of [`crate::graph`].
+pub(crate) fn adversary_winning(graph: &GameGraph, id_bound: usize, seeds: Vec<u32>) -> Vec<bool> {
+    let mut winning: Vec<bool> = vec![false; id_bound];
+    let mut worklist = seeds;
+    for &s in &worklist {
+        winning[s as usize] = true;
+    }
+    // flat predecessor arena, one entry per edge (duplicates intended: an
+    // action with two branches into the same successor must decrement
+    // twice), built with a two-pass counting sort
+    let mut pred_offsets: Vec<u32> = vec![0; id_bound + 1];
+    for &(_, succ) in &graph.edge_list {
+        pred_offsets[succ as usize + 1] += 1;
+    }
+    for i in 0..id_bound {
+        pred_offsets[i + 1] += pred_offsets[i];
+    }
+    let mut pred_actions: Vec<u32> = vec![0; graph.edge_list.len()];
+    let mut fill = pred_offsets.clone();
+    let mut pending: Vec<u32> = Vec::with_capacity(graph.action_spans.len());
+    for (a, &(start, end)) in graph.action_spans.iter().enumerate() {
+        pending.push(end - start);
+        for &(_, succ) in &graph.edge_list[start as usize..end as usize] {
+            let slot = &mut fill[succ as usize];
+            pred_actions[*slot as usize] = a as u32;
+            *slot += 1;
+        }
+    }
+    while let Some(w) = worklist.pop() {
+        let span = pred_offsets[w as usize] as usize..pred_offsets[w as usize + 1] as usize;
+        for &action in &pred_actions[span] {
+            let count = &mut pending[action as usize];
+            *count -= 1;
+            // an action with no branches never forces (empty spans start at
+            // zero and are never decremented)
+            if *count == 0 {
+                let node = graph.action_nodes[action as usize] as usize;
+                if !winning[node] {
+                    winning[node] = true;
+                    worklist.push(node as u32);
+                }
+            }
+        }
+    }
+    winning
+}
+
 /// Follows the adversary's winning strategy (taking the first branch at every
 /// probabilistic choice) until every tracked set has been occupied, returning
-/// the corresponding schedule as a sample violating execution.
-fn extract_strategy_path(
-    store: &StateStore,
+/// the corresponding schedule as a sample violating execution.  `bits_of`
+/// reads a node's cumulative monitor bits and `node_count` bounds the walk;
+/// the graph-cache product game reuses this with product-node bits.
+pub(crate) fn extract_strategy_path(
     graph: &GameGraph,
     winning: &[bool],
     start: u32,
     all_bits: u8,
+    bits_of: impl Fn(u32) -> u8,
+    node_count: usize,
 ) -> Schedule {
     let mut steps = Vec::new();
     let mut current = start;
     let mut guard = 0usize;
-    while store.bits(current) != all_bits && guard < store.len() + 1 {
+    while bits_of(current) != all_bits && guard < node_count + 1 {
         guard += 1;
         let Some(edges) = graph
             .actions_of(current)

@@ -1,0 +1,588 @@
+//! The reachability-graph cache: explore once, evaluate many.
+//!
+//! Every obligation of the catalogue explores what is substantially the
+//! same reachable configuration graph of the single-round counter system —
+//! only the *observation* differs (monitor bits, game target sets, blocking
+//! scan).  [`ReachGraph`] materialises that graph once per
+//! `(start restriction, valuation)` group: one run of the generic
+//! [`Explorer`] with a monitor-free visitor interns every reachable
+//! configuration into the [`StateStore`] and records the full transition
+//! relation in the flat CSR arenas of [`GameGraph`] (the same machinery the
+//! game solver builds its graph with).  Each obligation is then evaluated
+//! as an `O(states + edges)` analysis pass over the cached graph:
+//!
+//! * [`Spec::CoverNever`] / [`Spec::NeverFrom`] — a sticky monitor-bit
+//!   propagation fixpoint: a BFS over `(node, cumulative bits)` product
+//!   states that walks cached CSR edges instead of re-expanding rules.
+//!   The tracked [`LocSet`]s are precompiled to per-row byte masks
+//!   ([`LocSet::row_mask`]) so the per-node occupancy test is a branch-free
+//!   fold over the row.
+//! * [`Spec::ExistsAvoidOneOf`] — the product game graph over
+//!   `(node, cumulative bits)` is assembled from the cached edges and
+//!   handed to the existing O(edges) worklist attractor
+//!   ([`adversary_winning`]); the violating strategy path comes from the
+//!   shared [`extract_strategy_path`].
+//! * [`Spec::NonBlocking`] — a terminal/blocking scan: a cached node is
+//!   terminal iff its CSR action span is empty (a complete exploration
+//!   expands every interned node), and the blocked-location test reuses the
+//!   per-spec classifier.
+//!
+//! Counterexamples stay genuinely replayable: monitored violations
+//! reconstruct their schedule from the product-BFS parent chain (whose
+//! steps are real [`ScheduledStep`]s of cached edges), non-blocking
+//! violations walk the store's first-discovery parent edges, and game
+//! violations follow the winning strategy through product edges.  Along
+//! every reported path the cumulative occupancy of the tracked sets first
+//! completes exactly at the final configuration — the same invariant the
+//! per-spec searches guarantee — because a product state is checked for
+//! violation the moment it is first created.
+//!
+//! The cached graph is monitor-free, so the per-spec state/transition
+//! counts reported under the cache are derived from the analysis pass (the
+//! product states and product edges it visits), not from a monitored
+//! re-exploration; for a *holding* `NonBlocking` — whose search carries no
+//! monitor bits — the counts coincide exactly with the per-spec path (a
+//! violated one reports the full exploration, where the per-spec search
+//! stops at the violating terminal).  Verdicts never differ: resource
+//! budgets ([`CheckerOptions::max_states`] /
+//! [`CheckerOptions::max_transitions`]) apply to every analysis pass, and a
+//! build that trips a budget makes
+//! [`crate::explicit::ExplicitChecker::check_cached`] fall back to the
+//! per-spec search instead of blanketing the group with `Unknown`.
+
+use crate::counterexample::Counterexample;
+use crate::explicit::{blocked_location_in_row, find_progress_cycle, CheckerOptions};
+use crate::explorer::{Exploration, Explorer, Visitor};
+use crate::game::{adversary_winning, extract_strategy_path, CsrRecorder, GameGraph};
+use crate::pool::WorkerPool;
+use crate::result::CheckOutcome;
+use crate::spec::{LocSet, Spec};
+use crate::store::StateStore;
+use cccounter::{Action, Configuration, CounterSystem, Schedule, ScheduledStep};
+use std::collections::VecDeque;
+
+/// Sentinel for "product state not discovered yet" in the ordinal maps.
+const NO_ORD: u32 = u32::MAX;
+
+/// The monitor-free build visitor: records every explored edge in CSR form,
+/// the interned start nodes, and the BFS discovery order of every fresh
+/// node.  Unlike the game visitor it never prunes, so the cached graph
+/// covers the full reachable space of the start-restriction group.  The
+/// discovery order comes from the explorer's deterministic replay, so it is
+/// identical at every worker/shard/wave count — node ids alone are *not*
+/// (they interleave the shard tag), which is why order-sensitive consumers
+/// like the non-blocking terminal scan must iterate `discovery` instead of
+/// the store's id space.
+#[derive(Default)]
+struct CacheVisitor {
+    csr: CsrRecorder,
+    start_ids: Vec<u32>,
+    discovery: Vec<u32>,
+}
+
+impl Visitor for CacheVisitor {
+    fn successor_bits(&self, _parent_bits: u8, _row: &[u8]) -> u8 {
+        0
+    }
+
+    fn start_node(&mut self, node: u32, _bits: u8, fresh: bool) -> bool {
+        // duplicate start configurations intern to the same node; list it once
+        if fresh {
+            self.start_ids.push(node);
+            self.discovery.push(node);
+        }
+        false
+    }
+
+    fn begin_node(&mut self, _node: u32) {
+        self.csr.begin_node();
+    }
+
+    fn begin_action(&mut self, _node: u32, _action: Action) {
+        self.csr.begin_action();
+    }
+
+    fn edge(
+        &mut self,
+        _from: u32,
+        step: ScheduledStep,
+        to: u32,
+        _to_bits: u8,
+        fresh: bool,
+    ) -> bool {
+        self.csr.edge(step, to);
+        if fresh {
+            self.discovery.push(to);
+        }
+        false
+    }
+
+    fn end_action(&mut self, node: u32, _action: Action) {
+        self.csr.end_action(node);
+    }
+
+    fn end_node(&mut self, node: u32) {
+        self.csr.end_node(node);
+    }
+}
+
+/// The cached reachable graph of one `(start restriction, valuation)`
+/// group: the deduplicated configuration store, the CSR transition
+/// relation, and the interned start nodes.  Built once per group by
+/// [`ReachGraph::build`], evaluated once per obligation by
+/// [`ReachGraph::evaluate`].
+pub(crate) struct ReachGraph {
+    store: StateStore,
+    graph: GameGraph,
+    start_ids: Vec<u32>,
+    /// Every node in BFS discovery order (worker/shard independent).
+    discovery: Vec<u32>,
+    /// States the sequential monitor-free search counted (already adjusted
+    /// for the reference's stop-before-store state-bound convention).
+    states: usize,
+    transitions: usize,
+    /// Why the build was inconclusive, if a resource budget tripped.
+    bound: Option<&'static str>,
+}
+
+impl ReachGraph {
+    /// Explores the reachable graph from the given start configurations —
+    /// once — on the caller's worker pool.
+    pub(crate) fn build(
+        sys: &CounterSystem,
+        starts: &[Configuration],
+        options: &CheckerOptions,
+        pool: &WorkerPool,
+    ) -> Self {
+        let mut explorer = Explorer::new(sys, options, pool);
+        let mut visitor = CacheVisitor::default();
+        let (states, bound) = match explorer.run(starts, &mut visitor) {
+            Exploration::Complete => (explorer.states(), None),
+            Exploration::TransitionBound => (explorer.states(), Some("transition bound exhausted")),
+            // like the reference engine, report the budget rather than the
+            // over-budget state that was interned before the bound tripped
+            Exploration::StateBound => (explorer.states() - 1, Some("state bound exhausted")),
+            Exploration::Violation(_) => unreachable!("the cache visitor never reports violations"),
+        };
+        let transitions = explorer.transitions();
+        ReachGraph {
+            store: explorer.into_store(),
+            graph: visitor.csr.graph,
+            start_ids: visitor.start_ids,
+            discovery: visitor.discovery,
+            states,
+            transitions,
+            bound,
+        }
+    }
+
+    /// Whether the build tripped a resource budget, leaving the graph
+    /// incomplete.  [`crate::explicit::ExplicitChecker::check_cached`]
+    /// falls back to the per-spec search in that case, so a budget bound
+    /// never turns a definite per-spec verdict into `Unknown`.
+    pub(crate) fn is_bounded(&self) -> bool {
+        self.bound.is_some()
+    }
+
+    /// Number of distinct configurations explored for the cached graph.
+    pub(crate) fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of transitions explored for the cached graph.
+    pub(crate) fn transitions(&self) -> usize {
+        self.transitions
+    }
+
+    /// Evaluates one obligation as an analysis pass over the cached graph.
+    pub(crate) fn evaluate(
+        &self,
+        sys: &CounterSystem,
+        spec: &Spec,
+        options: &CheckerOptions,
+    ) -> CheckOutcome {
+        if let Some(detail) = self.bound {
+            // defensive only: `check_cached` falls back to the per-spec
+            // search for bounded builds before calling evaluate
+            return CheckOutcome::unknown(self.states, self.transitions, detail);
+        }
+        match spec {
+            Spec::CoverNever {
+                name,
+                trigger,
+                forbidden,
+                ..
+            } => self.check_monitored(
+                name,
+                &[trigger.clone(), forbidden.clone()],
+                0b11,
+                format!(
+                    "a path occupies both {} and {}",
+                    trigger.name(),
+                    forbidden.name()
+                ),
+                sys,
+                options,
+            ),
+            Spec::NeverFrom {
+                name, forbidden, ..
+            } => self.check_monitored(
+                name,
+                std::slice::from_ref(forbidden),
+                0b1,
+                format!("a path occupies {}", forbidden.name()),
+                sys,
+                options,
+            ),
+            Spec::ExistsAvoidOneOf {
+                name,
+                forbidden_sets,
+                ..
+            } => self.check_exists_avoid(name, forbidden_sets, sys, options),
+            Spec::NonBlocking { name, .. } => self.check_non_blocking(name, sys),
+        }
+    }
+
+    /// Monitor bits per cached node, computed in one pass over the row
+    /// arena with the sets precompiled to branch-free byte masks.
+    fn occupancy(&self, sets: &[LocSet]) -> Vec<u8> {
+        let stride = self.store.stride();
+        let masks: Vec<Vec<u8>> = sets.iter().map(|s| s.row_mask(stride)).collect();
+        let mut occ = vec![0u8; self.store.id_bound()];
+        for id in self.store.ids() {
+            let row = self.store.row(id);
+            let mut bits = 0u8;
+            for (i, mask) in masks.iter().enumerate() {
+                let mut acc = 0u8;
+                for (r, m) in row.iter().zip(mask.iter()) {
+                    acc |= r & m;
+                }
+                bits |= u8::from(acc != 0) << i;
+            }
+            occ[id as usize] = bits;
+        }
+        occ
+    }
+
+    /// The sticky monitor-bit propagation fixpoint: a BFS over
+    /// `(node, cumulative bits)` product states walking cached edges,
+    /// firing a violation the first time a product state covers
+    /// `violation_bits` — exactly when the per-spec monitored search would
+    /// have fired on its fresh `(row, bits)` state.
+    fn check_monitored(
+        &self,
+        spec_name: &str,
+        sets: &[LocSet],
+        violation_bits: u8,
+        explanation: String,
+        sys: &CounterSystem,
+        options: &CheckerOptions,
+    ) -> CheckOutcome {
+        // 2^k product slots per node: the catalogue's monitored specs use
+        // k <= 2, and check_cached routes anything wider than k == 3 to the
+        // per-spec search
+        debug_assert!(
+            sets.len() <= 3,
+            "at most 3 tracked sets fit the flat product maps"
+        );
+        let occ = self.occupancy(sets);
+        let num_vals = 1usize << sets.len();
+        let slot = |node: u32, bits: u8| node as usize * num_vals + bits as usize;
+        // product slot -> discovery ordinal into `parents`
+        let mut ordinal = vec![NO_ORD; self.store.id_bound() * num_vals];
+        // per discovered product state: (parent node, parent bits, step)
+        let mut parents: Vec<(u32, u8, ScheduledStep)> = Vec::new();
+        let mut queue: VecDeque<(u32, u8)> = VecDeque::new();
+        let mut states = 0usize;
+        let mut transitions = 0usize;
+
+        let root = (
+            NO_ORD,
+            0u8,
+            ScheduledStep::dirac(Action::new(ccta::RuleId(0), 0)),
+        );
+        for &start in &self.start_ids {
+            let bits = occ[start as usize];
+            ordinal[slot(start, bits)] = parents.len() as u32;
+            parents.push(root);
+            states += 1;
+            if states > options.max_states {
+                return CheckOutcome::unknown(states - 1, transitions, "state bound exhausted");
+            }
+            if bits & violation_bits == violation_bits {
+                return self.monitored_violation(
+                    spec_name,
+                    sys,
+                    &ordinal,
+                    &parents,
+                    num_vals,
+                    (start, bits),
+                    states,
+                    transitions,
+                    explanation,
+                );
+            }
+            queue.push_back((start, bits));
+        }
+
+        while let Some((node, bits)) = queue.pop_front() {
+            for a in self.graph.actions_of(node) {
+                for &(step, succ) in self.graph.edges_of(a) {
+                    transitions += 1;
+                    if transitions > options.max_transitions {
+                        return CheckOutcome::unknown(
+                            states,
+                            transitions,
+                            "transition bound exhausted",
+                        );
+                    }
+                    let new_bits = bits | occ[succ as usize];
+                    let s = slot(succ, new_bits);
+                    if ordinal[s] != NO_ORD {
+                        continue;
+                    }
+                    ordinal[s] = parents.len() as u32;
+                    parents.push((node, bits, step));
+                    states += 1;
+                    if states > options.max_states {
+                        return CheckOutcome::unknown(
+                            states - 1,
+                            transitions,
+                            "state bound exhausted",
+                        );
+                    }
+                    if new_bits & violation_bits == violation_bits {
+                        return self.monitored_violation(
+                            spec_name,
+                            sys,
+                            &ordinal,
+                            &parents,
+                            num_vals,
+                            (succ, new_bits),
+                            states,
+                            transitions,
+                            explanation,
+                        );
+                    }
+                    queue.push_back((succ, new_bits));
+                }
+            }
+        }
+        CheckOutcome::holds(states, transitions)
+    }
+
+    /// Reconstructs the violating schedule from the product-BFS parent
+    /// chain; every step is a real cached edge, so the schedule replays.
+    #[allow(clippy::too_many_arguments)]
+    fn monitored_violation(
+        &self,
+        spec_name: &str,
+        sys: &CounterSystem,
+        ordinal: &[u32],
+        parents: &[(u32, u8, ScheduledStep)],
+        num_vals: usize,
+        target: (u32, u8),
+        states: usize,
+        transitions: usize,
+        explanation: String,
+    ) -> CheckOutcome {
+        let mut steps = Vec::new();
+        let (mut node, mut bits) = target;
+        loop {
+            let ord = ordinal[node as usize * num_vals + bits as usize] as usize;
+            let (pnode, pbits, step) = parents[ord];
+            if pnode == NO_ORD {
+                break;
+            }
+            steps.push(step);
+            node = pnode;
+            bits = pbits;
+        }
+        steps.reverse();
+        let ce = Counterexample {
+            spec: spec_name.to_string(),
+            params: sys.params().clone(),
+            initial: self.store.decode(node),
+            schedule: Schedule::from_steps(steps),
+            explanation,
+        };
+        CheckOutcome::violated(states, transitions, ce)
+    }
+
+    /// The `∀ adversary ∃ path` conditions: assemble the
+    /// `(node, cumulative bits)` product game graph from cached edges, then
+    /// run the shared worklist attractor and strategy extraction.  The
+    /// product mirrors the direct game search exactly — including its
+    /// pruning of nodes already losing for the coin — so a complete pass
+    /// reports the same state and transition counts.
+    fn check_exists_avoid(
+        &self,
+        spec_name: &str,
+        sets: &[LocSet],
+        sys: &CounterSystem,
+        options: &CheckerOptions,
+    ) -> CheckOutcome {
+        assert!(
+            !sets.is_empty() && sets.len() <= 8,
+            "between 1 and 8 tracked location sets are supported"
+        );
+        let all_bits: u8 = ((1u16 << sets.len()) - 1) as u8;
+        let occ = self.occupancy(sets);
+        let num_vals = 1usize << sets.len();
+        let slot = |node: u32, bits: u8| node as usize * num_vals + bits as usize;
+        let mut ordinal = vec![NO_ORD; self.store.id_bound() * num_vals];
+        // dense product ids in discovery order
+        let mut pnodes: Vec<(u32, u8)> = Vec::new();
+        let mut transitions = 0usize;
+
+        let mut start_pids: Vec<u32> = Vec::new();
+        for &start in &self.start_ids {
+            let bits = occ[start as usize];
+            let s = slot(start, bits);
+            if ordinal[s] == NO_ORD {
+                ordinal[s] = pnodes.len() as u32;
+                pnodes.push((start, bits));
+                if pnodes.len() > options.max_states {
+                    return CheckOutcome::unknown(
+                        pnodes.len() - 1,
+                        transitions,
+                        "state bound exhausted",
+                    );
+                }
+            }
+            start_pids.push(ordinal[s]);
+        }
+
+        // forward product construction in discovery order (the queue is the
+        // pnodes arena itself, consumed by a cursor)
+        let mut csr = CsrRecorder::default();
+        let mut cursor = 0usize;
+        while cursor < pnodes.len() {
+            let pid = cursor as u32;
+            let (node, bits) = pnodes[cursor];
+            cursor += 1;
+            if bits == all_bits {
+                // already losing for the coin; not expanded (mirrors the
+                // direct game visitor's `should_expand`)
+                continue;
+            }
+            let actions = self.graph.actions_of(node);
+            if actions.is_empty() {
+                continue;
+            }
+            csr.begin_node();
+            for a in actions {
+                csr.begin_action();
+                for &(step, succ) in self.graph.edges_of(a) {
+                    transitions += 1;
+                    if transitions > options.max_transitions {
+                        return CheckOutcome::unknown(
+                            pnodes.len(),
+                            transitions,
+                            "transition bound exhausted",
+                        );
+                    }
+                    let new_bits = bits | occ[succ as usize];
+                    let s = slot(succ, new_bits);
+                    if ordinal[s] == NO_ORD {
+                        ordinal[s] = pnodes.len() as u32;
+                        pnodes.push((succ, new_bits));
+                        if pnodes.len() > options.max_states {
+                            return CheckOutcome::unknown(
+                                pnodes.len() - 1,
+                                transitions,
+                                "state bound exhausted",
+                            );
+                        }
+                    }
+                    csr.edge(step, ordinal[s]);
+                }
+                csr.end_action(pid);
+            }
+            csr.end_node(pid);
+        }
+
+        let pgraph = csr.graph;
+        let seeds: Vec<u32> = (0..pnodes.len() as u32)
+            .filter(|&p| pnodes[p as usize].1 == all_bits)
+            .collect();
+        let winning = adversary_winning(&pgraph, pnodes.len(), seeds);
+        let (states, transitions) = (pnodes.len(), transitions);
+        match start_pids.iter().find(|&&p| winning[p as usize]) {
+            None => CheckOutcome::holds(states, transitions),
+            Some(&bad_start) => {
+                let schedule = extract_strategy_path(
+                    &pgraph,
+                    &winning,
+                    bad_start,
+                    all_bits,
+                    |p| pnodes[p as usize].1,
+                    pnodes.len(),
+                );
+                let ce = Counterexample {
+                    spec: spec_name.to_string(),
+                    params: sys.params().clone(),
+                    initial: self.store.decode(pnodes[bad_start as usize].0),
+                    schedule,
+                    explanation: format!(
+                        "an adversary can force every coin resolution to occupy all of: {}",
+                        sets.iter()
+                            .map(|s| s.name().to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                };
+                CheckOutcome::violated(states, transitions, ce)
+            }
+        }
+    }
+
+    /// The Theorem-2 side condition: progress-graph acyclicity plus a scan
+    /// of the cached terminal nodes (empty CSR action span) for automata
+    /// stranded outside the border-copy sinks.  The cached exploration is
+    /// the same monitor-free search the per-spec path runs, so a positive
+    /// verdict reports identical counts.
+    fn check_non_blocking(&self, spec_name: &str, sys: &CounterSystem) -> CheckOutcome {
+        if let Some(loc) = find_progress_cycle(sys) {
+            let ce = Counterexample {
+                spec: spec_name.to_string(),
+                params: sys.params().clone(),
+                initial: self
+                    .start_ids
+                    .first()
+                    .map(|&s| self.store.decode(s))
+                    .unwrap_or_else(|| sys.empty_configuration()),
+                schedule: Schedule::new(),
+                explanation: format!(
+                    "the progress graph has a cycle through location {}",
+                    sys.model().location(loc).name()
+                ),
+            };
+            return CheckOutcome::violated(0, 0, ce);
+        }
+        // scan in BFS discovery order — the per-spec search dequeues (and
+        // classifies) terminals in exactly this order, so the reported
+        // terminal is the same one it would find, at every worker and
+        // shard count (`store.ids()` order would depend on the sharding)
+        for &id in &self.discovery {
+            if !self.graph.actions_of(id).is_empty() {
+                continue;
+            }
+            if let Some(loc) = blocked_location_in_row(sys, self.store.row(id)) {
+                let (initial, schedule) = self.store.reconstruct_path(id);
+                let ce = Counterexample {
+                    spec: spec_name.to_string(),
+                    params: sys.params().clone(),
+                    initial,
+                    schedule,
+                    explanation: format!(
+                        "a fair execution blocks with an automaton stuck in {}",
+                        sys.model().location(loc).name()
+                    ),
+                };
+                return CheckOutcome::violated(self.states, self.transitions, ce);
+            }
+        }
+        CheckOutcome::holds(self.states, self.transitions)
+    }
+}

@@ -59,6 +59,55 @@
 //!   cancelled after an earlier violation appear as explicit skipped
 //!   outcomes.
 //!
+//! # Graph cache: explore once, evaluate many
+//!
+//! The Table II catalogue runs ~10 obligations per valuation, and each
+//! obligation's search walks substantially the same reachable configuration
+//! graph — only the observation differs.  Batched entry points
+//! ([`ExplicitChecker::check_all`], the sweep, and `cccore`'s
+//! `verify_protocol`) therefore share a **reachability-graph cache**
+//! ([`graph`]):
+//!
+//! * **Grouping key.**  One cached graph per
+//!   `(start restriction, valuation)` group.  A checker is bound to one
+//!   counter system (one valuation), so its per-checker memo is keyed by
+//!   the [`StartRestriction`] alone; the sweep builds one checker per
+//!   valuation and runs its whole spec slice through it.  The enumerated
+//!   start configurations are memoised the same way (and shared with the
+//!   per-spec path).
+//! * **Build.**  The first obligation of a group pays one monitor-free
+//!   exploration: the generic [`explorer::Explorer`] run (with the same
+//!   deterministic in-check parallelism) interns every reachable
+//!   configuration and records the full transition relation in flat CSR
+//!   arenas — the same machinery the game solver uses.  Every further
+//!   obligation of the group is an `O(states + edges)` analysis pass:
+//!   a sticky monitor-bit product BFS for `CoverNever`/`NeverFrom` (tracked
+//!   location sets precompiled to per-row byte masks), the product game
+//!   plus the shared worklist attractor for `ExistsAvoidOneOf`, and a
+//!   terminal/blocking scan for `NonBlocking`.  Counterexamples are
+//!   reconstructed from cached edges and remain genuinely replayable.
+//! * **Memory model.**  A cached graph holds the deduplicated
+//!   [`StateStore`] rows plus one CSR edge list of the group's full
+//!   transition relation; graphs live as long as their checker (one
+//!   `check_all` call, or one valuation batch of a sweep).  The monitored
+//!   analysis passes allocate O(states × 2^sets) product bookkeeping
+//!   transiently per obligation.
+//! * **Derived counts.**  The cached graph is monitor-free, so the
+//!   per-obligation state/transition counts reported under the cache are
+//!   derived from the analysis pass (its product states and edges); for a
+//!   holding `NonBlocking` they coincide exactly with the per-spec search.
+//!   Verdicts never differ — a cache build that trips a resource budget
+//!   falls back to the per-spec search rather than reporting the whole
+//!   group `Unknown`, and `random_differential`'s cached axis pins
+//!   cached ≡ uncached verdicts (and counterexample replay) across the
+//!   random corpus at 1/2/4 workers.
+//! * **Knob precedence.**  [`CheckerOptions::graph_cache`] (explicit
+//!   `Some(true)`/`Some(false)`) over the `CC_GRAPH_CACHE` environment
+//!   variable (`0` disables) over the default (enabled).
+//!   [`ExplicitChecker::check`] always takes the per-spec path — that is
+//!   the path `engine_equivalence` compares bit-for-bit against
+//!   [`reference`].
+//!
 //! # Memory model
 //!
 //! The engine's peak memory is *wave-bounded*, and its threads are
@@ -114,6 +163,7 @@ pub mod counterexample;
 pub mod explicit;
 pub mod explorer;
 pub mod game;
+pub mod graph;
 pub mod pool;
 pub mod reference;
 pub mod result;
@@ -131,7 +181,7 @@ pub mod fixtures;
 pub use counterexample::Counterexample;
 pub use explicit::{CheckerOptions, ExplicitChecker};
 pub use pool::WorkerPool;
-pub use result::{CheckOutcome, CheckStatus};
+pub use result::{CheckOutcome, CheckStatus, GraphCacheStats, GroupCacheRecord};
 pub use schema::{
     count_linear_extensions, max_schema_count, milestone_precedence, milestones, schema_count,
     Milestone,
@@ -139,5 +189,6 @@ pub use schema::{
 pub use spec::{LocSet, Spec, StartRestriction};
 pub use store::{StateStore, StoreStats};
 pub use sweep::{
-    check_over_sweep, check_over_sweep_with_threads, sweep_thread_budget, SweepOutcome, SweepReport,
+    check_over_sweep, check_over_sweep_with_stats, check_over_sweep_with_threads,
+    sweep_thread_budget, SweepOutcome, SweepReport,
 };

@@ -98,6 +98,100 @@ impl fmt::Display for CheckOutcome {
     }
 }
 
+/// One reachability graph built by the graph cache (a cache *miss*): the
+/// start-restriction group it serves and the exploration cost paid once.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupCacheRecord {
+    /// Label of the start restriction keying the group.
+    pub start: String,
+    /// Number of obligations evaluated on this graph (the first of which
+    /// paid for the build).
+    pub specs: usize,
+    /// Distinct configurations explored once for the graph.
+    pub states: usize,
+    /// Transitions explored once for the graph.
+    pub transitions: usize,
+}
+
+/// Cache accounting of the reachability-graph cache (see the "Graph cache"
+/// section of the crate docs): one [`GroupCacheRecord`] per graph built,
+/// plus the number of obligations that bypassed the cache entirely.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphCacheStats {
+    /// One record per graph built, in build order.
+    pub groups: Vec<GroupCacheRecord>,
+    /// Obligations checked on the per-spec path (cache disabled, or a spec
+    /// shape the cache does not serve).
+    pub uncached_specs: usize,
+}
+
+impl GraphCacheStats {
+    /// Number of graphs built — the cache misses.
+    pub fn graphs_built(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of obligations answered from a cached graph (the cache hits
+    /// are `specs_served() - graphs_built()`).
+    pub fn specs_served(&self) -> usize {
+        self.groups.iter().map(|g| g.specs).sum()
+    }
+
+    /// States explored once across all built graphs.
+    pub fn cached_states(&self) -> usize {
+        self.groups.iter().map(|g| g.states).sum()
+    }
+
+    /// Transitions explored once across all built graphs.
+    pub fn cached_transitions(&self) -> usize {
+        self.groups.iter().map(|g| g.transitions).sum()
+    }
+
+    /// Obligations served per exploration paid: the amortization factor of
+    /// the cache (1.0 when every graph served a single obligation; 0.0 when
+    /// nothing was cached).
+    pub fn amortization(&self) -> f64 {
+        if self.groups.is_empty() {
+            0.0
+        } else {
+            self.specs_served() as f64 / self.groups.len() as f64
+        }
+    }
+
+    /// Folds another stats record into this one (sweeps aggregate the
+    /// per-valuation records in valuation order).
+    pub fn merge(&mut self, other: &GraphCacheStats) {
+        self.groups.extend(other.groups.iter().cloned());
+        self.uncached_specs += other.uncached_specs;
+    }
+}
+
+impl fmt::Display for GraphCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.groups.is_empty() {
+            return write!(
+                f,
+                "graph cache unused ({} obligation(s) on the per-spec path)",
+                self.uncached_specs
+            );
+        }
+        write!(
+            f,
+            "{} graph(s) served {} obligation(s) ({:.1}x amortization, \
+             {} states / {} transitions explored once",
+            self.graphs_built(),
+            self.specs_served(),
+            self.amortization(),
+            self.cached_states(),
+            self.cached_transitions(),
+        )?;
+        if self.uncached_specs > 0 {
+            write!(f, "; {} uncached obligation(s)", self.uncached_specs)?;
+        }
+        write!(f, ")")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

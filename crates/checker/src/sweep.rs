@@ -26,11 +26,23 @@
 //! valuation of the same query violated) is reported as an explicit
 //! *skipped* outcome — so each report accounts for every cell of the grid,
 //! and cancelled work is visible instead of silently dropped.
+//!
+//! # Graph-cache batching
+//!
+//! With the reachability-graph cache enabled (the default, see the "Graph
+//! cache" section of the crate docs), the unit of scheduled work is a whole
+//! *valuation* rather than a single `(query, valuation)` cell: one
+//! [`ExplicitChecker`] per valuation runs the full spec slice through
+//! cached checks, so every query sharing a start restriction reuses one
+//! exploration of that valuation's reachable graph.  Per-cell outcomes,
+//! durations, skipped records and the deterministic assembly are unchanged;
+//! [`check_over_sweep_with_stats`] additionally returns the aggregated
+//! cache accounting in valuation order.
 
 use crate::explicit::{CheckerOptions, ExplicitChecker};
-use crate::explorer::resolved_workers;
+use crate::explorer::{resolved_graph_cache, resolved_workers};
 use crate::pool::WorkerPool;
-use crate::result::{CheckOutcome, CheckStatus};
+use crate::result::{CheckOutcome, CheckStatus, GraphCacheStats};
 use crate::spec::Spec;
 use cccounter::CounterSystem;
 use ccta::{ParamValuation, SystemModel};
@@ -194,26 +206,55 @@ pub fn check_over_sweep_with_threads(
     options: CheckerOptions,
     threads: usize,
 ) -> Vec<SweepReport> {
+    check_over_sweep_with_stats(model, specs, valuations, options, threads).0
+}
+
+/// [`check_over_sweep_with_threads`] plus the aggregated graph-cache
+/// accounting of the sweep (merged in valuation order; empty when the cache
+/// is disabled).
+pub fn check_over_sweep_with_stats(
+    model: &SystemModel,
+    specs: &[Spec],
+    valuations: &[ParamValuation],
+    options: CheckerOptions,
+    threads: usize,
+) -> (Vec<SweepReport>, GraphCacheStats) {
     let systems: Vec<CounterSystem> = valuations
         .iter()
         .filter_map(|v| CounterSystem::new(model.clone(), v.clone()).ok())
         .collect();
     let total = specs.len() * systems.len();
     let budget = threads.max(1);
-    let outer = budget.min(total.max(1));
-    // the budget left over after covering the grid goes into each cell,
-    // unless the caller pinned an in-check worker count explicitly
+    let use_cache = resolved_graph_cache(&options);
+    // with the graph cache the scheduled unit is a whole valuation (its
+    // spec slice shares cached graphs), otherwise a single grid cell
+    let items = if use_cache { systems.len() } else { total };
+    let outer = budget.min(items.max(1));
+    // the budget left over after covering the work items goes into each
+    // cell, unless the caller pinned an in-check worker count explicitly
     let cell_options = if options.workers == 0 {
         options.with_workers((budget / outer.max(1)).max(1))
     } else {
         options
     };
 
-    // one slot per (spec, valuation) cell, filled by the workers
+    // one slot per (spec, valuation) cell, filled by the workers, plus one
+    // cache-accounting slot per valuation
     let mut slots: Vec<Option<SweepOutcome>> = Vec::new();
     slots.resize_with(total, || None);
+    let mut stats_slots: Vec<Option<GraphCacheStats>> = Vec::new();
+    stats_slots.resize_with(systems.len(), || None);
 
-    if outer <= 1 || total <= 1 {
+    if use_cache {
+        run_cached_batches(
+            specs,
+            &systems,
+            cell_options,
+            outer,
+            &mut slots,
+            &mut stats_slots,
+        );
+    } else if outer <= 1 || total <= 1 {
         // sequential fast path: one pool for the whole grid, skip a query's
         // remaining valuations after a violation, like the parallel
         // scheduler below
@@ -264,10 +305,17 @@ pub fn check_over_sweep_with_threads(
         });
     }
 
+    // cache accounting, merged in valuation order regardless of which
+    // worker processed which valuation
+    let mut stats = GraphCacheStats::default();
+    for s in stats_slots.into_iter().flatten() {
+        stats.merge(&s);
+    }
+
     // deterministic assembly: valuation order; every cell past the query's
     // first violation becomes an explicit skipped record, even if a parallel
     // worker happened to compute it before the cancellation landed
-    specs
+    let reports = specs
         .iter()
         .enumerate()
         .map(|(s, spec)| {
@@ -290,7 +338,90 @@ pub fn check_over_sweep_with_threads(
                 outcomes,
             }
         })
-        .collect()
+        .collect();
+    (reports, stats)
+}
+
+/// The graph-cached scheduler: each work item is one valuation, whose whole
+/// spec slice runs on one [`ExplicitChecker`] so the obligations of a start
+/// restriction share one cached reachability graph.  Specs already violated
+/// at an earlier valuation are left unchecked (the assembly marks them
+/// skipped), exactly like the per-cell scheduler.
+fn run_cached_batches(
+    specs: &[Spec],
+    systems: &[CounterSystem],
+    cell_options: CheckerOptions,
+    outer: usize,
+    slots: &mut [Option<SweepOutcome>],
+    stats_slots: &mut [Option<GraphCacheStats>],
+) {
+    if outer <= 1 || systems.len() <= 1 {
+        let pool = WorkerPool::new(resolved_workers(&cell_options));
+        let mut violated_at = vec![usize::MAX; specs.len()];
+        for (v, sys) in systems.iter().enumerate() {
+            let checker = ExplicitChecker::with_pool(sys, cell_options, &pool);
+            for (s, spec) in specs.iter().enumerate() {
+                if violated_at[s] < v {
+                    continue; // an earlier valuation already violated
+                }
+                let started = Instant::now();
+                let outcome = checker.check_cached(spec);
+                let violated = outcome.status == CheckStatus::Violated;
+                slots[s * systems.len() + v] = Some(SweepOutcome {
+                    params: sys.params().clone(),
+                    outcome,
+                    duration: started.elapsed(),
+                    skipped: false,
+                });
+                if violated {
+                    violated_at[s] = violated_at[s].min(v);
+                }
+            }
+            stats_slots[v] = Some(checker.cache_stats());
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let cell_workers = resolved_workers(&cell_options);
+        let violated_at: Vec<AtomicUsize> =
+            specs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let width = systems.len();
+        let slot_refs: Vec<Mutex<&mut Option<SweepOutcome>>> =
+            slots.iter_mut().map(Mutex::new).collect();
+        let stats_refs: Vec<Mutex<&mut Option<GraphCacheStats>>> =
+            stats_slots.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..outer {
+                scope.spawn(|| {
+                    let pool = WorkerPool::new(cell_workers);
+                    loop {
+                        let v = next.fetch_add(1, Ordering::Relaxed);
+                        if v >= width {
+                            break;
+                        }
+                        let sys = &systems[v];
+                        let checker = ExplicitChecker::with_pool(sys, cell_options, &pool);
+                        for (s, spec) in specs.iter().enumerate() {
+                            if violated_at[s].load(Ordering::Acquire) < v {
+                                continue; // cancelled: an earlier valuation violated
+                            }
+                            let started = Instant::now();
+                            let outcome = checker.check_cached(spec);
+                            if outcome.status == CheckStatus::Violated {
+                                violated_at[s].fetch_min(v, Ordering::AcqRel);
+                            }
+                            **slot_refs[s * width + v].lock().unwrap() = Some(SweepOutcome {
+                                params: sys.params().clone(),
+                                outcome,
+                                duration: started.elapsed(),
+                                skipped: false,
+                            });
+                        }
+                        **stats_refs[v].lock().unwrap() = Some(checker.cache_stats());
+                    }
+                });
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +618,62 @@ mod tests {
                 assert!(reports[0].outcomes[0].outcome.is_violated());
                 assert_eq!(reports[1].status(), CheckStatus::Holds);
                 assert_eq!(reports[1].skipped_cells(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_sweeps_agree() {
+        // the batched graph-cache scheduler and the per-cell scheduler must
+        // produce reports of identical shape and verdict at every budget
+        let model = fixtures::voting_model().single_round().unwrap();
+        let specs = vec![
+            Spec::NeverFrom {
+                name: "reachable-E0".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "E0", &["E0"]),
+            },
+            Spec::NeverFrom {
+                name: "unreachable-I1".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+            },
+            Spec::NonBlocking {
+                name: "termination".into(),
+                start: StartRestriction::RoundStart,
+            },
+        ];
+        for threads in [1, 4] {
+            let (cached, stats) = check_over_sweep_with_stats(
+                &model,
+                &specs,
+                &sweep_valuations(),
+                CheckerOptions::default().with_graph_cache(true),
+                threads,
+            );
+            let (uncached, no_stats) = check_over_sweep_with_stats(
+                &model,
+                &specs,
+                &sweep_valuations(),
+                CheckerOptions::default().with_graph_cache(false),
+                threads,
+            );
+            assert!(stats.graphs_built() > 0);
+            // 3 specs x 2 admissible valuations, minus the cell skipped
+            // after the first violation — which a parallel worker may have
+            // computed anyway before the cancellation landed
+            let checked = stats.specs_served() + stats.uncached_specs;
+            assert!((5..=6).contains(&checked), "{checked}");
+            assert_eq!(no_stats.graphs_built(), 0);
+            for (c, u) in cached.iter().zip(&uncached) {
+                assert_eq!(c.spec_name, u.spec_name);
+                assert_eq!(c.status(), u.status(), "{} at {threads}", c.spec_name);
+                assert_eq!(c.outcomes.len(), u.outcomes.len());
+                for (co, uo) in c.outcomes.iter().zip(&u.outcomes) {
+                    assert_eq!(co.params, uo.params);
+                    assert_eq!(co.skipped, uo.skipped, "{}", c.spec_name);
+                    assert_eq!(co.outcome.status, uo.outcome.status, "{}", c.spec_name);
+                }
             }
         }
     }

@@ -13,6 +13,11 @@
 //!   1, 2 and 4 workers × wave sizes {1, 7, unbounded} is bit-identical to
 //!   the sequential loop (tiny wave sizes also lower the parallel-entry
 //!   threshold, so these small systems genuinely exercise the wave path).
+//! * **Cached ≡ uncached** — the reachability-graph cache
+//!   (`check_all` sharing one exploration per start-restriction group) at
+//!   1, 2 and 4 workers returns the same verdict as the per-spec path for
+//!   every obligation, and every cached counterexample replays to a
+//!   genuine violation of its spec.
 //!
 //! A failure message always includes the generator seed, so any
 //! counterexample system can be rebuilt deterministically.
@@ -271,6 +276,111 @@ fn random_systems_match_the_reference_engine() {
     assert!(
         verdicts[0] > 0 && verdicts[1] > 0,
         "degenerate verdict distribution: {verdicts:?}"
+    );
+}
+
+/// Replays a counterexample and asserts the resulting execution genuinely
+/// violates the spec it was reported for.
+fn assert_genuine_violation(
+    sys: &CounterSystem,
+    spec: &Spec,
+    ce: &ccchecker::Counterexample,
+    ctx: &str,
+) {
+    // structural acyclicity violations carry no schedule to replay
+    if ce.explanation.contains("cycle") {
+        assert!(ce.schedule.is_empty(), "{ctx}");
+        return;
+    }
+    let path = ce
+        .schedule
+        .apply(sys, &ce.initial)
+        .unwrap_or_else(|e| panic!("{ctx}: counterexample must replay: {e:?}"));
+    match spec {
+        Spec::NeverFrom { forbidden, .. } => {
+            assert!(
+                path.visits(|cfg| forbidden.is_occupied(cfg)),
+                "{ctx}: the path never occupies {}",
+                forbidden.name()
+            );
+        }
+        Spec::CoverNever {
+            trigger, forbidden, ..
+        } => {
+            assert!(
+                path.visits(|cfg| trigger.is_occupied(cfg))
+                    && path.visits(|cfg| forbidden.is_occupied(cfg)),
+                "{ctx}: the path must occupy both {} and {}",
+                trigger.name(),
+                forbidden.name()
+            );
+        }
+        Spec::ExistsAvoidOneOf { forbidden_sets, .. } => {
+            for set in forbidden_sets {
+                assert!(
+                    path.visits(|cfg| set.is_occupied(cfg)),
+                    "{ctx}: the strategy path never occupies {}",
+                    set.name()
+                );
+            }
+        }
+        Spec::NonBlocking { .. } => {
+            let last = path.last();
+            assert!(
+                sys.is_terminal(last),
+                "{ctx}: a blocking path must end terminal"
+            );
+            let model = sys.model();
+            assert!(
+                model
+                    .loc_ids()
+                    .any(|l| last.counter(l, 0) > 0
+                        && model.location(l).class() != LocClass::BorderCopy),
+                "{ctx}: the terminal configuration must strand an automaton"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_systems_cached_catalogue_matches_uncached() {
+    let mut cached_violations = 0usize;
+    for i in 0..SYSTEMS {
+        let seed = 0xD1F_F0000 + i as u64;
+        let (sys, mids) = random_system(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC5);
+        let specs = random_specs(&mut rng, sys.model(), &mids);
+        let uncached_checker =
+            ExplicitChecker::with_options(&sys, CheckerOptions::default().with_graph_cache(false));
+        let uncached = uncached_checker.check_all(&specs);
+        for workers in [1, 2, 4] {
+            // wave size 1 lowers the parallel-entry threshold so pooled
+            // runs genuinely exercise the parallel cache build
+            let options = CheckerOptions {
+                workers,
+                wave_size: if workers > 1 { 1 } else { 0 },
+                ..CheckerOptions::default().with_graph_cache(true)
+            };
+            let checker = ExplicitChecker::with_options(&sys, options);
+            let (cached, stats) = checker.check_all_with_stats(&specs);
+            assert!(
+                stats.graphs_built() > 0 && stats.uncached_specs == 0,
+                "seed {seed}: the cached axis must actually exercise the cache"
+            );
+            for ((spec, c), u) in specs.iter().zip(&cached).zip(&uncached) {
+                let ctx = format!("seed {seed}, {} at {workers} workers", spec.name());
+                assert_eq!(c.status, u.status, "cached verdict differs: {ctx}");
+                if c.status == CheckStatus::Violated {
+                    let ce = c.counterexample.as_ref().expect("cached counterexample");
+                    assert_genuine_violation(&sys, spec, ce, &ctx);
+                    cached_violations += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        cached_violations > 0,
+        "degenerate corpus: no cached violation was replayed"
     );
 }
 

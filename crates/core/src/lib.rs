@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::verifier::{
         verify_all, verify_protocol, PropertyResult, ProtocolVerification, VerifierConfig,
     };
-    pub use ccchecker::{CheckStatus, CheckerOptions};
+    pub use ccchecker::{CheckStatus, CheckerOptions, GraphCacheStats};
     pub use ccprotocols::{all_protocols, protocol_by_name, ProtocolModel};
     pub use ccta::ProtocolCategory;
 }

@@ -8,8 +8,8 @@
 
 use crate::obligations::{obligations_for, Obligations};
 use ccchecker::{
-    check_over_sweep_with_threads, schema_count, sweep_thread_budget, CheckStatus, CheckerOptions,
-    Counterexample, Spec, SweepReport,
+    check_over_sweep_with_stats, schema_count, sweep_thread_budget, CheckStatus, CheckerOptions,
+    Counterexample, GraphCacheStats, Spec, SweepReport,
 };
 use ccprotocols::ProtocolModel;
 use ccta::{ModelStats, ParamValuation, ProtocolCategory, SystemModel};
@@ -83,6 +83,16 @@ impl VerifierConfig {
     /// never changes verdicts or counts).
     pub fn with_wave_size(mut self, wave_size: usize) -> Self {
         self.checker.wave_size = wave_size;
+        self
+    }
+
+    /// This configuration with the reachability-graph cache explicitly
+    /// enabled or disabled for every sweep (overriding `CC_GRAPH_CACHE`;
+    /// see the `ccchecker` crate docs).  The cache never changes a verdict;
+    /// per-obligation state/transition counts under the cache are derived
+    /// from the analysis pass.
+    pub fn with_graph_cache(mut self, enabled: bool) -> Self {
+        self.checker.graph_cache = Some(enabled);
         self
     }
 
@@ -170,6 +180,11 @@ pub struct ProtocolVerification {
     pub validity: PropertyResult,
     /// Almost-sure termination verdict.
     pub termination: PropertyResult,
+    /// Graph-cache accounting of the protocol's verification: all three
+    /// properties run as *one* sweep, so the obligations of every
+    /// `(start restriction, valuation)` group share a single exploration
+    /// across property boundaries.
+    pub cache: GraphCacheStats,
 }
 
 impl ProtocolVerification {
@@ -177,22 +192,21 @@ impl ProtocolVerification {
     pub fn all_hold(&self) -> bool {
         self.agreement.holds() && self.validity.holds() && self.termination.holds()
     }
+
+    /// The graph-cache accounting of the protocol's combined sweep.
+    pub fn cache_stats(&self) -> &GraphCacheStats {
+        &self.cache
+    }
 }
 
-fn check_property(
+/// Assembles one property's verdict from its slice of the combined sweep's
+/// reports.
+fn assemble_property(
     property: &str,
     specs: &[Spec],
+    reports: Vec<SweepReport>,
     single_round: &SystemModel,
-    valuations: &[ParamValuation],
-    config: &VerifierConfig,
 ) -> PropertyResult {
-    let reports = check_over_sweep_with_threads(
-        single_round,
-        specs,
-        valuations,
-        config.checker,
-        sweep_thread_budget(config.threads),
-    );
     let status = if reports.iter().any(|r| r.status() == CheckStatus::Violated) {
         CheckStatus::Violated
     } else if reports.iter().any(|r| r.status() == CheckStatus::Unknown) {
@@ -219,39 +233,59 @@ fn check_property(
 
 /// Verifies one protocol: Agreement, Validity and Almost-sure Termination on
 /// a sweep of admissible valuations.
+///
+/// All three properties run as *one* sweep over the concatenated obligation
+/// catalogue: every `(query, valuation)` cell is checked exactly as the
+/// per-property sweeps would (skipping and reports are per query), but the
+/// reachability-graph cache shares each `(start restriction, valuation)`
+/// exploration across property boundaries — the full
+/// explore-once-evaluate-many win of the Table II workload.
 pub fn verify_protocol(protocol: &ProtocolModel, config: &VerifierConfig) -> ProtocolVerification {
     let single_round = protocol.single_round();
     let obligations: Obligations = obligations_for(protocol, &single_round);
     let valuations = config.select_valuations(&single_round);
-    let agreement = check_property(
-        "Agreement",
-        &obligations.agreement,
+    let all_specs: Vec<Spec> = obligations
+        .agreement
+        .iter()
+        .chain(obligations.validity.iter())
+        .chain(obligations.termination.iter())
+        .cloned()
+        .collect();
+    let (mut reports, cache) = check_over_sweep_with_stats(
         &single_round,
+        &all_specs,
         &valuations,
-        config,
+        config.checker,
+        sweep_thread_budget(config.threads),
     );
-    let validity = check_property(
-        "Validity",
-        &obligations.validity,
-        &single_round,
-        &valuations,
-        config,
-    );
-    let termination = check_property(
-        "A.S. Termination",
-        &obligations.termination,
-        &single_round,
-        &valuations,
-        config,
-    );
+    let mut take = |n: usize| -> Vec<SweepReport> { reports.drain(..n).collect() };
+    let agreement_reports = take(obligations.agreement.len());
+    let validity_reports = take(obligations.validity.len());
+    let termination_reports = take(obligations.termination.len());
     ProtocolVerification {
         protocol: protocol.name().to_string(),
         category: protocol.category(),
         stats: protocol.stats(),
         valuations,
-        agreement,
-        validity,
-        termination,
+        agreement: assemble_property(
+            "Agreement",
+            &obligations.agreement,
+            agreement_reports,
+            &single_round,
+        ),
+        validity: assemble_property(
+            "Validity",
+            &obligations.validity,
+            validity_reports,
+            &single_round,
+        ),
+        termination: assemble_property(
+            "A.S. Termination",
+            &obligations.termination,
+            termination_reports,
+            &single_round,
+        ),
+        cache,
     }
 }
 
@@ -354,6 +388,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn graph_cache_never_changes_verdicts() {
+        // MMR14 exercises both a violated obligation (CB2) and held ones;
+        // the cache must agree on every verdict and amortize explorations
+        let p = mmr14::mmr14();
+        let cached = verify_protocol(&p, &VerifierConfig::quick().with_graph_cache(true));
+        let uncached = verify_protocol(&p, &VerifierConfig::quick().with_graph_cache(false));
+        for (c, u) in [&cached.agreement, &cached.validity, &cached.termination]
+            .into_iter()
+            .zip([
+                &uncached.agreement,
+                &uncached.validity,
+                &uncached.termination,
+            ])
+        {
+            assert_eq!(c.status, u.status, "{}", c.property);
+            assert_eq!(c.nschemas, u.nschemas);
+            assert_eq!(
+                c.counterexample.is_some(),
+                u.counterexample.is_some(),
+                "{}",
+                c.property
+            );
+        }
+        assert_eq!(
+            cached.termination.violated_obligation(),
+            uncached.termination.violated_obligation()
+        );
+        let stats = cached.cache_stats();
+        assert!(stats.graphs_built() > 0);
+        assert!(stats.specs_served() > stats.graphs_built());
+        assert_eq!(uncached.cache_stats().graphs_built(), 0);
     }
 
     #[test]

@@ -73,6 +73,59 @@ fn single_round_models_keep_the_variable_alphabet() {
 }
 
 #[test]
+fn graph_cache_agrees_with_the_per_spec_path_on_every_protocol() {
+    // The reachability-graph cache must agree with the per-spec search on
+    // every verdict of every obligation of all eight Table II protocols —
+    // per obligation and per valuation, not just in aggregate — and its
+    // counterexamples must replay.
+    let config = VerifierConfig::quick();
+    for protocol in all_protocols() {
+        let cached = verify_protocol(&protocol, &config.with_graph_cache(true));
+        let uncached = verify_protocol(&protocol, &config.with_graph_cache(false));
+        assert!(
+            cached.cache_stats().graphs_built() > 0,
+            "{}",
+            cached.protocol
+        );
+        assert_eq!(uncached.cache_stats().graphs_built(), 0);
+        for (c, u) in [&cached.agreement, &cached.validity, &cached.termination]
+            .into_iter()
+            .zip([
+                &uncached.agreement,
+                &uncached.validity,
+                &uncached.termination,
+            ])
+        {
+            assert_eq!(c.status, u.status, "{}/{}", cached.protocol, c.property);
+            for (cr, ur) in c.reports.iter().zip(&u.reports) {
+                assert_eq!(cr.spec_name, ur.spec_name);
+                assert_eq!(
+                    cr.status(),
+                    ur.status(),
+                    "{}/{}",
+                    cached.protocol,
+                    cr.spec_name
+                );
+                for (co, uo) in cr.outcomes.iter().zip(&ur.outcomes) {
+                    assert_eq!(co.outcome.status, uo.outcome.status);
+                    assert_eq!(co.skipped, uo.skipped);
+                    if let Some(ce) = &co.outcome.counterexample {
+                        let sys =
+                            CounterSystem::new(protocol.single_round(), ce.params.clone()).unwrap();
+                        assert!(
+                            ce.schedule.is_empty() || ce.schedule.apply(&sys, &ce.initial).is_ok(),
+                            "{}/{}: cached counterexample must replay",
+                            cached.protocol,
+                            cr.spec_name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn round_rigid_adversary_runs_terminate_on_every_single_round_benchmark() {
     // Theorem 2's side condition, exercised dynamically: fair round-rigid
     // adversaries drive every single-round benchmark system into a terminal
