@@ -8,7 +8,11 @@
 //! * `catalogue/cached/…` vs `catalogue/uncached/…` — the whole obligation
 //!   catalogue through one checker with the reachability-graph cache on vs
 //!   off (single-threaded; the summary prints the amortization factor per
-//!   protocol, compared on `min_ns`), and
+//!   protocol, compared on `min_ns`),
+//! * `sweep_amortization/incremental/…` vs `sweep_amortization/fresh/…` —
+//!   the whole catalogue over each protocol's full 8-valuation grid with
+//!   the cross-valuation sweep lineage on vs off (single-threaded; the
+//!   summary prints the whole-sweep speedup per protocol on `min_ns`), and
 //! * `sweep/…` — `check_over_sweep` with 1 worker vs all cores on a
 //!   multi-valuation sweep (parallel scaling).
 //!
@@ -223,6 +227,75 @@ fn bench_catalogue_cache(c: &mut Criterion) {
     }
 }
 
+/// The incremental-sweep amortization axis: the whole obligation catalogue
+/// over each protocol's full `VerifierConfig` valuation grid (8 valuations
+/// at the default bounds), single-threaded, with the sweep lineage on vs
+/// off (the graph cache is on in both — this isolates the *cross-valuation*
+/// amortization on top of PR 4's within-valuation amortization).  The
+/// summary compares `min_ns` and prints the whole-sweep speedup per
+/// protocol.
+fn bench_sweep_amortization(c: &mut Criterion) {
+    let names = ["Rabin83", "CC85(a)", "KS16", "MMR14", "ABY22"];
+    // the full grid: every admissible valuation the default verifier bounds
+    // admit (8 per protocol), in select_valuations' guard-adjacent order
+    let grid_config = VerifierConfig {
+        max_valuations: 8,
+        ..VerifierConfig::default()
+    };
+    let mut group = c.benchmark_group("sweep_amortization");
+    group.sample_size(5);
+    for name in names {
+        let protocol = protocol_by_name(name).expect("benchmark protocol");
+        let single = protocol.single_round();
+        let obligations = obligations_for(&protocol, &single);
+        let all_specs: Vec<ccchecker::Spec> = obligations
+            .agreement
+            .iter()
+            .chain(obligations.validity.iter())
+            .chain(obligations.termination.iter())
+            .cloned()
+            .collect();
+        let valuations = grid_config.select_valuations(&single);
+        for (label, incremental) in [("incremental", true), ("fresh", false)] {
+            let options = CheckerOptions::sequential().with_incremental_sweep(incremental);
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &(&single, &all_specs, &valuations),
+                |b, (single, specs, valuations)| {
+                    b.iter(|| check_over_sweep_with_threads(single, specs, valuations, options, 1))
+                },
+            );
+        }
+    }
+    group.finish();
+    println!("\nwhole-sweep incremental amortization (single-threaded, full grid, min_ns):");
+    let (mut inc_total, mut fresh_total) = (0.0, 0.0);
+    for name in names {
+        let incremental = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == format!("sweep_amortization/incremental/{name}"))
+            .map(|m| m.min_ns);
+        let fresh = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == format!("sweep_amortization/fresh/{name}"))
+            .map(|m| m.min_ns);
+        if let (Some(on), Some(off)) = (incremental, fresh) {
+            inc_total += on;
+            fresh_total += off;
+            println!("  {name:<10} {:>6.2}x", off / on);
+        }
+    }
+    if inc_total > 0.0 {
+        println!(
+            "  {:<10} {:>6.2}x (total whole-sweep wall-clock, incremental vs fresh)",
+            "overall",
+            fresh_total / inc_total
+        );
+    }
+}
+
 fn bench_sweep_scaling(c: &mut Criterion) {
     // a broader sweep so the grid has enough cells to parallelise
     let protocol = protocol_by_name("ABY22").expect("benchmark protocol");
@@ -264,6 +337,7 @@ criterion_group!(
     bench_property_checking,
     bench_engine_vs_reference,
     bench_catalogue_cache,
+    bench_sweep_amortization,
     bench_sweep_scaling
 );
 criterion_main!(benches);

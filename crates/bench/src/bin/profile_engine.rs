@@ -148,15 +148,70 @@ fn main() {
         for g in &cache_stats.groups {
             println!(
                 "    group {:<18} {} obligation(s) on {} states / {} transitions \
-                 (1 miss, {} hit(s))",
+                 (1 miss, {} hit(s), {} KiB resident)",
                 g.start,
                 g.specs,
                 g.states,
                 g.transitions,
                 g.specs - 1,
+                g.resident_bytes / 1024,
             );
         }
     } else {
         println!("  graph cache:   disabled (--no-graph-cache)");
+    }
+
+    // full-grid incremental sweep: cross-valuation lineage amortization and
+    // the resident memory each surviving graph keeps alive per valuation
+    if graph_cache {
+        let grid_config = VerifierConfig {
+            max_valuations: 8,
+            ..VerifierConfig::default()
+        };
+        let grid_model = protocol.single_round();
+        let valuations = grid_config.select_valuations(&grid_model);
+        println!(
+            "\nfull-grid sweep ({} valuations), incremental vs fresh (best of 3):",
+            valuations.len()
+        );
+        let mut lineage_stats = ccchecker::GraphCacheStats::default();
+        let mut timed = |incremental: bool| {
+            (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    let (_, s) = ccchecker::check_over_sweep_with_stats(
+                        &grid_model,
+                        &all_specs,
+                        &valuations,
+                        options.with_incremental_sweep(incremental),
+                        1,
+                    );
+                    if incremental {
+                        lineage_stats = s;
+                    }
+                    t.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let incremental = timed(true);
+        let fresh = timed(false);
+        println!("  fresh:         {fresh:>10.3?}");
+        println!(
+            "  incremental:   {incremental:>10.3?} ({:.2}x)",
+            fresh.as_secs_f64() / incremental.as_secs_f64()
+        );
+        println!("  {lineage_stats}");
+        for g in &lineage_stats.groups {
+            println!(
+                "    group {:<18} {:<8} {} obligation(s), {} states, {} seed(s), {} KiB resident",
+                g.start,
+                g.origin.to_string(),
+                g.specs,
+                g.states,
+                g.seed_frontier,
+                g.resident_bytes / 1024,
+            );
+        }
     }
 }

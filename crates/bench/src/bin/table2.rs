@@ -1,13 +1,16 @@
 //! Regenerates Table II: verification of the eight common-coin protocols.
 //!
-//! Usage: `table2 [--threads N] [--wave-size W] [--no-graph-cache]` — `N`
-//! is the total thread budget per property sweep, split between
-//! `query × valuation` grid cells and in-check workers (default:
-//! `CC_SWEEP_THREADS`, then all cores); `W` bounds a parallel level's
-//! candidate buffers (default: `CC_WAVE_SIZE`, then the engine default);
-//! `--no-graph-cache` disables the reachability-graph cache so every
-//! obligation re-explores its own state space (default: cached, unless
-//! `CC_GRAPH_CACHE=0`).  Any combination produces identical verdicts.
+//! Usage: `table2 [--threads N] [--wave-size W] [--no-graph-cache]
+//! [--no-incremental-sweep]` — `N` is the total thread budget per property
+//! sweep, split between `query × valuation` grid cells and in-check workers
+//! (default: `CC_SWEEP_THREADS`, then all cores); `W` bounds a parallel
+//! level's candidate buffers (default: `CC_WAVE_SIZE`, then the engine
+//! default); `--no-graph-cache` disables the reachability-graph cache so
+//! every obligation re-explores its own state space (default: cached,
+//! unless `CC_GRAPH_CACHE=0`); `--no-incremental-sweep` disables the
+//! cross-valuation graph lineage so every valuation re-explores its groups
+//! (default: incremental, unless `CC_SWEEP_INCREMENTAL=0`).  Any
+//! combination produces identical verdicts.
 
 use cccore::prelude::*;
 
@@ -27,10 +30,14 @@ fn main() {
             "--no-graph-cache" => {
                 config = config.with_graph_cache(false);
             }
+            "--no-incremental-sweep" => {
+                config = config.with_incremental_sweep(false);
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: table2 [--threads N] [--wave-size W] [--no-graph-cache]"
+                     usage: table2 [--threads N] [--wave-size W] [--no-graph-cache] \
+                     [--no-incremental-sweep]"
                 );
                 std::process::exit(2);
             }

@@ -19,12 +19,13 @@
 
 use crate::counterexample::Counterexample;
 use crate::explorer::{
-    resolved_graph_cache, resolved_workers, row_occupancy_bits, Exploration, Explorer, Visitor,
+    resolved_graph_cache, resolved_incremental_sweep, resolved_workers, row_occupancy_bits,
+    Exploration, Explorer, Visitor,
 };
 use crate::game;
-use crate::graph::ReachGraph;
+use crate::graph::{GraphLineage, GuardBounds, LineageStep, ReachGraph};
 use crate::pool::WorkerPool;
-use crate::result::{CheckOutcome, GraphCacheStats, GroupCacheRecord};
+use crate::result::{CheckOutcome, GraphCacheStats, GraphOrigin, GroupCacheRecord};
 use crate::spec::{LocSet, Spec, StartRestriction};
 use crate::store::StoreStats;
 use cccounter::{Configuration, CounterSystem, Schedule, ScheduledStep};
@@ -64,6 +65,18 @@ pub struct CheckerOptions {
     /// the crate docs).  [`ExplicitChecker::check`] always takes the
     /// per-spec path regardless of this knob.
     pub graph_cache: Option<bool>,
+    /// Whether a sweep carries each group's reachability graph *across*
+    /// valuations (reusing it outright when the compiled guard bounds are
+    /// identical, extending it incrementally when the step is relax-only;
+    /// see the "Incremental sweeps" section of the crate docs).  `None`
+    /// resolves the `CC_SWEEP_INCREMENTAL` environment variable (`0`
+    /// disables) and defaults to enabled.  The lineage never changes a
+    /// verdict, a count or a counterexample — an incremental sweep is
+    /// bit-identical to a from-scratch one; only the exploration work
+    /// differs.  Takes effect only where a lineage exists (sweeps and
+    /// [`ExplicitChecker::with_pool_and_lineage`]); single-valuation
+    /// checks are unaffected.
+    pub incremental_sweep: Option<bool>,
 }
 
 impl Default for CheckerOptions {
@@ -75,6 +88,7 @@ impl Default for CheckerOptions {
             shards: 0,
             wave_size: 0,
             graph_cache: None,
+            incremental_sweep: None,
         }
     }
 }
@@ -104,6 +118,14 @@ impl CheckerOptions {
     /// or disabled (overriding the `CC_GRAPH_CACHE` environment variable).
     pub fn with_graph_cache(mut self, enabled: bool) -> Self {
         self.graph_cache = Some(enabled);
+        self
+    }
+
+    /// These options with the incremental sweep explicitly enabled or
+    /// disabled (overriding the `CC_SWEEP_INCREMENTAL` environment
+    /// variable).
+    pub fn with_incremental_sweep(mut self, enabled: bool) -> Self {
+        self.incremental_sweep = Some(enabled);
         self
     }
 }
@@ -246,6 +268,10 @@ pub struct ExplicitChecker<'a> {
     options: CheckerOptions,
     pool: PoolSource<'a>,
     memo: RefCell<CheckerMemo>,
+    /// The cross-valuation graph lineage of the surrounding sweep (plus
+    /// this system's compiled guard bounds, diffed against the lineage
+    /// entries), when the caller opted into incremental sweeps.
+    lineage: Option<(&'a GraphLineage, GuardBounds)>,
 }
 
 impl std::fmt::Debug for ExplicitChecker<'_> {
@@ -297,6 +323,34 @@ impl<'a> ExplicitChecker<'a> {
         Self::assemble(sys, options, PoolSource::Shared(pool))
     }
 
+    /// [`ExplicitChecker::with_pool`] with a cross-valuation graph lineage:
+    /// instead of exploring each `(start restriction, valuation)` group
+    /// from scratch, the checker first consults the lineage for a graph of
+    /// the same group built at a previous valuation, reusing it outright
+    /// when the compiled guard bounds are identical and extending it
+    /// incrementally when the step is relax-only (see the "Incremental
+    /// sweeps" crate docs).  The sweep gives each of its grid workers one
+    /// lineage spanning the worker's contiguous, valuation-ordered block of
+    /// cells.  An explicit [`CheckerOptions::incremental_sweep`] of `false`
+    /// (or `CC_SWEEP_INCREMENTAL=0`) makes this identical to
+    /// [`ExplicitChecker::with_pool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter system is built over a multi-round model.
+    pub fn with_pool_and_lineage(
+        sys: &'a CounterSystem,
+        options: CheckerOptions,
+        pool: &'a WorkerPool,
+        lineage: &'a GraphLineage,
+    ) -> Self {
+        let mut checker = Self::assemble(sys, options, PoolSource::Shared(pool));
+        if resolved_incremental_sweep(&options) {
+            checker.lineage = Some((lineage, sys.guard_bounds()));
+        }
+        checker
+    }
+
     fn assemble(sys: &'a CounterSystem, options: CheckerOptions, pool: PoolSource<'a>) -> Self {
         assert_eq!(
             sys.model().kind(),
@@ -308,6 +362,7 @@ impl<'a> ExplicitChecker<'a> {
             options,
             pool,
             memo: RefCell::new(CheckerMemo::default()),
+            lineage: None,
         }
     }
 
@@ -331,9 +386,10 @@ impl<'a> ExplicitChecker<'a> {
     }
 
     /// The cached reachability graph of a start-restriction group and its
-    /// stats-group index, building it on the first request (a cache miss).
-    /// The caller records which counter the spec lands in — served by the
-    /// group, or fallen back to the per-spec path.
+    /// stats-group index, obtaining it on the first request — from the
+    /// sweep lineage when one is attached and usable, from a fresh
+    /// exploration otherwise.  The caller records which counter the spec
+    /// lands in — served by the group, or fallen back to the per-spec path.
     fn graph_for(&self, start: StartRestriction) -> (Rc<ReachGraph>, usize) {
         {
             let memo = self.memo.borrow();
@@ -341,15 +397,12 @@ impl<'a> ExplicitChecker<'a> {
                 return (Rc::clone(graph), *group);
             }
         }
-        // build outside the borrow so the memo is never held across the
+        // obtain outside the borrow so the memo is never held across the
         // exploration
-        let starts = self.starts_for(start);
-        let graph = Rc::new(ReachGraph::build(
-            self.sys,
-            &starts,
-            &self.options,
-            self.pool.get(),
-        ));
+        let (graph, origin, seed_frontier) = self.obtain_graph(start);
+        if let Some((lineage, bounds)) = &self.lineage {
+            lineage.record(self.sys, start, &graph, bounds);
+        }
         let mut memo = self.memo.borrow_mut();
         let group = memo.stats.groups.len();
         memo.stats.groups.push(GroupCacheRecord {
@@ -357,9 +410,38 @@ impl<'a> ExplicitChecker<'a> {
             specs: 0,
             states: graph.states(),
             transitions: graph.transitions(),
+            origin,
+            seed_frontier,
+            resident_bytes: graph.resident_bytes(),
         });
         memo.graphs.push((start, Rc::clone(&graph), group));
         (graph, group)
+    }
+
+    /// Resolves a group's graph against the sweep lineage (reuse, extend,
+    /// or rebuild), falling back to a from-scratch exploration when no
+    /// lineage is attached or no predecessor survives.
+    fn obtain_graph(&self, start: StartRestriction) -> (Rc<ReachGraph>, GraphOrigin, usize) {
+        let mut fresh_origin = GraphOrigin::Built;
+        if let Some((lineage, bounds)) = &self.lineage {
+            match lineage.adopt(self.sys, start, bounds, &self.options, self.pool.get()) {
+                LineageStep::Reuse(graph) => return (graph, GraphOrigin::Reused, 0),
+                LineageStep::Extend(graph, seeds) => return (graph, GraphOrigin::Extended, seeds),
+                LineageStep::Build { rebuilt } => {
+                    if rebuilt {
+                        fresh_origin = GraphOrigin::Rebuilt;
+                    }
+                }
+            }
+        }
+        let starts = self.starts_for(start);
+        let graph = Rc::new(ReachGraph::build(
+            self.sys,
+            &starts,
+            &self.options,
+            self.pool.get(),
+        ));
+        (graph, fresh_origin, 0)
     }
 
     /// Checks one query on the per-spec path (its own exploration, exactly

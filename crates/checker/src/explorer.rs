@@ -22,7 +22,10 @@
 //!
 //! 1. **Expand** (parallel over wave chunks): workers generate all
 //!    successor candidates of their chunk — row bytes, incremental Zobrist
-//!    hash, monitor bits — without touching the shared index.
+//!    hash, monitor bits — without touching the shared index.  The wave is
+//!    cut into more chunks than lanes and lanes claim chunks through an
+//!    atomic cursor (work stealing), so one expensive chunk no longer
+//!    stalls the wave behind a single lane.
 //! 2. **Intern** (parallel over shards): each store shard interns *its*
 //!    candidates (selected by hash prefix, see
 //!    [`StateStore`](crate::store::StateStore)) in global candidate order,
@@ -211,6 +214,24 @@ pub(crate) fn resolved_graph_cache(options: &CheckerOptions) -> bool {
     })
 }
 
+/// Whether sweeps should carry reachability graphs *across* the valuations
+/// of a start-restriction group (reusing or incrementally extending them
+/// when only guard bounds changed): an explicit
+/// [`CheckerOptions::incremental_sweep`] setting wins; `None` defers to the
+/// `CC_SWEEP_INCREMENTAL` environment variable (`0` disables), defaulting
+/// to enabled.  Memoised process-wide like the other auto knobs.
+pub(crate) fn resolved_incremental_sweep(options: &CheckerOptions) -> bool {
+    if let Some(explicit) = options.incremental_sweep {
+        return explicit;
+    }
+    static AUTO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("CC_SWEEP_INCREMENTAL")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true)
+    })
+}
+
 /// The wave size for the given options: an explicit `wave_size` setting
 /// wins; `0` defers to the `CC_WAVE_SIZE` environment variable and then to
 /// [`DEFAULT_WAVE_SIZE`].
@@ -331,16 +352,39 @@ impl<'a> Explorer<'a> {
     ) -> Self {
         let workers = pool.threads();
         let shards = resolved_shards(options, workers);
+        Self::resume(
+            sys,
+            options,
+            pool,
+            StateStore::with_shards(sys, shards),
+            0,
+            0,
+        )
+    }
+
+    /// An explorer *resuming* over an already-populated store (the
+    /// incremental sweep's append mode): the store keeps its shard layout
+    /// and contents, and the exploration counters start from the given
+    /// baselines so the resource budgets apply to the cumulative search,
+    /// exactly as a from-scratch build would have counted.
+    pub(crate) fn resume(
+        sys: &'a CounterSystem,
+        options: &CheckerOptions,
+        pool: &'a WorkerPool,
+        store: StateStore,
+        states: usize,
+        transitions: usize,
+    ) -> Self {
         Explorer {
             engine: RowEngine::new(sys),
-            store: StateStore::with_shards(sys, shards),
+            store,
             pool,
-            workers,
+            workers: pool.threads(),
             wave_size: resolved_wave_size(options),
             max_states: options.max_states,
             max_transitions: options.max_transitions,
-            states: 0,
-            transitions: 0,
+            states,
+            transitions,
         }
     }
 
@@ -390,12 +434,32 @@ impl<'a> Explorer<'a> {
                 return Exploration::Violation(id);
             }
         }
+        self.drive(frontier, visitor)
+    }
 
+    /// Runs the search with the frontier seeded from *already-stored* nodes
+    /// instead of start configurations: each seed is (re-)expanded exactly
+    /// like a freshly discovered node, and fresh successors continue the
+    /// level-synchronous BFS.  This is the incremental sweep's extension
+    /// entry point — the seeds are the stored rows on which a newly-enabled
+    /// rule fires, in a caller-chosen deterministic order.
+    pub(crate) fn run_from_nodes<V: Visitor>(
+        &mut self,
+        seeds: Vec<u32>,
+        visitor: &mut V,
+    ) -> Exploration {
+        self.drive(seeds, visitor)
+    }
+
+    /// The level-synchronous frontier loop shared by [`Explorer::run`] and
+    /// [`Explorer::run_from_nodes`].
+    fn drive<V: Visitor>(&mut self, mut frontier: Vec<u32>, visitor: &mut V) -> Exploration {
         // an explicitly tiny wave size lowers the parallel threshold: the
         // caller asked for bounded waves, so even small frontiers take the
         // wave path (results are identical either way)
         let min_parallel = MIN_PARALLEL_FRONTIER.min(self.wave_size.max(1));
         let mut scratch = WaveScratch::default();
+        let mut row = Vec::with_capacity(self.store.stride());
         let mut next: Vec<u32> = Vec::new();
         let mut actions: Vec<Action> = Vec::new();
         while !frontier.is_empty() {
@@ -510,7 +574,7 @@ impl<'a> Explorer<'a> {
         visitor: &mut V,
     ) -> ControlFlow<Exploration> {
         let num_shards = self.store.num_shards();
-        let chunk_size = wave.len().div_ceil(self.workers);
+        let chunk_size = steal_chunk_size(wave.len(), self.workers);
         let num_chunks = wave.len().div_ceil(chunk_size);
         scratch
             .chunks
@@ -519,16 +583,36 @@ impl<'a> Explorer<'a> {
             .interned
             .resize_with(num_shards.max(scratch.interned.len()), Vec::new);
 
-        // Phase 1: expand wave chunks in parallel (read-only store).
+        // Phase 1: expand wave chunks in parallel.  The wave is cut into
+        // more chunks than lanes and lanes claim chunks through an atomic
+        // cursor, so a lane whose chunks happen to be cheap steals the next
+        // chunk instead of idling behind a skewed one.  Which lane expands
+        // which chunk never matters for results: the chunk boundaries are
+        // fixed before the handout and the replay walks chunks in index
+        // order.
         {
             let (engine, store) = (&self.engine, &self.store);
             let v: &V = visitor;
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = wave
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let work: Vec<std::sync::Mutex<(&[u32], &mut ChunkOut)>> = wave
                 .chunks(chunk_size)
                 .zip(scratch.chunks.iter_mut())
-                .map(|(chunk, out)| {
-                    let task: Box<dyn FnOnce() + Send + '_> =
-                        Box::new(move || expand_chunk(engine, store, v, chunk, num_shards, out));
+                .map(|(chunk, out)| std::sync::Mutex::new((chunk, out)))
+                .collect();
+            let lanes = self.workers.min(num_chunks);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..lanes)
+                .map(|_| {
+                    let (cursor, work) = (&cursor, &work);
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(cell) = work.get(i) else { break };
+                        // uncontended: the cursor hands each chunk to
+                        // exactly one lane; the mutex only carries the
+                        // &mut across the closure boundary
+                        let mut slot = cell.lock().unwrap();
+                        let (chunk, out) = &mut *slot;
+                        expand_chunk(engine, store, v, chunk, num_shards, out);
+                    });
                     task
                 })
                 .collect();
@@ -602,6 +686,26 @@ impl<'a> Explorer<'a> {
         }
         ControlFlow::Continue(())
     }
+}
+
+/// How many chunks each lane should see on average in a wave's expand
+/// phase: more chunks than lanes is what lets the atomic-cursor handout
+/// steal work from a skewed chunk.
+const STEAL_CHUNKS_PER_LANE: usize = 4;
+
+/// Floor on the work-stealing chunk size: below this the per-chunk arena
+/// bookkeeping outweighs the balancing win.
+const MIN_STEAL_CHUNK: usize = 32;
+
+/// The expand-phase chunk size for a wave of `wave` frontier nodes on
+/// `workers` lanes: aim for [`STEAL_CHUNKS_PER_LANE`] chunks per lane,
+/// floored at [`MIN_STEAL_CHUNK`] — but never coarser than the even
+/// one-chunk-per-lane split, so small waves still occupy every lane.
+fn steal_chunk_size(wave: usize, workers: usize) -> usize {
+    let even_split = wave.div_ceil(workers).max(1);
+    wave.div_ceil(workers * STEAL_CHUNKS_PER_LANE)
+        .max(MIN_STEAL_CHUNK)
+        .min(even_split)
 }
 
 /// Phase-1 worker: expands a contiguous wave chunk into candidate records

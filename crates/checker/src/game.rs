@@ -73,11 +73,27 @@ impl GameGraph {
         let (start, end) = self.action_spans[action];
         &self.edge_list[start as usize..end as usize]
     }
+
+    /// Resident bytes of the CSR arenas (node spans, action table, edges).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.node_spans.len() * std::mem::size_of::<(u32, u32)>()
+            + self.action_nodes.len() * std::mem::size_of::<u32>()
+            + self.action_spans.len() * std::mem::size_of::<(u32, u32)>()
+            + self.edge_list.len() * std::mem::size_of::<(ScheduledStep, u32)>()
+    }
 }
 
 /// Appends explorer callbacks to a [`GameGraph`]'s CSR arenas in discovery
 /// order.  Shared by [`GameVisitor`] and the graph-cache build visitor of
 /// [`crate::graph`], which record exactly the same shape.
+///
+/// The arenas are append-only, but a *node's* span may be re-recorded: a
+/// later `begin_node … end_node` bracket for an already-recorded node
+/// appends the fresh action/edge runs and repoints the node's span at them,
+/// leaving the old runs as unreferenced garbage.  This is the CSR append
+/// mode of the incremental sweep ([`CsrRecorder::resume`]): re-expanding a
+/// node whose guard set grew replaces its span with the full new action
+/// list, so readers never see a half-updated node.
 #[derive(Default)]
 pub(crate) struct CsrRecorder {
     pub(crate) graph: GameGraph,
@@ -86,6 +102,16 @@ pub(crate) struct CsrRecorder {
 }
 
 impl CsrRecorder {
+    /// A recorder appending to an existing graph (the incremental sweep's
+    /// extension pass); a `Default` recorder starts a fresh graph.
+    pub(crate) fn resume(graph: GameGraph) -> Self {
+        CsrRecorder {
+            actions_start: graph.action_spans.len() as u32,
+            edges_start: graph.edge_list.len() as u32,
+            graph,
+        }
+    }
+
     pub(crate) fn begin_node(&mut self) {
         self.actions_start = self.graph.action_spans.len() as u32;
     }

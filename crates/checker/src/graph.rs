@@ -56,13 +56,213 @@ use crate::explorer::{Exploration, Explorer, Visitor};
 use crate::game::{adversary_winning, extract_strategy_path, CsrRecorder, GameGraph};
 use crate::pool::WorkerPool;
 use crate::result::CheckOutcome;
-use crate::spec::{LocSet, Spec};
+use crate::spec::{LocSet, Spec, StartRestriction};
 use crate::store::StateStore;
 use cccounter::{Action, Configuration, CounterSystem, Schedule, ScheduledStep};
+use ccta::{GuardRel, RuleId};
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 /// Sentinel for "product state not discovered yet" in the ordinal maps.
 const NO_ORD: u32 = u32::MAX;
+
+/// The compiled guard bounds of a counter system: one `(relation, bound)`
+/// pair per guard atom, in rule order (see
+/// [`CounterSystem::guard_bounds`]).  Two valuations over one model differ
+/// in behaviour exactly where these bounds differ.
+pub(crate) type GuardBounds = Vec<Vec<(GuardRel, i128)>>;
+
+/// How one sweep step relates two valuations' compiled guard bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum GuardStep {
+    /// Every bound is unchanged: the reachable graph is *identical* and the
+    /// cached one serves as-is (a pure lineage hit).
+    Identical,
+    /// Every changed atom weakened its guard (`>=` bound decreased, `<`
+    /// bound increased), so the old reachable set is a subset of the new
+    /// one and the cached graph can be *extended* from a seeded frontier.
+    /// `changed` lists the indices of the rules with at least one weakened
+    /// atom.
+    RelaxOnly {
+        /// Rule indices whose guard weakened.
+        changed: Vec<usize>,
+    },
+    /// Some atom tightened (or the shapes disagree): stored states may no
+    /// longer be reachable and cached edges may have died, so the group is
+    /// re-explored from scratch.
+    TightenOrMixed,
+}
+
+/// Classifies a valuation step by diffing the compiled per-rule guard
+/// bounds.  The two bound sets must come from the *same model* (same rules,
+/// same atoms, same relations); any structural disagreement is conservative
+/// [`GuardStep::TightenOrMixed`].
+pub(crate) fn classify_guard_step(old: &GuardBounds, new: &GuardBounds) -> GuardStep {
+    if old.len() != new.len() {
+        return GuardStep::TightenOrMixed;
+    }
+    let mut changed = Vec::new();
+    for (rule, (old_guard, new_guard)) in old.iter().zip(new).enumerate() {
+        if old_guard.len() != new_guard.len() {
+            return GuardStep::TightenOrMixed;
+        }
+        let mut rule_changed = false;
+        for (&(old_rel, old_bound), &(new_rel, new_bound)) in old_guard.iter().zip(new_guard) {
+            if old_rel != new_rel {
+                return GuardStep::TightenOrMixed;
+            }
+            if old_bound == new_bound {
+                continue;
+            }
+            // a conjunction weakens iff every changed atom weakens
+            let weaker = match old_rel {
+                GuardRel::Ge => new_bound < old_bound,
+                GuardRel::Lt => new_bound > old_bound,
+            };
+            if !weaker {
+                return GuardStep::TightenOrMixed;
+            }
+            rule_changed = true;
+        }
+        if rule_changed {
+            changed.push(rule);
+        }
+    }
+    if changed.is_empty() {
+        GuardStep::Identical
+    } else {
+        GuardStep::RelaxOnly { changed }
+    }
+}
+
+/// One surviving graph of a sweep lineage: the cached reachability graph of
+/// a start-restriction group together with the guard bounds and system size
+/// it is valid for.
+struct LineageEntry {
+    start: StartRestriction,
+    graph: Rc<ReachGraph>,
+    bounds: GuardBounds,
+    processes: u64,
+    coins: u64,
+}
+
+/// How a lineage lookup resolved (the caller builds fresh on
+/// [`LineageStep::Build`]).
+pub(crate) enum LineageStep {
+    /// No usable predecessor graph; `rebuilt` distinguishes a discarded
+    /// lineage entry (tightened/mixed step, size change, failed extension)
+    /// from a first build.
+    Build {
+        /// Whether a lineage entry existed and had to be thrown away.
+        rebuilt: bool,
+    },
+    /// The guard bounds are identical: the cached graph serves as-is.
+    Reuse(Rc<ReachGraph>),
+    /// The step was relax-only and the cached graph was extended in place;
+    /// the `usize` is the seeded-frontier size.
+    Extend(Rc<ReachGraph>, usize),
+}
+
+/// The cross-valuation graph lineage of one sweep worker: at most one
+/// surviving [`ReachGraph`] per start-restriction group, carried from
+/// valuation to valuation (see the "Incremental sweeps" section of the
+/// crate docs).  Owned by whoever walks a group's valuations in order — the
+/// sweep gives each grid worker one lineage for its contiguous block of
+/// valuations — and handed to each per-valuation
+/// [`crate::ExplicitChecker`] via
+/// [`crate::ExplicitChecker::with_pool_and_lineage`].
+#[derive(Default)]
+pub struct GraphLineage {
+    entries: RefCell<Vec<LineageEntry>>,
+}
+
+impl GraphLineage {
+    /// An empty lineage.
+    pub fn new() -> Self {
+        GraphLineage::default()
+    }
+
+    /// Resolves a group's graph against the lineage for the system `sys`
+    /// (whose compiled guard bounds are `bounds`): a matching entry is
+    /// *taken out* and reused, extended, or discarded according to the
+    /// classified guard step.  Whatever graph the caller ends up with, it
+    /// re-enters the lineage through [`GraphLineage::record`].
+    pub(crate) fn adopt(
+        &self,
+        sys: &CounterSystem,
+        start: StartRestriction,
+        bounds: &GuardBounds,
+        options: &CheckerOptions,
+        pool: &WorkerPool,
+    ) -> LineageStep {
+        let entry = {
+            let mut entries = self.entries.borrow_mut();
+            match entries.iter().position(|e| e.start == start) {
+                Some(pos) => entries.remove(pos),
+                None => return LineageStep::Build { rebuilt: false },
+            }
+        };
+        // a size change means different start configurations (and different
+        // reachable rows altogether): nothing to carry over
+        if entry.processes != sys.num_processes() || entry.coins != sys.num_coins() {
+            return LineageStep::Build { rebuilt: true };
+        }
+        match classify_guard_step(&entry.bounds, bounds) {
+            GuardStep::Identical => LineageStep::Reuse(entry.graph),
+            GuardStep::TightenOrMixed => LineageStep::Build { rebuilt: true },
+            GuardStep::RelaxOnly { changed } => {
+                // the previous valuation's checker has been dropped, so the
+                // lineage holds the only reference; if anything else still
+                // pins the graph, fall back to a fresh build
+                let Ok(graph) = Rc::try_unwrap(entry.graph) else {
+                    return LineageStep::Build { rebuilt: true };
+                };
+                match graph.extend(sys, &changed, &entry.bounds, options, pool) {
+                    Ok((extended, seeds)) => LineageStep::Extend(Rc::new(extended), seeds),
+                    // a resource budget tripped mid-extension: rebuild from
+                    // scratch so the bounded-build semantics are exactly
+                    // the fresh path's
+                    Err(()) => LineageStep::Build { rebuilt: true },
+                }
+            }
+        }
+    }
+
+    /// Records a group's (complete) graph as the lineage survivor for the
+    /// given bounds and system size.  Bounded builds are *not* recorded: a
+    /// budget-tripped graph falls back to the per-spec path anyway, and the
+    /// next valuation should pay exactly the fresh-path cost.
+    pub(crate) fn record(
+        &self,
+        sys: &CounterSystem,
+        start: StartRestriction,
+        graph: &Rc<ReachGraph>,
+        bounds: &GuardBounds,
+    ) {
+        if graph.is_bounded() {
+            return;
+        }
+        let mut entries = self.entries.borrow_mut();
+        debug_assert!(entries.iter().all(|e| e.start != start));
+        entries.push(LineageEntry {
+            start,
+            graph: Rc::clone(graph),
+            bounds: bounds.clone(),
+            processes: sys.num_processes(),
+            coins: sys.num_coins(),
+        });
+    }
+
+    /// Resident bytes of every graph currently surviving in the lineage.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries
+            .borrow()
+            .iter()
+            .map(|e| e.graph.resident_bytes())
+            .sum()
+    }
+}
 
 /// The monitor-free build visitor: records every explored edge in CSR form,
 /// the interned start nodes, and the BFS discovery order of every fresh
@@ -126,6 +326,56 @@ impl Visitor for CacheVisitor {
     }
 }
 
+/// The incremental-extension visitor: like [`CacheVisitor`] it records CSR
+/// edges, but through a resumed recorder that appends to the existing
+/// arenas and *replaces* the spans of re-expanded seed nodes.  Discovery
+/// order and parents are not tracked here — [`ReachGraph::relink`]
+/// re-derives both from the final edges.
+struct ExtendVisitor {
+    csr: CsrRecorder,
+}
+
+impl Visitor for ExtendVisitor {
+    fn successor_bits(&self, _parent_bits: u8, _row: &[u8]) -> u8 {
+        0
+    }
+
+    fn begin_node(&mut self, _node: u32) {
+        self.csr.begin_node();
+    }
+
+    fn begin_action(&mut self, _node: u32, _action: Action) {
+        self.csr.begin_action();
+    }
+
+    fn edge(
+        &mut self,
+        _from: u32,
+        step: ScheduledStep,
+        to: u32,
+        _to_bits: u8,
+        _fresh: bool,
+    ) -> bool {
+        self.csr.edge(step, to);
+        false
+    }
+
+    fn end_action(&mut self, node: u32, _action: Action) {
+        self.csr.end_action(node);
+    }
+
+    fn end_node(&mut self, node: u32) {
+        self.csr.end_node(node);
+    }
+}
+
+/// The atom bounds of one rule, stripped of their relations (the relations
+/// are model-fixed; [`CounterSystem::rule_guard_holds_bytes_at`] only needs
+/// the numbers).
+fn atom_bounds(bounds: &GuardBounds, rule: RuleId) -> Vec<i128> {
+    bounds[rule.0].iter().map(|&(_, b)| b).collect()
+}
+
 /// The cached reachable graph of one `(start restriction, valuation)`
 /// group: the deduplicated configuration store, the CSR transition
 /// relation, and the interned start nodes.  Built once per group by
@@ -137,6 +387,11 @@ pub(crate) struct ReachGraph {
     start_ids: Vec<u32>,
     /// Every node in BFS discovery order (worker/shard independent).
     discovery: Vec<u32>,
+    /// First-discovery parent edges *as a from-scratch build would have
+    /// recorded them*, re-derived by [`ReachGraph::relink`] after an
+    /// incremental extension (`None` for fresh builds, whose store already
+    /// holds exactly these edges).  Indexed by node id.
+    parents: Option<Vec<Option<(u32, ScheduledStep)>>>,
     /// States the sequential monitor-free search counted (already adjusted
     /// for the reference's stop-before-store state-bound convention).
     states: usize,
@@ -170,10 +425,170 @@ impl ReachGraph {
             graph: visitor.csr.graph,
             start_ids: visitor.start_ids,
             discovery: visitor.discovery,
+            parents: None,
             states,
             transitions,
             bound,
         }
+    }
+
+    /// Extends a *complete* cached graph across a relax-only valuation step
+    /// (see the "Incremental sweeps" crate docs): every stored row on which
+    /// one of the `changed` rules is newly enabled — it fires under the new
+    /// bounds but not under `old_bounds` — seeds the explorer's frontier,
+    /// those nodes are re-expanded (their CSR spans are replaced with the
+    /// full new action list), and fresh successors continue the
+    /// level-synchronous BFS, appending to the store and the CSR arenas in
+    /// place.  A final [`ReachGraph::relink`] pass re-derives the discovery
+    /// order, the first-discovery parents and the state/transition counts
+    /// by replaying a BFS over the final cached edges, which makes every
+    /// analysis pass — verdicts, counts, counterexample schedules —
+    /// bit-identical to a from-scratch build of the new valuation.
+    ///
+    /// Returns the seeded-frontier size alongside the extended graph, or
+    /// `Err(())` if a resource budget tripped mid-extension (the caller
+    /// rebuilds from scratch so bounded-build semantics stay exactly the
+    /// fresh path's).
+    pub(crate) fn extend(
+        mut self,
+        sys: &CounterSystem,
+        changed: &[usize],
+        old_bounds: &GuardBounds,
+        options: &CheckerOptions,
+        pool: &WorkerPool,
+    ) -> Result<(Self, usize), ()> {
+        debug_assert!(self.bound.is_none(), "only complete graphs are extended");
+        let model = sys.model();
+        let num_locations = model.locations().len();
+        // self-loops never contribute exploration edges, so a weakened
+        // self-loop guard cannot enable anything new
+        let watched: Vec<(RuleId, usize, Vec<i128>)> = changed
+            .iter()
+            .map(|&r| RuleId(r))
+            .filter(|&r| !model.rule(r).is_self_loop())
+            .map(|r| (r, model.rule(r).from().0, atom_bounds(old_bounds, r)))
+            .collect();
+
+        // the seeded frontier, in the old BFS discovery order (deterministic
+        // at every worker/shard/wave count): exactly the stored rows on
+        // which a newly-enabled rule fires
+        let mut seeds: Vec<u32> = Vec::new();
+        for &node in &self.discovery {
+            let row = self.store.row(node);
+            let vars = &row[num_locations..];
+            let newly_enabled = watched.iter().any(|(rule, from, old)| {
+                row[*from] > 0
+                    && sys.rule_guard_holds_bytes(*rule, vars)
+                    && !sys.rule_guard_holds_bytes_at(*rule, vars, old)
+            });
+            if newly_enabled {
+                seeds.push(node);
+            }
+        }
+        let seed_count = seeds.len();
+        if seed_count == 0 {
+            // no stored row unlocks anything new, so the weakened bounds are
+            // unobservable on the reachable fragment: the graph — including
+            // its counts and parents — is already the fresh build's
+            return Ok((self, 0));
+        }
+
+        // the previous build was complete, so its state count equals the
+        // store population: the resuming explorer's budget counters continue
+        // from the cumulative totals, like a from-scratch build would count
+        // (re-expanded seed edges are re-counted, which can only trip a
+        // budget *earlier* than fresh — and a tripped extension rebuilds
+        // fresh anyway)
+        let store = std::mem::replace(&mut self.store, StateStore::new(sys));
+        let mut explorer =
+            Explorer::resume(sys, options, pool, store, self.states, self.transitions);
+        let mut visitor = ExtendVisitor {
+            csr: CsrRecorder::resume(std::mem::take(&mut self.graph)),
+        };
+        let exploration = explorer.run_from_nodes(seeds, &mut visitor);
+        self.store = explorer.into_store();
+        self.graph = visitor.csr.graph;
+        match exploration {
+            Exploration::Complete => {}
+            Exploration::StateBound | Exploration::TransitionBound => return Err(()),
+            Exploration::Violation(_) => {
+                unreachable!("the extension visitor never reports violations")
+            }
+        }
+        self.relink();
+        Ok((self, seed_count))
+    }
+
+    /// Re-derives the BFS discovery order, the first-discovery parent edges
+    /// and the state/transition counts by replaying a breadth-first search
+    /// over the final cached CSR edges from the start nodes.  Walking nodes
+    /// in FIFO discovery order and each node's actions and branches in CSR
+    /// order reproduces *exactly* the sequence in which a from-scratch
+    /// explorer run at the new valuation would have discovered states and
+    /// enumerated candidates — so every order-sensitive consumer (the
+    /// non-blocking terminal scan, path reconstruction, the reported
+    /// counts) behaves bit-identically to a fresh build.
+    fn relink(&mut self) {
+        let bound = self.store.id_bound();
+        let mut parents: Vec<Option<(u32, ScheduledStep)>> = vec![None; bound];
+        let mut seen = vec![false; bound];
+        let mut discovery: Vec<u32> = Vec::with_capacity(self.store.len());
+        for &start in &self.start_ids {
+            if !seen[start as usize] {
+                seen[start as usize] = true;
+                discovery.push(start);
+            }
+        }
+        let mut transitions = 0usize;
+        let mut cursor = 0usize;
+        while cursor < discovery.len() {
+            let node = discovery[cursor];
+            cursor += 1;
+            for a in self.graph.actions_of(node) {
+                for &(step, to) in self.graph.edges_of(a) {
+                    transitions += 1;
+                    if !seen[to as usize] {
+                        seen[to as usize] = true;
+                        parents[to as usize] = Some((node, step));
+                        discovery.push(to);
+                    }
+                }
+            }
+        }
+        self.states = discovery.len();
+        self.transitions = transitions;
+        self.discovery = discovery;
+        self.parents = Some(parents);
+    }
+
+    /// Rebuilds the initial configuration and schedule leading to a node:
+    /// from the re-derived parents of an extended graph, or straight from
+    /// the store's first-discovery edges for a fresh build (which are the
+    /// same thing).
+    fn reconstruct(&self, target: u32) -> (Configuration, Schedule) {
+        let Some(parents) = &self.parents else {
+            return self.store.reconstruct_path(target);
+        };
+        let mut steps = Vec::new();
+        let mut current = target;
+        while let Some((parent, step)) = parents[current as usize] {
+            steps.push(step);
+            current = parent;
+        }
+        steps.reverse();
+        (self.store.decode(current), Schedule::from_steps(steps))
+    }
+
+    /// Resident bytes of the cached graph: the deduplicated store, the CSR
+    /// arenas and the lineage bookkeeping (discovery order, derived
+    /// parents).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
+            + self.graph.resident_bytes()
+            + (self.discovery.len() + self.start_ids.len()) * std::mem::size_of::<u32>()
+            + self.parents.as_ref().map_or(0, |p| {
+                p.len() * std::mem::size_of::<Option<(u32, ScheduledStep)>>()
+            })
     }
 
     /// Whether the build tripped a resource budget, leaving the graph
@@ -569,7 +984,7 @@ impl ReachGraph {
                 continue;
             }
             if let Some(loc) = blocked_location_in_row(sys, self.store.row(id)) {
-                let (initial, schedule) = self.store.reconstruct_path(id);
+                let (initial, schedule) = self.reconstruct(id);
                 let ce = Counterexample {
                     spec: spec_name.to_string(),
                     params: sys.params().clone(),
@@ -584,5 +999,113 @@ impl ReachGraph {
             }
         }
         CheckOutcome::holds(self.states, self.transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccta::GuardRel::{Ge, Lt};
+
+    fn bounds(spec: &[&[(GuardRel, i128)]]) -> GuardBounds {
+        spec.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn classifier_reports_identical_bounds() {
+        let old = bounds(&[&[(Ge, 3)], &[], &[(Lt, 2), (Ge, 1)]]);
+        assert_eq!(
+            classify_guard_step(&old, &old.clone()),
+            GuardStep::Identical
+        );
+    }
+
+    #[test]
+    fn classifier_detects_relaxation_in_both_directions() {
+        // a >= bound weakens downward, a < bound weakens upward
+        let old = bounds(&[&[(Ge, 3)], &[(Lt, 2)], &[(Ge, 5)]]);
+        let new = bounds(&[&[(Ge, 2)], &[(Lt, 4)], &[(Ge, 5)]]);
+        assert_eq!(
+            classify_guard_step(&old, &new),
+            GuardStep::RelaxOnly {
+                changed: vec![0, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn classifier_treats_any_tightening_as_mixed() {
+        let old = bounds(&[&[(Ge, 3)], &[(Lt, 2)]]);
+        // Ge bound moved up: tighter
+        let tighter_ge = bounds(&[&[(Ge, 4)], &[(Lt, 2)]]);
+        assert_eq!(
+            classify_guard_step(&old, &tighter_ge),
+            GuardStep::TightenOrMixed
+        );
+        // Lt bound moved down: tighter
+        let tighter_lt = bounds(&[&[(Ge, 3)], &[(Lt, 1)]]);
+        assert_eq!(
+            classify_guard_step(&old, &tighter_lt),
+            GuardStep::TightenOrMixed
+        );
+        // one rule relaxes while another tightens: still mixed
+        let mixed = bounds(&[&[(Ge, 2)], &[(Lt, 1)]]);
+        assert_eq!(classify_guard_step(&old, &mixed), GuardStep::TightenOrMixed);
+    }
+
+    #[test]
+    fn classifier_relaxes_per_atom_within_one_rule() {
+        // one atom of the conjunction weakens, its sibling is unchanged:
+        // the conjunction as a whole weakens
+        let old = bounds(&[&[(Ge, 3), (Lt, 2)]]);
+        let new = bounds(&[&[(Ge, 1), (Lt, 2)]]);
+        assert_eq!(
+            classify_guard_step(&old, &new),
+            GuardStep::RelaxOnly { changed: vec![0] }
+        );
+        // ... but a tightened sibling poisons the rule
+        let poisoned = bounds(&[&[(Ge, 1), (Lt, 1)]]);
+        assert_eq!(
+            classify_guard_step(&old, &poisoned),
+            GuardStep::TightenOrMixed
+        );
+    }
+
+    #[test]
+    fn classifier_is_conservative_on_structural_mismatch() {
+        let old = bounds(&[&[(Ge, 3)]]);
+        assert_eq!(
+            classify_guard_step(&old, &bounds(&[&[(Ge, 3)], &[]])),
+            GuardStep::TightenOrMixed
+        );
+        assert_eq!(
+            classify_guard_step(&old, &bounds(&[&[(Ge, 3), (Ge, 1)]])),
+            GuardStep::TightenOrMixed
+        );
+        assert_eq!(
+            classify_guard_step(&old, &bounds(&[&[(Lt, 3)]])),
+            GuardStep::TightenOrMixed
+        );
+    }
+
+    #[test]
+    fn classifier_matches_real_compiled_bounds() {
+        // the compiled bounds of two valuations of the voting fixture:
+        // raising t lowers the n - t - f quorum, a pure relaxation
+        let model = crate::fixtures::voting_model().single_round().unwrap();
+        let old_sys =
+            CounterSystem::new(model.clone(), ccta::ParamValuation::new(vec![7, 1, 1, 1])).unwrap();
+        let new_sys =
+            CounterSystem::new(model, ccta::ParamValuation::new(vec![7, 2, 1, 1])).unwrap();
+        let (old, new) = (old_sys.guard_bounds(), new_sys.guard_bounds());
+        match classify_guard_step(&old, &new) {
+            GuardStep::RelaxOnly { changed } => assert!(!changed.is_empty()),
+            other => panic!("expected a relax-only step, got {other:?}"),
+        }
+        assert_eq!(classify_guard_step(&new, &old), GuardStep::TightenOrMixed);
+        assert_eq!(
+            classify_guard_step(&old, &old.clone()),
+            GuardStep::Identical
+        );
     }
 }

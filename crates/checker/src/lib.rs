@@ -108,6 +108,55 @@
 //!   the path `engine_equivalence` compares bit-for-bit against
 //!   [`reference`].
 //!
+//! # Incremental sweeps: one sweep, one graph lineage
+//!
+//! A parameter sweep multiplies the catalogue by a grid of valuations, and
+//! adjacent valuations of one model differ *only in compiled guard bounds*
+//! — the rules, locations and row layout are fixed by the model, and
+//! [`cccounter::CounterSystem`] pre-evaluates each guard's threshold at
+//! construction.  Sweeps therefore carry each
+//! `(start restriction, valuation)` group's reachability graph **across**
+//! valuations as a [`GraphLineage`]:
+//!
+//! * **Classification.**  Advancing a group from valuation `v` to `v'`
+//!   diffs the per-rule guard bounds ([`cccounter::CounterSystem::guard_bounds`]).
+//!   If the system size changed, the start set changed and nothing
+//!   carries over (*rebuilt*).  Otherwise the step is **identical** (every
+//!   bound equal — the cached graph serves as-is, zero exploration),
+//!   **relax-only** (every changed atom weakens: `>=` bounds only fell,
+//!   `<` bounds only rose — the reachable set can only grow), or
+//!   **tighten-or-mixed** (re-explore from scratch; *rebuilt*).
+//! * **Extension.**  A relax-only step seeds the explorer's frontier with
+//!   exactly the stored rows on which a newly-enabled rule fires (old
+//!   bounds re-evaluated on the row, new bounds from the new system); the
+//!   seeds are re-expanded — their CSR spans are *replaced* with the full
+//!   new action list — and fresh successors continue the ordinary
+//!   level-synchronous BFS, appending to the [`StateStore`] and the CSR
+//!   arenas in place.  A final *relink* pass replays a BFS over the final
+//!   cached edges, re-deriving the discovery order, the first-discovery
+//!   parent edges and the state/transition counts exactly as a
+//!   from-scratch build at `v'` would have produced them — so verdicts,
+//!   counts and counterexample schedules are **bit-identical** to a fresh
+//!   sweep (pinned by `random_differential`'s incremental axis and the
+//!   extended-graph half of `counterexample_replay`).
+//! * **Lineage lifetime & memory.**  Each sweep worker owns one lineage
+//!   spanning the contiguous, valuation-ordered block of grid cells it
+//!   processes (the cached scheduler dispatches blocks, not strided cells,
+//!   precisely so adjacent cells are guard-adjacent); at most one graph
+//!   per start-restriction group survives at a time, dropped when
+//!   classification discards it or the worker finishes its block.
+//!   Resident bytes per cached graph (rows + side arrays + index + CSR)
+//!   are reported in [`GroupCacheRecord::resident_bytes`] and printed by
+//!   `profile_engine`.  Budget-tripped builds never enter the lineage, and
+//!   a budget-tripped extension falls back to a from-scratch rebuild, so
+//!   bounded-build semantics match the fresh path exactly.
+//! * **Knob precedence.**  [`CheckerOptions::incremental_sweep`]
+//!   (explicit `Some`) over the `CC_SWEEP_INCREMENTAL` environment
+//!   variable (`0` disables) over the default (enabled).  The
+//!   `sweep_amortization` axis of the `table2_checking` bench measures the
+//!   whole-sweep speedup (incremental vs fresh over each protocol's full
+//!   8-valuation grid).
+//!
 //! # Memory model
 //!
 //! The engine's peak memory is *wave-bounded*, and its threads are
@@ -180,8 +229,9 @@ pub mod fixtures;
 
 pub use counterexample::Counterexample;
 pub use explicit::{CheckerOptions, ExplicitChecker};
+pub use graph::GraphLineage;
 pub use pool::WorkerPool;
-pub use result::{CheckOutcome, CheckStatus, GraphCacheStats, GroupCacheRecord};
+pub use result::{CheckOutcome, CheckStatus, GraphCacheStats, GraphOrigin, GroupCacheRecord};
 pub use schema::{
     count_linear_extensions, max_schema_count, milestone_precedence, milestones, schema_count,
     Milestone,

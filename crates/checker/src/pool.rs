@@ -23,11 +23,14 @@
 //!   and the panic is re-raised on the calling thread once the batch is
 //!   done — the pool itself stays usable and its queue empty.
 //!
-//! The pool is deliberately *not* a work-stealing scheduler: the explorer's
-//! phases produce a small number of similarly-sized tasks (one per frontier
-//! chunk, one per store shard), so a single locked queue drained by all
-//! lanes is both simpler and fast enough — the queue is touched a few times
-//! per *wave*, not per state.
+//! The pool is deliberately *not* a work-stealing scheduler: it hands out a
+//! small number of batch tasks (one lane loop for the expand phase, one per
+//! store shard for the intern phase), so a single locked queue drained by
+//! all lanes is both simpler and fast enough — the queue is touched a few
+//! times per *wave*, not per state.  Work stealing *within* the expand
+//! phase lives in the explorer instead: each lane task claims wave chunks
+//! through an atomic cursor, so skewed chunk costs balance without the pool
+//! needing per-task queues.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

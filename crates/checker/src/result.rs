@@ -98,8 +98,43 @@ impl fmt::Display for CheckOutcome {
     }
 }
 
-/// One reachability graph built by the graph cache (a cache *miss*): the
-/// start-restriction group it serves and the exploration cost paid once.
+/// How a group's reachability graph was obtained: built from scratch, or —
+/// under the incremental sweep (see the "Incremental sweeps" section of the
+/// crate docs) — inherited from the previous valuation of the group's
+/// lineage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GraphOrigin {
+    /// Explored from scratch; no lineage predecessor existed.
+    #[default]
+    Built,
+    /// The guard bounds were identical to the lineage predecessor's: the
+    /// cached graph served as-is, paying no exploration at all.
+    Reused,
+    /// The valuation step was relax-only: the predecessor graph was
+    /// extended from a seeded frontier instead of re-explored.
+    Extended,
+    /// A lineage predecessor existed but could not be carried over (the
+    /// step tightened or mixed, the system size changed, or the extension
+    /// tripped a budget): explored from scratch.
+    Rebuilt,
+}
+
+impl fmt::Display for GraphOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GraphOrigin::Built => "built",
+            GraphOrigin::Reused => "reused",
+            GraphOrigin::Extended => "extended",
+            GraphOrigin::Rebuilt => "rebuilt",
+        })
+    }
+}
+
+/// One reachability graph the cache served obligations from: the
+/// start-restriction group, how the graph was obtained (see
+/// [`GraphOrigin`]), and its cost.  `Built`/`Rebuilt` records paid a full
+/// exploration, `Extended` ones paid a seeded partial exploration, and
+/// `Reused` ones paid nothing.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupCacheRecord {
     /// Label of the start restriction keying the group.
@@ -107,10 +142,18 @@ pub struct GroupCacheRecord {
     /// Number of obligations evaluated on this graph (the first of which
     /// paid for the build).
     pub specs: usize,
-    /// Distinct configurations explored once for the graph.
+    /// Distinct configurations the graph holds.
     pub states: usize,
-    /// Transitions explored once for the graph.
+    /// Transitions the graph holds.
     pub transitions: usize,
+    /// How the graph was obtained.
+    pub origin: GraphOrigin,
+    /// Size of the seeded frontier an `Extended` graph was re-explored
+    /// from (0 for every other origin).
+    pub seed_frontier: usize,
+    /// Resident bytes of the cached graph (deduplicated rows + side arrays
+    /// + index + CSR arenas + lineage bookkeeping).
+    pub resident_bytes: usize,
 }
 
 /// Cache accounting of the reachability-graph cache (see the "Graph cache"
@@ -126,35 +169,98 @@ pub struct GraphCacheStats {
 }
 
 impl GraphCacheStats {
-    /// Number of graphs built — the cache misses.
+    /// Number of group records — one per `(start restriction, valuation)`
+    /// group a graph served, whether it was explored or inherited from the
+    /// sweep lineage.
     pub fn graphs_built(&self) -> usize {
         self.groups.len()
     }
 
-    /// Number of obligations answered from a cached graph (the cache hits
-    /// are `specs_served() - graphs_built()`).
+    fn count_origin(&self, origin: GraphOrigin) -> usize {
+        self.groups.iter().filter(|g| g.origin == origin).count()
+    }
+
+    /// Groups whose graph was served as-is from the sweep lineage
+    /// (identical guard bounds: zero exploration paid).
+    pub fn reused_groups(&self) -> usize {
+        self.count_origin(GraphOrigin::Reused)
+    }
+
+    /// Groups whose graph was incrementally extended across a relax-only
+    /// valuation step.
+    pub fn extended_groups(&self) -> usize {
+        self.count_origin(GraphOrigin::Extended)
+    }
+
+    /// Groups whose lineage predecessor had to be discarded (tightened or
+    /// mixed step, size change, or a budget-tripped extension).
+    pub fn rebuilt_groups(&self) -> usize {
+        self.count_origin(GraphOrigin::Rebuilt)
+    }
+
+    /// Total seeded-frontier size across all extended groups.
+    pub fn seed_frontier_total(&self) -> usize {
+        self.groups.iter().map(|g| g.seed_frontier).sum()
+    }
+
+    /// Resident bytes across all recorded graphs.  Within one valuation the
+    /// figure is live memory; summed over a sweep it counts each surviving
+    /// lineage graph once per valuation it served, so read the per-group
+    /// records for peak-memory questions.
+    pub fn resident_bytes(&self) -> usize {
+        self.groups.iter().map(|g| g.resident_bytes).sum()
+    }
+
+    /// Number of group records that actually paid exploration work: built,
+    /// rebuilt, or (partially, from a seeded frontier) extended.  Reused
+    /// groups served their obligations for free, so the cost metrics below
+    /// exclude them.
+    pub fn explorations_paid(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| g.origin != GraphOrigin::Reused)
+            .count()
+    }
+
+    /// Number of obligations answered from a cached graph.
     pub fn specs_served(&self) -> usize {
         self.groups.iter().map(|g| g.specs).sum()
     }
 
-    /// States explored once across all built graphs.
+    /// States explored (or, for extended groups, re-linked) across the
+    /// groups that paid exploration; reused groups contribute nothing —
+    /// their states were already counted when the lineage predecessor was
+    /// built.
     pub fn cached_states(&self) -> usize {
-        self.groups.iter().map(|g| g.states).sum()
+        self.groups
+            .iter()
+            .filter(|g| g.origin != GraphOrigin::Reused)
+            .map(|g| g.states)
+            .sum()
     }
 
-    /// Transitions explored once across all built graphs.
+    /// Transitions explored across the groups that paid exploration (see
+    /// [`GraphCacheStats::cached_states`] for the reused-group convention).
     pub fn cached_transitions(&self) -> usize {
-        self.groups.iter().map(|g| g.transitions).sum()
+        self.groups
+            .iter()
+            .filter(|g| g.origin != GraphOrigin::Reused)
+            .map(|g| g.transitions)
+            .sum()
     }
 
     /// Obligations served per exploration paid: the amortization factor of
-    /// the cache (1.0 when every graph served a single obligation; 0.0 when
-    /// nothing was cached).
+    /// the cache (1.0 when every explored graph served a single obligation;
+    /// 0.0 when nothing was cached).  Reused lineage groups raise the
+    /// numerator without touching the denominator — that is exactly the
+    /// incremental sweep's win.
     pub fn amortization(&self) -> f64 {
         if self.groups.is_empty() {
             0.0
         } else {
-            self.specs_served() as f64 / self.groups.len() as f64
+            // max(1): a stats snapshot consisting solely of reused groups
+            // (a single later valuation viewed in isolation) paid nothing
+            self.specs_served() as f64 / self.explorations_paid().max(1) as f64
         }
     }
 
@@ -177,14 +283,30 @@ impl fmt::Display for GraphCacheStats {
         }
         write!(
             f,
-            "{} graph(s) served {} obligation(s) ({:.1}x amortization, \
+            "{} graph(s) ({} explored) served {} obligation(s) ({:.1}x amortization, \
              {} states / {} transitions explored once",
             self.graphs_built(),
+            self.explorations_paid(),
             self.specs_served(),
             self.amortization(),
             self.cached_states(),
             self.cached_transitions(),
         )?;
+        let (reused, extended, rebuilt) = (
+            self.reused_groups(),
+            self.extended_groups(),
+            self.rebuilt_groups(),
+        );
+        if reused + extended + rebuilt > 0 {
+            write!(
+                f,
+                "; lineage: {reused} reused / {extended} extended / {rebuilt} rebuilt"
+            )?;
+            if extended > 0 {
+                write!(f, ", {} frontier seed(s)", self.seed_frontier_total())?;
+            }
+        }
+        write!(f, "; {} resident bytes", self.resident_bytes())?;
         if self.uncached_specs > 0 {
             write!(f, "; {} uncached obligation(s)", self.uncached_specs)?;
         }

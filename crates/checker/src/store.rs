@@ -223,6 +223,11 @@ pub struct StoreStats {
     pub shards: usize,
     /// Total bytes of the row arenas.
     pub row_bytes: usize,
+    /// Resident bytes of the whole store: row arenas plus the per-node side
+    /// arrays (bits, hashes, first-discovery parents) plus the index-table
+    /// slots.  This is what a cached reachability graph keeps alive for as
+    /// long as its lineage lives (see the "Incremental sweeps" crate docs).
+    pub resident_bytes: usize,
     /// Total slots across all shard index tables.
     pub index_slots: usize,
     /// Occupied fraction of the index tables (0.0–1.0).
@@ -258,7 +263,8 @@ impl fmt::Display for StoreStats {
         write!(
             f,
             "{} states in {}/{} occupied shard(s) ({}..{} per occupied shard, \
-             mean {:.1}), {} row bytes, index load {:.2} over {} slots, max probe {}",
+             mean {:.1}), {} row bytes ({} resident), index load {:.2} over {} slots, \
+             max probe {}",
             self.states,
             self.nonempty_shards,
             self.shards,
@@ -266,6 +272,7 @@ impl fmt::Display for StoreStats {
             self.max_shard_len,
             self.mean_occupied_len(),
             self.row_bytes,
+            self.resident_bytes,
             self.index_load,
             self.index_slots,
             self.max_probe_len
@@ -470,6 +477,21 @@ impl StateStore {
         self.intern_row(&row, bits, hash, parent)
     }
 
+    /// Resident bytes of the store: the row arenas, the per-node side
+    /// arrays and the index-table slots.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.rows.len()
+                    + s.bits.len()
+                    + s.hashes.len() * std::mem::size_of::<u64>()
+                    + s.parents.len() * std::mem::size_of::<Option<(u32, ScheduledStep)>>()
+                    + s.table.slots.len() * std::mem::size_of::<(u64, u32)>()
+            })
+            .sum()
+    }
+
     /// Occupancy statistics (see [`StoreStats`]).
     pub fn stats(&self) -> StoreStats {
         let lens: Vec<usize> = self.shards.iter().map(Shard::len).collect();
@@ -483,6 +505,7 @@ impl StateStore {
             states: lens.iter().sum(),
             shards: self.shards.len(),
             row_bytes: self.shards.iter().map(|s| s.rows.len()).sum(),
+            resident_bytes: self.resident_bytes(),
             index_slots,
             index_load: if index_slots == 0 {
                 0.0
@@ -597,6 +620,9 @@ mod tests {
         assert!(stats.min_shard_len > 0, "{stats}");
         assert!(stats.index_load > 0.0 && stats.index_load < 1.0);
         assert_eq!(stats.row_bytes, 1600 * sharded.stride());
+        // resident bytes cover the side arrays and the index on top of rows
+        assert!(stats.resident_bytes > stats.row_bytes, "{stats}");
+        assert_eq!(stats.resident_bytes, sharded.resident_bytes());
     }
 
     #[test]

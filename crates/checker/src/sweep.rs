@@ -41,6 +41,7 @@
 
 use crate::explicit::{CheckerOptions, ExplicitChecker};
 use crate::explorer::{resolved_graph_cache, resolved_workers};
+use crate::graph::GraphLineage;
 use crate::pool::WorkerPool;
 use crate::result::{CheckOutcome, CheckStatus, GraphCacheStats};
 use crate::spec::Spec;
@@ -347,6 +348,15 @@ pub fn check_over_sweep_with_stats(
 /// restriction share one cached reachability graph.  Specs already violated
 /// at an earlier valuation are left unchecked (the assembly marks them
 /// skipped), exactly like the per-cell scheduler.
+///
+/// Valuations are dispatched in *valuation order*: a parallel budget splits
+/// the grid into contiguous valuation blocks (one sweep worker, one
+/// in-check pool and one [`GraphLineage`] per block) instead of striding a
+/// shared queue, so the cells of every start-restriction group that one
+/// worker processes are guard-adjacent — the precondition for the
+/// incremental sweep's reuse/extend classification — and the set of cells a
+/// cancellation can race with is a stable function of the budget, not of
+/// thread timing.
 fn run_cached_batches(
     specs: &[Spec],
     systems: &[CounterSystem],
@@ -357,9 +367,11 @@ fn run_cached_batches(
 ) {
     if outer <= 1 || systems.len() <= 1 {
         let pool = WorkerPool::new(resolved_workers(&cell_options));
+        let lineage = GraphLineage::new();
         let mut violated_at = vec![usize::MAX; specs.len()];
         for (v, sys) in systems.iter().enumerate() {
-            let checker = ExplicitChecker::with_pool(sys, cell_options, &pool);
+            let checker =
+                ExplicitChecker::with_pool_and_lineage(sys, cell_options, &pool, &lineage);
             for (s, spec) in specs.iter().enumerate() {
                 if violated_at[s] < v {
                     continue; // an earlier valuation already violated
@@ -380,26 +392,33 @@ fn run_cached_batches(
             stats_slots[v] = Some(checker.cache_stats());
         }
     } else {
-        let next = AtomicUsize::new(0);
         let cell_workers = resolved_workers(&cell_options);
         let violated_at: Vec<AtomicUsize> =
             specs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
         let width = systems.len();
+        let block = width.div_ceil(outer);
         let slot_refs: Vec<Mutex<&mut Option<SweepOutcome>>> =
             slots.iter_mut().map(Mutex::new).collect();
         let stats_refs: Vec<Mutex<&mut Option<GraphCacheStats>>> =
             stats_slots.iter_mut().map(Mutex::new).collect();
         std::thread::scope(|scope| {
-            for _ in 0..outer {
-                scope.spawn(|| {
+            for worker in 0..outer {
+                let range = worker * block..((worker + 1) * block).min(width);
+                if range.is_empty() {
+                    break;
+                }
+                let (violated_at, slot_refs, stats_refs) = (&violated_at, &slot_refs, &stats_refs);
+                scope.spawn(move || {
                     let pool = WorkerPool::new(cell_workers);
-                    loop {
-                        let v = next.fetch_add(1, Ordering::Relaxed);
-                        if v >= width {
-                            break;
-                        }
+                    let lineage = GraphLineage::new();
+                    for v in range {
                         let sys = &systems[v];
-                        let checker = ExplicitChecker::with_pool(sys, cell_options, &pool);
+                        let checker = ExplicitChecker::with_pool_and_lineage(
+                            sys,
+                            cell_options,
+                            &pool,
+                            &lineage,
+                        );
                         for (s, spec) in specs.iter().enumerate() {
                             if violated_at[s].load(Ordering::Acquire) < v {
                                 continue; // cancelled: an earlier valuation violated
@@ -596,6 +615,10 @@ mod tests {
             CheckerOptions::default(),
             // wave-pooled path: pooled workers with single-node waves
             CheckerOptions::default().with_workers(2).with_wave_size(1),
+            // both sides of the incremental-sweep knob: the lineage must
+            // never change which cells are completed vs skipped
+            CheckerOptions::default().with_incremental_sweep(true),
+            CheckerOptions::default().with_incremental_sweep(false),
         ];
         for options in option_sets {
             for threads in [1, 2, 8] {
@@ -674,6 +697,107 @@ mod tests {
                     assert_eq!(co.skipped, uo.skipped, "{}", c.spec_name);
                     assert_eq!(co.outcome.status, uo.outcome.status, "{}", c.spec_name);
                 }
+            }
+        }
+    }
+
+    /// Deep equality of two sweep reports: statuses, per-cell outcomes,
+    /// counts and counterexample schedules, step for step.
+    fn assert_reports_identical(a: &[SweepReport], b: &[SweepReport], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}");
+        for (ra, rb) in a.iter().zip(b) {
+            assert_eq!(ra.spec_name, rb.spec_name, "{ctx}");
+            assert_eq!(ra.status(), rb.status(), "{ctx}: {}", ra.spec_name);
+            assert_eq!(ra.outcomes.len(), rb.outcomes.len(), "{ctx}");
+            for (oa, ob) in ra.outcomes.iter().zip(&rb.outcomes) {
+                let cell = format!("{ctx}: {} at {}", ra.spec_name, oa.params);
+                assert_eq!(oa.params, ob.params, "{cell}");
+                assert_eq!(oa.skipped, ob.skipped, "{cell}");
+                assert_eq!(oa.outcome.status, ob.outcome.status, "{cell}");
+                assert_eq!(
+                    oa.outcome.states_explored, ob.outcome.states_explored,
+                    "{cell}"
+                );
+                assert_eq!(
+                    oa.outcome.transitions_explored, ob.outcome.transitions_explored,
+                    "{cell}"
+                );
+                assert_eq!(oa.outcome.detail, ob.outcome.detail, "{cell}");
+                match (&oa.outcome.counterexample, &ob.outcome.counterexample) {
+                    (None, None) => {}
+                    (Some(ca), Some(cb)) => {
+                        assert_eq!(ca.initial, cb.initial, "{cell}");
+                        assert_eq!(ca.schedule.steps(), cb.schedule.steps(), "{cell}");
+                    }
+                    _ => panic!("counterexample presence differs: {cell}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_and_fresh_sweeps_are_bit_identical() {
+        // a guard-adjacent grid exercising every lineage classification:
+        // [4,1,1,1] -> [7,1,1,1] changes the system size (rebuild),
+        // -> [7,1,1,1] repeats the bounds (pure reuse),
+        // -> [7,2,1,1] lowers the n-t-f quorum (relax-only extension),
+        // -> [7,1,1,1] raises it back (tighten, rebuild)
+        let model = fixtures::voting_model().single_round().unwrap();
+        let valuations = [
+            ParamValuation::new(vec![4, 1, 1, 1]),
+            ParamValuation::new(vec![7, 1, 1, 1]),
+            ParamValuation::new(vec![7, 1, 1, 1]),
+            ParamValuation::new(vec![7, 2, 1, 1]),
+            ParamValuation::new(vec![7, 1, 1, 1]),
+        ];
+        let specs = vec![
+            Spec::NeverFrom {
+                name: "unreachable-I1".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                forbidden: LocSet::from_names(&model, "I1", &["I1"]),
+            },
+            Spec::CoverNever {
+                name: "cover".into(),
+                start: StartRestriction::Unanimous(BinValue::Zero),
+                trigger: LocSet::from_names(&model, "E0", &["E0"]),
+                forbidden: LocSet::from_names(&model, "E1", &["E1"]),
+            },
+            Spec::NonBlocking {
+                name: "termination".into(),
+                start: StartRestriction::RoundStart,
+            },
+        ];
+        for threads in [1, 3] {
+            let (incremental, inc_stats) = check_over_sweep_with_stats(
+                &model,
+                &specs,
+                &valuations,
+                CheckerOptions::default()
+                    .with_graph_cache(true)
+                    .with_incremental_sweep(true),
+                threads,
+            );
+            let (fresh, fresh_stats) = check_over_sweep_with_stats(
+                &model,
+                &specs,
+                &valuations,
+                CheckerOptions::default()
+                    .with_graph_cache(true)
+                    .with_incremental_sweep(false),
+                threads,
+            );
+            assert_reports_identical(&incremental, &fresh, &format!("threads {threads}"));
+            assert_eq!(fresh_stats.reused_groups(), 0);
+            assert_eq!(fresh_stats.extended_groups(), 0);
+            if threads == 1 {
+                // one worker walks the whole grid in valuation order, so
+                // every classification fires at least once
+                assert!(inc_stats.reused_groups() > 0, "{inc_stats}");
+                assert!(inc_stats.extended_groups() > 0, "{inc_stats}");
+                assert!(inc_stats.rebuilt_groups() > 0, "{inc_stats}");
+                assert!(inc_stats.seed_frontier_total() > 0, "{inc_stats}");
+                assert!(inc_stats.resident_bytes() > 0, "{inc_stats}");
+                assert!(format!("{inc_stats}").contains("lineage"));
             }
         }
     }

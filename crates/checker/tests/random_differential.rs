@@ -23,7 +23,10 @@
 //! counterexample system can be rebuilt deterministically.
 
 use ccchecker::reference::reference_check;
-use ccchecker::{CheckStatus, CheckerOptions, ExplicitChecker, LocSet, Spec, StartRestriction};
+use ccchecker::{
+    check_over_sweep_with_stats, CheckStatus, CheckerOptions, ExplicitChecker, LocSet, Spec,
+    StartRestriction,
+};
 use cccounter::CounterSystem;
 use ccta::prelude::*;
 use rand::rngs::StdRng;
@@ -382,6 +385,119 @@ fn random_systems_cached_catalogue_matches_uncached() {
         cached_violations > 0,
         "degenerate corpus: no cached violation was replayed"
     );
+}
+
+#[test]
+fn random_systems_incremental_sweep_matches_fresh() {
+    // Random guard-adjacent valuation steps: raising t with n fixed keeps
+    // the system size (n - f processes) and lowers the n - t - f quorum
+    // bounds, so the sweep [t=1, t=2, t=2, t=1] walks a relax step, an
+    // identical step and a tighten step through every random system.  The
+    // incremental sweep must be bit-identical to the from-scratch sweep —
+    // verdicts, state counts, transition counts and counterexample
+    // schedules — at 1, 2 and 4 in-check workers.
+    let (mut reused, mut extended, mut rebuilt) = (0usize, 0usize, 0usize);
+    let mut replayed = 0usize;
+    for i in 0..SYSTEMS {
+        let seed = 0xD1F_F0000 + i as u64;
+        let (sys, mids) = random_system(seed);
+        let model = sys.model().clone();
+        // the resilience-3 environment needs n = 7 for two admissible t
+        // values, which makes 6-process sweeps too heavy for this corpus:
+        // keep the guard-adjacent axis to the resilience-2 systems (n = 5,
+        // 4 processes), which are roughly half the seeds
+        let env = model.env();
+        let pair = [
+            ParamValuation::new(vec![5, 1, 1, 1]),
+            ParamValuation::new(vec![5, 2, 1, 1]),
+        ];
+        if !pair.iter().all(|v| env.is_admissible(v)) {
+            continue;
+        }
+        let valuations = vec![
+            pair[0].clone(), // built
+            pair[1].clone(), // quorum drops: relax-only extension
+            pair[1].clone(), // identical bounds: pure reuse
+            pair[0].clone(), // quorum rises: tighten, rebuild
+        ];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC5);
+        let specs = random_specs(&mut rng, &model, &mids);
+        for workers in [1, 2, 4] {
+            // wave size 1 lowers the parallel-entry threshold so pooled
+            // runs genuinely exercise the parallel extension path
+            let options = CheckerOptions {
+                workers,
+                wave_size: if workers > 1 { 1 } else { 0 },
+                ..CheckerOptions::default()
+            };
+            let (incremental, stats) = check_over_sweep_with_stats(
+                &model,
+                &specs,
+                &valuations,
+                options.with_graph_cache(true).with_incremental_sweep(true),
+                1,
+            );
+            let (fresh, _) = check_over_sweep_with_stats(
+                &model,
+                &specs,
+                &valuations,
+                options.with_graph_cache(true).with_incremental_sweep(false),
+                1,
+            );
+            if workers == 1 {
+                reused += stats.reused_groups();
+                extended += stats.extended_groups();
+                rebuilt += stats.rebuilt_groups();
+            }
+            for (ri, rf) in incremental.iter().zip(&fresh) {
+                let ctx = format!("seed {seed}, {} at {workers} workers", ri.spec_name);
+                assert_eq!(ri.status(), rf.status(), "sweep status differs: {ctx}");
+                assert_eq!(ri.outcomes.len(), rf.outcomes.len(), "{ctx}");
+                for (oi, of) in ri.outcomes.iter().zip(&rf.outcomes) {
+                    let cell = format!("{ctx} at {}", oi.params);
+                    assert_eq!(oi.params, of.params, "{cell}");
+                    assert_eq!(oi.skipped, of.skipped, "{cell}");
+                    assert_eq!(oi.outcome.status, of.outcome.status, "{cell}");
+                    assert_eq!(
+                        oi.outcome.states_explored, of.outcome.states_explored,
+                        "state count differs: {cell}"
+                    );
+                    assert_eq!(
+                        oi.outcome.transitions_explored, of.outcome.transitions_explored,
+                        "transition count differs: {cell}"
+                    );
+                    match (&oi.outcome.counterexample, &of.outcome.counterexample) {
+                        (None, None) => {}
+                        (Some(ci), Some(cf)) => {
+                            assert_eq!(ci.initial, cf.initial, "initial differs: {cell}");
+                            assert_eq!(
+                                ci.schedule.steps(),
+                                cf.schedule.steps(),
+                                "schedule differs: {cell}"
+                            );
+                            // the incremental counterexample is a genuine
+                            // execution violating its spec
+                            let spec = specs
+                                .iter()
+                                .find(|s| s.name() == ri.spec_name)
+                                .expect("report spec");
+                            let cell_sys = CounterSystem::new(model.clone(), ci.params.clone())
+                                .expect("admissible");
+                            assert_genuine_violation(&cell_sys, spec, ci, &cell);
+                            replayed += 1;
+                        }
+                        _ => panic!("counterexample presence differs: {cell}"),
+                    }
+                }
+            }
+        }
+    }
+    // the corpus must actually walk every lineage classification and
+    // replay at least one incremental counterexample
+    assert!(reused > 0, "no identical step was reused");
+    assert!(extended > 0, "no relax-only step was extended");
+    assert!(rebuilt > 0, "no tighten step was rebuilt");
+    assert!(replayed > 0, "no incremental counterexample was replayed");
 }
 
 #[test]

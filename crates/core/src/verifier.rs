@@ -96,6 +96,21 @@ impl VerifierConfig {
         self
     }
 
+    /// This configuration with the incremental sweep explicitly enabled or
+    /// disabled (overriding `CC_SWEEP_INCREMENTAL`; see the "Incremental
+    /// sweeps" section of the `ccchecker` crate docs).  When enabled (the
+    /// default), each sweep worker carries the reachability graphs of its
+    /// `(start restriction, valuation)` groups across guard-adjacent
+    /// valuations — reusing them outright when the compiled guard bounds
+    /// are identical and extending them incrementally when the step only
+    /// relaxes guards — instead of re-exploring every valuation from
+    /// scratch.  Incremental and from-scratch sweeps are bit-identical in
+    /// verdicts, counts and counterexample schedules.
+    pub fn with_incremental_sweep(mut self, enabled: bool) -> Self {
+        self.checker.incremental_sweep = Some(enabled);
+        self
+    }
+
     /// Selects the sweep valuations for a model: the smallest admissible
     /// valuations with at least two correct processes and exactly one coin,
     /// preferring instances that actually contain Byzantine processes.
@@ -422,6 +437,54 @@ mod tests {
         assert!(stats.graphs_built() > 0);
         assert!(stats.specs_served() > stats.graphs_built());
         assert_eq!(uncached.cache_stats().graphs_built(), 0);
+    }
+
+    #[test]
+    fn incremental_sweep_never_changes_results() {
+        // the default config checks two guard-adjacent valuations per
+        // protocol, so the incremental sweep serves the second valuation's
+        // groups straight from the lineage — with identical verdicts,
+        // counts and violated obligations
+        let p = mmr14::mmr14();
+        let config = VerifierConfig::default();
+        let incremental = verify_protocol(
+            &p,
+            &config.with_graph_cache(true).with_incremental_sweep(true),
+        );
+        let fresh = verify_protocol(
+            &p,
+            &config.with_graph_cache(true).with_incremental_sweep(false),
+        );
+        for (i, f) in [
+            &incremental.agreement,
+            &incremental.validity,
+            &incremental.termination,
+        ]
+        .into_iter()
+        .zip([&fresh.agreement, &fresh.validity, &fresh.termination])
+        {
+            assert_eq!(i.status, f.status, "{}", i.property);
+            assert_eq!(i.states, f.states, "{}", i.property);
+            assert_eq!(i.nschemas, f.nschemas, "{}", i.property);
+            assert_eq!(
+                i.counterexample.is_some(),
+                f.counterexample.is_some(),
+                "{}",
+                i.property
+            );
+        }
+        assert_eq!(
+            incremental.termination.violated_obligation(),
+            fresh.termination.violated_obligation()
+        );
+        // the lineage actually served later valuations without exploring
+        assert!(
+            incremental.cache.reused_groups() + incremental.cache.extended_groups() > 0,
+            "{}",
+            incremental.cache
+        );
+        assert_eq!(fresh.cache.reused_groups(), 0);
+        assert_eq!(fresh.cache.extended_groups(), 0);
     }
 
     #[test]

@@ -99,6 +99,13 @@ impl CompiledRule {
             .iter()
             .all(|g| g.rel.holds(g.atom.lhs_value(vars), g.bound))
     }
+
+    #[inline]
+    fn guard_holds_bytes(&self, vars: &[u8]) -> bool {
+        self.guard
+            .iter()
+            .all(|g| g.rel.holds(g.atom.lhs_value_bytes(vars), g.bound))
+    }
 }
 
 /// The counter system of a model instantiated at a concrete admissible
@@ -348,6 +355,46 @@ impl CounterSystem {
     /// configuration `cfg` (written `c, k ⊨ φ` in the paper).
     pub fn is_unlocked(&self, cfg: &Configuration, rule: RuleId, round: u32) -> bool {
         self.rules[rule.0].guard_holds(self.round_vars_ref(cfg, round))
+    }
+
+    /// The compiled guard bounds of every rule, evaluated at this system's
+    /// (fixed) parameter valuation: one `(relation, bound)` pair per guard
+    /// atom, in rule order.  Two systems over the same model differ in
+    /// behaviour exactly where these bounds differ (branches, increments and
+    /// probabilities are valuation-independent), which is what lets the
+    /// checker's incremental sweep classify a valuation step as
+    /// relaxing/tightening per rule (see `ccchecker`'s "Incremental sweeps"
+    /// docs).
+    pub fn guard_bounds(&self) -> Vec<Vec<(GuardRel, i128)>> {
+        self.rules
+            .iter()
+            .map(|r| r.guard.iter().map(|g| (g.rel, g.bound)).collect())
+            .collect()
+    }
+
+    /// Whether the guard of `rule` holds on a packed row's variable bytes at
+    /// the compiled (current-valuation) bounds.
+    pub fn rule_guard_holds_bytes(&self, rule: RuleId, vars: &[u8]) -> bool {
+        self.rules[rule.0].guard_holds_bytes(vars)
+    }
+
+    /// [`CounterSystem::rule_guard_holds_bytes`] with explicit bounds
+    /// substituted for the compiled ones (one per guard atom, in atom
+    /// order).  This is how the incremental sweep re-evaluates a rule's
+    /// guard *at a previous valuation* on stored state rows without keeping
+    /// the previous system alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `bounds` does not match the rule's atom
+    /// count.
+    pub fn rule_guard_holds_bytes_at(&self, rule: RuleId, vars: &[u8], bounds: &[i128]) -> bool {
+        let guard = &self.rules[rule.0].guard;
+        debug_assert_eq!(guard.len(), bounds.len(), "bounds per atom");
+        guard
+            .iter()
+            .zip(bounds)
+            .all(|(g, &b)| g.rel.holds(g.atom.lhs_value_bytes(vars), b))
     }
 
     /// Whether the action is applicable: its rule is unlocked and the source
