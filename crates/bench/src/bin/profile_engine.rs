@@ -4,37 +4,51 @@
 //! the published tables.
 //!
 //! Usage:
-//! `profile_engine [PROTOCOL] [--threads N] [--wave-size W] [--no-graph-cache]`
+//! `profile_engine [PROTOCOL] [--threads N] [--wave-size W] [--no-graph-cache]
+//! [--deadline-ms D] [--max-resident-bytes B]`
 //! — `N` sets the in-check worker count of the engine runs (default:
 //! `CC_CHECK_THREADS`, then all cores; the reference is always
 //! sequential), `W` the parallel wave size (default: `CC_WAVE_SIZE`, then
 //! the engine default), and `--no-graph-cache` drops the cached
 //! whole-catalogue run from the summary (the per-obligation rows always
-//! use the per-spec path).
+//! use the per-spec path).  `--deadline-ms D` and `--max-resident-bytes B`
+//! set the budget of the job-lifecycle section, which runs the catalogue
+//! as a checkpointable `CheckJob` and reports each job's outcome —
+//! completed, budget-tripped (with the trip reason and checkpointed
+//! progress) and resumed-to-completion.
 
 use ccchecker::reference::reference_check;
-use ccchecker::{CheckerOptions, ExplicitChecker};
+use ccchecker::{CheckJob, CheckerOptions, ExplicitChecker, JobBudget, JobOutcome};
 use cccore::obligations_for;
 use cccore::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut name = String::from("MMR14");
     let mut workers = 0usize;
     let mut wave_size = 0usize;
     let mut graph_cache = true;
+    let mut budget = JobBudget::unlimited();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => workers = ccbench::parse_positive_flag("--threads", &mut args),
             "--wave-size" => wave_size = ccbench::parse_positive_flag("--wave-size", &mut args),
             "--no-graph-cache" => graph_cache = false,
+            "--deadline-ms" => {
+                let d = ccbench::parse_positive_flag("--deadline-ms", &mut args);
+                budget = budget.with_deadline(Duration::from_millis(d as u64));
+            }
+            "--max-resident-bytes" => {
+                let b = ccbench::parse_positive_flag("--max-resident-bytes", &mut args);
+                budget = budget.with_max_resident_bytes(b);
+            }
             other if !other.starts_with('-') => name = other.to_string(),
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
                      usage: profile_engine [PROTOCOL] [--threads N] [--wave-size W] \
-                     [--no-graph-cache]"
+                     [--no-graph-cache] [--deadline-ms D] [--max-resident-bytes B]"
                 );
                 std::process::exit(2);
             }
@@ -159,6 +173,60 @@ fn main() {
         }
     } else {
         println!("  graph cache:   disabled (--no-graph-cache)");
+    }
+
+    // job lifecycle: the same catalogue as a checkpointable job under the
+    // requested budget, reporting the per-job outcome the sweep driver
+    // acts on (completed / budget-tripped / resumed)
+    println!(
+        "\njob lifecycle ({}):",
+        if budget.is_unlimited() {
+            "unlimited budget"
+        } else {
+            "budget from --deadline-ms / --max-resident-bytes"
+        }
+    );
+    let t = Instant::now();
+    match CheckJob::new(&sys, &all_specs, options)
+        .with_budget(budget)
+        .run()
+    {
+        JobOutcome::Completed { outcomes, .. } => {
+            println!(
+                "  completed:      {} obligation(s) in {:.3?}",
+                outcomes.len(),
+                t.elapsed()
+            );
+        }
+        JobOutcome::BudgetExceeded {
+            reason, checkpoint, ..
+        } => {
+            println!(
+                "  budget-tripped: {reason} after {}/{} obligation(s), \
+                 {} states / {} transitions{}",
+                checkpoint.completed_obligations(),
+                checkpoint.total_obligations(),
+                checkpoint.states_explored(),
+                checkpoint.transitions_explored(),
+                if checkpoint.has_build_in_flight() {
+                    " (a build is suspended mid-wave)"
+                } else {
+                    ""
+                },
+            );
+            let t = Instant::now();
+            match CheckJob::new(&sys, &all_specs, options).resume(checkpoint) {
+                JobOutcome::Completed { outcomes, .. } => println!(
+                    "  resumed:        completed all {} obligation(s) in {:.3?}",
+                    outcomes.len(),
+                    t.elapsed()
+                ),
+                _ => println!("  resumed:        interrupted again"),
+            }
+        }
+        JobOutcome::Interrupted { .. } => {
+            unreachable!("the profile job owns its cancel token")
+        }
     }
 
     // full-grid incremental sweep: cross-valuation lineage amortization and

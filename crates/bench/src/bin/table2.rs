@@ -1,16 +1,21 @@
 //! Regenerates Table II: verification of the eight common-coin protocols.
 //!
 //! Usage: `table2 [--threads N] [--wave-size W] [--no-graph-cache]
-//! [--no-incremental-sweep]` — `N` is the total thread budget per property
-//! sweep, split between `query × valuation` grid cells and in-check workers
-//! (default: `CC_SWEEP_THREADS`, then all cores); `W` bounds a parallel
-//! level's candidate buffers (default: `CC_WAVE_SIZE`, then the engine
-//! default); `--no-graph-cache` disables the reachability-graph cache so
-//! every obligation re-explores its own state space (default: cached,
-//! unless `CC_GRAPH_CACHE=0`); `--no-incremental-sweep` disables the
+//! [--no-incremental-sweep] [--deadline-ms D] [--max-resident-bytes B]` —
+//! `N` is the total thread budget per property sweep, split between
+//! `query × valuation` grid cells and in-check workers (default:
+//! `CC_SWEEP_THREADS`, then all cores); `W` bounds a parallel level's
+//! candidate buffers (default: `CC_WAVE_SIZE`, then the engine default);
+//! `--no-graph-cache` disables the reachability-graph cache so every
+//! obligation re-explores its own state space (default: cached, unless
+//! `CC_GRAPH_CACHE=0`); `--no-incremental-sweep` disables the
 //! cross-valuation graph lineage so every valuation re-explores its groups
-//! (default: incremental, unless `CC_SWEEP_INCREMENTAL=0`).  Any
-//! combination produces identical verdicts.
+//! (default: incremental, unless `CC_SWEEP_INCREMENTAL=0`).  The knob
+//! combinations produce identical verdicts.  `--deadline-ms D` puts a
+//! wall-clock deadline on each protocol's sweep and `--max-resident-bytes
+//! B` caps each grid cell's state store: tripped cells degrade to
+//! `interrupted` outcomes and their properties report `?` instead of a
+//! fabricated verdict.
 
 use cccore::prelude::*;
 
@@ -33,11 +38,19 @@ fn main() {
             "--no-incremental-sweep" => {
                 config = config.with_incremental_sweep(false);
             }
+            "--deadline-ms" => {
+                let d = ccbench::parse_positive_flag("--deadline-ms", &mut args);
+                config = config.with_deadline_ms(d as u64);
+            }
+            "--max-resident-bytes" => {
+                let b = ccbench::parse_positive_flag("--max-resident-bytes", &mut args);
+                config = config.with_max_resident_bytes(b);
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
                      usage: table2 [--threads N] [--wave-size W] [--no-graph-cache] \
-                     [--no-incremental-sweep]"
+                     [--no-incremental-sweep] [--deadline-ms D] [--max-resident-bytes B]"
                 );
                 std::process::exit(2);
             }
@@ -58,5 +71,16 @@ fn main() {
     println!("\nreachability-graph cache per protocol (one combined sweep over the catalogue):");
     for r in &results {
         println!("  {:<10} {}", r.protocol, r.cache_stats());
+    }
+    if !config.budget.is_unlimited() {
+        println!("\nbudget-tripped grid cells per protocol (reported '?', never a verdict):");
+        for r in &results {
+            let interrupted: usize = [&r.agreement, &r.validity, &r.termination]
+                .into_iter()
+                .flat_map(|p| p.reports.iter())
+                .map(|rep| rep.interrupted_cells())
+                .sum();
+            println!("  {:<10} {interrupted}", r.protocol);
+        }
     }
 }

@@ -23,14 +23,15 @@ use crate::explorer::{
     Exploration, Explorer, Visitor,
 };
 use crate::game;
-use crate::graph::{GraphLineage, GuardBounds, LineageStep, ReachGraph};
+use crate::graph::{BuildStep, GraphLineage, GuardBounds, LineageStep, ReachGraph};
+use crate::job::{InterruptKind, JobSignals};
 use crate::pool::WorkerPool;
 use crate::result::{CheckOutcome, GraphCacheStats, GraphOrigin, GroupCacheRecord};
 use crate::spec::{LocSet, Spec, StartRestriction};
 use crate::store::StoreStats;
 use cccounter::{Configuration, CounterSystem, Schedule, ScheduledStep};
 use ccta::{LocClass, ModelKind};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -272,6 +273,13 @@ pub struct ExplicitChecker<'a> {
     /// this system's compiled guard bounds, diffed against the lineage
     /// entries), when the caller opted into incremental sweeps.
     lineage: Option<(&'a GraphLineage, GuardBounds)>,
+    /// Job-level cancellation and budget signals, threaded into every
+    /// exploration this checker runs.  `None` (the default) costs nothing.
+    signals: Option<&'a JobSignals>,
+    /// The `(states, transitions, resident bytes)` the surrounding job
+    /// already accounted outside this checker, added to the explorers'
+    /// counters when evaluating the job budgets.
+    signal_base: Cell<(usize, usize, usize)>,
 }
 
 impl std::fmt::Debug for ExplicitChecker<'_> {
@@ -363,7 +371,21 @@ impl<'a> ExplicitChecker<'a> {
             pool,
             memo: RefCell::new(CheckerMemo::default()),
             lineage: None,
+            signals: None,
+            signal_base: Cell::new((0, 0, 0)),
         }
+    }
+
+    /// Attaches job-level signals: every exploration this checker runs will
+    /// poll them (see [`crate::CheckJob`] and the cancellable sweep).
+    pub(crate) fn set_signals(&mut self, signals: Option<&'a JobSignals>) {
+        self.signals = signals;
+    }
+
+    /// Sets the `(states, transitions, resident bytes)` baselines the
+    /// surrounding job accounted outside this checker.
+    pub(crate) fn set_signal_base(&self, base: (usize, usize, usize)) {
+        self.signal_base.set(base);
     }
 
     /// The counter system under check.
@@ -390,16 +412,19 @@ impl<'a> ExplicitChecker<'a> {
     /// sweep lineage when one is attached and usable, from a fresh
     /// exploration otherwise.  The caller records which counter the spec
     /// lands in — served by the group, or fallen back to the per-spec path.
-    fn graph_for(&self, start: StartRestriction) -> (Rc<ReachGraph>, usize) {
+    /// `Err` means a job signal interrupted the build; the partial build is
+    /// discarded (the checkpointing build path lives in [`crate::CheckJob`],
+    /// which does its own group bookkeeping) and nothing is recorded.
+    fn graph_for(&self, start: StartRestriction) -> Result<(Rc<ReachGraph>, usize), InterruptKind> {
         {
             let memo = self.memo.borrow();
             if let Some((_, graph, group)) = memo.graphs.iter().find(|(s, _, _)| *s == start) {
-                return (Rc::clone(graph), *group);
+                return Ok((Rc::clone(graph), *group));
             }
         }
         // obtain outside the borrow so the memo is never held across the
         // exploration
-        let (graph, origin, seed_frontier) = self.obtain_graph(start);
+        let (graph, origin, seed_frontier) = self.obtain_graph(start)?;
         if let Some((lineage, bounds)) = &self.lineage {
             lineage.record(self.sys, start, &graph, bounds);
         }
@@ -415,18 +440,30 @@ impl<'a> ExplicitChecker<'a> {
             resident_bytes: graph.resident_bytes(),
         });
         memo.graphs.push((start, Rc::clone(&graph), group));
-        (graph, group)
+        Ok((graph, group))
     }
 
     /// Resolves a group's graph against the sweep lineage (reuse, extend,
     /// or rebuild), falling back to a from-scratch exploration when no
     /// lineage is attached or no predecessor survives.
-    fn obtain_graph(&self, start: StartRestriction) -> (Rc<ReachGraph>, GraphOrigin, usize) {
+    fn obtain_graph(
+        &self,
+        start: StartRestriction,
+    ) -> Result<(Rc<ReachGraph>, GraphOrigin, usize), InterruptKind> {
         let mut fresh_origin = GraphOrigin::Built;
         if let Some((lineage, bounds)) = &self.lineage {
-            match lineage.adopt(self.sys, start, bounds, &self.options, self.pool.get()) {
-                LineageStep::Reuse(graph) => return (graph, GraphOrigin::Reused, 0),
-                LineageStep::Extend(graph, seeds) => return (graph, GraphOrigin::Extended, seeds),
+            match lineage.adopt(
+                self.sys,
+                start,
+                bounds,
+                &self.options,
+                self.pool.get(),
+                self.signals,
+            ) {
+                LineageStep::Reuse(graph) => return Ok((graph, GraphOrigin::Reused, 0)),
+                LineageStep::Extend(graph, seeds) => {
+                    return Ok((graph, GraphOrigin::Extended, seeds))
+                }
                 LineageStep::Build { rebuilt } => {
                     if rebuilt {
                         fresh_origin = GraphOrigin::Rebuilt;
@@ -435,13 +472,18 @@ impl<'a> ExplicitChecker<'a> {
             }
         }
         let starts = self.starts_for(start);
-        let graph = Rc::new(ReachGraph::build(
+        let step = ReachGraph::build_with_signals(
             self.sys,
             &starts,
             &self.options,
             self.pool.get(),
-        ));
-        (graph, fresh_origin, 0)
+            self.signals,
+            self.signal_base.get(),
+        );
+        match step {
+            BuildStep::Done(graph) => Ok((Rc::new(graph), fresh_origin, 0)),
+            BuildStep::Suspended(_, kind) => Err(kind),
+        }
     }
 
     /// Checks one query on the per-spec path (its own exploration, exactly
@@ -474,13 +516,19 @@ impl<'a> ExplicitChecker<'a> {
             self.memo.borrow_mut().stats.uncached_specs += 1;
             return self.check(spec);
         }
-        let (graph, group) = self.graph_for(spec.start());
+        let (graph, group) = match self.graph_for(spec.start()) {
+            Ok(found) => found,
+            // a job signal interrupted the group build: report the
+            // interruption without recording anything (the sweep turns this
+            // into an interrupted cell; the checkpointing path is CheckJob's)
+            Err(kind) => return CheckOutcome::interrupted(0, 0, kind),
+        };
         if graph.is_bounded() {
             self.memo.borrow_mut().stats.uncached_specs += 1;
             return self.check(spec);
         }
         self.memo.borrow_mut().stats.groups[group].specs += 1;
-        graph.evaluate(self.sys, spec, &self.options)
+        graph.evaluate(self.sys, spec, &self.options, self.signals)
     }
 
     /// Checks a slice of queries, sharing one reachability graph across all
@@ -555,6 +603,8 @@ impl<'a> ExplicitChecker<'a> {
                 &self.options,
                 self.pool.get(),
                 want_stats,
+                self.signals,
+                self.signal_base.get(),
             ),
             Spec::NonBlocking { name, .. } => self.check_non_blocking(name, &starts, want_stats),
         }
@@ -571,7 +621,8 @@ impl<'a> ExplicitChecker<'a> {
         explanation: String,
         want_stats: bool,
     ) -> (CheckOutcome, StoreStats) {
-        let mut explorer = Explorer::new(self.sys, &self.options, self.pool.get());
+        let mut explorer = Explorer::new(self.sys, &self.options, self.pool.get())
+            .with_signals(self.signals, self.signal_base.get());
         let mut visitor = MonitorVisitor {
             sets,
             violation_bits,
@@ -592,6 +643,15 @@ impl<'a> ExplicitChecker<'a> {
                 "state bound exhausted",
             ),
             Exploration::Violation(id) => self.violation(spec_name, &explorer, id, explanation),
+            // a per-spec search is not checkpointed: the suspended frontier
+            // is dropped and the search redone from scratch on resume
+            Exploration::Interrupted => {
+                let kind = explorer
+                    .take_suspended()
+                    .map(|s| s.kind)
+                    .unwrap_or(InterruptKind::Cancelled);
+                CheckOutcome::interrupted(explorer.states(), explorer.transitions(), kind)
+            }
         };
         let stats = if want_stats {
             explorer.store().stats()
@@ -650,7 +710,8 @@ impl<'a> ExplicitChecker<'a> {
         }
 
         // 2. every reachable terminal configuration is a sink configuration
-        let mut explorer = Explorer::new(self.sys, &self.options, self.pool.get());
+        let mut explorer = Explorer::new(self.sys, &self.options, self.pool.get())
+            .with_signals(self.signals, self.signal_base.get());
         let mut visitor = NonBlockingVisitor { sys: self.sys };
         let outcome = match explorer.run(starts, &mut visitor) {
             Exploration::Complete => CheckOutcome::holds(explorer.states(), explorer.transitions()),
@@ -666,6 +727,13 @@ impl<'a> ExplicitChecker<'a> {
                 explorer.transitions(),
                 "state bound exhausted",
             ),
+            Exploration::Interrupted => {
+                let kind = explorer
+                    .take_suspended()
+                    .map(|s| s.kind)
+                    .unwrap_or(InterruptKind::Cancelled);
+                CheckOutcome::interrupted(explorer.states(), explorer.transitions(), kind)
+            }
             Exploration::Violation(node) => {
                 let loc = blocked_location_in_row(self.sys, explorer.store().row(node))
                     .expect("a violating terminal state has a blocked location");

@@ -62,6 +62,7 @@
 //! variable, then [`DEFAULT_WAVE_SIZE`].
 
 use crate::explicit::CheckerOptions;
+use crate::job::{InterruptKind, JobSignals};
 use crate::pool::WorkerPool;
 use crate::spec::LocSet;
 use crate::store::{Shard, StateStore, MAX_SHARDS};
@@ -160,6 +161,24 @@ pub(crate) enum Exploration {
     StateBound,
     /// The visitor reported a violation at this node.
     Violation(u32),
+    /// A job signal (cancellation, deadline, or job budget) stopped the
+    /// search at a wave boundary; the unprocessed frontier was captured in
+    /// [`Explorer::take_suspended`] so the search can resume bit-identically.
+    Interrupted,
+}
+
+/// The frontier state of an exploration stopped by a job signal: the
+/// unprocessed remainder of the current level plus the successors already
+/// accumulated for the next one.  Feeding both back through
+/// [`Explorer::run_suspended`] (over the same store) continues the search
+/// exactly where it stopped.
+pub(crate) struct SuspendedFrontier {
+    /// Frontier nodes of the current level not yet expanded.
+    pub(crate) pending: Vec<u32>,
+    /// Fresh successors already accumulated for the next level.
+    pub(crate) next: Vec<u32>,
+    /// Which signal stopped the search.
+    pub(crate) kind: InterruptKind,
 }
 
 /// Resolves one auto knob: the environment variable if set to a positive
@@ -338,6 +357,17 @@ pub(crate) struct Explorer<'a> {
     /// budget bound before the replay detects it.
     states: usize,
     transitions: usize,
+    /// Job-level cancellation and budget signals, polled at wave boundaries
+    /// (and, for the fast cancel/deadline signals, at expand-phase chunk
+    /// handouts).  `None` for plain checks — the hot path then pays a single
+    /// branch per wave.
+    signals: Option<&'a JobSignals>,
+    /// Baselines added to this explorer's counters when evaluating the job
+    /// budgets: `(states, transitions, resident bytes)` already accounted by
+    /// *other* completed explorations of the same job.
+    base: (usize, usize, usize),
+    /// The frontier captured when a job signal stopped the search.
+    suspended: Option<SuspendedFrontier>,
 }
 
 impl<'a> Explorer<'a> {
@@ -385,7 +415,32 @@ impl<'a> Explorer<'a> {
             max_transitions: options.max_transitions,
             states,
             transitions,
+            signals: None,
+            base: (0, 0, 0),
+            suspended: None,
         }
+    }
+
+    /// Attaches job-level signals: the explorer polls them at wave
+    /// boundaries (budgets and cancellation) and at expand-phase chunk
+    /// handouts (cancellation/deadline only), stopping with
+    /// [`Exploration::Interrupted`] and a captured [`SuspendedFrontier`].
+    /// `base` holds the `(states, transitions, resident bytes)` the job
+    /// already accounted outside this explorer.
+    pub(crate) fn with_signals(
+        mut self,
+        signals: Option<&'a JobSignals>,
+        base: (usize, usize, usize),
+    ) -> Self {
+        self.signals = signals;
+        self.base = base;
+        self
+    }
+
+    /// Takes the frontier captured by the last [`Exploration::Interrupted`]
+    /// stop.
+    pub(crate) fn take_suspended(&mut self) -> Option<SuspendedFrontier> {
+        self.suspended.take()
     }
 
     /// The store of explored states (for counterexample reconstruction,
@@ -434,7 +489,7 @@ impl<'a> Explorer<'a> {
                 return Exploration::Violation(id);
             }
         }
-        self.drive(frontier, visitor)
+        self.drive_from(frontier, Vec::new(), visitor)
     }
 
     /// Runs the search with the frontier seeded from *already-stored* nodes
@@ -448,31 +503,103 @@ impl<'a> Explorer<'a> {
         seeds: Vec<u32>,
         visitor: &mut V,
     ) -> Exploration {
-        self.drive(seeds, visitor)
+        self.drive_from(seeds, Vec::new(), visitor)
     }
 
-    /// The level-synchronous frontier loop shared by [`Explorer::run`] and
-    /// [`Explorer::run_from_nodes`].
-    fn drive<V: Visitor>(&mut self, mut frontier: Vec<u32>, visitor: &mut V) -> Exploration {
+    /// Continues a search stopped by a job signal: `pending` and `next` come
+    /// from the [`SuspendedFrontier`] of the interrupted run (whose store
+    /// this explorer resumed over).  Bit-identical to never having stopped.
+    pub(crate) fn run_suspended<V: Visitor>(
+        &mut self,
+        pending: Vec<u32>,
+        next: Vec<u32>,
+        visitor: &mut V,
+    ) -> Exploration {
+        self.drive_from(pending, next, visitor)
+    }
+
+    /// Polls the job signals at a wave boundary (cheap: one branch when no
+    /// signals are attached).
+    fn boundary_interrupt(&self) -> Option<InterruptKind> {
+        let signals = self.signals?;
+        signals.boundary_stop(
+            self.base.0 + self.states,
+            self.base.1 + self.transitions,
+            || self.base.2 + self.store.resident_bytes(),
+        )
+    }
+
+    /// The level-synchronous frontier loop shared by [`Explorer::run`],
+    /// [`Explorer::run_from_nodes`] and [`Explorer::run_suspended`].
+    ///
+    /// Both the sequential and the parallel path process each level in
+    /// waves of at most `wave_size` nodes with a job-signal poll before
+    /// every wave — the wave boundaries (and therefore the budget trip
+    /// points, which only consider the deterministic replayed counters) are
+    /// identical at every worker count.
+    fn drive_from<V: Visitor>(
+        &mut self,
+        mut frontier: Vec<u32>,
+        mut next: Vec<u32>,
+        visitor: &mut V,
+    ) -> Exploration {
         // an explicitly tiny wave size lowers the parallel threshold: the
         // caller asked for bounded waves, so even small frontiers take the
         // wave path (results are identical either way)
         let min_parallel = MIN_PARALLEL_FRONTIER.min(self.wave_size.max(1));
         let mut scratch = WaveScratch::default();
         let mut row = Vec::with_capacity(self.store.stride());
-        let mut next: Vec<u32> = Vec::new();
         let mut actions: Vec<Action> = Vec::new();
-        while !frontier.is_empty() {
-            let flow = if self.workers > 1 && frontier.len() >= min_parallel {
-                self.level_parallel(&frontier, &mut next, &mut scratch, visitor)
-            } else {
-                self.level_sequential(&frontier, &mut next, &mut row, &mut actions, visitor)
-            };
-            if let ControlFlow::Break(stop) = flow {
-                return stop;
-            }
+        if frontier.is_empty() {
+            // a resumed search may have been stopped exactly at a level end
             std::mem::swap(&mut frontier, &mut next);
-            next.clear();
+        }
+        while !frontier.is_empty() {
+            let parallel = self.workers > 1 && frontier.len() >= min_parallel;
+            let wave = self.wave_size.max(1);
+            let mut offset = 0;
+            while offset < frontier.len() {
+                if let Some(kind) = self.boundary_interrupt() {
+                    self.suspended = Some(SuspendedFrontier {
+                        pending: frontier[offset..].to_vec(),
+                        next: std::mem::take(&mut next),
+                        kind,
+                    });
+                    return Exploration::Interrupted;
+                }
+                let end = (offset + wave).min(frontier.len());
+                let flow = if parallel {
+                    self.wave_parallel(&frontier[offset..end], &mut next, &mut scratch, visitor)
+                } else {
+                    self.level_sequential(
+                        &frontier[offset..end],
+                        &mut next,
+                        &mut row,
+                        &mut actions,
+                        visitor,
+                    )
+                };
+                if let ControlFlow::Break(stop) = flow {
+                    if stop == Exploration::Interrupted {
+                        // a mid-wave cancel/deadline stop abandons the whole
+                        // wave before it touched the store, so the wave stays
+                        // in `pending` and the resume re-expands it
+                        let kind = self
+                            .signals
+                            .and_then(|s| s.fast_stop())
+                            .unwrap_or(InterruptKind::Cancelled);
+                        self.suspended = Some(SuspendedFrontier {
+                            pending: frontier[offset..].to_vec(),
+                            next: std::mem::take(&mut next),
+                            kind,
+                        });
+                    }
+                    return stop;
+                }
+                offset = end;
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
         }
         Exploration::Complete
     }
@@ -547,25 +674,10 @@ impl<'a> Explorer<'a> {
         ControlFlow::Continue(())
     }
 
-    /// Expands one BFS level wave by wave with the three-phase parallel
-    /// pipeline (see the module docs).  Produces exactly the same store
-    /// mutations, visitor calls, counters and next frontier as
-    /// [`Explorer::level_sequential`].
-    fn level_parallel<V: Visitor>(
-        &mut self,
-        frontier: &[u32],
-        next: &mut Vec<u32>,
-        scratch: &mut WaveScratch,
-        visitor: &mut V,
-    ) -> ControlFlow<Exploration> {
-        for wave in frontier.chunks(self.wave_size.max(1)) {
-            self.wave_parallel(wave, next, scratch, visitor)?;
-        }
-        ControlFlow::Continue(())
-    }
-
     /// Runs the expand → intern → replay phases for one wave of frontier
-    /// nodes, recycling the scratch buffers.
+    /// nodes, recycling the scratch buffers.  Produces exactly the same
+    /// store mutations, visitor calls, counters and next frontier as
+    /// [`Explorer::level_sequential`] over the same wave slice.
     fn wave_parallel<V: Visitor>(
         &mut self,
         wave: &[u32],
@@ -593,6 +705,7 @@ impl<'a> Explorer<'a> {
         {
             let (engine, store) = (&self.engine, &self.store);
             let v: &V = visitor;
+            let signals = self.signals;
             let cursor = std::sync::atomic::AtomicUsize::new(0);
             let work: Vec<std::sync::Mutex<(&[u32], &mut ChunkOut)>> = wave
                 .chunks(chunk_size)
@@ -604,6 +717,11 @@ impl<'a> Explorer<'a> {
                 .map(|_| {
                     let (cursor, work) = (&cursor, &work);
                     let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || loop {
+                        // cancellation/deadline latency is O(chunk): a lane
+                        // stops claiming work once the fast signals fire
+                        if signals.is_some_and(|s| s.fast_stop().is_some()) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(cell) = work.get(i) else { break };
                         // uncontended: the cursor hands each chunk to
@@ -617,6 +735,13 @@ impl<'a> Explorer<'a> {
                 })
                 .collect();
             self.pool.run(tasks);
+        }
+        // A mid-wave stop must be honoured *before* the intern phase: the
+        // expand phase touched no shared state, so abandoning the wave here
+        // leaves the store, the counters and the visitor exactly as they
+        // were at the wave boundary — the whole wave stays pending.
+        if self.signals.is_some_and(|s| s.fast_stop().is_some()) {
+            return ControlFlow::Break(Exploration::Interrupted);
         }
         let chunks = &scratch.chunks[..num_chunks];
 
@@ -718,6 +843,7 @@ fn expand_chunk<V: Visitor>(
     num_shards: usize,
     out: &mut ChunkOut,
 ) {
+    crate::fault::maybe_fire(crate::fault::SITE_EXPAND);
     out.reset(num_shards);
     let stride = store.stride();
     let mut row: Vec<u8> = Vec::with_capacity(stride);
@@ -789,5 +915,80 @@ fn intern_shard(
             let row = &chunk.rows[ci as usize * stride..(ci as usize + 1) * stride];
             out.push(shard.intern(row, m.bits, m.hash, m.key, Some((m.parent, m.step))));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use cccounter::CounterSystem;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingVisitor;
+
+    impl Visitor for CountingVisitor {
+        fn successor_bits(&self, _parent: u8, _row: &[u8]) -> u8 {
+            0
+        }
+    }
+
+    /// Panics inside `successor_bits` — i.e. inside a worker lane's expand
+    /// phase — once the candidate countdown reaches zero.
+    struct PanicAtCandidate {
+        countdown: AtomicUsize,
+    }
+
+    impl Visitor for PanicAtCandidate {
+        fn successor_bits(&self, _parent: u8, _row: &[u8]) -> u8 {
+            if self.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
+                panic!("visitor panic at chosen candidate");
+            }
+            0
+        }
+    }
+
+    #[test]
+    fn visitor_panic_does_not_poison_sibling_lanes_or_the_pool() {
+        let model = fixtures::voting_model().single_round().unwrap();
+        let sys = CounterSystem::new(model, fixtures::small_params()).unwrap();
+        // tiny waves force the parallel wave path (2 single-node chunks per
+        // wave, one per lane) for every level of at least two nodes
+        let options = CheckerOptions::default().with_workers(2).with_wave_size(2);
+        let pool = WorkerPool::new(2);
+        let starts = sys.round_start_configurations();
+
+        let mut baseline = Explorer::new(&sys, &options, &pool);
+        assert_eq!(
+            baseline.run(&starts, &mut CountingVisitor),
+            Exploration::Complete
+        );
+        let (states, transitions) = (baseline.states(), baseline.transitions());
+        assert!(
+            transitions > 4,
+            "fixture too small to place a mid-run panic"
+        );
+
+        // a visitor that panics on a chosen candidate mid-exploration: the
+        // batch must drain (no deadlock) and re-raise the original payload
+        let mut explorer = Explorer::new(&sys, &options, &pool);
+        let mut panicking = PanicAtCandidate {
+            countdown: AtomicUsize::new(transitions / 2),
+        };
+        let payload = catch_unwind(AssertUnwindSafe(|| explorer.run(&starts, &mut panicking)))
+            .expect_err("the injected visitor panic must surface");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("chosen candidate"), "{message}");
+
+        // sibling lanes and the pool survive: the same pool runs the full
+        // exploration again and reproduces the baseline counts exactly
+        let mut again = Explorer::new(&sys, &options, &pool);
+        assert_eq!(
+            again.run(&starts, &mut CountingVisitor),
+            Exploration::Complete
+        );
+        assert_eq!(again.states(), states);
+        assert_eq!(again.transitions(), transitions);
     }
 }

@@ -1,0 +1,77 @@
+//! Seeded fault injection hooks for the robustness test suite.
+//!
+//! The `fault_injection` integration tests arm these hooks to make a chosen
+//! worker lane panic at a chosen expansion (or a chosen sweep cell), so the
+//! panic-isolation and retry paths in [`crate::sweep`] and
+//! [`crate::WorkerPool`] can be driven deterministically.  The module is
+//! always compiled — integration tests cannot see `cfg(test)`-gated items —
+//! but the disarmed fast path is a single relaxed atomic load, so it costs
+//! nothing on the hot path.
+//!
+//! Injected "OOM" and deadline faults need no hook at all: they are realised
+//! by handing a job a tiny resident-byte or deadline budget, which trips the
+//! same structured-degradation path a real overrun would.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Injection site: the parallel expand phase, inside a worker lane.
+pub const SITE_EXPAND: usize = 1;
+/// Injection site: the start of a sweep grid cell.
+pub const SITE_SWEEP_CELL: usize = 2;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static SITE: AtomicUsize = AtomicUsize::new(0);
+/// Hits at the armed site to let pass before firing.
+static SKIP: AtomicUsize = AtomicUsize::new(0);
+/// Panics still to fire once the skip countdown is exhausted.
+static SHOTS: AtomicUsize = AtomicUsize::new(0);
+/// Total times the armed site was reached (diagnostics for tests).
+static HITS: AtomicUsize = AtomicUsize::new(0);
+
+/// Arms the injector: after `skip` hits at `site`, the next `shots` hits
+/// panic.  Tests serialise access with a mutex; the injector itself only
+/// promises that *some* interleaving of concurrent hits fires `shots` times.
+pub fn arm_panic(site: usize, skip: usize, shots: usize) {
+    SITE.store(site, Ordering::SeqCst);
+    SKIP.store(skip, Ordering::SeqCst);
+    SHOTS.store(shots, Ordering::SeqCst);
+    HITS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms the injector and returns how many times the armed site was hit.
+pub fn disarm() -> usize {
+    ARMED.store(false, Ordering::SeqCst);
+    HITS.load(Ordering::SeqCst)
+}
+
+/// Called from the instrumented sites; panics if the injector is armed for
+/// this site and the skip/shot counters say it is this hit's turn.
+#[inline]
+pub fn maybe_fire(site: usize) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    fire_slow(site);
+}
+
+#[cold]
+fn fire_slow(site: usize) {
+    if SITE.load(Ordering::SeqCst) != site {
+        return;
+    }
+    let hit = HITS.fetch_add(1, Ordering::SeqCst);
+    // let the first `skip` hits through untouched
+    if SKIP
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| s.checked_sub(1))
+        .is_ok()
+    {
+        return;
+    }
+    if SHOTS
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| s.checked_sub(1))
+        .is_ok()
+    {
+        panic!("injected fault at site {site} (hit {hit})");
+    }
+}

@@ -25,6 +25,7 @@
 
 use crate::counterexample::Counterexample;
 use crate::explorer::{resolved_workers, row_occupancy_bits, Exploration, Explorer, Visitor};
+use crate::job::{InterruptKind, JobSignals};
 use crate::pool::WorkerPool;
 use crate::result::CheckOutcome;
 use crate::spec::LocSet;
@@ -203,11 +204,24 @@ pub fn check_exists_avoid(
     options: &CheckerOptions,
 ) -> CheckOutcome {
     let pool = WorkerPool::new(resolved_workers(options));
-    check_exists_avoid_impl(sys, spec_name, starts, sets, options, &pool, false).0
+    check_exists_avoid_impl(
+        sys,
+        spec_name,
+        starts,
+        sets,
+        options,
+        &pool,
+        false,
+        None,
+        (0, 0, 0),
+    )
+    .0
 }
 
-/// [`check_exists_avoid`] with a caller-owned worker pool and optional
-/// store occupancy statistics.
+/// [`check_exists_avoid`] with a caller-owned worker pool, optional store
+/// occupancy statistics, and optional job signals (polled by the forward
+/// exploration like every other search; `base` is the job's counter
+/// baseline).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn check_exists_avoid_impl(
     sys: &CounterSystem,
@@ -217,6 +231,8 @@ pub(crate) fn check_exists_avoid_impl(
     options: &CheckerOptions,
     pool: &WorkerPool,
     want_stats: bool,
+    signals: Option<&JobSignals>,
+    base: (usize, usize, usize),
 ) -> (CheckOutcome, StoreStats) {
     assert!(
         !sets.is_empty() && sets.len() <= 8,
@@ -225,7 +241,7 @@ pub(crate) fn check_exists_avoid_impl(
     let all_bits: u8 = ((1u16 << sets.len()) - 1) as u8;
 
     // ---------------- forward exploration of the game graph ----------------
-    let mut explorer = Explorer::new(sys, options, pool);
+    let mut explorer = Explorer::new(sys, options, pool).with_signals(signals, base);
     let mut visitor = GameVisitor {
         sets,
         all_bits,
@@ -261,6 +277,18 @@ pub(crate) fn check_exists_avoid_impl(
                 ),
                 stats,
             )
+        }
+        // a per-spec game search is not checkpointed: the suspended
+        // frontier is dropped and the search redone from scratch on resume
+        Exploration::Interrupted => {
+            let kind = explorer
+                .take_suspended()
+                .map(|s| s.kind)
+                .unwrap_or(InterruptKind::Cancelled);
+            return (
+                CheckOutcome::interrupted(explorer.states(), explorer.transitions(), kind),
+                stats,
+            );
         }
         Exploration::Violation(_) => unreachable!("the game visitor never reports violations"),
     }

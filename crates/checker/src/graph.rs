@@ -54,6 +54,7 @@ use crate::counterexample::Counterexample;
 use crate::explicit::{blocked_location_in_row, find_progress_cycle, CheckerOptions};
 use crate::explorer::{Exploration, Explorer, Visitor};
 use crate::game::{adversary_winning, extract_strategy_path, CsrRecorder, GameGraph};
+use crate::job::{InterruptKind, JobSignals};
 use crate::pool::WorkerPool;
 use crate::result::CheckOutcome;
 use crate::spec::{LocSet, Spec, StartRestriction};
@@ -195,6 +196,7 @@ impl GraphLineage {
         bounds: &GuardBounds,
         options: &CheckerOptions,
         pool: &WorkerPool,
+        signals: Option<&JobSignals>,
     ) -> LineageStep {
         let entry = {
             let mut entries = self.entries.borrow_mut();
@@ -218,11 +220,13 @@ impl GraphLineage {
                 let Ok(graph) = Rc::try_unwrap(entry.graph) else {
                     return LineageStep::Build { rebuilt: true };
                 };
-                match graph.extend(sys, &changed, &entry.bounds, options, pool) {
+                match graph.extend(sys, &changed, &entry.bounds, options, pool, signals) {
                     Ok((extended, seeds)) => LineageStep::Extend(Rc::new(extended), seeds),
-                    // a resource budget tripped mid-extension: rebuild from
-                    // scratch so the bounded-build semantics are exactly
-                    // the fresh path's
+                    // a resource budget (or a job signal) tripped
+                    // mid-extension: rebuild from scratch so the
+                    // bounded-build semantics are exactly the fresh path's
+                    // (an interrupted cell's rebuild re-trips at its first
+                    // wave boundary, so nothing is wasted)
                     Err(()) => LineageStep::Build { rebuilt: true },
                 }
             }
@@ -376,6 +380,46 @@ fn atom_bounds(bounds: &GuardBounds, rule: RuleId) -> Vec<i128> {
     bounds[rule.0].iter().map(|&(_, b)| b).collect()
 }
 
+/// A cache build stopped mid-flight by a job signal: the partially
+/// populated store and CSR arenas plus the suspended frontier.  Feeding it
+/// back through [`ReachGraph::resume_build`] continues the build — and the
+/// finished graph, its discovery order, its parents and its counts are
+/// bit-identical to an uninterrupted build's.
+pub(crate) struct BuildInFlight {
+    store: StateStore,
+    graph: GameGraph,
+    start_ids: Vec<u32>,
+    discovery: Vec<u32>,
+    pending: Vec<u32>,
+    next: Vec<u32>,
+    states: usize,
+    transitions: usize,
+}
+
+impl BuildInFlight {
+    /// Resident bytes held by the in-flight build (store + CSR arenas).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes() + self.graph.resident_bytes()
+    }
+
+    /// States interned so far (for partial-progress reporting).
+    pub(crate) fn states(&self) -> usize {
+        self.states
+    }
+}
+
+/// The result of a signal-aware cache build step.  A step value is
+/// destructured immediately by its caller, so the size skew between a
+/// finished graph and a boxed suspension never lives on the heap or in a
+/// collection.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum BuildStep {
+    /// The build ran to its natural end (complete or resource-bounded).
+    Done(ReachGraph),
+    /// A job signal stopped the build at a wave boundary.
+    Suspended(Box<BuildInFlight>, InterruptKind),
+}
+
 /// The cached reachable graph of one `(start restriction, valuation)`
 /// group: the deduplicated configuration store, the CSR transition
 /// relation, and the interned start nodes.  Built once per group by
@@ -403,24 +447,99 @@ pub(crate) struct ReachGraph {
 impl ReachGraph {
     /// Explores the reachable graph from the given start configurations —
     /// once — on the caller's worker pool.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn build(
         sys: &CounterSystem,
         starts: &[Configuration],
         options: &CheckerOptions,
         pool: &WorkerPool,
     ) -> Self {
-        let mut explorer = Explorer::new(sys, options, pool);
+        match Self::build_with_signals(sys, starts, options, pool, None, (0, 0, 0)) {
+            BuildStep::Done(graph) => graph,
+            BuildStep::Suspended(..) => unreachable!("no job signals were attached"),
+        }
+    }
+
+    /// Like [`ReachGraph::build`], but polling job signals at wave
+    /// boundaries: a cancellation or budget trip suspends the build with
+    /// its frontier captured instead of discarding the work.  `base` holds
+    /// the `(states, transitions, resident bytes)` the job already
+    /// accounted outside this build.
+    pub(crate) fn build_with_signals(
+        sys: &CounterSystem,
+        starts: &[Configuration],
+        options: &CheckerOptions,
+        pool: &WorkerPool,
+        signals: Option<&JobSignals>,
+        base: (usize, usize, usize),
+    ) -> BuildStep {
+        let mut explorer = Explorer::new(sys, options, pool).with_signals(signals, base);
         let mut visitor = CacheVisitor::default();
-        let (states, bound) = match explorer.run(starts, &mut visitor) {
+        let exploration = explorer.run(starts, &mut visitor);
+        Self::finish_build(explorer, visitor, exploration)
+    }
+
+    /// Continues a suspended cache build exactly where it stopped (same
+    /// store, same CSR arenas, same frontier); the finished graph is
+    /// bit-identical to an uninterrupted build's.
+    pub(crate) fn resume_build(
+        in_flight: Box<BuildInFlight>,
+        sys: &CounterSystem,
+        options: &CheckerOptions,
+        pool: &WorkerPool,
+        signals: Option<&JobSignals>,
+        base: (usize, usize, usize),
+    ) -> BuildStep {
+        let b = *in_flight;
+        let mut explorer = Explorer::resume(sys, options, pool, b.store, b.states, b.transitions)
+            .with_signals(signals, base);
+        let mut visitor = CacheVisitor {
+            csr: CsrRecorder::resume(b.graph),
+            start_ids: b.start_ids,
+            discovery: b.discovery,
+        };
+        let exploration = explorer.run_suspended(b.pending, b.next, &mut visitor);
+        Self::finish_build(explorer, visitor, exploration)
+    }
+
+    /// Packages an exploration's end into a [`BuildStep`], capturing the
+    /// suspended frontier when a job signal stopped it.
+    fn finish_build(
+        mut explorer: Explorer<'_>,
+        visitor: CacheVisitor,
+        exploration: Exploration,
+    ) -> BuildStep {
+        if exploration == Exploration::Interrupted {
+            let suspended = explorer
+                .take_suspended()
+                .expect("an interrupted build captures its frontier");
+            let (states, transitions) = (explorer.states(), explorer.transitions());
+            return BuildStep::Suspended(
+                Box::new(BuildInFlight {
+                    store: explorer.into_store(),
+                    graph: visitor.csr.graph,
+                    start_ids: visitor.start_ids,
+                    discovery: visitor.discovery,
+                    pending: suspended.pending,
+                    next: suspended.next,
+                    states,
+                    transitions,
+                }),
+                suspended.kind,
+            );
+        }
+        let (states, bound) = match exploration {
             Exploration::Complete => (explorer.states(), None),
             Exploration::TransitionBound => (explorer.states(), Some("transition bound exhausted")),
             // like the reference engine, report the budget rather than the
             // over-budget state that was interned before the bound tripped
             Exploration::StateBound => (explorer.states() - 1, Some("state bound exhausted")),
-            Exploration::Violation(_) => unreachable!("the cache visitor never reports violations"),
+            Exploration::Violation(_) | Exploration::Interrupted => {
+                unreachable!("the cache visitor never reports violations")
+            }
         };
         let transitions = explorer.transitions();
-        ReachGraph {
+        BuildStep::Done(ReachGraph {
             store: explorer.into_store(),
             graph: visitor.csr.graph,
             start_ids: visitor.start_ids,
@@ -429,7 +548,7 @@ impl ReachGraph {
             states,
             transitions,
             bound,
-        }
+        })
     }
 
     /// Extends a *complete* cached graph across a relax-only valuation step
@@ -456,6 +575,7 @@ impl ReachGraph {
         old_bounds: &GuardBounds,
         options: &CheckerOptions,
         pool: &WorkerPool,
+        signals: Option<&JobSignals>,
     ) -> Result<(Self, usize), ()> {
         debug_assert!(self.bound.is_none(), "only complete graphs are extended");
         let model = sys.model();
@@ -501,7 +621,8 @@ impl ReachGraph {
         // fresh anyway)
         let store = std::mem::replace(&mut self.store, StateStore::new(sys));
         let mut explorer =
-            Explorer::resume(sys, options, pool, store, self.states, self.transitions);
+            Explorer::resume(sys, options, pool, store, self.states, self.transitions)
+                .with_signals(signals, (0, 0, 0));
         let mut visitor = ExtendVisitor {
             csr: CsrRecorder::resume(std::mem::take(&mut self.graph)),
         };
@@ -510,7 +631,11 @@ impl ReachGraph {
         self.graph = visitor.csr.graph;
         match exploration {
             Exploration::Complete => {}
-            Exploration::StateBound | Exploration::TransitionBound => return Err(()),
+            // an interrupted extension also falls back to the fresh-rebuild
+            // path (whose first wave boundary re-trips the signal)
+            Exploration::StateBound | Exploration::TransitionBound | Exploration::Interrupted => {
+                return Err(())
+            }
             Exploration::Violation(_) => {
                 unreachable!("the extension visitor never reports violations")
             }
@@ -610,16 +735,28 @@ impl ReachGraph {
     }
 
     /// Evaluates one obligation as an analysis pass over the cached graph.
+    ///
+    /// The passes poll the *fast* job signals (cancellation/deadline) every
+    /// ~1k product transitions; the job-level state/transition budgets do
+    /// not apply here — an analysis pass re-walks cached edges rather than
+    /// exploring new ones (see the "Job lifecycle & fault model" crate
+    /// docs).  An interrupted pass reports an `interrupted: …` outcome and
+    /// is redone from scratch on resume, which is bit-identical because the
+    /// passes are deterministic.
     pub(crate) fn evaluate(
         &self,
         sys: &CounterSystem,
         spec: &Spec,
         options: &CheckerOptions,
+        signals: Option<&JobSignals>,
     ) -> CheckOutcome {
         if let Some(detail) = self.bound {
             // defensive only: `check_cached` falls back to the per-spec
             // search for bounded builds before calling evaluate
             return CheckOutcome::unknown(self.states, self.transitions, detail);
+        }
+        if let Some(kind) = signals.and_then(|s| s.fast_stop()) {
+            return CheckOutcome::interrupted(0, 0, kind);
         }
         match spec {
             Spec::CoverNever {
@@ -638,6 +775,7 @@ impl ReachGraph {
                 ),
                 sys,
                 options,
+                signals,
             ),
             Spec::NeverFrom {
                 name, forbidden, ..
@@ -648,13 +786,14 @@ impl ReachGraph {
                 format!("a path occupies {}", forbidden.name()),
                 sys,
                 options,
+                signals,
             ),
             Spec::ExistsAvoidOneOf {
                 name,
                 forbidden_sets,
                 ..
-            } => self.check_exists_avoid(name, forbidden_sets, sys, options),
-            Spec::NonBlocking { name, .. } => self.check_non_blocking(name, sys),
+            } => self.check_exists_avoid(name, forbidden_sets, sys, options, signals),
+            Spec::NonBlocking { name, .. } => self.check_non_blocking(name, sys, signals),
         }
     }
 
@@ -684,6 +823,7 @@ impl ReachGraph {
     /// firing a violation the first time a product state covers
     /// `violation_bits` — exactly when the per-spec monitored search would
     /// have fired on its fresh `(row, bits)` state.
+    #[allow(clippy::too_many_arguments)]
     fn check_monitored(
         &self,
         spec_name: &str,
@@ -692,6 +832,7 @@ impl ReachGraph {
         explanation: String,
         sys: &CounterSystem,
         options: &CheckerOptions,
+        signals: Option<&JobSignals>,
     ) -> CheckOutcome {
         // 2^k product slots per node: the catalogue's monitored specs use
         // k <= 2, and check_cached routes anything wider than k == 3 to the
@@ -744,6 +885,11 @@ impl ReachGraph {
             for a in self.graph.actions_of(node) {
                 for &(step, succ) in self.graph.edges_of(a) {
                     transitions += 1;
+                    if transitions & 0x3FF == 0 {
+                        if let Some(kind) = signals.and_then(|s| s.fast_stop()) {
+                            return CheckOutcome::interrupted(states, transitions, kind);
+                        }
+                    }
                     if transitions > options.max_transitions {
                         return CheckOutcome::unknown(
                             states,
@@ -836,6 +982,7 @@ impl ReachGraph {
         sets: &[LocSet],
         sys: &CounterSystem,
         options: &CheckerOptions,
+        signals: Option<&JobSignals>,
     ) -> CheckOutcome {
         assert!(
             !sets.is_empty() && sets.len() <= 8,
@@ -890,6 +1037,11 @@ impl ReachGraph {
                 csr.begin_action();
                 for &(step, succ) in self.graph.edges_of(a) {
                     transitions += 1;
+                    if transitions & 0x3FF == 0 {
+                        if let Some(kind) = signals.and_then(|s| s.fast_stop()) {
+                            return CheckOutcome::interrupted(pnodes.len(), transitions, kind);
+                        }
+                    }
                     if transitions > options.max_transitions {
                         return CheckOutcome::unknown(
                             pnodes.len(),
@@ -957,7 +1109,12 @@ impl ReachGraph {
     /// stranded outside the border-copy sinks.  The cached exploration is
     /// the same monitor-free search the per-spec path runs, so a positive
     /// verdict reports identical counts.
-    fn check_non_blocking(&self, spec_name: &str, sys: &CounterSystem) -> CheckOutcome {
+    fn check_non_blocking(
+        &self,
+        spec_name: &str,
+        sys: &CounterSystem,
+        signals: Option<&JobSignals>,
+    ) -> CheckOutcome {
         if let Some(loc) = find_progress_cycle(sys) {
             let ce = Counterexample {
                 spec: spec_name.to_string(),
@@ -979,7 +1136,12 @@ impl ReachGraph {
         // classifies) terminals in exactly this order, so the reported
         // terminal is the same one it would find, at every worker and
         // shard count (`store.ids()` order would depend on the sharding)
-        for &id in &self.discovery {
+        for (scanned, &id) in self.discovery.iter().enumerate() {
+            if scanned & 0xFFF == 0 {
+                if let Some(kind) = signals.and_then(|s| s.fast_stop()) {
+                    return CheckOutcome::interrupted(self.states, self.transitions, kind);
+                }
+            }
             if !self.graph.actions_of(id).is_empty() {
                 continue;
             }
@@ -1086,6 +1248,70 @@ mod tests {
             classify_guard_step(&old, &bounds(&[&[(Lt, 3)]])),
             GuardStep::TightenOrMixed
         );
+    }
+
+    #[test]
+    fn bounded_extension_rebuilds_and_never_enters_the_lineage() {
+        let model = crate::fixtures::voting_model().single_round().unwrap();
+        let old_sys =
+            CounterSystem::new(model.clone(), ccta::ParamValuation::new(vec![7, 1, 1, 1])).unwrap();
+        let new_sys =
+            CounterSystem::new(model, ccta::ParamValuation::new(vec![7, 2, 1, 1])).unwrap();
+        let pool = WorkerPool::new(1);
+        let options = CheckerOptions::default();
+        let start = StartRestriction::RoundStart;
+        let starts = start.configurations(&old_sys);
+
+        let lineage = GraphLineage::new();
+        let graph = Rc::new(ReachGraph::build(&old_sys, &starts, &options, &pool));
+        assert!(!graph.is_bounded());
+        let old_transitions = graph.transitions();
+        lineage.record(&old_sys, start, &graph, &old_sys.guard_bounds());
+        drop(graph); // the lineage must hold the only reference
+
+        // a transition budget equal to the old graph's total trips on the
+        // first re-counted seed transition, so the relax-only extension is
+        // guaranteed to come back bounded — the lineage entry must be
+        // discarded and the step reported as a rebuild
+        let mut tight = options;
+        tight.max_transitions = old_transitions;
+        match lineage.adopt(
+            &new_sys,
+            start,
+            &new_sys.guard_bounds(),
+            &tight,
+            &pool,
+            None,
+        ) {
+            LineageStep::Build { rebuilt } => assert!(rebuilt, "a tripped extension is a rebuild"),
+            LineageStep::Reuse(_) => panic!("bounds differ; nothing may be reused"),
+            LineageStep::Extend(..) => panic!("the budget must trip the extension"),
+        }
+
+        // the consequent fresh build under the same budget is bounded, and
+        // a bounded graph never enters the lineage
+        let bounded = Rc::new(ReachGraph::build(
+            &new_sys,
+            &start.configurations(&new_sys),
+            &tight,
+            &pool,
+        ));
+        assert!(bounded.is_bounded());
+        lineage.record(&new_sys, start, &bounded, &new_sys.guard_bounds());
+        assert_eq!(lineage.resident_bytes(), 0, "bounded graphs are not kept");
+        match lineage.adopt(
+            &new_sys,
+            start,
+            &new_sys.guard_bounds(),
+            &options,
+            &pool,
+            None,
+        ) {
+            LineageStep::Build { rebuilt } => {
+                assert!(!rebuilt, "the lineage must have stayed empty")
+            }
+            _ => panic!("an empty lineage can only build fresh"),
+        }
     }
 
     #[test]

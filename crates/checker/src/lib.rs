@@ -200,6 +200,64 @@
 //! None of these knobs ever changes a verdict, a count or a counterexample
 //! — only wall-clock time and peak memory.
 //!
+//! # Job lifecycle & fault model
+//!
+//! [`CheckJob`] wraps a batch check in an interruptible state machine, and
+//! [`check_over_sweep_cancellable`] / [`resume_sweep`] extend the same
+//! contract to the sweep grid:
+//!
+//! * **Checkpoint boundaries.**  A job suspends only at *wave boundaries*
+//!   of an exploration (including level ends — a level is processed as a
+//!   sequence of waves on both the sequential and the parallel path) and
+//!   at *obligation boundaries* between specs.  At a wave boundary the
+//!   unprocessed frontier plus the accumulated next level fully determine
+//!   the rest of the search, so [`CheckJob::resume`] reproduces verdicts,
+//!   state counts, transition counts and counterexample schedules
+//!   bit-identically to an uninterrupted run (pinned by the
+//!   `random_differential` interrupt axis at 1/2/4 workers).  An
+//!   interrupted cache *build* keeps its partial store and CSR arenas in
+//!   the [`JobCheckpoint`]; an interrupted analysis pass or per-spec
+//!   search records nothing and is redone on resume (the passes are
+//!   deterministic, so the results are unchanged).
+//! * **Cancellation latency.**  [`CancelToken::cancel`] and the deadline
+//!   are *fast* signals, polled at wave boundaries, at expand-phase chunk
+//!   handouts inside a parallel wave, and every few thousand steps of an
+//!   analysis pass — latency is O(one wave), not O(the check).  A mid-wave
+//!   stop abandons the wave *before* the intern phase touched any shared
+//!   state, so the whole wave stays pending and resume is unaffected.
+//! * **Budget semantics.**  The [`JobBudget`] state/transition caps are
+//!   evaluated only at wave and obligation boundaries against the
+//!   deterministic replayed counters, so *where* they trip is identical at
+//!   every worker count.  The deadline (re-anchored at each `run`/`resume`
+//!   call) and the resident-byte cap are inherently timing/allocator
+//!   dependent — their trip point varies, but resuming still reproduces
+//!   the uninterrupted results exactly.  Analysis passes over a cached
+//!   graph re-walk existing edges and are exempt from the job
+//!   state/transition caps (they honour cancellation and the deadline).
+//!   Resuming with the *same* exhausted cap re-trips at the next boundary
+//!   without per-spec progress; resume with a larger budget.  In a sweep,
+//!   cancellation and the deadline are global to the grid while the
+//!   state/transition/resident caps apply per cell.
+//! * **Panic isolation.**  A panic on a [`WorkerPool`] lane is captured
+//!   (with a backtrace recorded by a process-wide panic hook), the
+//!   remaining lanes drain their batch normally, and the pool stays
+//!   reusable.  A sweep cell whose check panics is re-dispatched once on a
+//!   fresh pool without the lineage (the fresh-rebuild path); a second
+//!   panic marks that cell [`CellDisposition::Failed`] with the payload
+//!   and backtrace in its detail while sibling cells keep running.  The
+//!   `fault_injection` suite drives all of these paths with seeded
+//!   injectors ([`fault`]).
+//! * **Accounting.**  Every grid cell of a cancelled or budget-tripped
+//!   sweep is accounted for: completed + skipped (after an earlier
+//!   violation) + interrupted-with-checkpoint + failed-after-retry equals
+//!   the full grid ([`SweepOutcome::disposition`]).
+//! * **Knob precedence.**  As everywhere in this crate: explicit
+//!   [`CheckerOptions`] / [`JobBudget`] fields over environment variables
+//!   (`CC_CHECK_THREADS`, `CC_SWEEP_THREADS`, `CC_WAVE_SIZE`,
+//!   `CC_GRAPH_CACHE`, `CC_SWEEP_INCREMENTAL`) over built-in defaults.
+//!   The `--deadline-ms` / `--max-resident-bytes` flags of the `table2`
+//!   and `profile_engine` binaries feed [`JobBudget`] directly.
+//!
 //! [`reference`] preserves the original clone-per-transition engine
 //! (`HashMap<(Vec<u8>, u8), usize>` keys, per-branch `Configuration`
 //! clones); the `engine_equivalence` integration tests assert that the
@@ -213,6 +271,7 @@ pub mod explicit;
 pub mod explorer;
 pub mod game;
 pub mod graph;
+pub mod job;
 pub mod pool;
 pub mod reference;
 pub mod result;
@@ -227,9 +286,15 @@ pub mod sweep;
 #[doc(hidden)]
 pub mod fixtures;
 
+/// Seeded fault-injection hooks for the `fault_injection` integration
+/// tests.  Not part of the public API surface.
+#[doc(hidden)]
+pub mod fault;
+
 pub use counterexample::Counterexample;
 pub use explicit::{CheckerOptions, ExplicitChecker};
 pub use graph::GraphLineage;
+pub use job::{CancelToken, CheckJob, InterruptKind, JobBudget, JobCheckpoint, JobOutcome};
 pub use pool::WorkerPool;
 pub use result::{CheckOutcome, CheckStatus, GraphCacheStats, GraphOrigin, GroupCacheRecord};
 pub use schema::{
@@ -239,6 +304,7 @@ pub use schema::{
 pub use spec::{LocSet, Spec, StartRestriction};
 pub use store::{StateStore, StoreStats};
 pub use sweep::{
-    check_over_sweep, check_over_sweep_with_stats, check_over_sweep_with_threads,
-    sweep_thread_budget, SweepOutcome, SweepReport,
+    check_over_sweep, check_over_sweep_cancellable, check_over_sweep_with_stats,
+    check_over_sweep_with_threads, resume_sweep, sweep_thread_budget, CellDisposition,
+    SweepOutcome, SweepReport,
 };

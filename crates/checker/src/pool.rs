@@ -32,10 +32,41 @@
 //! through an atomic cursor, so skewed chunk costs balance without the pool
 //! needing per-task queues.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// Backtrace captured by the chained panic hook for the most recent
+    /// panic on this thread; consumed by [`take_thread_backtrace`].
+    static LAST_BACKTRACE: Cell<Option<String>> = const { Cell::new(None) };
+}
+
+static HOOK_INSTALLED: Once = Once::new();
+
+/// Chains a panic hook (once per process) that snapshots the panicking
+/// lane's backtrace into a thread-local, so a caught worker panic can be
+/// reported with the backtrace of the lane that actually failed.
+fn install_panic_hook() {
+    HOOK_INSTALLED.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            LAST_BACKTRACE.with(|slot| {
+                slot.set(Some(std::backtrace::Backtrace::force_capture().to_string()))
+            });
+            previous(info);
+        }));
+    });
+}
+
+/// Takes the backtrace of the most recent panic *on the calling thread*
+/// (for panics that unwound through the pool's inline fast path, where no
+/// lane handed the backtrace to the pool state).
+pub(crate) fn take_thread_backtrace() -> Option<String> {
+    LAST_BACKTRACE.with(|slot| slot.take())
+}
 
 /// A type-erased batch task.  The `'static` is a lie maintained by
 /// [`WorkerPool::run`], which joins every task before the borrows it
@@ -52,6 +83,9 @@ struct PoolState {
     /// The payload of the first task of the current batch that panicked,
     /// re-raised on the batch owner so the original diagnostic survives.
     panic: Option<Box<dyn std::any::Any + Send>>,
+    /// The panicking lane's backtrace, captured alongside `panic` and held
+    /// for [`WorkerPool::take_panic_backtrace`].
+    backtrace: Option<String>,
     /// Set by `Drop`; workers exit once the queue is empty.
     shutdown: bool,
 }
@@ -84,9 +118,17 @@ impl Shared {
     /// batch owner when the batch completes.
     fn finish_one(&self, task: Task) {
         let result = catch_unwind(AssertUnwindSafe(task));
+        let backtrace = if result.is_err() {
+            take_thread_backtrace()
+        } else {
+            None
+        };
         let mut state = self.lock();
         if let Err(payload) = result {
-            state.panic.get_or_insert(payload);
+            if state.panic.is_none() {
+                state.panic = Some(payload);
+                state.backtrace = backtrace;
+            }
         }
         state.pending -= 1;
         if state.pending == 0 {
@@ -118,6 +160,7 @@ impl WorkerPool {
     /// 1-lane pool, or a checker whose frontiers stay narrow) spawns
     /// nothing.
     pub fn new(threads: usize) -> Self {
+        install_panic_hook();
         WorkerPool {
             shared: Arc::new(Shared::default()),
             handles: OnceLock::new(),
@@ -139,6 +182,14 @@ impl WorkerPool {
     /// Total number of lanes (including the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Takes the backtrace of the lane whose panic the last batch re-raised
+    /// (if a batch panicked and no one consumed the backtrace yet).  Panics
+    /// on the inline fast path never reach the pool state; see
+    /// [`take_thread_backtrace`] for those.
+    pub(crate) fn take_panic_backtrace(&self) -> Option<String> {
+        self.shared.lock().backtrace.take()
     }
 
     /// Runs a batch of tasks across the pool's lanes and the calling

@@ -3,6 +3,11 @@
 use crate::counterexample::Counterexample;
 use std::fmt;
 
+/// Detail prefix marking an [`CheckStatus::Unknown`] outcome that was cut
+/// short by a job signal (cancellation or budget) rather than a per-check
+/// state/transition bound.  See [`CheckOutcome::is_interrupted`].
+pub(crate) const INTERRUPTED_PREFIX: &str = "interrupted: ";
+
 /// The verdict of a check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckStatus {
@@ -71,6 +76,29 @@ impl CheckOutcome {
             counterexample: None,
             detail: detail.into(),
         }
+    }
+
+    /// An outcome cut short by a job signal: cancellation, deadline, or a
+    /// job-level budget.  Distinguished from an ordinary bound-exhausted
+    /// `unknown` so the sweep can account the cell as
+    /// interrupted-with-checkpoint rather than inconclusive.
+    pub(crate) fn interrupted(
+        states: usize,
+        transitions: usize,
+        kind: crate::job::InterruptKind,
+    ) -> Self {
+        CheckOutcome::unknown(
+            states,
+            transitions,
+            format!("{INTERRUPTED_PREFIX}{}", kind.describe()),
+        )
+    }
+
+    /// Whether this outcome was cut short by a job signal (see
+    /// [`crate::job::CheckJob`]); such outcomes are `Unknown` with an
+    /// `interrupted: …` detail.
+    pub fn is_interrupted(&self) -> bool {
+        self.status == CheckStatus::Unknown && self.detail.starts_with(INTERRUPTED_PREFIX)
     }
 
     /// Whether the query holds.

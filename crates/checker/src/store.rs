@@ -479,6 +479,13 @@ impl StateStore {
 
     /// Resident bytes of the store: the row arenas, the per-node side
     /// arrays and the index-table slots.
+    ///
+    /// This is also the figure a [`crate::JobBudget`] resident-byte cap is
+    /// checked against at wave boundaries.  A store owns no interior
+    /// pointers and no thread state, so a suspended build's store moves
+    /// freely inside a [`crate::JobCheckpoint`] and resumes interning on
+    /// whatever pool the resumed job runs — the shard count (fixed at
+    /// construction) is the only thing a checkpoint pins.
     pub fn resident_bytes(&self) -> usize {
         self.shards
             .iter()

@@ -38,18 +38,58 @@
 //! durations, skipped records and the deterministic assembly are unchanged;
 //! [`check_over_sweep_with_stats`] additionally returns the aggregated
 //! cache accounting in valuation order.
+//!
+//! # Job lifecycle
+//!
+//! [`check_over_sweep_cancellable`] runs the same grid under a
+//! [`CancelToken`] and a [`JobBudget`]: the cancel token and the budget's
+//! deadline are polled between cells (and at wave boundaries inside each
+//! cell), and the budget's state/transition/resident caps apply to each
+//! cell individually.  Every cell then carries a [`CellDisposition`]:
+//! `Completed` cells ran to a verdict, `Skipped` cells were cancelled by an
+//! earlier violation of the same query, `Interrupted` cells were stopped by
+//! a job signal (mid-cell or before they were ever reached), and `Failed`
+//! cells panicked twice — once on the shared pool and once more after being
+//! re-dispatched on a fresh pool without any lineage — without disturbing
+//! their siblings.  The four dispositions partition the grid, so
+//! `completed + skipped + interrupted + failed` always equals the grid
+//! size.  [`resume_sweep`] continues an interrupted sweep from its reports,
+//! carrying completed cells over verbatim and recomputing the rest; a
+//! resumed sweep that runs to completion is bit-identical to an
+//! uninterrupted run.
 
 use crate::explicit::{CheckerOptions, ExplicitChecker};
 use crate::explorer::{resolved_graph_cache, resolved_workers};
 use crate::graph::GraphLineage;
+use crate::job::{CancelToken, InterruptKind, JobBudget, JobSignals};
 use crate::pool::WorkerPool;
 use crate::result::{CheckOutcome, CheckStatus, GraphCacheStats};
 use crate::spec::Spec;
 use cccounter::CounterSystem;
 use ccta::{ParamValuation, SystemModel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// How one grid cell of a sweep ended up in its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellDisposition {
+    /// The check ran to a verdict (or an in-check exploration bound).
+    Completed,
+    /// Cancelled because an earlier valuation of the same query violated.
+    Skipped,
+    /// Stopped by a job signal — a tripped [`CancelToken`], deadline or
+    /// budget cap — either mid-cell (the outcome then carries the partial
+    /// state/transition counts) or before the cell was ever dispatched.
+    /// Interrupted cells are recomputed by [`resume_sweep`].
+    Interrupted,
+    /// The cell panicked on the shared pool *and* once more after being
+    /// re-dispatched on a fresh pool without a lineage; its outcome detail
+    /// carries the panic message and lane backtrace.  Sibling cells are
+    /// unaffected.
+    Failed,
+}
 
 /// The outcome of one query on one parameter valuation.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,9 +104,30 @@ pub struct SweepOutcome {
     /// valuation of the same query already violated); skipped cells carry
     /// an empty `Unknown` outcome and a zero duration.
     pub skipped: bool,
+    /// How the cell ended up in the report; `skipped` is `true` exactly
+    /// when this is [`CellDisposition::Skipped`].
+    pub disposition: CellDisposition,
 }
 
 impl SweepOutcome {
+    /// A cell that was actually checked; an interrupted check outcome
+    /// (cancel, deadline or budget tripped mid-cell) is recorded as an
+    /// [`CellDisposition::Interrupted`] cell with its partial counts.
+    fn completed(params: ParamValuation, outcome: CheckOutcome, duration: Duration) -> Self {
+        let disposition = if outcome.is_interrupted() {
+            CellDisposition::Interrupted
+        } else {
+            CellDisposition::Completed
+        };
+        SweepOutcome {
+            params,
+            outcome,
+            duration,
+            skipped: false,
+            disposition,
+        }
+    }
+
     /// The explicit record of a cancelled grid cell.
     fn skipped(params: ParamValuation) -> Self {
         SweepOutcome {
@@ -74,6 +135,30 @@ impl SweepOutcome {
             outcome: CheckOutcome::unknown(0, 0, "skipped: an earlier valuation violated"),
             duration: Duration::ZERO,
             skipped: true,
+            disposition: CellDisposition::Skipped,
+        }
+    }
+
+    /// The explicit record of a cell a job signal stopped the sweep from
+    /// ever dispatching.
+    fn interrupted(params: ParamValuation, kind: InterruptKind) -> Self {
+        SweepOutcome {
+            params,
+            outcome: CheckOutcome::interrupted(0, 0, kind),
+            duration: Duration::ZERO,
+            skipped: false,
+            disposition: CellDisposition::Interrupted,
+        }
+    }
+
+    /// The explicit record of a cell that panicked twice.
+    fn failed(params: ParamValuation, detail: String, duration: Duration) -> Self {
+        SweepOutcome {
+            params,
+            outcome: CheckOutcome::unknown(0, 0, format!("failed: {detail}")),
+            duration,
+            skipped: false,
+            disposition: CellDisposition::Failed,
         }
     }
 }
@@ -130,6 +215,23 @@ impl SweepReport {
         self.outcomes.iter().filter(|o| o.skipped).count()
     }
 
+    /// Number of grid cells a job signal interrupted (mid-cell or before
+    /// dispatch); these are the cells [`resume_sweep`] recomputes.
+    pub fn interrupted_cells(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.disposition == CellDisposition::Interrupted)
+            .count()
+    }
+
+    /// Number of grid cells that panicked twice and were given up on.
+    pub fn failed_cells(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.disposition == CellDisposition::Failed)
+            .count()
+    }
+
     /// Total number of explored states across the sweep (skipped cells
     /// contribute nothing).
     pub fn total_states(&self) -> usize {
@@ -160,23 +262,114 @@ pub fn sweep_thread_budget(requested: usize) -> usize {
     })
 }
 
+/// Renders a panic payload for a failed-cell record.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one cell attempt under `catch_unwind`, recovering the panic message
+/// plus the deepest available backtrace on failure — the poisoned pool
+/// lane's if the panic unwound out of a worker, the sweep thread's own
+/// otherwise.
+fn catch_cell(
+    pool: &WorkerPool,
+    attempt: impl FnOnce() -> CheckOutcome,
+) -> Result<CheckOutcome, String> {
+    match catch_unwind(AssertUnwindSafe(attempt)) {
+        Ok(outcome) => Ok(outcome),
+        Err(payload) => {
+            let message = payload_message(payload.as_ref());
+            let backtrace = pool
+                .take_panic_backtrace()
+                .or_else(crate::pool::take_thread_backtrace);
+            Err(match backtrace {
+                Some(bt) => format!("{message}\n{bt}"),
+                None => message,
+            })
+        }
+    }
+}
+
 /// One cell of the `query × valuation` grid, run on the sweep worker's
-/// shared pool (one pool per worker, reused across all its cells).
+/// shared pool (one pool per worker, reused across all its cells).  A
+/// panicking cell fails alone: it is re-dispatched exactly once on a fresh
+/// pool and a fresh checker, and only a second panic produces a
+/// [`CellDisposition::Failed`] record.
 fn run_one(
     sys: &CounterSystem,
     spec: &Spec,
     options: CheckerOptions,
     pool: &WorkerPool,
+    job: Option<&JobSignals>,
 ) -> SweepOutcome {
     let started = Instant::now();
-    let checker = ExplicitChecker::with_pool(sys, options, pool);
-    let outcome = checker.check(spec);
-    SweepOutcome {
-        params: sys.params().clone(),
-        outcome,
-        duration: started.elapsed(),
-        skipped: false,
-    }
+    let first = catch_cell(pool, || {
+        crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
+        let mut checker = ExplicitChecker::with_pool(sys, options, pool);
+        checker.set_signals(job);
+        checker.check(spec)
+    });
+    let outcome = match first {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            let fresh = WorkerPool::new(resolved_workers(&options));
+            match catch_cell(&fresh, || {
+                crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
+                let mut checker = ExplicitChecker::with_pool(sys, options, &fresh);
+                checker.set_signals(job);
+                checker.check(spec)
+            }) {
+                Ok(outcome) => outcome,
+                Err(detail) => {
+                    return SweepOutcome::failed(sys.params().clone(), detail, started.elapsed())
+                }
+            }
+        }
+    };
+    SweepOutcome::completed(sys.params().clone(), outcome, started.elapsed())
+}
+
+/// One cached-path cell: served by the valuation's shared checker (and its
+/// graph memo) on the happy path; a panicking cell is re-dispatched once on
+/// a fresh pool and a fresh lineage-free checker — the fresh-rebuild path —
+/// before being reported failed.
+fn run_cached_cell(
+    checker: &ExplicitChecker,
+    pool: &WorkerPool,
+    sys: &CounterSystem,
+    spec: &Spec,
+    options: CheckerOptions,
+    job: Option<&JobSignals>,
+) -> SweepOutcome {
+    let started = Instant::now();
+    let first = catch_cell(pool, || {
+        crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
+        checker.check_cached(spec)
+    });
+    let outcome = match first {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            let fresh = WorkerPool::new(resolved_workers(&options));
+            match catch_cell(&fresh, || {
+                crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
+                let mut retry = ExplicitChecker::with_pool(sys, options, &fresh);
+                retry.set_signals(job);
+                retry.check_cached(spec)
+            }) {
+                Ok(outcome) => outcome,
+                Err(detail) => {
+                    return SweepOutcome::failed(sys.params().clone(), detail, started.elapsed())
+                }
+            }
+        }
+    };
+    SweepOutcome::completed(sys.params().clone(), outcome, started.elapsed())
 }
 
 /// Checks each query on every valuation of the sweep, in parallel.
@@ -220,16 +413,94 @@ pub fn check_over_sweep_with_stats(
     options: CheckerOptions,
     threads: usize,
 ) -> (Vec<SweepReport>, GraphCacheStats) {
+    sweep_impl(model, specs, valuations, options, threads, None, None)
+}
+
+/// [`check_over_sweep_with_threads`] under a job lifecycle: the sweep polls
+/// `cancel` and the budget's deadline before every cell (and the cell's own
+/// exploration polls them at wave boundaries, so cancellation latency is
+/// one wave), and applies the budget's state/transition/resident caps to
+/// each cell individually.  Cells the sweep never reached are explicit
+/// [`CellDisposition::Interrupted`] records; feed the reports to
+/// [`resume_sweep`] to continue without redoing completed cells.  With a
+/// never-cancelled token and an unlimited budget this is exactly
+/// [`check_over_sweep_with_stats`].
+pub fn check_over_sweep_cancellable(
+    model: &SystemModel,
+    specs: &[Spec],
+    valuations: &[ParamValuation],
+    options: CheckerOptions,
+    threads: usize,
+    cancel: &CancelToken,
+    budget: JobBudget,
+) -> (Vec<SweepReport>, GraphCacheStats) {
+    let signals = JobSignals::new(cancel.clone(), budget);
+    sweep_impl(
+        model,
+        specs,
+        valuations,
+        options,
+        threads,
+        Some(&signals),
+        None,
+    )
+}
+
+/// Resumes an interrupted sweep from its reports: completed cells of
+/// `prior` are carried over verbatim (outcome, duration and all), their
+/// violations keep cancelling later cells of the same query, and only
+/// interrupted, failed and skipped-by-violation cells are recomputed or
+/// re-derived.  Cells are deterministic and recomputed whole, so a resumed
+/// sweep that runs to completion is bit-identical to an uninterrupted
+/// [`check_over_sweep_cancellable`] run; the returned cache stats account
+/// only the resumed work.  `prior` must come from a sweep of the same
+/// model, specs and valuations (the grid shapes are asserted).
+#[allow(clippy::too_many_arguments)]
+pub fn resume_sweep(
+    model: &SystemModel,
+    specs: &[Spec],
+    valuations: &[ParamValuation],
+    options: CheckerOptions,
+    threads: usize,
+    cancel: &CancelToken,
+    budget: JobBudget,
+    prior: &[SweepReport],
+) -> (Vec<SweepReport>, GraphCacheStats) {
+    let signals = JobSignals::new(cancel.clone(), budget);
+    sweep_impl(
+        model,
+        specs,
+        valuations,
+        options,
+        threads,
+        Some(&signals),
+        Some(prior),
+    )
+}
+
+/// The shared sweep driver behind the plain, cancellable and resuming entry
+/// points: forms the grid, prefills it from a resumed run, dispatches the
+/// schedulers and assembles the deterministic reports.
+fn sweep_impl(
+    model: &SystemModel,
+    specs: &[Spec],
+    valuations: &[ParamValuation],
+    options: CheckerOptions,
+    threads: usize,
+    job: Option<&JobSignals>,
+    prior: Option<&[SweepReport]>,
+) -> (Vec<SweepReport>, GraphCacheStats) {
     let systems: Vec<CounterSystem> = valuations
         .iter()
         .filter_map(|v| CounterSystem::new(model.clone(), v.clone()).ok())
         .collect();
-    let total = specs.len() * systems.len();
+    let width = systems.len();
+    let total = specs.len() * width;
     let budget = threads.max(1);
     let use_cache = resolved_graph_cache(&options);
     // with the graph cache the scheduled unit is a whole valuation (its
     // spec slice shares cached graphs), otherwise a single grid cell
-    let items = if use_cache { systems.len() } else { total };
+    let items = if use_cache { width } else { total };
     let outer = budget.min(items.max(1));
     // the budget left over after covering the work items goes into each
     // cell, unless the caller pinned an in-check worker count explicitly
@@ -244,7 +515,43 @@ pub fn check_over_sweep_with_stats(
     let mut slots: Vec<Option<SweepOutcome>> = Vec::new();
     slots.resize_with(total, || None);
     let mut stats_slots: Vec<Option<GraphCacheStats>> = Vec::new();
-    stats_slots.resize_with(systems.len(), || None);
+    stats_slots.resize_with(width, || None);
+
+    // resume: completed cells of the prior run are carried over verbatim;
+    // interrupted, failed and skipped cells stay empty and are recomputed
+    // (or re-derived by the assembly below)
+    if let Some(prior) = prior {
+        assert_eq!(
+            prior.len(),
+            specs.len(),
+            "resume_sweep: prior reports do not match the spec slice"
+        );
+        for (s, report) in prior.iter().enumerate() {
+            assert_eq!(
+                report.outcomes.len(),
+                width,
+                "resume_sweep: prior grid width does not match the valuations"
+            );
+            for (v, cell) in report.outcomes.iter().enumerate() {
+                if cell.disposition == CellDisposition::Completed {
+                    slots[s * width + v] = Some(cell.clone());
+                }
+            }
+        }
+    }
+    // violations carried over from a resumed run keep cancelling the rest
+    // of their row, exactly as if this run had produced them
+    let violated_seed: Vec<usize> = (0..specs.len())
+        .map(|s| {
+            slots[s * width..(s + 1) * width]
+                .iter()
+                .position(|slot| {
+                    slot.as_ref()
+                        .is_some_and(|c| c.outcome.status == CheckStatus::Violated)
+                })
+                .unwrap_or(usize::MAX)
+        })
+        .collect();
 
     if use_cache {
         run_cached_batches(
@@ -252,6 +559,8 @@ pub fn check_over_sweep_with_stats(
             &systems,
             cell_options,
             outer,
+            job,
+            &violated_seed,
             &mut slots,
             &mut stats_slots,
         );
@@ -260,14 +569,20 @@ pub fn check_over_sweep_with_stats(
         // remaining valuations after a violation, like the parallel
         // scheduler below
         let pool = WorkerPool::new(resolved_workers(&cell_options));
-        for (s, spec) in specs.iter().enumerate() {
+        let mut violated_at = violated_seed.clone();
+        'grid: for (s, spec) in specs.iter().enumerate() {
             for (v, sys) in systems.iter().enumerate() {
-                let cell = run_one(sys, spec, cell_options, &pool);
-                let violated = cell.outcome.status == CheckStatus::Violated;
-                slots[s * systems.len() + v] = Some(cell);
-                if violated {
-                    break;
+                if violated_at[s] < v || slots[s * width + v].is_some() {
+                    continue; // an earlier valuation violated, or resumed
                 }
+                if job.is_some_and(|j| j.fast_stop().is_some()) {
+                    break 'grid;
+                }
+                let cell = run_one(sys, spec, cell_options, &pool, job);
+                if cell.outcome.status == CheckStatus::Violated {
+                    violated_at[s] = violated_at[s].min(v);
+                }
+                slots[s * width + v] = Some(cell);
             }
         }
     } else {
@@ -279,7 +594,7 @@ pub fn check_over_sweep_with_stats(
         let next = AtomicUsize::new(0);
         let cell_workers = resolved_workers(&cell_options);
         let violated_at: Vec<AtomicUsize> =
-            specs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
+            violated_seed.iter().map(|&v| AtomicUsize::new(v)).collect();
         let slot_refs: Vec<Mutex<&mut Option<SweepOutcome>>> =
             slots.iter_mut().map(Mutex::new).collect();
         std::thread::scope(|scope| {
@@ -287,15 +602,21 @@ pub fn check_over_sweep_with_stats(
                 scope.spawn(|| {
                     let pool = WorkerPool::new(cell_workers);
                     loop {
+                        if job.is_some_and(|j| j.fast_stop().is_some()) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
                             break;
                         }
-                        let (s, v) = (i / systems.len(), i % systems.len());
+                        let (s, v) = (i / width, i % width);
                         if v > violated_at[s].load(Ordering::Acquire) {
                             continue; // cancelled: an earlier valuation violated
                         }
-                        let cell = run_one(&systems[v], &specs[s], cell_options, &pool);
+                        if slot_refs[i].lock().unwrap().is_some() {
+                            continue; // carried over from the resumed run
+                        }
+                        let cell = run_one(&systems[v], &specs[s], cell_options, &pool, job);
                         if cell.outcome.status == CheckStatus::Violated {
                             violated_at[s].fetch_min(v, Ordering::AcqRel);
                         }
@@ -315,12 +636,15 @@ pub fn check_over_sweep_with_stats(
 
     // deterministic assembly: valuation order; every cell past the query's
     // first violation becomes an explicit skipped record, even if a parallel
-    // worker happened to compute it before the cancellation landed
+    // worker happened to compute it before the cancellation landed, and
+    // every cell a job signal stopped the schedulers from reaching becomes
+    // an explicit interrupted record
+    let trip = job.and_then(|j| j.fast_stop());
     let reports = specs
         .iter()
         .enumerate()
         .map(|(s, spec)| {
-            let row = &mut slots[s * systems.len()..(s + 1) * systems.len()];
+            let row = &mut slots[s * width..(s + 1) * width];
             let first_violation = row.iter().position(|slot| {
                 slot.as_ref()
                     .is_some_and(|c| c.outcome.status == CheckStatus::Violated)
@@ -328,9 +652,20 @@ pub fn check_over_sweep_with_stats(
             let outcomes = row
                 .iter_mut()
                 .enumerate()
-                .map(|(v, slot)| match slot.take() {
-                    Some(cell) if first_violation.is_none_or(|fv| v <= fv) => cell,
-                    _ => SweepOutcome::skipped(systems[v].params().clone()),
+                .map(|(v, slot)| {
+                    let past_violation = first_violation.is_some_and(|fv| v > fv);
+                    match slot.take() {
+                        Some(cell) if !past_violation => cell,
+                        _ if past_violation => SweepOutcome::skipped(systems[v].params().clone()),
+                        _ => match trip {
+                            Some(kind) => {
+                                SweepOutcome::interrupted(systems[v].params().clone(), kind)
+                            }
+                            // unreachable without a live trip signal; account
+                            // the cell as skipped rather than dropping it
+                            None => SweepOutcome::skipped(systems[v].params().clone()),
+                        },
+                    }
                 })
                 .collect();
             SweepReport {
@@ -357,45 +692,49 @@ pub fn check_over_sweep_with_stats(
 /// incremental sweep's reuse/extend classification — and the set of cells a
 /// cancellation can race with is a stable function of the budget, not of
 /// thread timing.
+#[allow(clippy::too_many_arguments)]
 fn run_cached_batches(
     specs: &[Spec],
     systems: &[CounterSystem],
     cell_options: CheckerOptions,
     outer: usize,
+    job: Option<&JobSignals>,
+    violated_seed: &[usize],
     slots: &mut [Option<SweepOutcome>],
     stats_slots: &mut [Option<GraphCacheStats>],
 ) {
-    if outer <= 1 || systems.len() <= 1 {
+    let width = systems.len();
+    if outer <= 1 || width <= 1 {
         let pool = WorkerPool::new(resolved_workers(&cell_options));
         let lineage = GraphLineage::new();
-        let mut violated_at = vec![usize::MAX; specs.len()];
-        for (v, sys) in systems.iter().enumerate() {
-            let checker =
+        let mut violated_at = violated_seed.to_vec();
+        'grid: for (v, sys) in systems.iter().enumerate() {
+            if job.is_some_and(|j| j.fast_stop().is_some()) {
+                break 'grid;
+            }
+            let mut checker =
                 ExplicitChecker::with_pool_and_lineage(sys, cell_options, &pool, &lineage);
+            checker.set_signals(job);
             for (s, spec) in specs.iter().enumerate() {
-                if violated_at[s] < v {
-                    continue; // an earlier valuation already violated
+                if violated_at[s] < v || slots[s * width + v].is_some() {
+                    continue; // an earlier valuation violated, or resumed
                 }
-                let started = Instant::now();
-                let outcome = checker.check_cached(spec);
-                let violated = outcome.status == CheckStatus::Violated;
-                slots[s * systems.len() + v] = Some(SweepOutcome {
-                    params: sys.params().clone(),
-                    outcome,
-                    duration: started.elapsed(),
-                    skipped: false,
-                });
-                if violated {
+                if job.is_some_and(|j| j.fast_stop().is_some()) {
+                    stats_slots[v] = Some(checker.cache_stats());
+                    break 'grid;
+                }
+                let cell = run_cached_cell(&checker, &pool, sys, spec, cell_options, job);
+                if cell.outcome.status == CheckStatus::Violated {
                     violated_at[s] = violated_at[s].min(v);
                 }
+                slots[s * width + v] = Some(cell);
             }
             stats_slots[v] = Some(checker.cache_stats());
         }
     } else {
         let cell_workers = resolved_workers(&cell_options);
         let violated_at: Vec<AtomicUsize> =
-            specs.iter().map(|_| AtomicUsize::new(usize::MAX)).collect();
-        let width = systems.len();
+            violated_seed.iter().map(|&v| AtomicUsize::new(v)).collect();
         let block = width.div_ceil(outer);
         let slot_refs: Vec<Mutex<&mut Option<SweepOutcome>>> =
             slots.iter_mut().map(Mutex::new).collect();
@@ -411,29 +750,34 @@ fn run_cached_batches(
                 scope.spawn(move || {
                     let pool = WorkerPool::new(cell_workers);
                     let lineage = GraphLineage::new();
-                    for v in range {
+                    'block: for v in range {
+                        if job.is_some_and(|j| j.fast_stop().is_some()) {
+                            break 'block;
+                        }
                         let sys = &systems[v];
-                        let checker = ExplicitChecker::with_pool_and_lineage(
+                        let mut checker = ExplicitChecker::with_pool_and_lineage(
                             sys,
                             cell_options,
                             &pool,
                             &lineage,
                         );
+                        checker.set_signals(job);
                         for (s, spec) in specs.iter().enumerate() {
-                            if violated_at[s].load(Ordering::Acquire) < v {
-                                continue; // cancelled: an earlier valuation violated
+                            if violated_at[s].load(Ordering::Acquire) < v
+                                || slot_refs[s * width + v].lock().unwrap().is_some()
+                            {
+                                continue; // violated earlier, or resumed
                             }
-                            let started = Instant::now();
-                            let outcome = checker.check_cached(spec);
-                            if outcome.status == CheckStatus::Violated {
+                            if job.is_some_and(|j| j.fast_stop().is_some()) {
+                                **stats_refs[v].lock().unwrap() = Some(checker.cache_stats());
+                                break 'block;
+                            }
+                            let cell =
+                                run_cached_cell(&checker, &pool, sys, spec, cell_options, job);
+                            if cell.outcome.status == CheckStatus::Violated {
                                 violated_at[s].fetch_min(v, Ordering::AcqRel);
                             }
-                            **slot_refs[s * width + v].lock().unwrap() = Some(SweepOutcome {
-                                params: sys.params().clone(),
-                                outcome,
-                                duration: started.elapsed(),
-                                skipped: false,
-                            });
+                            **slot_refs[s * width + v].lock().unwrap() = Some(cell);
                         }
                         **stats_refs[v].lock().unwrap() = Some(checker.cache_stats());
                     }
@@ -488,6 +832,8 @@ mod tests {
         // two admissible valuations were checked
         assert_eq!(holds.outcomes.len(), 2);
         assert_eq!(holds.skipped_cells(), 0);
+        assert_eq!(holds.interrupted_cells(), 0);
+        assert_eq!(holds.failed_cells(), 0);
         assert!(holds.total_states() > 0);
         assert!(holds.first_violation().is_none());
         assert!(!holds.formula.is_empty());
@@ -499,7 +845,9 @@ mod tests {
         assert_eq!(violated.outcomes.len(), 2);
         assert_eq!(violated.skipped_cells(), 1);
         assert!(violated.outcomes[0].outcome.is_violated());
+        assert_eq!(violated.outcomes[0].disposition, CellDisposition::Completed);
         assert!(violated.outcomes[1].skipped);
+        assert_eq!(violated.outcomes[1].disposition, CellDisposition::Skipped);
         assert_eq!(violated.outcomes[1].outcome.states_explored, 0);
         assert!(violated.first_violation().is_some());
         assert!(violated.total_time() >= Duration::ZERO);
@@ -546,6 +894,7 @@ mod tests {
             for (po, so) in p.outcomes.iter().zip(&s.outcomes) {
                 assert_eq!(po.params, so.params);
                 assert_eq!(po.skipped, so.skipped);
+                assert_eq!(po.disposition, so.disposition);
                 assert_eq!(po.outcome.status, so.outcome.status);
                 assert_eq!(po.outcome.states_explored, so.outcome.states_explored);
                 assert_eq!(
@@ -626,9 +975,16 @@ mod tests {
                     check_over_sweep_with_threads(&model, &specs, &valuations, options, threads);
                 assert_eq!(reports.len(), specs.len());
                 for report in &reports {
-                    let completed = report.outcomes.iter().filter(|o| !o.skipped).count();
+                    let completed = report
+                        .outcomes
+                        .iter()
+                        .filter(|o| o.disposition == CellDisposition::Completed)
+                        .count();
                     assert_eq!(
-                        completed + report.skipped_cells(),
+                        completed
+                            + report.skipped_cells()
+                            + report.interrupted_cells()
+                            + report.failed_cells(),
                         grid_width,
                         "{} at budget {threads} lost a grid cell",
                         report.spec_name
@@ -643,6 +999,71 @@ mod tests {
                 assert_eq!(reports[1].skipped_cells(), 0);
             }
         }
+
+        // the job-lifecycle variant distinguishes *interrupted* cells (a
+        // tripped cancel token stopped the sweep) from *skipped* ones (an
+        // earlier violation of the same query): a pre-cancelled sweep must
+        // interrupt every cell, and the four dispositions together must
+        // still account for the whole grid
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (cancelled, _) = check_over_sweep_cancellable(
+            &model,
+            &specs,
+            &valuations,
+            CheckerOptions::default(),
+            2,
+            &cancel,
+            JobBudget::unlimited(),
+        );
+        for report in &cancelled {
+            assert_eq!(report.outcomes.len(), grid_width);
+            assert_eq!(
+                report.interrupted_cells(),
+                grid_width,
+                "{}: a pre-cancelled sweep must interrupt every cell",
+                report.spec_name
+            );
+            assert_eq!(report.skipped_cells(), 0);
+            assert_eq!(report.failed_cells(), 0);
+            assert_eq!(report.status(), CheckStatus::Unknown);
+            for cell in &report.outcomes {
+                assert!(cell.outcome.is_interrupted());
+                assert!(!cell.skipped);
+            }
+        }
+
+        // resuming the fully-interrupted sweep completes it, bit-identical
+        // to an uninterrupted cancellable run — which in turn matches the
+        // plain sweep
+        let (resumed, _) = resume_sweep(
+            &model,
+            &specs,
+            &valuations,
+            CheckerOptions::default(),
+            2,
+            &CancelToken::new(),
+            JobBudget::unlimited(),
+            &cancelled,
+        );
+        let (reference, _) = check_over_sweep_cancellable(
+            &model,
+            &specs,
+            &valuations,
+            CheckerOptions::default(),
+            1,
+            &CancelToken::new(),
+            JobBudget::unlimited(),
+        );
+        assert_reports_identical(&resumed, &reference, "resumed vs uninterrupted");
+        let plain = check_over_sweep_with_threads(
+            &model,
+            &specs,
+            &valuations,
+            CheckerOptions::default(),
+            1,
+        );
+        assert_reports_identical(&reference, &plain, "cancellable vs plain");
     }
 
     #[test]
@@ -695,6 +1116,7 @@ mod tests {
                 for (co, uo) in c.outcomes.iter().zip(&u.outcomes) {
                     assert_eq!(co.params, uo.params);
                     assert_eq!(co.skipped, uo.skipped, "{}", c.spec_name);
+                    assert_eq!(co.disposition, uo.disposition, "{}", c.spec_name);
                     assert_eq!(co.outcome.status, uo.outcome.status, "{}", c.spec_name);
                 }
             }
@@ -702,7 +1124,7 @@ mod tests {
     }
 
     /// Deep equality of two sweep reports: statuses, per-cell outcomes,
-    /// counts and counterexample schedules, step for step.
+    /// dispositions, counts and counterexample schedules, step for step.
     fn assert_reports_identical(a: &[SweepReport], b: &[SweepReport], ctx: &str) {
         assert_eq!(a.len(), b.len(), "{ctx}");
         for (ra, rb) in a.iter().zip(b) {
@@ -713,6 +1135,7 @@ mod tests {
                 let cell = format!("{ctx}: {} at {}", ra.spec_name, oa.params);
                 assert_eq!(oa.params, ob.params, "{cell}");
                 assert_eq!(oa.skipped, ob.skipped, "{cell}");
+                assert_eq!(oa.disposition, ob.disposition, "{cell}");
                 assert_eq!(oa.outcome.status, ob.outcome.status, "{cell}");
                 assert_eq!(
                     oa.outcome.states_explored, ob.outcome.states_explored,

@@ -18,14 +18,19 @@
 //!   1, 2 and 4 workers returns the same verdict as the per-spec path for
 //!   every obligation, and every cached counterexample replays to a
 //!   genuine violation of its spec.
+//! * **Interrupted ≡ uninterrupted** — a `CheckJob` tripped by a state
+//!   budget at a random cap, checkpointed and resumed (repeatedly, with a
+//!   doubling cap) produces verdicts, counts and counterexample schedules
+//!   bit-identical to a run that was never interrupted, at 1, 2 and 4
+//!   workers.
 //!
 //! A failure message always includes the generator seed, so any
 //! counterexample system can be rebuilt deterministically.
 
 use ccchecker::reference::reference_check;
 use ccchecker::{
-    check_over_sweep_with_stats, CheckStatus, CheckerOptions, ExplicitChecker, LocSet, Spec,
-    StartRestriction,
+    check_over_sweep_with_stats, CheckJob, CheckStatus, CheckerOptions, ExplicitChecker, JobBudget,
+    JobOutcome, LocSet, Spec, StartRestriction,
 };
 use cccounter::CounterSystem;
 use ccta::prelude::*;
@@ -545,5 +550,124 @@ fn random_systems_are_worker_and_wave_independent() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn random_systems_interrupt_resume_is_bit_identical() {
+    // The random-interrupt axis of the job lifecycle: every system's
+    // catalogue is run once uninterrupted (the reference), once as an
+    // uninterrupted `CheckJob`, and once tripped by a state budget at a
+    // random cap drawn from the seed.  Each trip surrenders a checkpoint;
+    // resuming with a doubled cap walks the job through repeated
+    // deterministic interrupts until it completes.  Both job runs must be
+    // bit-identical to the reference — verdicts, state counts, transition
+    // counts and counterexample schedules — at 1, 2 and 4 workers, with
+    // the graph cache on and (at one worker) off.
+    let mut trips = 0usize;
+    let mut suspended_builds = 0usize;
+    for i in 0..SYSTEMS {
+        let seed = 0xD1F_F0000 + i as u64;
+        let (sys, mids) = random_system(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC5);
+        let specs = random_specs(&mut rng, sys.model(), &mids);
+        for workers in [1, 2, 4] {
+            for graph_cache in [true, false] {
+                if !graph_cache && workers != 1 {
+                    continue;
+                }
+                let options = CheckerOptions {
+                    workers,
+                    wave_size: if workers > 1 { 1 } else { 0 },
+                    ..CheckerOptions::default()
+                }
+                .with_graph_cache(graph_cache);
+                let reference = ExplicitChecker::with_options(&sys, options).check_all(&specs);
+
+                let (direct, _) = CheckJob::new(&sys, &specs, options)
+                    .run()
+                    .completed()
+                    .expect("an unbudgeted job must complete");
+
+                let mut cap = rng.gen_range(2..=24usize);
+                let mut outcome = CheckJob::new(&sys, &specs, options)
+                    .with_budget(JobBudget::unlimited().with_max_states(cap))
+                    .run();
+                let resumed = loop {
+                    match outcome {
+                        JobOutcome::Completed { outcomes, .. } => break outcomes,
+                        JobOutcome::BudgetExceeded {
+                            reason, checkpoint, ..
+                        } => {
+                            assert!(reason.is_budget(), "seed {seed}: {reason}");
+                            trips += 1;
+                            if checkpoint.has_build_in_flight() {
+                                suspended_builds += 1;
+                            }
+                            cap *= 2;
+                            outcome = CheckJob::new(&sys, &specs, options)
+                                .with_budget(JobBudget::unlimited().with_max_states(cap))
+                                .resume(checkpoint);
+                        }
+                        JobOutcome::Interrupted { .. } => {
+                            panic!("seed {seed}: no cancel token was tripped")
+                        }
+                    }
+                };
+
+                for (spec, (a, b)) in specs.iter().zip(direct.iter().zip(&reference)) {
+                    let ctx = format!(
+                        "seed {seed}, {} at {workers} workers, cache {graph_cache}, direct job",
+                        spec.name()
+                    );
+                    assert_job_outcome_identical(a, b, &ctx);
+                }
+                for (spec, (a, b)) in specs.iter().zip(resumed.iter().zip(&reference)) {
+                    let ctx = format!(
+                        "seed {seed}, {} at {workers} workers, cache {graph_cache}, resumed job",
+                        spec.name()
+                    );
+                    assert_job_outcome_identical(a, b, &ctx);
+                }
+            }
+        }
+    }
+    // the corpus must genuinely interrupt, and at least one checkpoint must
+    // carry a suspended mid-build store (a wave-boundary trip, not just an
+    // obligation-boundary trip)
+    assert!(trips > 0, "no state cap ever tripped across the corpus");
+    assert!(
+        suspended_builds > 0,
+        "no checkpoint ever carried a build in flight"
+    );
+}
+
+/// Bit-identity of a job outcome against its uninterrupted reference.
+fn assert_job_outcome_identical(
+    a: &ccchecker::CheckOutcome,
+    b: &ccchecker::CheckOutcome,
+    ctx: &str,
+) {
+    assert_eq!(a.status, b.status, "verdict differs: {ctx}");
+    assert_eq!(
+        a.states_explored, b.states_explored,
+        "state count differs: {ctx}"
+    );
+    assert_eq!(
+        a.transitions_explored, b.transitions_explored,
+        "transition count differs: {ctx}"
+    );
+    assert_eq!(a.detail, b.detail, "detail differs: {ctx}");
+    match (&a.counterexample, &b.counterexample) {
+        (None, None) => {}
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.initial, cb.initial, "initial differs: {ctx}");
+            assert_eq!(
+                ca.schedule.steps(),
+                cb.schedule.steps(),
+                "schedule differs: {ctx}"
+            );
+        }
+        _ => panic!("counterexample presence differs: {ctx}"),
     }
 }

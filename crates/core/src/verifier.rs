@@ -8,8 +8,9 @@
 
 use crate::obligations::{obligations_for, Obligations};
 use ccchecker::{
-    check_over_sweep_with_stats, schema_count, sweep_thread_budget, CheckStatus, CheckerOptions,
-    Counterexample, GraphCacheStats, Spec, SweepReport,
+    check_over_sweep_cancellable, check_over_sweep_with_stats, schema_count, sweep_thread_budget,
+    CancelToken, CheckStatus, CheckerOptions, Counterexample, GraphCacheStats, JobBudget, Spec,
+    SweepReport,
 };
 use ccprotocols::ProtocolModel;
 use ccta::{ModelStats, ParamValuation, ProtocolCategory, SystemModel};
@@ -36,6 +37,14 @@ pub struct VerifierConfig {
     /// engine default (see the `ccchecker` crate docs for the full knob
     /// precedence).
     pub checker: CheckerOptions,
+    /// Resource budget for each protocol's combined sweep (see the "Job
+    /// lifecycle & fault model" section of the `ccchecker` crate docs).
+    /// The deadline is global to the sweep; state, transition and
+    /// resident-byte caps apply per grid cell.  A tripped budget degrades
+    /// gracefully: the affected cells report `interrupted` outcomes (the
+    /// property status becomes `Unknown`, never a false verdict) and the
+    /// sweep-level accounting still covers the whole grid.
+    pub budget: JobBudget,
 }
 
 impl Default for VerifierConfig {
@@ -46,6 +55,7 @@ impl Default for VerifierConfig {
             max_valuations: 2,
             threads: 0,
             checker: CheckerOptions::default(),
+            budget: JobBudget::unlimited(),
         }
     }
 }
@@ -108,6 +118,24 @@ impl VerifierConfig {
     /// verdicts, counts and counterexample schedules.
     pub fn with_incremental_sweep(mut self, enabled: bool) -> Self {
         self.checker.incremental_sweep = Some(enabled);
+        self
+    }
+
+    /// This configuration with a wall-clock deadline (in milliseconds) on
+    /// each protocol's combined sweep.  Cells past the deadline report
+    /// `interrupted` outcomes and the affected properties come back
+    /// `Unknown` rather than with a fabricated verdict.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.budget = self
+            .budget
+            .with_deadline(Duration::from_millis(deadline_ms));
+        self
+    }
+
+    /// This configuration with a resident-byte cap on each grid cell's
+    /// state store — the graceful-degradation stand-in for an OOM kill.
+    pub fn with_max_resident_bytes(mut self, bytes: usize) -> Self {
+        self.budget = self.budget.with_max_resident_bytes(bytes);
         self
     }
 
@@ -266,13 +294,29 @@ pub fn verify_protocol(protocol: &ProtocolModel, config: &VerifierConfig) -> Pro
         .chain(obligations.termination.iter())
         .cloned()
         .collect();
-    let (mut reports, cache) = check_over_sweep_with_stats(
-        &single_round,
-        &all_specs,
-        &valuations,
-        config.checker,
-        sweep_thread_budget(config.threads),
-    );
+    let (mut reports, cache) = if config.budget.is_unlimited() {
+        check_over_sweep_with_stats(
+            &single_round,
+            &all_specs,
+            &valuations,
+            config.checker,
+            sweep_thread_budget(config.threads),
+        )
+    } else {
+        // a budgeted run goes through the job lifecycle layer: tripped
+        // cells degrade to interrupted outcomes instead of aborting the
+        // protocol, and the caller can see which cells were cut short via
+        // `SweepReport::interrupted_cells`
+        check_over_sweep_cancellable(
+            &single_round,
+            &all_specs,
+            &valuations,
+            config.checker,
+            sweep_thread_budget(config.threads),
+            &CancelToken::new(),
+            config.budget,
+        )
+    };
     let mut take = |n: usize| -> Vec<SweepReport> { reports.drain(..n).collect() };
     let agreement_reports = take(obligations.agreement.len());
     let validity_reports = take(obligations.validity.len());
@@ -485,6 +529,33 @@ mod tests {
         );
         assert_eq!(fresh.cache.reused_groups(), 0);
         assert_eq!(fresh.cache.extended_groups(), 0);
+    }
+
+    #[test]
+    fn exhausted_deadline_degrades_to_unknown_without_losing_cells() {
+        // a zero deadline trips every grid cell: the properties must come
+        // back Unknown (never a fabricated verdict or counterexample) and
+        // the interrupted cells must still account for the whole grid
+        let p = bstyle::cc85a();
+        let result = verify_protocol(&p, &VerifierConfig::quick().with_deadline_ms(0));
+        assert!(!result.all_hold());
+        let width = result.valuations.len();
+        for prop in [&result.agreement, &result.validity, &result.termination] {
+            assert_eq!(prop.status, CheckStatus::Unknown, "{}", prop.property);
+            assert!(prop.counterexample.is_none(), "{}", prop.property);
+            for report in &prop.reports {
+                assert_eq!(
+                    report.interrupted_cells(),
+                    width,
+                    "{}: {}",
+                    prop.property,
+                    report.spec_name
+                );
+            }
+        }
+        // the same protocol under an unlimited budget routes through the
+        // plain sweep and still passes
+        assert!(verify_protocol(&p, &VerifierConfig::quick()).all_hold());
     }
 
     #[test]
