@@ -270,14 +270,28 @@ fn main() {
             fresh.as_secs_f64() / incremental.as_secs_f64()
         );
         println!("  {lineage_stats}");
+        println!(
+            "  levers:        memo {} hit(s) / {} miss(es); {} group(s) pruned in place \
+             ({} action(s) cut) vs {} rebuilt; parked {} -> {} KiB ({:.2}x)",
+            lineage_stats.memo_hits(),
+            lineage_stats.memo_misses(),
+            lineage_stats.pruned_groups(),
+            lineage_stats.pruned_actions_total(),
+            lineage_stats.rebuilt_groups(),
+            lineage_stats.parked_full_bytes / 1024,
+            lineage_stats.parked_compact_bytes / 1024,
+            lineage_stats.parked_compression(),
+        );
         for g in &lineage_stats.groups {
             println!(
-                "    group {:<18} {:<8} {} obligation(s), {} states, {} seed(s), {} KiB resident",
+                "    group {:<18} {:<8} {} obligation(s), {} states, {} seed(s), \
+                 {} memo hit(s), {} KiB resident",
                 g.start,
                 g.origin.to_string(),
                 g.specs,
                 g.states,
                 g.seed_frontier,
+                g.memo_hits,
                 g.resident_bytes / 1024,
             );
         }

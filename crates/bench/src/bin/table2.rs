@@ -1,7 +1,8 @@
 //! Regenerates Table II: verification of the eight common-coin protocols.
 //!
 //! Usage: `table2 [--threads N] [--wave-size W] [--no-graph-cache]
-//! [--no-incremental-sweep] [--deadline-ms D] [--max-resident-bytes B]` —
+//! [--no-incremental-sweep] [--no-verdict-memo] [--no-tighten-prune]
+//! [--deadline-ms D] [--max-resident-bytes B]` —
 //! `N` is the total thread budget per property sweep, split between
 //! `query × valuation` grid cells and in-check workers (default:
 //! `CC_SWEEP_THREADS`, then all cores); `W` bounds a parallel level's
@@ -10,8 +11,13 @@
 //! obligation re-explores its own state space (default: cached, unless
 //! `CC_GRAPH_CACHE=0`); `--no-incremental-sweep` disables the
 //! cross-valuation graph lineage so every valuation re-explores its groups
-//! (default: incremental, unless `CC_SWEEP_INCREMENTAL=0`).  The knob
-//! combinations produce identical verdicts.  `--deadline-ms D` puts a
+//! (default: incremental, unless `CC_SWEEP_INCREMENTAL=0`);
+//! `--no-verdict-memo` disables per-graph verdict memoization so identical
+//! lineage steps re-evaluate every obligation (default: memoized, unless
+//! `CC_VERDICT_MEMO=0`); `--no-tighten-prune` degrades tighten-only
+//! lineage steps from the in-place prune back to a full rebuild (default:
+//! pruned, unless `CC_TIGHTEN_PRUNE=0`).  The knob combinations produce
+//! identical verdicts.  `--deadline-ms D` puts a
 //! wall-clock deadline on each protocol's sweep and `--max-resident-bytes
 //! B` caps each grid cell's state store: tripped cells degrade to
 //! `interrupted` outcomes and their properties report `?` instead of a
@@ -38,6 +44,12 @@ fn main() {
             "--no-incremental-sweep" => {
                 config = config.with_incremental_sweep(false);
             }
+            "--no-verdict-memo" => {
+                config = config.with_verdict_memo(false);
+            }
+            "--no-tighten-prune" => {
+                config = config.with_tighten_prune(false);
+            }
             "--deadline-ms" => {
                 let d = ccbench::parse_positive_flag("--deadline-ms", &mut args);
                 config = config.with_deadline_ms(d as u64);
@@ -50,7 +62,8 @@ fn main() {
                 eprintln!(
                     "unknown argument: {other}\n\
                      usage: table2 [--threads N] [--wave-size W] [--no-graph-cache] \
-                     [--no-incremental-sweep] [--deadline-ms D] [--max-resident-bytes B]"
+                     [--no-incremental-sweep] [--no-verdict-memo] [--no-tighten-prune] \
+                     [--deadline-ms D] [--max-resident-bytes B]"
                 );
                 std::process::exit(2);
             }

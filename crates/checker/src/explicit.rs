@@ -78,6 +78,23 @@ pub struct CheckerOptions {
     /// [`ExplicitChecker::with_pool_and_lineage`]); single-valuation
     /// checks are unaffected.
     pub incremental_sweep: Option<bool>,
+    /// Whether a cached reachability graph memoises its per-obligation
+    /// verdicts, so an *identical*-classified lineage step (and any repeat
+    /// query of the same group) serves the stored outcome without rerunning
+    /// the analysis pass (see the "Verdict memoization & lineage
+    /// compaction" section of the crate docs).  `None` resolves the
+    /// `CC_VERDICT_MEMO` environment variable (`0` disables) and defaults
+    /// to enabled.  The memo never changes a verdict, a count or a
+    /// counterexample schedule.
+    pub verdict_memo: Option<bool>,
+    /// Whether a *tighten-only* lineage step (every changed guard atom
+    /// strictly tightened, same structure) prunes the predecessor graph in
+    /// place — dropping the actions whose guards no longer hold and
+    /// re-deriving reachability with the relink BFS — instead of rebuilding
+    /// the group from scratch.  `None` resolves the `CC_TIGHTEN_PRUNE`
+    /// environment variable (`0` disables) and defaults to enabled.  A
+    /// pruned graph is bit-identical to a fresh build.
+    pub tighten_prune: Option<bool>,
 }
 
 impl Default for CheckerOptions {
@@ -90,6 +107,8 @@ impl Default for CheckerOptions {
             wave_size: 0,
             graph_cache: None,
             incremental_sweep: None,
+            verdict_memo: None,
+            tighten_prune: None,
         }
     }
 }
@@ -127,6 +146,20 @@ impl CheckerOptions {
     /// variable).
     pub fn with_incremental_sweep(mut self, enabled: bool) -> Self {
         self.incremental_sweep = Some(enabled);
+        self
+    }
+
+    /// These options with verdict memoization explicitly enabled or
+    /// disabled (overriding the `CC_VERDICT_MEMO` environment variable).
+    pub fn with_verdict_memo(mut self, enabled: bool) -> Self {
+        self.verdict_memo = Some(enabled);
+        self
+    }
+
+    /// These options with the tighten-only prune explicitly enabled or
+    /// disabled (overriding the `CC_TIGHTEN_PRUNE` environment variable).
+    pub fn with_tighten_prune(mut self, enabled: bool) -> Self {
+        self.tighten_prune = Some(enabled);
         self
     }
 }
@@ -424,7 +457,7 @@ impl<'a> ExplicitChecker<'a> {
         }
         // obtain outside the borrow so the memo is never held across the
         // exploration
-        let (graph, origin, seed_frontier) = self.obtain_graph(start)?;
+        let (graph, origin, seed_frontier, pruned_actions) = self.obtain_graph(start)?;
         if let Some((lineage, bounds)) = &self.lineage {
             lineage.record(self.sys, start, &graph, bounds);
         }
@@ -437,6 +470,9 @@ impl<'a> ExplicitChecker<'a> {
             transitions: graph.transitions(),
             origin,
             seed_frontier,
+            pruned_actions,
+            memo_hits: 0,
+            memo_misses: 0,
             resident_bytes: graph.resident_bytes(),
         });
         memo.graphs.push((start, Rc::clone(&graph), group));
@@ -449,7 +485,7 @@ impl<'a> ExplicitChecker<'a> {
     fn obtain_graph(
         &self,
         start: StartRestriction,
-    ) -> Result<(Rc<ReachGraph>, GraphOrigin, usize), InterruptKind> {
+    ) -> Result<(Rc<ReachGraph>, GraphOrigin, usize, usize), InterruptKind> {
         let mut fresh_origin = GraphOrigin::Built;
         if let Some((lineage, bounds)) = &self.lineage {
             match lineage.adopt(
@@ -460,10 +496,11 @@ impl<'a> ExplicitChecker<'a> {
                 self.pool.get(),
                 self.signals,
             ) {
-                LineageStep::Reuse(graph) => return Ok((graph, GraphOrigin::Reused, 0)),
+                LineageStep::Reuse(graph) => return Ok((graph, GraphOrigin::Reused, 0, 0)),
                 LineageStep::Extend(graph, seeds) => {
-                    return Ok((graph, GraphOrigin::Extended, seeds))
+                    return Ok((graph, GraphOrigin::Extended, seeds, 0))
                 }
+                LineageStep::Prune(graph, cut) => return Ok((graph, GraphOrigin::Pruned, 0, cut)),
                 LineageStep::Build { rebuilt } => {
                     if rebuilt {
                         fresh_origin = GraphOrigin::Rebuilt;
@@ -481,7 +518,7 @@ impl<'a> ExplicitChecker<'a> {
             self.signal_base.get(),
         );
         match step {
-            BuildStep::Done(graph) => Ok((Rc::new(graph), fresh_origin, 0)),
+            BuildStep::Done(graph) => Ok((Rc::new(graph), fresh_origin, 0, 0)),
             BuildStep::Suspended(_, kind) => Err(kind),
         }
     }
@@ -527,8 +564,16 @@ impl<'a> ExplicitChecker<'a> {
             self.memo.borrow_mut().stats.uncached_specs += 1;
             return self.check(spec);
         }
-        self.memo.borrow_mut().stats.groups[group].specs += 1;
-        graph.evaluate(self.sys, spec, &self.options, self.signals)
+        let (outcome, memo_hit) = graph.evaluate_memo(self.sys, spec, &self.options, self.signals);
+        let mut memo = self.memo.borrow_mut();
+        let record = &mut memo.stats.groups[group];
+        record.specs += 1;
+        if memo_hit {
+            record.memo_hits += 1;
+        } else {
+            record.memo_misses += 1;
+        }
+        outcome
     }
 
     /// Checks a slice of queries, sharing one reachability graph across all

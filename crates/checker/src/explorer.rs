@@ -251,6 +251,40 @@ pub(crate) fn resolved_incremental_sweep(options: &CheckerOptions) -> bool {
     })
 }
 
+/// Whether cached graphs memoise per-obligation verdicts across the
+/// valuations of an identical-classified lineage step: an explicit
+/// [`CheckerOptions::verdict_memo`] setting wins; `None` defers to the
+/// `CC_VERDICT_MEMO` environment variable (`0` disables), defaulting to
+/// enabled.  Memoised process-wide like the other auto knobs.
+pub(crate) fn resolved_verdict_memo(options: &CheckerOptions) -> bool {
+    if let Some(explicit) = options.verdict_memo {
+        return explicit;
+    }
+    static AUTO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("CC_VERDICT_MEMO")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true)
+    })
+}
+
+/// Whether tighten-only lineage steps prune the predecessor graph in place
+/// instead of rebuilding the group from scratch: an explicit
+/// [`CheckerOptions::tighten_prune`] setting wins; `None` defers to the
+/// `CC_TIGHTEN_PRUNE` environment variable (`0` disables), defaulting to
+/// enabled.  Memoised process-wide like the other auto knobs.
+pub(crate) fn resolved_tighten_prune(options: &CheckerOptions) -> bool {
+    if let Some(explicit) = options.tighten_prune {
+        return explicit;
+    }
+    static AUTO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("CC_TIGHTEN_PRUNE")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true)
+    })
+}
+
 /// The wave size for the given options: an explicit `wave_size` setting
 /// wins; `0` defers to the `CC_WAVE_SIZE` environment variable and then to
 /// [`DEFAULT_WAVE_SIZE`].

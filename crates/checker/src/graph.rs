@@ -56,7 +56,7 @@ use crate::explorer::{Exploration, Explorer, Visitor};
 use crate::game::{adversary_winning, extract_strategy_path, CsrRecorder, GameGraph};
 use crate::job::{InterruptKind, JobSignals};
 use crate::pool::WorkerPool;
-use crate::result::CheckOutcome;
+use crate::result::{CheckOutcome, CheckStatus};
 use crate::spec::{LocSet, Spec, StartRestriction};
 use crate::store::StateStore;
 use cccounter::{Action, Configuration, CounterSystem, Schedule, ScheduledStep};
@@ -89,51 +89,67 @@ pub(crate) enum GuardStep {
         /// Rule indices whose guard weakened.
         changed: Vec<usize>,
     },
-    /// Some atom tightened (or the shapes disagree): stored states may no
-    /// longer be reachable and cached edges may have died, so the group is
+    /// Every changed atom tightened its guard (`>=` bound increased, `<`
+    /// bound decreased), so the new reachable set is a *subset* of the old
+    /// one and the cached graph can be *pruned* in place instead of
+    /// rebuilt.  `changed` lists the indices of the rules with at least one
+    /// tightened atom.
+    TightenOnly {
+        /// Rule indices whose guard tightened.
+        changed: Vec<usize>,
+    },
+    /// Changed atoms weakened in one place and tightened in another, or the
+    /// shapes disagree: neither subset relation holds, so the group is
     /// re-explored from scratch.
-    TightenOrMixed,
+    Mixed,
 }
 
 /// Classifies a valuation step by diffing the compiled per-rule guard
 /// bounds.  The two bound sets must come from the *same model* (same rules,
 /// same atoms, same relations); any structural disagreement is conservative
-/// [`GuardStep::TightenOrMixed`].
+/// [`GuardStep::Mixed`].
 pub(crate) fn classify_guard_step(old: &GuardBounds, new: &GuardBounds) -> GuardStep {
     if old.len() != new.len() {
-        return GuardStep::TightenOrMixed;
+        return GuardStep::Mixed;
     }
-    let mut changed = Vec::new();
+    let mut relaxed = Vec::new();
+    let mut tightened = Vec::new();
     for (rule, (old_guard, new_guard)) in old.iter().zip(new).enumerate() {
         if old_guard.len() != new_guard.len() {
-            return GuardStep::TightenOrMixed;
+            return GuardStep::Mixed;
         }
-        let mut rule_changed = false;
+        let (mut rule_relaxed, mut rule_tightened) = (false, false);
         for (&(old_rel, old_bound), &(new_rel, new_bound)) in old_guard.iter().zip(new_guard) {
             if old_rel != new_rel {
-                return GuardStep::TightenOrMixed;
+                return GuardStep::Mixed;
             }
             if old_bound == new_bound {
                 continue;
             }
-            // a conjunction weakens iff every changed atom weakens
+            // a conjunction weakens iff every changed atom weakens, and
+            // tightens iff every changed atom tightens
             let weaker = match old_rel {
                 GuardRel::Ge => new_bound < old_bound,
                 GuardRel::Lt => new_bound > old_bound,
             };
-            if !weaker {
-                return GuardStep::TightenOrMixed;
+            if weaker {
+                rule_relaxed = true;
+            } else {
+                rule_tightened = true;
             }
-            rule_changed = true;
         }
-        if rule_changed {
-            changed.push(rule);
+        if rule_relaxed {
+            relaxed.push(rule);
+        }
+        if rule_tightened {
+            tightened.push(rule);
         }
     }
-    if changed.is_empty() {
-        GuardStep::Identical
-    } else {
-        GuardStep::RelaxOnly { changed }
+    match (relaxed.is_empty(), tightened.is_empty()) {
+        (true, true) => GuardStep::Identical,
+        (false, true) => GuardStep::RelaxOnly { changed: relaxed },
+        (true, false) => GuardStep::TightenOnly { changed: tightened },
+        (false, false) => GuardStep::Mixed,
     }
 }
 
@@ -163,6 +179,9 @@ pub(crate) enum LineageStep {
     /// The step was relax-only and the cached graph was extended in place;
     /// the `usize` is the seeded-frontier size.
     Extend(Rc<ReachGraph>, usize),
+    /// The step was tighten-only and the cached graph was pruned in place;
+    /// the `usize` is the number of dead actions cut.
+    Prune(Rc<ReachGraph>, usize),
 }
 
 /// The cross-valuation graph lineage of one sweep worker: at most one
@@ -198,7 +217,7 @@ impl GraphLineage {
         pool: &WorkerPool,
         signals: Option<&JobSignals>,
     ) -> LineageStep {
-        let entry = {
+        let mut entry = {
             let mut entries = self.entries.borrow_mut();
             match entries.iter().position(|e| e.start == start) {
                 Some(pos) => entries.remove(pos),
@@ -211,15 +230,35 @@ impl GraphLineage {
             return LineageStep::Build { rebuilt: true };
         }
         match classify_guard_step(&entry.bounds, bounds) {
-            GuardStep::Identical => LineageStep::Reuse(entry.graph),
-            GuardStep::TightenOrMixed => LineageStep::Build { rebuilt: true },
+            GuardStep::Identical => {
+                // a parked survivor re-entering service decodes its row
+                // arena first (sole ownership is guaranteed whenever the
+                // graph was parked — parking skips shared graphs)
+                if let Some(graph) = Rc::get_mut(&mut entry.graph) {
+                    graph.unpark();
+                }
+                LineageStep::Reuse(entry.graph)
+            }
+            GuardStep::Mixed => LineageStep::Build { rebuilt: true },
+            GuardStep::TightenOnly { changed } => {
+                if !crate::explorer::resolved_tighten_prune(options) {
+                    return LineageStep::Build { rebuilt: true };
+                }
+                let Ok(mut graph) = Rc::try_unwrap(entry.graph) else {
+                    return LineageStep::Build { rebuilt: true };
+                };
+                graph.unpark();
+                let (pruned, cut) = graph.prune(sys, &changed);
+                LineageStep::Prune(Rc::new(pruned), cut)
+            }
             GuardStep::RelaxOnly { changed } => {
                 // the previous valuation's checker has been dropped, so the
                 // lineage holds the only reference; if anything else still
                 // pins the graph, fall back to a fresh build
-                let Ok(graph) = Rc::try_unwrap(entry.graph) else {
+                let Ok(mut graph) = Rc::try_unwrap(entry.graph) else {
                     return LineageStep::Build { rebuilt: true };
                 };
+                graph.unpark();
                 match graph.extend(sys, &changed, &entry.bounds, options, pool, signals) {
                     Ok((extended, seeds)) => LineageStep::Extend(Rc::new(extended), seeds),
                     // a resource budget (or a job signal) tripped
@@ -265,6 +304,29 @@ impl GraphLineage {
             .iter()
             .map(|e| e.graph.resident_bytes())
             .sum()
+    }
+
+    /// Parks every solely-owned surviving graph between valuations:
+    /// delta-encodes the row arenas, drops the intern indexes and compacts
+    /// CSR garbage (see the "Verdict memoization & lineage compaction"
+    /// crate docs).  Graphs still pinned elsewhere (a checkpoint, a live
+    /// checker) are skipped — parking requires exclusive access because
+    /// [`GraphLineage::adopt`] must be able to unpark in place.  Returns
+    /// the `(resident bytes before, resident bytes after)` totals over the
+    /// graphs parked by *this* call, for the sweep's compression counters.
+    pub(crate) fn park_all(&self) -> (usize, usize) {
+        let (mut full, mut compact) = (0, 0);
+        for entry in self.entries.borrow_mut().iter_mut() {
+            if let Some(graph) = Rc::get_mut(&mut entry.graph) {
+                if graph.is_parked() {
+                    continue;
+                }
+                let (f, c) = graph.park();
+                full += f;
+                compact += c;
+            }
+        }
+        (full, compact)
     }
 }
 
@@ -442,6 +504,16 @@ pub(crate) struct ReachGraph {
     transitions: usize,
     /// Why the build was inconclusive, if a resource budget tripped.
     bound: Option<&'static str>,
+    /// Structural generation of the cached edges: bumped by every mutation
+    /// (extend, prune), which also clears the verdict memo.  Informational —
+    /// memo validity is enforced by the clearing itself, since the memo
+    /// lives on the graph it describes.
+    generation: u64,
+    /// Memoised per-obligation verdicts over the current graph generation,
+    /// keyed by structural [`Spec`] equality (see the "Verdict memoization
+    /// & lineage compaction" crate docs).  Only definite holds/violated
+    /// outcomes are stored — `Unknown` and interrupted passes rerun.
+    memo: RefCell<Vec<(Spec, CheckOutcome)>>,
 }
 
 impl ReachGraph {
@@ -548,6 +620,8 @@ impl ReachGraph {
             states,
             transitions,
             bound,
+            generation: 0,
+            memo: RefCell::new(Vec::new()),
         })
     }
 
@@ -641,7 +715,69 @@ impl ReachGraph {
             }
         }
         self.relink();
+        // the edges changed: memoised verdicts no longer describe this
+        // graph (the zero-seed early return above keeps them — the graph
+        // is untouched there)
+        self.generation += 1;
+        self.memo.borrow_mut().clear();
         Ok((self, seed_count))
+    }
+
+    /// Prunes a *complete* cached graph across a tighten-only valuation
+    /// step: every cached action of a `changed` rule is re-validated
+    /// against the tightened guard bounds on its source row, dead actions
+    /// are cut, and the CSR arenas are compacted around the survivors
+    /// (which also drops garbage spans left behind by earlier extends).
+    /// Rows that become unreachable stay interned but are excluded from the
+    /// re-derived discovery order by the final [`ReachGraph::relink`] —
+    /// every analysis pass iterates discovery or walks edges from the start
+    /// nodes, so verdicts, counts and counterexample schedules are
+    /// bit-identical to a from-scratch build of the new valuation.
+    /// Infallible: a tightened reachable set is a subset of the old one, so
+    /// no resource budget that admitted the old graph can trip here.
+    ///
+    /// Returns the number of dead actions cut alongside the pruned graph.
+    pub(crate) fn prune(mut self, sys: &CounterSystem, changed: &[usize]) -> (Self, usize) {
+        debug_assert!(self.bound.is_none(), "only complete graphs are pruned");
+        let num_locations = sys.model().locations().len();
+        let mut is_changed = vec![false; sys.model().rules().len()];
+        for &rule in changed {
+            is_changed[rule] = true;
+        }
+        let old = std::mem::take(&mut self.graph);
+        let mut compact = CsrRecorder::default();
+        let mut cut = 0usize;
+        // walk nodes in discovery order so the compacted arenas are laid
+        // out the way a fresh enumeration would visit them; per-node action
+        // order is preserved, and tightening only removes actions, so the
+        // surviving list is exactly the fresh build's
+        for &node in &self.discovery {
+            let row = self.store.row(node);
+            let vars = &row[num_locations..];
+            compact.begin_node();
+            for a in old.actions_of(node) {
+                let edges = old.edges_of(a);
+                let rule = edges
+                    .first()
+                    .map(|&(step, _)| step.action.rule)
+                    .unwrap_or(RuleId(0));
+                if is_changed[rule.0] && !sys.rule_guard_holds_bytes(rule, vars) {
+                    cut += 1;
+                    continue;
+                }
+                compact.begin_action();
+                for &(step, to) in edges {
+                    compact.edge(step, to);
+                }
+                compact.end_action(node);
+            }
+            compact.end_node(node);
+        }
+        self.graph = compact.graph;
+        self.relink();
+        self.generation += 1;
+        self.memo.borrow_mut().clear();
+        (self, cut)
     }
 
     /// Re-derives the BFS discovery order, the first-discovery parent edges
@@ -732,6 +868,93 @@ impl ReachGraph {
     /// Number of transitions explored for the cached graph.
     pub(crate) fn transitions(&self) -> usize {
         self.transitions
+    }
+
+    /// Parks the cached graph between valuations: delta-encodes the row
+    /// arena and drops the intern index ([`StateStore::park`]), and
+    /// compacts CSR garbage left behind by earlier extends.  Returns the
+    /// `(before, after)` resident-byte figures.  The parked graph still
+    /// answers nothing — [`ReachGraph::unpark`] must run before any
+    /// evaluation or extension, which [`GraphLineage::adopt`] does.
+    pub(crate) fn park(&mut self) -> (usize, usize) {
+        let full = self.resident_bytes();
+        // compact only when extends actually left garbage runs behind — a
+        // fresh or pruned graph's arenas are already dense
+        let referenced: usize = (0..self.graph.node_spans.len() as u32)
+            .map(|n| self.graph.actions_of(n).len())
+            .sum();
+        if referenced < self.graph.action_spans.len() {
+            let old = std::mem::take(&mut self.graph);
+            let mut compact = CsrRecorder::default();
+            for &node in &self.discovery {
+                compact.begin_node();
+                for a in old.actions_of(node) {
+                    compact.begin_action();
+                    for &(step, to) in old.edges_of(a) {
+                        compact.edge(step, to);
+                    }
+                    compact.end_action(node);
+                }
+                compact.end_node(node);
+            }
+            self.graph = compact.graph;
+        }
+        self.store.park();
+        (full, self.resident_bytes())
+    }
+
+    /// Restores a parked graph to full service: decodes the row arena and
+    /// rebuilds the intern index, bit-identically (see [`StateStore::unpark`]).
+    pub(crate) fn unpark(&mut self) {
+        self.store.unpark();
+    }
+
+    /// Whether the graph's store is currently parked.
+    pub(crate) fn is_parked(&self) -> bool {
+        self.store.is_parked()
+    }
+
+    /// Evaluates one obligation through the per-graph verdict memo: an
+    /// obligation already answered on this graph generation returns its
+    /// stored outcome without running any analysis pass.  The memo is keyed
+    /// by structural [`Spec`] equality and cleared by every graph mutation
+    /// (extend, prune), so a hit can only serve a byte-identical graph —
+    /// which makes the memoised outcome (verdict, counts, schedule) exactly
+    /// what the pass would recompute.  Counterexample params are rewritten
+    /// to the current system's: an identical-classified step can cross
+    /// valuations whose params differ even though every compiled bound (and
+    /// hence the graph and the violating schedule) is the same.
+    ///
+    /// Returns the outcome and whether it was served from the memo.
+    pub(crate) fn evaluate_memo(
+        &self,
+        sys: &CounterSystem,
+        spec: &Spec,
+        options: &CheckerOptions,
+        signals: Option<&JobSignals>,
+    ) -> (CheckOutcome, bool) {
+        if !crate::explorer::resolved_verdict_memo(options) {
+            return (self.evaluate(sys, spec, options, signals), false);
+        }
+        let hit = self
+            .memo
+            .borrow()
+            .iter()
+            .find(|(s, _)| s == spec)
+            .map(|(_, o)| o.clone());
+        if let Some(mut outcome) = hit {
+            if let Some(ce) = &mut outcome.counterexample {
+                ce.params = sys.params().clone();
+            }
+            return (outcome, true);
+        }
+        let outcome = self.evaluate(sys, spec, options, signals);
+        // only definite verdicts are worth replaying; `Unknown` (a budget
+        // or an interruption) must rerun so a resumed job re-attempts it
+        if matches!(outcome.status, CheckStatus::Holds | CheckStatus::Violated) {
+            self.memo.borrow_mut().push((spec.clone(), outcome.clone()));
+        }
+        (outcome, false)
     }
 
     /// Evaluates one obligation as an analysis pass over the cached graph.
@@ -1196,23 +1419,23 @@ mod tests {
     }
 
     #[test]
-    fn classifier_treats_any_tightening_as_mixed() {
+    fn classifier_separates_tighten_only_from_mixed() {
         let old = bounds(&[&[(Ge, 3)], &[(Lt, 2)]]);
-        // Ge bound moved up: tighter
+        // Ge bound moved up: tighter, and nothing weakened -> prunable
         let tighter_ge = bounds(&[&[(Ge, 4)], &[(Lt, 2)]]);
         assert_eq!(
             classify_guard_step(&old, &tighter_ge),
-            GuardStep::TightenOrMixed
+            GuardStep::TightenOnly { changed: vec![0] }
         );
         // Lt bound moved down: tighter
         let tighter_lt = bounds(&[&[(Ge, 3)], &[(Lt, 1)]]);
         assert_eq!(
             classify_guard_step(&old, &tighter_lt),
-            GuardStep::TightenOrMixed
+            GuardStep::TightenOnly { changed: vec![1] }
         );
-        // one rule relaxes while another tightens: still mixed
+        // one rule relaxes while another tightens: genuinely mixed
         let mixed = bounds(&[&[(Ge, 2)], &[(Lt, 1)]]);
-        assert_eq!(classify_guard_step(&old, &mixed), GuardStep::TightenOrMixed);
+        assert_eq!(classify_guard_step(&old, &mixed), GuardStep::Mixed);
     }
 
     #[test]
@@ -1225,12 +1448,10 @@ mod tests {
             classify_guard_step(&old, &new),
             GuardStep::RelaxOnly { changed: vec![0] }
         );
-        // ... but a tightened sibling poisons the rule
+        // ... but a tightened sibling poisons the rule: neither subset
+        // relation holds for the conjunction as a whole
         let poisoned = bounds(&[&[(Ge, 1), (Lt, 1)]]);
-        assert_eq!(
-            classify_guard_step(&old, &poisoned),
-            GuardStep::TightenOrMixed
-        );
+        assert_eq!(classify_guard_step(&old, &poisoned), GuardStep::Mixed);
     }
 
     #[test]
@@ -1238,15 +1459,15 @@ mod tests {
         let old = bounds(&[&[(Ge, 3)]]);
         assert_eq!(
             classify_guard_step(&old, &bounds(&[&[(Ge, 3)], &[]])),
-            GuardStep::TightenOrMixed
+            GuardStep::Mixed
         );
         assert_eq!(
             classify_guard_step(&old, &bounds(&[&[(Ge, 3), (Ge, 1)]])),
-            GuardStep::TightenOrMixed
+            GuardStep::Mixed
         );
         assert_eq!(
             classify_guard_step(&old, &bounds(&[&[(Lt, 3)]])),
-            GuardStep::TightenOrMixed
+            GuardStep::Mixed
         );
     }
 
@@ -1286,6 +1507,7 @@ mod tests {
             LineageStep::Build { rebuilt } => assert!(rebuilt, "a tripped extension is a rebuild"),
             LineageStep::Reuse(_) => panic!("bounds differ; nothing may be reused"),
             LineageStep::Extend(..) => panic!("the budget must trip the extension"),
+            LineageStep::Prune(..) => panic!("a relax-only step never prunes"),
         }
 
         // the consequent fresh build under the same budget is bounded, and
@@ -1328,10 +1550,121 @@ mod tests {
             GuardStep::RelaxOnly { changed } => assert!(!changed.is_empty()),
             other => panic!("expected a relax-only step, got {other:?}"),
         }
-        assert_eq!(classify_guard_step(&new, &old), GuardStep::TightenOrMixed);
+        // ... and walking the same step backwards is its tighten-only mirror
+        match classify_guard_step(&new, &old) {
+            GuardStep::TightenOnly { changed } => assert!(!changed.is_empty()),
+            other => panic!("expected a tighten-only step, got {other:?}"),
+        }
         assert_eq!(
             classify_guard_step(&old, &old.clone()),
             GuardStep::Identical
         );
+    }
+
+    #[test]
+    fn prune_is_bit_identical_to_fresh() {
+        // [7,2,1,1] -> [7,1,1,1] lowers t, raising the n - t - f quorum:
+        // a pure tightening (the mirror of the relax fixture above)
+        let model = crate::fixtures::voting_model().single_round().unwrap();
+        let relaxed_sys =
+            CounterSystem::new(model.clone(), ccta::ParamValuation::new(vec![7, 2, 1, 1])).unwrap();
+        let tight_sys =
+            CounterSystem::new(model, ccta::ParamValuation::new(vec![7, 1, 1, 1])).unwrap();
+        let GuardStep::TightenOnly { changed } =
+            classify_guard_step(&relaxed_sys.guard_bounds(), &tight_sys.guard_bounds())
+        else {
+            panic!("lowering t must classify as tighten-only");
+        };
+        let pool = WorkerPool::new(1);
+        let options = CheckerOptions::default();
+        let start = StartRestriction::RoundStart;
+        let big = ReachGraph::build(
+            &relaxed_sys,
+            &start.configurations(&relaxed_sys),
+            &options,
+            &pool,
+        );
+        let (pruned, cut) = big.prune(&tight_sys, &changed);
+        assert!(cut > 0, "the tightened quorum must kill cached actions");
+
+        let fresh = ReachGraph::build(
+            &tight_sys,
+            &start.configurations(&tight_sys),
+            &options,
+            &pool,
+        );
+        assert_eq!(pruned.states(), fresh.states());
+        assert_eq!(pruned.transitions(), fresh.transitions());
+        // the analysis passes agree end to end — counts, verdicts and
+        // reconstructed schedules
+        let specs = [
+            Spec::NonBlocking {
+                name: "termination".into(),
+                start,
+            },
+            Spec::NeverFrom {
+                name: "reachable-E0".into(),
+                start,
+                forbidden: LocSet::from_names(tight_sys.model(), "E0", &["E0"]),
+            },
+        ];
+        for spec in &specs {
+            assert_eq!(
+                pruned.evaluate(&tight_sys, spec, &options, None),
+                fresh.evaluate(&tight_sys, spec, &options, None),
+                "pruned and fresh graphs must answer {} identically",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_memo_serves_identical_steps() {
+        let model = crate::fixtures::voting_model().single_round().unwrap();
+        let sys = CounterSystem::new(model, ccta::ParamValuation::new(vec![5, 1, 1, 1])).unwrap();
+        let pool = WorkerPool::new(1);
+        let options = CheckerOptions::default().with_verdict_memo(true);
+        let start = StartRestriction::RoundStart;
+        let graph = ReachGraph::build(&sys, &start.configurations(&sys), &options, &pool);
+        let spec = Spec::NonBlocking {
+            name: "termination".into(),
+            start,
+        };
+        let (first, hit) = graph.evaluate_memo(&sys, &spec, &options, None);
+        assert!(!hit, "the first evaluation pays the pass");
+        let (second, hit) = graph.evaluate_memo(&sys, &spec, &options, None);
+        assert!(hit, "an identical re-evaluation is a memo hit");
+        assert_eq!(first, second);
+        // switching the knob off bypasses the memo, same outcome
+        let off = CheckerOptions::default().with_verdict_memo(false);
+        let (third, hit) = graph.evaluate_memo(&sys, &spec, &off, None);
+        assert!(!hit);
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn parked_graphs_unpark_bit_identically() {
+        let model = crate::fixtures::voting_model().single_round().unwrap();
+        let sys = CounterSystem::new(model, ccta::ParamValuation::new(vec![5, 1, 1, 1])).unwrap();
+        let pool = WorkerPool::new(1);
+        let options = CheckerOptions::default();
+        let start = StartRestriction::RoundStart;
+        let mut graph = ReachGraph::build(&sys, &start.configurations(&sys), &options, &pool);
+        let spec = Spec::NeverFrom {
+            name: "reachable-E0".into(),
+            start,
+            forbidden: LocSet::from_names(sys.model(), "E0", &["E0"]),
+        };
+        let before = graph.evaluate(&sys, &spec, &options, None);
+        let (full, compact) = graph.park();
+        assert!(graph.is_parked());
+        assert!(
+            compact < full,
+            "delta-encoding must shrink the parked graph ({compact} !< {full})"
+        );
+        graph.unpark();
+        assert!(!graph.is_parked());
+        let after = graph.evaluate(&sys, &spec, &options, None);
+        assert_eq!(before, after, "a park/unpark round trip changes nothing");
     }
 }

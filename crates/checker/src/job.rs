@@ -512,13 +512,19 @@ impl<'a> CheckJob<'a> {
             cp.transitions_done += outcome.transitions_explored;
             return Ok(outcome);
         }
-        let outcome = graph.evaluate(self.sys, spec, &self.options, Some(signals));
+        let (outcome, memo_hit) = graph.evaluate_memo(self.sys, spec, &self.options, Some(signals));
         if outcome.is_interrupted() {
             // analysis passes are deterministic and cheap relative to the
             // build: an interrupted pass is simply redone on resume
             return Err(Self::interrupt_kind_of(&outcome));
         }
-        cp.stats.groups[group].specs += 1;
+        let record = &mut cp.stats.groups[group];
+        record.specs += 1;
+        if memo_hit {
+            record.memo_hits += 1;
+        } else {
+            record.memo_misses += 1;
+        }
         Ok(outcome)
     }
 
@@ -571,6 +577,9 @@ impl<'a> CheckJob<'a> {
                     transitions: graph.transitions(),
                     origin: GraphOrigin::Built,
                     seed_frontier: 0,
+                    pruned_actions: 0,
+                    memo_hits: 0,
+                    memo_misses: 0,
                     resident_bytes: graph.resident_bytes(),
                 });
                 cp.groups.push((start, graph));

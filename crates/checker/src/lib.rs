@@ -124,8 +124,10 @@
 //!   carries over (*rebuilt*).  Otherwise the step is **identical** (every
 //!   bound equal — the cached graph serves as-is, zero exploration),
 //!   **relax-only** (every changed atom weakens: `>=` bounds only fell,
-//!   `<` bounds only rose — the reachable set can only grow), or
-//!   **tighten-or-mixed** (re-explore from scratch; *rebuilt*).
+//!   `<` bounds only rose — the reachable set can only grow),
+//!   **tighten-only** (every changed atom strengthens — the reachable set
+//!   can only shrink, so the graph is *pruned* in place, see below), or
+//!   **mixed** (re-explore from scratch; *rebuilt*).
 //! * **Extension.**  A relax-only step seeds the explorer's frontier with
 //!   exactly the stored rows on which a newly-enabled rule fires (old
 //!   bounds re-evaluated on the row, new bounds from the new system); the
@@ -156,6 +158,60 @@
 //!   `sweep_amortization` axis of the `table2_checking` bench measures the
 //!   whole-sweep speedup (incremental vs fresh over each protocol's full
 //!   8-valuation grid).
+//!
+//! # Verdict memoization & lineage compaction
+//!
+//! The lineage above makes a sweep's steady state — long runs of identical
+//! or guard-adjacent valuations — cheap; three levers make it nearly free:
+//!
+//! * **Verdict memoization.**  Each cached reachability graph carries a
+//!   small memo of `(Spec, CheckOutcome)` pairs keyed by full [`Spec`]
+//!   equality.  When an identical-classified lineage step re-serves a graph
+//!   to the same catalogue, every obligation is answered from the memo with
+//!   **zero analysis passes** — only the counterexample's parameter
+//!   valuation is rewritten to the current cell's.  Only definite verdicts
+//!   (`Holds` / `Violated`) are memoised; `Unknown` outcomes always
+//!   re-evaluate.  The memo is invalidated by a generation bump whenever
+//!   the graph mutates (extension or prune) and survives pure reuse, so a
+//!   hit can never serve a stale verdict.  Hits and misses are counted per
+//!   group in [`GroupCacheRecord::memo_hits`] / `memo_misses`.
+//! * **Tighten-only prune.**  A tighten-only step's reachable set is a
+//!   subset of the stored one (every changed bound strengthens, and counter
+//!   systems are monotone in their guard bounds: a row's guard valuation
+//!   depends only on the row).  Instead of a full rebuild, the stored graph
+//!   is pruned *in place*: every stored edge whose rule had a bound change
+//!   is re-validated against the tightened bounds on its source row, dead
+//!   actions are compacted out of the CSR arenas, and the same *relink*
+//!   BFS as the extension path re-derives discovery order, parent edges
+//!   and counts — so a pruned graph is **bit-identical** to a fresh build
+//!   at the tightened valuation (pinned by the `random_differential`
+//!   lever axis).  The prune is infallible: no budget that admitted the
+//!   old graph can trip on its subset.  Note what is *not* attempted:
+//!   seeding future analysis passes from prior violation bitsets would
+//!   change the reported product counts, breaking the lever-on/off
+//!   differential contract, so passes always re-walk the pruned graph.
+//! * **Delta-parked row arenas.**  When a sweep finishes a valuation, each
+//!   surviving graph's [`StateStore`] is *parked*: row arenas are
+//!   XOR-delta-encoded against their predecessor row (varint zero-run /
+//!   literal-run pairs — BFS-adjacent rows differ in a handful of bytes)
+//!   and the open-addressing indexes are dropped, shrinking the resident
+//!   footprint between valuations; the CSR arenas are compacted if a prior
+//!   prune left garbage.  The next lineage step that actually *uses* the
+//!   graph unparks it — decoding is exact, and re-interning reproduces the
+//!   original state ids, so parked ≡ never-parked bit-for-bit.  The
+//!   before/after bytes are reported in
+//!   [`GraphCacheStats::parked_full_bytes`] / `parked_compact_bytes` and
+//!   summarised by [`GraphCacheStats::parked_compression`].
+//! * **Knob precedence.**  [`CheckerOptions::verdict_memo`] over
+//!   `CC_VERDICT_MEMO` (`0` disables) over the default (enabled), and
+//!   [`CheckerOptions::tighten_prune`] over `CC_TIGHTEN_PRUNE` (`0`
+//!   disables) over the default (enabled); `VerifierConfig` and the
+//!   `table2` binary (`--no-verdict-memo` / `--no-tighten-prune`) expose
+//!   the same toggles.  Parking has no knob — it is pure compression with
+//!   exact reconstruction.  Neither lever ever changes a verdict, a count
+//!   or a counterexample (pinned across the random corpus at 1/2/4 workers
+//!   by `random_differential`); the `sweep_amortization` bench isolates
+//!   each lever's wall-clock gain.
 //!
 //! # Memory model
 //!
@@ -254,7 +310,8 @@
 //! * **Knob precedence.**  As everywhere in this crate: explicit
 //!   [`CheckerOptions`] / [`JobBudget`] fields over environment variables
 //!   (`CC_CHECK_THREADS`, `CC_SWEEP_THREADS`, `CC_WAVE_SIZE`,
-//!   `CC_GRAPH_CACHE`, `CC_SWEEP_INCREMENTAL`) over built-in defaults.
+//!   `CC_GRAPH_CACHE`, `CC_SWEEP_INCREMENTAL`, `CC_VERDICT_MEMO`,
+//!   `CC_TIGHTEN_PRUNE`) over built-in defaults.
 //!   The `--deadline-ms` / `--max-resident-bytes` flags of the `table2`
 //!   and `profile_engine` binaries feed [`JobBudget`] directly.
 //!

@@ -141,9 +141,13 @@ pub enum GraphOrigin {
     /// The valuation step was relax-only: the predecessor graph was
     /// extended from a seeded frontier instead of re-explored.
     Extended,
+    /// The valuation step was tighten-only: the predecessor graph was
+    /// pruned in place (dead actions re-validated against the tightened
+    /// bounds and cut) instead of re-explored.
+    Pruned,
     /// A lineage predecessor existed but could not be carried over (the
-    /// step tightened or mixed, the system size changed, or the extension
-    /// tripped a budget): explored from scratch.
+    /// step was mixed, the system size changed, or the extension tripped a
+    /// budget): explored from scratch.
     Rebuilt,
 }
 
@@ -153,6 +157,7 @@ impl fmt::Display for GraphOrigin {
             GraphOrigin::Built => "built",
             GraphOrigin::Reused => "reused",
             GraphOrigin::Extended => "extended",
+            GraphOrigin::Pruned => "pruned",
             GraphOrigin::Rebuilt => "rebuilt",
         })
     }
@@ -179,6 +184,15 @@ pub struct GroupCacheRecord {
     /// Size of the seeded frontier an `Extended` graph was re-explored
     /// from (0 for every other origin).
     pub seed_frontier: usize,
+    /// Dead actions a `Pruned` graph cut against the tightened bounds
+    /// (0 for every other origin).
+    pub pruned_actions: usize,
+    /// Obligations answered from this graph's verdict memo without running
+    /// an analysis pass (see the "Verdict memoization & lineage compaction"
+    /// crate docs).
+    pub memo_hits: usize,
+    /// Obligations that ran a real analysis pass on this graph.
+    pub memo_misses: usize,
     /// Resident bytes of the cached graph (deduplicated rows + side arrays
     /// + index + CSR arenas + lineage bookkeeping).
     pub resident_bytes: usize,
@@ -194,6 +208,15 @@ pub struct GraphCacheStats {
     /// Obligations checked on the per-spec path (cache disabled, or a spec
     /// shape the cache does not serve).
     pub uncached_specs: usize,
+    /// Resident bytes of the lineage graphs *before* they were parked
+    /// between valuations (0 when nothing was parked — parking only runs
+    /// under the incremental sweep).
+    pub parked_full_bytes: usize,
+    /// Resident bytes of the same graphs *after* parking (delta-encoded
+    /// rows, dropped index tables, compacted CSR arenas).  Together with
+    /// `parked_full_bytes` this is the sweep's steady-state compression
+    /// ratio.
+    pub parked_compact_bytes: usize,
 }
 
 impl GraphCacheStats {
@@ -220,8 +243,14 @@ impl GraphCacheStats {
         self.count_origin(GraphOrigin::Extended)
     }
 
-    /// Groups whose lineage predecessor had to be discarded (tightened or
-    /// mixed step, size change, or a budget-tripped extension).
+    /// Groups whose graph was pruned in place across a tighten-only
+    /// valuation step.
+    pub fn pruned_groups(&self) -> usize {
+        self.count_origin(GraphOrigin::Pruned)
+    }
+
+    /// Groups whose lineage predecessor had to be discarded (mixed step,
+    /// size change, or a budget-tripped extension).
     pub fn rebuilt_groups(&self) -> usize {
         self.count_origin(GraphOrigin::Rebuilt)
     }
@@ -229,6 +258,33 @@ impl GraphCacheStats {
     /// Total seeded-frontier size across all extended groups.
     pub fn seed_frontier_total(&self) -> usize {
         self.groups.iter().map(|g| g.seed_frontier).sum()
+    }
+
+    /// Total dead actions cut across all pruned groups.
+    pub fn pruned_actions_total(&self) -> usize {
+        self.groups.iter().map(|g| g.pruned_actions).sum()
+    }
+
+    /// Obligations answered from a graph's verdict memo (zero analysis
+    /// passes paid).
+    pub fn memo_hits(&self) -> usize {
+        self.groups.iter().map(|g| g.memo_hits).sum()
+    }
+
+    /// Obligations that paid a real analysis pass.
+    pub fn memo_misses(&self) -> usize {
+        self.groups.iter().map(|g| g.memo_misses).sum()
+    }
+
+    /// Parked-store compression: `compact / full` resident bytes over the
+    /// lineage graphs parked between sweep valuations (1.0 when nothing
+    /// was parked).
+    pub fn parked_compression(&self) -> f64 {
+        if self.parked_full_bytes == 0 {
+            1.0
+        } else {
+            self.parked_compact_bytes as f64 / self.parked_full_bytes as f64
+        }
     }
 
     /// Resident bytes across all recorded graphs.  Within one valuation the
@@ -297,6 +353,8 @@ impl GraphCacheStats {
     pub fn merge(&mut self, other: &GraphCacheStats) {
         self.groups.extend(other.groups.iter().cloned());
         self.uncached_specs += other.uncached_specs;
+        self.parked_full_bytes += other.parked_full_bytes;
+        self.parked_compact_bytes += other.parked_compact_bytes;
     }
 }
 
@@ -320,21 +378,43 @@ impl fmt::Display for GraphCacheStats {
             self.cached_states(),
             self.cached_transitions(),
         )?;
-        let (reused, extended, rebuilt) = (
+        let (reused, extended, pruned, rebuilt) = (
             self.reused_groups(),
             self.extended_groups(),
+            self.pruned_groups(),
             self.rebuilt_groups(),
         );
-        if reused + extended + rebuilt > 0 {
+        if reused + extended + pruned + rebuilt > 0 {
             write!(
                 f,
-                "; lineage: {reused} reused / {extended} extended / {rebuilt} rebuilt"
+                "; lineage: {reused} reused / {extended} extended / {pruned} pruned / \
+                 {rebuilt} rebuilt"
             )?;
             if extended > 0 {
                 write!(f, ", {} frontier seed(s)", self.seed_frontier_total())?;
             }
+            if pruned > 0 {
+                write!(f, ", {} action(s) cut", self.pruned_actions_total())?;
+            }
+        }
+        if self.memo_hits() > 0 {
+            write!(
+                f,
+                "; memo: {} hit(s) / {} miss(es)",
+                self.memo_hits(),
+                self.memo_misses()
+            )?;
         }
         write!(f, "; {} resident bytes", self.resident_bytes())?;
+        if self.parked_full_bytes > 0 {
+            write!(
+                f,
+                "; parked {} -> {} bytes ({:.2}x)",
+                self.parked_full_bytes,
+                self.parked_compact_bytes,
+                self.parked_compression()
+            )?;
+        }
         if self.uncached_specs > 0 {
             write!(f, "; {} uncached obligation(s)", self.uncached_specs)?;
         }

@@ -729,7 +729,14 @@ fn run_cached_batches(
                 }
                 slots[s * width + v] = Some(cell);
             }
-            stats_slots[v] = Some(checker.cache_stats());
+            let mut stats = checker.cache_stats();
+            // the checker's group memo pins the lineage graphs via Rc;
+            // parking requires sole ownership, so drop it first
+            drop(checker);
+            let (full, compact) = lineage.park_all();
+            stats.parked_full_bytes += full;
+            stats.parked_compact_bytes += compact;
+            stats_slots[v] = Some(stats);
         }
     } else {
         let cell_workers = resolved_workers(&cell_options);
@@ -779,7 +786,14 @@ fn run_cached_batches(
                             }
                             **slot_refs[s * width + v].lock().unwrap() = Some(cell);
                         }
-                        **stats_refs[v].lock().unwrap() = Some(checker.cache_stats());
+                        let mut stats = checker.cache_stats();
+                        // see the sequential path: the checker must release
+                        // its Rc pins before the lineage can park
+                        drop(checker);
+                        let (full, compact) = lineage.park_all();
+                        stats.parked_full_bytes += full;
+                        stats.parked_compact_bytes += compact;
+                        **stats_refs[v].lock().unwrap() = Some(stats);
                     }
                 });
             }
@@ -1164,7 +1178,7 @@ mod tests {
         // [4,1,1,1] -> [7,1,1,1] changes the system size (rebuild),
         // -> [7,1,1,1] repeats the bounds (pure reuse),
         // -> [7,2,1,1] lowers the n-t-f quorum (relax-only extension),
-        // -> [7,1,1,1] raises it back (tighten, rebuild)
+        // -> [7,1,1,1] raises it back (tighten, in-place prune)
         let model = fixtures::voting_model().single_round().unwrap();
         let valuations = [
             ParamValuation::new(vec![4, 1, 1, 1]),
@@ -1218,8 +1232,17 @@ mod tests {
                 assert!(inc_stats.reused_groups() > 0, "{inc_stats}");
                 assert!(inc_stats.extended_groups() > 0, "{inc_stats}");
                 assert!(inc_stats.rebuilt_groups() > 0, "{inc_stats}");
+                assert!(inc_stats.pruned_groups() > 0, "{inc_stats}");
+                assert!(inc_stats.memo_hits() > 0, "{inc_stats}");
                 assert!(inc_stats.seed_frontier_total() > 0, "{inc_stats}");
                 assert!(inc_stats.resident_bytes() > 0, "{inc_stats}");
+                // the end-of-valuation parking pass must have compacted at
+                // least one resident graph
+                assert!(inc_stats.parked_full_bytes > 0, "{inc_stats}");
+                assert!(
+                    inc_stats.parked_compact_bytes < inc_stats.parked_full_bytes,
+                    "{inc_stats}"
+                );
                 assert!(format!("{inc_stats}").contains("lineage"));
             }
         }

@@ -401,8 +401,13 @@ fn random_systems_incremental_sweep_matches_fresh() {
     // incremental sweep must be bit-identical to the from-scratch sweep —
     // verdicts, state counts, transition counts and counterexample
     // schedules — at 1, 2 and 4 in-check workers.
-    let (mut reused, mut extended, mut rebuilt) = (0usize, 0usize, 0usize);
+    let (mut reused, mut extended, mut rebuilt, mut pruned) = (0usize, 0usize, 0usize, 0usize);
+    let mut memo_hits = 0usize;
     let mut replayed = 0usize;
+    // the CI reruns exercise this suite with the levers forced off through
+    // the environment, which legitimately shifts the lineage distribution
+    let prune_on = std::env::var("CC_TIGHTEN_PRUNE").map_or(true, |v| v != "0");
+    let memo_on = std::env::var("CC_VERDICT_MEMO").map_or(true, |v| v != "0");
     for i in 0..SYSTEMS {
         let seed = 0xD1F_F0000 + i as u64;
         let (sys, mids) = random_system(seed);
@@ -453,6 +458,8 @@ fn random_systems_incremental_sweep_matches_fresh() {
                 reused += stats.reused_groups();
                 extended += stats.extended_groups();
                 rebuilt += stats.rebuilt_groups();
+                pruned += stats.pruned_groups();
+                memo_hits += stats.memo_hits();
             }
             for (ri, rf) in incremental.iter().zip(&fresh) {
                 let ctx = format!("seed {seed}, {} at {workers} workers", ri.spec_name);
@@ -501,8 +508,143 @@ fn random_systems_incremental_sweep_matches_fresh() {
     // replay at least one incremental counterexample
     assert!(reused > 0, "no identical step was reused");
     assert!(extended > 0, "no relax-only step was extended");
-    assert!(rebuilt > 0, "no tighten step was rebuilt");
+    if prune_on {
+        // the n-fixed grid never changes the system size, so every tighten
+        // step must take the in-place prune, never a rebuild
+        assert!(pruned > 0, "no tighten step was pruned in place");
+        assert_eq!(
+            rebuilt, 0,
+            "a guard-adjacent tighten step fell back to a rebuild"
+        );
+    } else {
+        assert!(rebuilt > 0, "no tighten step was rebuilt");
+    }
+    if memo_on {
+        assert!(memo_hits > 0, "no identical step ever hit the verdict memo");
+    }
     assert!(replayed > 0, "no incremental counterexample was replayed");
+}
+
+#[test]
+fn random_systems_sweep_levers_are_verdict_invariant() {
+    // The memoization/compaction levers are pure performance knobs: over
+    // the same guard-adjacent grid as the incremental≡fresh axis, a sweep
+    // with verdict memoization disabled and a sweep with the tighten-only
+    // prune disabled must each be bit-identical — verdicts, state counts,
+    // transition counts and counterexample schedules — to the sweep with
+    // both levers on, at 1, 2 and 4 in-check workers.  The lever-on runs
+    // must genuinely exercise both levers (≥1 pruned step, ≥1 memo hit),
+    // and every counterexample minted from a pruned or memoized graph must
+    // replay strictly.
+    let (mut pruned, mut memo_hits) = (0usize, 0usize);
+    let mut replayed = 0usize;
+    for i in 0..SYSTEMS {
+        let seed = 0xD1F_F0000 + i as u64;
+        let (sys, mids) = random_system(seed);
+        let model = sys.model().clone();
+        let env = model.env();
+        let pair = [
+            ParamValuation::new(vec![5, 1, 1, 1]),
+            ParamValuation::new(vec![5, 2, 1, 1]),
+        ];
+        if !pair.iter().all(|v| env.is_admissible(v)) {
+            continue;
+        }
+        let valuations = vec![
+            pair[0].clone(), // built
+            pair[1].clone(), // relax-only extension
+            pair[1].clone(), // identical: reuse + memo hits
+            pair[0].clone(), // tighten: in-place prune
+        ];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC5);
+        let specs = random_specs(&mut rng, &model, &mids);
+        for workers in [1, 2, 4] {
+            let base_options = CheckerOptions {
+                workers,
+                wave_size: if workers > 1 { 1 } else { 0 },
+                ..CheckerOptions::default()
+            }
+            .with_graph_cache(true)
+            .with_incremental_sweep(true);
+            let (levered, stats) = check_over_sweep_with_stats(
+                &model,
+                &specs,
+                &valuations,
+                base_options
+                    .with_verdict_memo(true)
+                    .with_tighten_prune(true),
+                1,
+            );
+            if workers == 1 {
+                pruned += stats.pruned_groups();
+                memo_hits += stats.memo_hits();
+            }
+            for (label, variant) in [
+                (
+                    "memo off",
+                    base_options
+                        .with_verdict_memo(false)
+                        .with_tighten_prune(true),
+                ),
+                (
+                    "prune off",
+                    base_options
+                        .with_verdict_memo(true)
+                        .with_tighten_prune(false),
+                ),
+            ] {
+                let (plain, _) =
+                    check_over_sweep_with_stats(&model, &specs, &valuations, variant, 1);
+                for (rl, rp) in levered.iter().zip(&plain) {
+                    let ctx = format!(
+                        "seed {seed}, {} at {workers} workers, {label}",
+                        rl.spec_name
+                    );
+                    assert_eq!(rl.status(), rp.status(), "sweep status differs: {ctx}");
+                    assert_eq!(rl.outcomes.len(), rp.outcomes.len(), "{ctx}");
+                    for (ol, op) in rl.outcomes.iter().zip(&rp.outcomes) {
+                        let cell = format!("{ctx} at {}", ol.params);
+                        assert_eq!(ol.params, op.params, "{cell}");
+                        assert_eq!(ol.skipped, op.skipped, "{cell}");
+                        assert_eq!(ol.outcome.status, op.outcome.status, "{cell}");
+                        assert_eq!(
+                            ol.outcome.states_explored, op.outcome.states_explored,
+                            "state count differs: {cell}"
+                        );
+                        assert_eq!(
+                            ol.outcome.transitions_explored, op.outcome.transitions_explored,
+                            "transition count differs: {cell}"
+                        );
+                        match (&ol.outcome.counterexample, &op.outcome.counterexample) {
+                            (None, None) => {}
+                            (Some(cl), Some(cp)) => {
+                                assert_eq!(cl.initial, cp.initial, "initial differs: {cell}");
+                                assert_eq!(
+                                    cl.schedule.steps(),
+                                    cp.schedule.steps(),
+                                    "schedule differs: {cell}"
+                                );
+                                // a counterexample minted from a pruned or
+                                // memoized graph is a genuine execution
+                                let spec = specs
+                                    .iter()
+                                    .find(|s| s.name() == rl.spec_name)
+                                    .expect("report spec");
+                                let cell_sys = CounterSystem::new(model.clone(), cl.params.clone())
+                                    .expect("admissible");
+                                assert_genuine_violation(&cell_sys, spec, cl, &cell);
+                                replayed += 1;
+                            }
+                            _ => panic!("counterexample presence differs: {cell}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(pruned > 0, "no tighten step was pruned in place");
+    assert!(memo_hits > 0, "no identical step ever hit the verdict memo");
+    assert!(replayed > 0, "no lever-axis counterexample was replayed");
 }
 
 #[test]

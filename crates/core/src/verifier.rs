@@ -121,6 +121,32 @@ impl VerifierConfig {
         self
     }
 
+    /// This configuration with the per-graph verdict memo explicitly
+    /// enabled or disabled (overriding `CC_VERDICT_MEMO`; see the "Verdict
+    /// memoization & lineage compaction" section of the `ccchecker` crate
+    /// docs).  When enabled (the default), an obligation already answered
+    /// on an unchanged graph generation — e.g. across an
+    /// identical-classified sweep step — is served from the memo without
+    /// running any analysis pass.  Memoised and recomputed sweeps are
+    /// bit-identical in verdicts, counts and counterexample schedules.
+    pub fn with_verdict_memo(mut self, enabled: bool) -> Self {
+        self.checker.verdict_memo = Some(enabled);
+        self
+    }
+
+    /// This configuration with the tighten-only prune explicitly enabled
+    /// or disabled (overriding `CC_TIGHTEN_PRUNE`; see the "Verdict
+    /// memoization & lineage compaction" section of the `ccchecker` crate
+    /// docs).  When enabled (the default), a sweep step that only tightens
+    /// guard bounds prunes the cached graph in place — re-validating cached
+    /// actions and re-linking — instead of re-exploring from scratch.
+    /// Pruned and fresh graphs are bit-identical in verdicts, counts and
+    /// counterexample schedules.
+    pub fn with_tighten_prune(mut self, enabled: bool) -> Self {
+        self.checker.tighten_prune = Some(enabled);
+        self
+    }
+
     /// This configuration with a wall-clock deadline (in milliseconds) on
     /// each protocol's combined sweep.  Cells past the deadline report
     /// `interrupted` outcomes and the affected properties come back
