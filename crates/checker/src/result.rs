@@ -348,6 +348,43 @@ impl GraphCacheStats {
         }
     }
 
+    /// Fraction of obligations answered straight from the verdict memo
+    /// (`memo_hits / (memo_hits + memo_misses)`, 0.0 when the memo was
+    /// never consulted).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits() + self.memo_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lineage groups carried across a valuation step without a
+    /// rebuild (reused + extended + pruned over all groups, 0.0 when no
+    /// graph was ever cached).  1.0 means every group of every later
+    /// valuation was derived incrementally; fresh first-valuation builds
+    /// count against the rate.
+    pub fn lineage_reuse_rate(&self) -> f64 {
+        if self.groups.is_empty() {
+            0.0
+        } else {
+            (self.reused_groups() + self.extended_groups() + self.pruned_groups()) as f64
+                / self.groups.len() as f64
+        }
+    }
+
+    /// Fraction of obligations served from a cached graph rather than the
+    /// per-spec fallback path.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.specs_served() + self.uncached_specs;
+        if total == 0 {
+            0.0
+        } else {
+            self.specs_served() as f64 / total as f64
+        }
+    }
+
     /// Folds another stats record into this one (sweeps aggregate the
     /// per-valuation records in valuation order).
     pub fn merge(&mut self, other: &GraphCacheStats) {

@@ -9,6 +9,7 @@
 //! and four temporal shapes, captured by [`Spec`].
 
 use cccounter::{Configuration, CounterSystem};
+use ccprotocols::family::{FamilyObligation, FamilyObligationKind, FamilySet, FamilyStart};
 use ccta::{BinValue, LocId, SystemModel};
 use std::fmt;
 
@@ -46,6 +47,16 @@ impl LocSet {
             name: name.into(),
             locs,
         }
+    }
+
+    /// Resolves a generated-family tracked set against a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a location name of the set does not exist in the model.
+    pub fn from_family(model: &SystemModel, set: &FamilySet) -> Self {
+        let names: Vec<&str> = set.locations.iter().map(String::as_str).collect();
+        LocSet::from_names(model, set.name.clone(), &names)
     }
 
     /// The set's display name.
@@ -115,6 +126,15 @@ pub enum StartRestriction {
 }
 
 impl StartRestriction {
+    /// The checker-side form of a generated-family start descriptor.
+    pub fn from_family(start: FamilyStart) -> Self {
+        match start {
+            FamilyStart::RoundStart => StartRestriction::RoundStart,
+            FamilyStart::Unanimous(v) => StartRestriction::Unanimous(v),
+            FamilyStart::InitialLocations => StartRestriction::InitialLocations,
+        }
+    }
+
     /// Enumerates the matching start configurations of a counter system.
     pub fn configurations(&self, sys: &CounterSystem) -> Vec<Configuration> {
         match self {
@@ -188,6 +208,54 @@ pub enum Spec {
 }
 
 impl Spec {
+    /// Resolves one checker-neutral obligation of a generated family
+    /// against the model it will be checked on (normally the family's
+    /// single-round form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the obligation names a location that does not exist in the
+    /// model — generated obligations only reference generated locations, so
+    /// this indicates a model/obligation mismatch.
+    pub fn from_family(model: &SystemModel, obligation: &FamilyObligation) -> Self {
+        let name = obligation.name.clone();
+        let start = StartRestriction::from_family(obligation.start);
+        match &obligation.kind {
+            FamilyObligationKind::NeverFrom { forbidden } => Spec::NeverFrom {
+                name,
+                start,
+                forbidden: LocSet::from_family(model, forbidden),
+            },
+            FamilyObligationKind::CoverNever { trigger, forbidden } => Spec::CoverNever {
+                name,
+                start,
+                trigger: LocSet::from_family(model, trigger),
+                forbidden: LocSet::from_family(model, forbidden),
+            },
+            FamilyObligationKind::ExistsAvoidOneOf { forbidden_sets } => Spec::ExistsAvoidOneOf {
+                name,
+                start,
+                forbidden_sets: forbidden_sets
+                    .iter()
+                    .map(|s| LocSet::from_family(model, s))
+                    .collect(),
+            },
+            FamilyObligationKind::NonBlocking => Spec::NonBlocking { name, start },
+        }
+    }
+
+    /// Resolves a whole generated-family obligation catalogue.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same condition as [`Spec::from_family`].
+    pub fn family_catalogue(model: &SystemModel, obligations: &[FamilyObligation]) -> Vec<Spec> {
+        obligations
+            .iter()
+            .map(|o| Spec::from_family(model, o))
+            .collect()
+    }
+
     /// The query's name.
     pub fn name(&self) -> &str {
         match self {

@@ -1,0 +1,466 @@
+//! Differential testing over generated protocol families.
+//!
+//! Where `random_differential` replays the frozen compatibility corpus,
+//! this suite sweeps `ccprotocols::family` across its *parameter space*:
+//! eight presets (Byzantine and crash-stop fault models, shallow and deep
+//! phase structures, sparse and saturated guard densities, resilience 2
+//! and 3) × 26 seeds each = 208 distinct families, every one checked
+//! against three independent oracles:
+//!
+//! * **Engine ≡ reference** — verdict, state count, transition count and
+//!   counterexample schedules, per obligation.
+//! * **Cached ≡ uncached** — the reachability-graph cache at 1, 2 and 4
+//!   workers agrees with the per-spec path, and every cached
+//!   counterexample replays to a genuine violation.
+//! * **Incremental ≡ fresh** — the guard-adjacent sweep grid the generator
+//!   attaches to resilience-2 families is bit-identical incrementally and
+//!   from scratch, at 1, 2 and 4 workers.
+//! * **Simulator cross-check** — `ccsim::bridge` executes each family as
+//!   individual automaton copies with independently evaluated guards:
+//!   seeded fair and adversarial runs must never witness a violation of an
+//!   obligation the checker proved safe, and every checker counterexample
+//!   schedule must replay at the process level to the exact violating
+//!   configurations.
+//!
+//! A failure message always carries the preset label and seed, so any
+//! family can be rebuilt deterministically.
+
+use ccchecker::reference::reference_check;
+use ccchecker::{CheckStatus, CheckerOptions, ExplicitChecker, LocSet, Spec};
+use cccounter::{Configuration, CounterSystem};
+use ccprotocols::family::{FamilyParams, FaultModel, GeneratedFamily};
+use ccsim::bridge::{replay_schedule, simulate, SimPolicy};
+use ccta::LocClass;
+
+/// Seeds per preset: 8 presets × 26 seeds = 208 families.
+const SEEDS_PER_PRESET: usize = 26;
+
+/// The family parameter presets: both fault models, shallow/deep/wide
+/// phase structures, sparse and saturated guard densities, resilience 2
+/// and 3.
+fn presets() -> Vec<(&'static str, FamilyParams)> {
+    let base = FamilyParams::default();
+    vec![
+        (
+            "byz-tiny",
+            FamilyParams {
+                phases: 1,
+                width: 1,
+                shared_vars: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "byz-branchy",
+            FamilyParams {
+                phases: 2,
+                width: 2,
+                fanout: 3,
+                guard_density: 50,
+                ..base.clone()
+            },
+        ),
+        (
+            "byz-dense",
+            FamilyParams {
+                phases: 2,
+                width: 1,
+                guard_density: 90,
+                ..base.clone()
+            },
+        ),
+        (
+            "crash-tiny",
+            FamilyParams {
+                phases: 1,
+                width: 2,
+                shared_vars: 1,
+                faults: FaultModel::Crash,
+                ..base.clone()
+            },
+        ),
+        (
+            "crash-deep",
+            FamilyParams {
+                phases: 3,
+                width: 1,
+                faults: FaultModel::Crash,
+                ..base.clone()
+            },
+        ),
+        (
+            "mixed",
+            FamilyParams {
+                phases: 2,
+                width: 2,
+                faults: FaultModel::Mixed,
+                ..base.clone()
+            },
+        ),
+        (
+            "byz-a3",
+            FamilyParams {
+                phases: 1,
+                width: 1,
+                shared_vars: 1,
+                resilience: 3,
+                ..base.clone()
+            },
+        ),
+        (
+            "mixed-sparse",
+            FamilyParams {
+                phases: 2,
+                width: 1,
+                guard_density: 20,
+                shared_vars: 1,
+                faults: FaultModel::Mixed,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// The full corpus: every preset at every seed, with a context label.
+fn corpus() -> Vec<(String, GeneratedFamily)> {
+    let mut families = Vec::new();
+    for (pi, (label, params)) in presets().into_iter().enumerate() {
+        for i in 0..SEEDS_PER_PRESET {
+            let seed = 0xFA3_0000 + (pi as u64) * 0x1000 + i as u64;
+            families.push((format!("{label}#{i}"), params.instantiate(seed)));
+        }
+    }
+    families
+}
+
+fn counter_system(fam: &GeneratedFamily) -> CounterSystem {
+    CounterSystem::new(fam.single_round.clone(), fam.valuation.clone())
+        .expect("generated valuations are admissible")
+}
+
+fn specs_of(fam: &GeneratedFamily) -> Vec<Spec> {
+    Spec::family_catalogue(&fam.single_round, &fam.obligations)
+}
+
+#[test]
+fn generated_families_match_the_reference_engine() {
+    let mut verdicts = [0usize; 3];
+    for (ctx, fam) in corpus() {
+        let sys = counter_system(&fam);
+        let options = CheckerOptions::default();
+        for spec in specs_of(&fam) {
+            let engine = ExplicitChecker::with_options(&sys, options).check(&spec);
+            let reference = reference_check(&sys, &spec, &options);
+            let where_ = format!("{ctx} (seed {:#x}), {}", fam.seed, spec.name());
+            assert_eq!(engine.status, reference.status, "verdicts differ: {where_}");
+            assert_eq!(
+                engine.states_explored, reference.states_explored,
+                "state counts differ: {where_}"
+            );
+            assert_eq!(
+                engine.transitions_explored, reference.transitions_explored,
+                "transition counts differ: {where_}"
+            );
+            verdicts[match engine.status {
+                CheckStatus::Holds => 0,
+                CheckStatus::Violated => 1,
+                CheckStatus::Unknown => 2,
+            }] += 1;
+            if engine.status == CheckStatus::Violated {
+                let e = engine.counterexample.expect("engine counterexample");
+                let r = reference.counterexample.expect("reference counterexample");
+                assert_eq!(e.initial, r.initial, "initials differ: {where_}");
+                assert_eq!(
+                    e.schedule.steps(),
+                    r.schedule.steps(),
+                    "schedules differ: {where_}"
+                );
+            }
+        }
+    }
+    assert!(
+        verdicts[0] > 0 && verdicts[1] > 0,
+        "degenerate verdict distribution: {verdicts:?}"
+    );
+}
+
+#[test]
+fn generated_families_cached_catalogue_matches_uncached() {
+    let mut cached_violations = 0usize;
+    for (ctx, fam) in corpus() {
+        let sys = counter_system(&fam);
+        let specs = specs_of(&fam);
+        let uncached =
+            ExplicitChecker::with_options(&sys, CheckerOptions::default().with_graph_cache(false))
+                .check_all(&specs);
+        for workers in [1, 2, 4] {
+            // wave size 1 lowers the parallel-entry threshold so pooled
+            // runs genuinely exercise the parallel cache build
+            let options = CheckerOptions {
+                workers,
+                wave_size: if workers > 1 { 1 } else { 0 },
+                ..CheckerOptions::default().with_graph_cache(true)
+            };
+            let (cached, stats) =
+                ExplicitChecker::with_options(&sys, options).check_all_with_stats(&specs);
+            assert!(
+                stats.graphs_built() > 0 && stats.uncached_specs == 0,
+                "{ctx} (seed {:#x}): the cached axis must exercise the cache",
+                fam.seed
+            );
+            for ((spec, c), u) in specs.iter().zip(&cached).zip(&uncached) {
+                let where_ = format!(
+                    "{ctx} (seed {:#x}), {} at {workers} workers",
+                    fam.seed,
+                    spec.name()
+                );
+                // cached groups share one exploration, so only the verdict
+                // (not per-spec state accounting) is comparable
+                assert_eq!(c.status, u.status, "cached verdict differs: {where_}");
+                if c.status == CheckStatus::Violated {
+                    cached_violations += 1;
+                }
+            }
+        }
+    }
+    assert!(cached_violations > 0, "degenerate corpus: no violation");
+}
+
+#[test]
+fn generated_families_incremental_sweep_matches_fresh() {
+    use ccchecker::check_over_sweep_with_stats;
+    let (mut reused, mut extended) = (0usize, 0usize);
+    let mut swept = 0usize;
+    for (ctx, fam) in corpus() {
+        // resilience-3 families carry a single-valuation "sweep"; and the
+        // crash-stop environment models all n = 5 processes at the grid's
+        // n, which is too heavy to run 200× here — keep the incremental
+        // axis to the 4-process grids
+        let env = fam.single_round.env().clone();
+        if fam.sweep.len() < 2
+            || fam
+                .sweep
+                .iter()
+                .any(|v| env.system_size(v).is_none_or(|s| s.processes > 4))
+        {
+            continue;
+        }
+        swept += 1;
+        let specs = specs_of(&fam);
+        for workers in [1, 2, 4] {
+            let options = CheckerOptions {
+                workers,
+                wave_size: if workers > 1 { 1 } else { 0 },
+                ..CheckerOptions::default()
+            }
+            .with_graph_cache(true);
+            let (incremental, stats) = check_over_sweep_with_stats(
+                &fam.single_round,
+                &specs,
+                &fam.sweep,
+                options.with_incremental_sweep(true),
+                1,
+            );
+            let (fresh, _) = check_over_sweep_with_stats(
+                &fam.single_round,
+                &specs,
+                &fam.sweep,
+                options.with_incremental_sweep(false),
+                1,
+            );
+            if workers == 1 {
+                reused += stats.reused_groups();
+                extended += stats.extended_groups();
+            }
+            for (ri, rf) in incremental.iter().zip(&fresh) {
+                let where_ = format!(
+                    "{ctx} (seed {:#x}), {} at {workers} workers",
+                    fam.seed, ri.spec_name
+                );
+                assert_eq!(ri.status(), rf.status(), "sweep status differs: {where_}");
+                assert_eq!(ri.outcomes.len(), rf.outcomes.len(), "{where_}");
+                for (oi, of) in ri.outcomes.iter().zip(&rf.outcomes) {
+                    let cell = format!("{where_} at {}", oi.params);
+                    assert_eq!(oi.params, of.params, "{cell}");
+                    assert_eq!(oi.outcome.status, of.outcome.status, "{cell}");
+                    assert_eq!(
+                        oi.outcome.states_explored, of.outcome.states_explored,
+                        "state count differs: {cell}"
+                    );
+                    assert_eq!(
+                        oi.outcome.transitions_explored, of.outcome.transitions_explored,
+                        "transition count differs: {cell}"
+                    );
+                    match (&oi.outcome.counterexample, &of.outcome.counterexample) {
+                        (None, None) => {}
+                        (Some(ci), Some(cf)) => {
+                            assert_eq!(ci.initial, cf.initial, "initial differs: {cell}");
+                            assert_eq!(
+                                ci.schedule.steps(),
+                                cf.schedule.steps(),
+                                "schedule differs: {cell}"
+                            );
+                        }
+                        _ => panic!("counterexample presence differs: {cell}"),
+                    }
+                }
+            }
+        }
+    }
+    assert!(swept > 0, "no family qualified for the incremental axis");
+    assert!(reused > 0, "no identical step was reused");
+    assert!(extended > 0, "no relax-only step was extended");
+}
+
+/// Whether a simulator-visited configuration sequence witnesses a
+/// violation of a (non-probabilistic) obligation, mirroring the checker's
+/// cumulative semantics.
+fn run_witnesses_violation(
+    sys: &CounterSystem,
+    spec: &Spec,
+    configs: &[Configuration],
+    terminal: bool,
+) -> bool {
+    match spec {
+        Spec::NeverFrom { forbidden, .. } => configs.iter().any(|c| forbidden.is_occupied(c)),
+        Spec::CoverNever {
+            trigger, forbidden, ..
+        } => {
+            configs.iter().any(|c| trigger.is_occupied(c))
+                && configs.iter().any(|c| forbidden.is_occupied(c))
+        }
+        Spec::NonBlocking { .. } => {
+            let model = sys.model();
+            terminal
+                && configs.last().is_some_and(|last| {
+                    model.loc_ids().any(|l| {
+                        last.counter(l, 0) > 0 && model.location(l).class() != LocClass::BorderCopy
+                    })
+                })
+        }
+        // a single run cannot witness a ∀adversary∃path violation
+        Spec::ExistsAvoidOneOf { .. } => false,
+    }
+}
+
+/// The locations an adversarial run steers toward: the obligation's
+/// forbidden sets.
+fn adversarial_targets(spec: &Spec) -> Vec<ccta::LocId> {
+    let sets: Vec<&LocSet> = match spec {
+        Spec::NeverFrom { forbidden, .. } => vec![forbidden],
+        Spec::CoverNever {
+            trigger, forbidden, ..
+        } => vec![trigger, forbidden],
+        Spec::ExistsAvoidOneOf { forbidden_sets, .. } => forbidden_sets.iter().collect(),
+        Spec::NonBlocking { .. } => vec![],
+    };
+    sets.into_iter()
+        .flat_map(|s| s.locs().iter().copied())
+        .collect()
+}
+
+#[test]
+fn generated_families_agree_with_the_simulator_oracle() {
+    let (mut safe_runs, mut replayed) = (0usize, 0usize);
+    for (ctx, fam) in corpus() {
+        let sys = counter_system(&fam);
+        let specs = specs_of(&fam);
+        let outcomes =
+            ExplicitChecker::with_options(&sys, CheckerOptions::default()).check_all(&specs);
+        for (spec, outcome) in specs.iter().zip(&outcomes) {
+            let where_ = format!("{ctx} (seed {:#x}), {}", fam.seed, spec.name());
+            match outcome.status {
+                CheckStatus::Holds => {
+                    // direction (a): simulation must never witness a
+                    // violation the checker proved safe
+                    if spec.is_probabilistic() {
+                        continue;
+                    }
+                    let starts = spec.start().configurations(&sys);
+                    let targets = adversarial_targets(spec);
+                    for (si, start) in starts.iter().take(3).enumerate() {
+                        let mut runs = vec![
+                            simulate(&sys, start, &SimPolicy::Fair, fam.seed ^ si as u64, 250),
+                            simulate(
+                                &sys,
+                                start,
+                                &SimPolicy::Fair,
+                                fam.seed ^ 0x9E37 ^ si as u64,
+                                250,
+                            ),
+                        ];
+                        if !targets.is_empty() {
+                            runs.push(simulate(
+                                &sys,
+                                start,
+                                &SimPolicy::Adversarial(targets.clone()),
+                                fam.seed ^ si as u64,
+                                250,
+                            ));
+                            runs.push(simulate(
+                                &sys,
+                                start,
+                                &SimPolicy::Adversarial(targets.clone()),
+                                fam.seed ^ 0x517C ^ si as u64,
+                                250,
+                            ));
+                        }
+                        for trace in runs {
+                            assert!(
+                                !run_witnesses_violation(
+                                    &sys,
+                                    spec,
+                                    &trace.configs,
+                                    trace.terminal
+                                ),
+                                "the simulator witnessed a violation the checker called safe: \
+                                 {where_} from start #{si}"
+                            );
+                            safe_runs += 1;
+                        }
+                    }
+                }
+                CheckStatus::Violated => {
+                    // direction (b): every checker counterexample schedule
+                    // replays at the process level to the same violating
+                    // configurations
+                    let ce = outcome.counterexample.as_ref().expect("counterexample");
+                    if ce.schedule.is_empty() {
+                        // structural acyclicity violations carry no schedule
+                        assert!(ce.explanation.contains("cycle"), "{where_}");
+                        continue;
+                    }
+                    let path = ce
+                        .schedule
+                        .apply(&sys, &ce.initial)
+                        .unwrap_or_else(|e| panic!("{where_}: must replay in counters: {e:?}"));
+                    let sim = replay_schedule(&sys, &ce.initial, &ce.schedule)
+                        .unwrap_or_else(|e| panic!("{where_}: must replay in the simulator: {e}"));
+                    assert_eq!(
+                        sim.len(),
+                        path.configs().len(),
+                        "simulator path length differs: {where_}"
+                    );
+                    for (step, (mine, theirs)) in sim.iter().zip(path.configs()).enumerate() {
+                        assert_eq!(
+                            mine, theirs,
+                            "simulator diverges from counter semantics at step {step}: {where_}"
+                        );
+                    }
+                    // the replayed execution genuinely violates the spec
+                    if !spec.is_probabilistic() {
+                        assert!(
+                            run_witnesses_violation(&sys, spec, &sim, sys.is_terminal(path.last())),
+                            "replayed counterexample does not violate its spec: {where_}"
+                        );
+                    }
+                    replayed += 1;
+                }
+                CheckStatus::Unknown => {}
+            }
+        }
+    }
+    // the corpus must drive both directions of the oracle
+    assert!(safe_runs > 0, "no safe obligation was ever simulated");
+    assert!(replayed > 0, "no counterexample was ever replayed");
+}

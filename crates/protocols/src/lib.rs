@@ -18,9 +18,26 @@
 //! not publish their automata); see `DESIGN.md` for the substitution notes,
 //! in particular for the binding mechanism of the fixed protocols Miller18
 //! and ABY22.
+//!
+//! # Generated families & cross-check oracle
+//!
+//! Beyond the fixed catalogue, the [`family`] module generates whole
+//! *protocol families* on demand: a [`family::FamilyParams`] point (phase
+//! depth, locations per phase, branch fan-out, guard density, shared/coin
+//! variable counts, crash-vs-Byzantine fault mix, resilience condition)
+//! plus a seed deterministically expands into a validated threshold-automata
+//! system, admissible valuations/sweep grids and a checker-neutral
+//! obligation catalogue — identical inputs are byte-identical across runs.
+//! Generated families feed three independent oracles: the optimized engine
+//! vs. the preserved `reference` engine, counterexample replay over the
+//! counter-system semantics, and `ccsim`'s process-level bridge
+//! (`ccsim::bridge`), which executes the same automaton as individual
+//! simulator processes under fair and adversarial schedules and must never
+//! witness a violation the checker calls safe.
 
 pub mod bstyle;
 pub mod common;
+pub mod family;
 pub mod fixed;
 pub mod ks16;
 pub mod mmr14;

@@ -1,0 +1,197 @@
+//! Well-formedness of the protocol-family generator: every emitted system
+//! must be a valid threshold-automata model, instantiable as a counter
+//! system at every generated valuation, with every threshold guard
+//! attainable under the declared resilience condition — and generation
+//! must be a pure function of `(params, seed)`.
+
+use cccounter::CounterSystem;
+use ccprotocols::family::{FamilyParams, FaultModel};
+use ccta::{GuardRel, Owner};
+
+/// A grid over the parameter space: fault models × structure shapes ×
+/// guard densities × resilience factors.
+fn grid() -> Vec<FamilyParams> {
+    let mut points = Vec::new();
+    for faults in [FaultModel::Byzantine, FaultModel::Crash, FaultModel::Mixed] {
+        for (phases, width, fanout) in [(1, 1, 1), (2, 2, 2), (3, 1, 3), (2, 3, 2)] {
+            for guard_density in [0, 50, 100] {
+                for resilience in [2, 3] {
+                    points.push(FamilyParams {
+                        phases,
+                        width,
+                        fanout,
+                        guard_density,
+                        shared_vars: 1 + (phases % 3),
+                        coin_vars: 2 + (width % 2),
+                        faults,
+                        resilience,
+                    });
+                }
+            }
+        }
+    }
+    points
+}
+
+const SEEDS: u64 = 5;
+
+#[test]
+fn every_generated_system_validates_and_instantiates() {
+    for params in grid() {
+        for seed in 0..SEEDS {
+            let fam = params.instantiate(seed);
+            let ctx = format!("{params:?} seed {seed}");
+            fam.model
+                .validate()
+                .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            fam.single_round
+                .validate()
+                .unwrap_or_else(|e| panic!("{ctx}: single-round: {e:?}"));
+            assert_eq!(
+                fam.single_round.kind(),
+                ccta::ModelKind::SingleRound,
+                "{ctx}"
+            );
+            // every generated valuation must build a counter system
+            for v in std::iter::once(&fam.valuation).chain(&fam.sweep) {
+                CounterSystem::new(fam.single_round.clone(), v.clone())
+                    .unwrap_or_else(|e| panic!("{ctx}: valuation {v} must instantiate: {e:?}"));
+            }
+            // the obligation catalogue resolves: every referenced location
+            // exists in both model forms
+            for o in &fam.obligations {
+                use ccprotocols::family::FamilyObligationKind as K;
+                let sets: Vec<&ccprotocols::family::FamilySet> = match &o.kind {
+                    K::NeverFrom { forbidden } => vec![forbidden],
+                    K::CoverNever { trigger, forbidden } => vec![trigger, forbidden],
+                    K::ExistsAvoidOneOf { forbidden_sets } => forbidden_sets.iter().collect(),
+                    K::NonBlocking => vec![],
+                };
+                for set in sets {
+                    for loc in &set.locations {
+                        assert!(
+                            fam.model.location_id(loc).is_some()
+                                && fam.single_round.location_id(loc).is_some(),
+                            "{ctx}: obligation {} references unknown location {loc}",
+                            o.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_threshold_guard_is_attainable_at_the_base_valuation() {
+    // Capacity invariant: for every `x >= bound` guard on a process rule,
+    // the bound at the base valuation must not exceed what the modelled
+    // population can pump into `x` — the sum over incrementing rules of
+    // increment × copies of the incrementing automaton.  The generator's
+    // post-pass guarantees an increment site for every guarded shared
+    // variable; this pins the arithmetic under both fault models.
+    for params in grid() {
+        for seed in 0..SEEDS {
+            let fam = params.instantiate(seed);
+            let ctx = format!("{params:?} seed {seed}");
+            let model = &fam.model;
+            let env = model.env();
+            let size = env
+                .system_size(&fam.valuation)
+                .unwrap_or_else(|| panic!("{ctx}: base valuation must be admissible"));
+            for rule in model.rules() {
+                for atom in rule.guard().atoms() {
+                    if atom.rel() != GuardRel::Ge {
+                        continue;
+                    }
+                    let bound = atom.bound().eval(fam.valuation.values());
+                    for var in atom.vars() {
+                        let attainable: i128 = model
+                            .rules()
+                            .iter()
+                            .map(|r| {
+                                let copies = match r.owner() {
+                                    Owner::Process => size.processes,
+                                    Owner::Coin => size.coins,
+                                };
+                                (r.update().increment_of(var) * copies) as i128
+                            })
+                            .sum();
+                        assert!(
+                            bound <= attainable,
+                            "{ctx}: guard of {} needs {bound} in var {var:?} but the \
+                             population can only reach {attainable}",
+                            rule.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_are_byte_identical_across_runs() {
+    for params in grid().into_iter().step_by(7) {
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let a = params.instantiate(seed);
+            let b = params.instantiate(seed);
+            assert_eq!(
+                format!("{:?}", a.model),
+                format!("{:?}", b.model),
+                "{params:?} seed {seed}: models differ"
+            );
+            assert_eq!(a.valuation, b.valuation);
+            assert_eq!(a.sweep, b.sweep);
+            assert_eq!(a.mids, b.mids);
+            assert_eq!(a.obligations, b.obligations);
+            assert_eq!(a.faults, b.faults);
+        }
+    }
+}
+
+#[test]
+fn out_of_range_parameters_are_clamped_not_rejected() {
+    let wild = FamilyParams {
+        phases: 99,
+        width: 0,
+        fanout: 77,
+        guard_density: 255,
+        shared_vars: 0,
+        coin_vars: 0,
+        faults: FaultModel::Byzantine,
+        resilience: -5,
+    };
+    let fam = wild.instantiate(3);
+    fam.model
+        .validate()
+        .expect("clamped params must generate a valid model");
+    assert_eq!(fam.params, wild.clamped());
+    assert!(fam.params.phases <= 4 && fam.params.width >= 1);
+    assert!(fam.params.coin_vars >= 2 && fam.params.resilience >= 2);
+    CounterSystem::new(fam.single_round, fam.valuation).expect("instantiable");
+}
+
+#[test]
+fn fault_models_select_their_environments() {
+    let byz = FamilyParams {
+        faults: FaultModel::Byzantine,
+        ..FamilyParams::default()
+    }
+    .instantiate(11);
+    let crash = FamilyParams {
+        faults: FaultModel::Crash,
+        ..FamilyParams::default()
+    }
+    .instantiate(11);
+    // Byzantine: n - f modelled processes; crash-stop: all n modelled
+    let b = byz.model.env().system_size(&byz.valuation).unwrap();
+    let c = crash.model.env().system_size(&crash.valuation).unwrap();
+    assert_eq!(
+        b.processes + 1,
+        c.processes,
+        "crash must model the faulty process too"
+    );
+    assert_eq!(b.coins, 1);
+    assert_eq!(c.coins, 1);
+}

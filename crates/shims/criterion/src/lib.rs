@@ -39,6 +39,7 @@ pub struct Measurement {
 #[derive(Debug, Default)]
 pub struct Criterion {
     results: Vec<Measurement>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Criterion {
@@ -72,6 +73,23 @@ impl Criterion {
         &self.results
     }
 
+    /// Records a named scalar metric (a hit rate, a count, a ratio)
+    /// alongside the timing measurements.  Metrics are printed and written
+    /// to the `BENCH_JSON` summary as `{"id": ..., "value": ...}` entries —
+    /// an extension over upstream criterion used by benches that report
+    /// cache effectiveness next to wall-clock times.
+    pub fn metric(&mut self, id: impl Into<String>, value: f64) -> &mut Self {
+        let id = id.into();
+        println!("{id:<60} value {value:>12.4}");
+        self.metrics.push((id, value));
+        self
+    }
+
+    /// All scalar metrics recorded so far.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
     /// Writes the JSON summary if `BENCH_JSON` is set.  Called by
     /// [`criterion_main!`]; harmless to call twice.
     pub fn final_summary(&self) {
@@ -79,10 +97,12 @@ impl Criterion {
             return;
         };
         let mut out = String::from("[\n");
-        for (i, m) in self.results.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for m in &self.results {
+            if !first {
                 out.push_str(",\n");
             }
+            first = false;
             out.push_str(&format!(
                 "  {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
                 m.id.replace('"', "'"),
@@ -90,6 +110,16 @@ impl Criterion {
                 m.mean_ns,
                 m.min_ns,
                 m.max_ns
+            ));
+        }
+        for (id, value) in &self.metrics {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"value\": {value:.6}}}",
+                id.replace('"', "'"),
             ));
         }
         out.push_str("\n]\n");
@@ -285,6 +315,13 @@ mod tests {
         assert_eq!(c.measurements().len(), 1);
         assert_eq!(c.measurements()[0].samples, 10);
         assert!(c.measurements()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn metrics_are_recorded_next_to_measurements() {
+        let mut c = Criterion::new();
+        c.metric("cache/hit_rate", 0.75);
+        assert_eq!(c.metrics(), &[("cache/hit_rate".to_string(), 0.75)]);
     }
 
     #[test]

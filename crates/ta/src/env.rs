@@ -310,6 +310,43 @@ pub fn byzantine_common_coin_env(resilience_factor: i64) -> Environment {
     b.build()
 }
 
+/// Builds the crash-stop environment used by the generated protocol
+/// families: the same parameters `n`, `t`, `f`, `cc` and resilience
+/// `n > a*t /\ t >= f /\ f >= 0 /\ cc >= 1` as
+/// [`byzantine_common_coin_env`], but `N(p) = (n, 1)` — *all* `n` processes
+/// are modelled, because a crashed process is one that simply stops taking
+/// steps, and the asynchronous interleaving semantics already contains every
+/// execution in which up to `f` processes never move again.  Threshold
+/// guards of crash-stop protocols consequently wait for `n - t` messages
+/// (all but the slowest `t`) instead of the Byzantine `n - t - f`.
+pub fn crash_stop_common_coin_env(resilience_factor: i64) -> Environment {
+    let mut b = EnvironmentBuilder::new();
+    let n = b.param("n");
+    let t = b.param("t");
+    let f = b.param("f");
+    let cc = b.param("cc");
+    let k = 4usize;
+    b.require(LinearConstraint::gt(
+        LinearExpr::param(k, n),
+        LinearExpr::term(k, t, resilience_factor),
+    ));
+    b.require(LinearConstraint::ge(
+        LinearExpr::param(k, t),
+        LinearExpr::param(k, f),
+    ));
+    b.require(LinearConstraint::ge(
+        LinearExpr::param(k, f),
+        LinearExpr::constant(k, 0),
+    ));
+    b.require(LinearConstraint::ge(
+        LinearExpr::param(k, cc),
+        LinearExpr::constant(k, 1),
+    ));
+    b.processes(LinearExpr::param(k, n));
+    b.coins(LinearExpr::constant(k, 1));
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +405,20 @@ mod tests {
         // smallest admissible for n > 3t: n=1,t=0,f=0? n>0 holds, so n=1 works
         let smallest = env.smallest_admissible(5).unwrap();
         assert_eq!(env.system_size(&smallest).unwrap().processes, 1);
+    }
+
+    #[test]
+    fn crash_env_models_all_processes() {
+        let env = crash_stop_common_coin_env(2);
+        assert_eq!(env.num_params(), 4);
+        let v = ParamValuation::new(vec![3, 1, 1, 1]);
+        assert!(env.is_admissible(&v));
+        let size = env.system_size(&v).unwrap();
+        assert_eq!(size.processes, 3);
+        assert_eq!(size.coins, 1);
+        // same resilience shape as the Byzantine environment
+        assert!(!env.is_admissible(&ParamValuation::new(vec![2, 1, 1, 1])));
+        assert!(!env.is_admissible(&ParamValuation::new(vec![5, 1, 2, 1])));
     }
 
     #[test]
