@@ -11,6 +11,12 @@
 //! Injected "OOM" and deadline faults need no hook at all: they are realised
 //! by handing a job a tiny resident-byte or deadline budget, which trips the
 //! same structured-degradation path a real overrun would.
+//!
+//! Beyond the in-check sites, the `ccserve` daemon instruments its
+//! admission, response-serialization and socket-write paths with the same
+//! hooks ([`SITE_ADMISSION`], [`SITE_RESPONSE_ENCODE`],
+//! [`SITE_SOCKET_WRITE`]), so every daemon failure path is drivable from
+//! its `protocol_robustness` suite without serve-private test shims.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -18,6 +24,16 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 pub const SITE_EXPAND: usize = 1;
 /// Injection site: the start of a sweep grid cell.
 pub const SITE_SWEEP_CELL: usize = 2;
+/// Injection site: the `ccserve` daemon's admission path, after a request
+/// frame was decoded but before it is enqueued.  Drives the
+/// degrade-to-typed-error path of admission.
+pub const SITE_ADMISSION: usize = 3;
+/// Injection site: the `ccserve` daemon's response serialization.  Drives
+/// the fallback minimal-error-response path.
+pub const SITE_RESPONSE_ENCODE: usize = 4;
+/// Injection site: the `ccserve` daemon's socket write.  Drives the
+/// treat-connection-as-dead path (cancel in-flight jobs, release slots).
+pub const SITE_SOCKET_WRITE: usize = 5;
 
 static ARMED: AtomicBool = AtomicBool::new(false);
 static SITE: AtomicUsize = AtomicUsize::new(0);

@@ -284,6 +284,15 @@ impl JobCheckpoint {
         self.outcomes.len()
     }
 
+    /// Consumes the checkpoint, yielding the per-spec outcomes in spec
+    /// order — `None` for obligations still owed at the interrupt.  Callers
+    /// that choose to degrade instead of resume (e.g. a serving deadline)
+    /// keep the completed verdicts and map the owed slots to interrupted
+    /// `Unknown` outcomes.
+    pub fn into_outcomes(self) -> Vec<Option<CheckOutcome>> {
+        self.outcomes
+    }
+
     /// Cumulative distinct states explored before the interrupt (completed
     /// explorations plus the in-flight build's progress).
     pub fn states_explored(&self) -> usize {

@@ -301,8 +301,13 @@
 //!   fresh pool without the lineage (the fresh-rebuild path); a second
 //!   panic marks that cell [`CellDisposition::Failed`] with the payload
 //!   and backtrace in its detail while sibling cells keep running.  The
-//!   `fault_injection` suite drives all of these paths with seeded
-//!   injectors ([`fault`]).
+//!   re-dispatch runs through the shared [`retry`] supervisor
+//!   ([`RetryPolicy`] + [`run_with_retry`], seeded-jitter exponential
+//!   backoff), the same policy engine the `ccserve` daemon uses for its
+//!   check jobs — the sweep's instance is simply `attempts(2)` with no
+//!   backoff.  The `fault_injection` suite drives all of these paths with
+//!   seeded injectors ([`fault`]), which also cover the daemon's
+//!   admission/response-encode/socket-write sites.
 //! * **Accounting.**  Every grid cell of a cancelled or budget-tripped
 //!   sweep is accounted for: completed + skipped (after an earlier
 //!   violation) + interrupted-with-checkpoint + failed-after-retry equals
@@ -332,6 +337,7 @@ pub mod job;
 pub mod pool;
 pub mod reference;
 pub mod result;
+pub mod retry;
 pub mod schema;
 pub mod spec;
 pub mod store;
@@ -354,6 +360,7 @@ pub use graph::GraphLineage;
 pub use job::{CancelToken, CheckJob, InterruptKind, JobBudget, JobCheckpoint, JobOutcome};
 pub use pool::WorkerPool;
 pub use result::{CheckOutcome, CheckStatus, GraphCacheStats, GraphOrigin, GroupCacheRecord};
+pub use retry::{run_with_retry, RetryPolicy};
 pub use schema::{
     count_linear_extensions, max_schema_count, milestone_precedence, milestones, schema_count,
     Milestone,

@@ -64,6 +64,7 @@ use crate::graph::GraphLineage;
 use crate::job::{CancelToken, InterruptKind, JobBudget, JobSignals};
 use crate::pool::WorkerPool;
 use crate::result::{CheckOutcome, CheckStatus, GraphCacheStats};
+use crate::retry::{run_with_retry, RetryPolicy};
 use crate::spec::Spec;
 use cccounter::CounterSystem;
 use ccta::{ParamValuation, SystemModel};
@@ -296,11 +297,19 @@ fn catch_cell(
     }
 }
 
+/// The sweep-cell retry policy: PR 6's one-shot fresh-pool retry expressed
+/// through the shared [`crate::retry`] supervisor — two attempts, no
+/// backoff (a panic is not a transient overload; sleeping would only delay
+/// the sibling cells' worker).
+fn cell_retry_policy() -> RetryPolicy {
+    RetryPolicy::attempts(2)
+}
+
 /// One cell of the `query × valuation` grid, run on the sweep worker's
 /// shared pool (one pool per worker, reused across all its cells).  A
-/// panicking cell fails alone: it is re-dispatched exactly once on a fresh
-/// pool and a fresh checker, and only a second panic produces a
-/// [`CellDisposition::Failed`] record.
+/// panicking cell fails alone: the shared [`crate::retry`] supervisor
+/// re-dispatches it exactly once on a fresh pool and a fresh checker, and
+/// only a second panic produces a [`CellDisposition::Failed`] record.
 fn run_one(
     sys: &CounterSystem,
     spec: &Spec,
@@ -309,30 +318,25 @@ fn run_one(
     job: Option<&JobSignals>,
 ) -> SweepOutcome {
     let started = Instant::now();
-    let first = catch_cell(pool, || {
-        crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
-        let mut checker = ExplicitChecker::with_pool(sys, options, pool);
-        checker.set_signals(job);
-        checker.check(spec)
+    let result = run_with_retry(&cell_retry_policy(), 0, |attempt| {
+        let fresh;
+        let attempt_pool = if attempt == 0 {
+            pool
+        } else {
+            fresh = WorkerPool::new(resolved_workers(&options));
+            &fresh
+        };
+        catch_cell(attempt_pool, || {
+            crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
+            let mut checker = ExplicitChecker::with_pool(sys, options, attempt_pool);
+            checker.set_signals(job);
+            checker.check(spec)
+        })
     });
-    let outcome = match first {
-        Ok(outcome) => outcome,
-        Err(_) => {
-            let fresh = WorkerPool::new(resolved_workers(&options));
-            match catch_cell(&fresh, || {
-                crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
-                let mut checker = ExplicitChecker::with_pool(sys, options, &fresh);
-                checker.set_signals(job);
-                checker.check(spec)
-            }) {
-                Ok(outcome) => outcome,
-                Err(detail) => {
-                    return SweepOutcome::failed(sys.params().clone(), detail, started.elapsed())
-                }
-            }
-        }
-    };
-    SweepOutcome::completed(sys.params().clone(), outcome, started.elapsed())
+    match result {
+        Ok(outcome) => SweepOutcome::completed(sys.params().clone(), outcome, started.elapsed()),
+        Err(detail) => SweepOutcome::failed(sys.params().clone(), detail, started.elapsed()),
+    }
 }
 
 /// One cached-path cell: served by the valuation's shared checker (and its
@@ -348,28 +352,26 @@ fn run_cached_cell(
     job: Option<&JobSignals>,
 ) -> SweepOutcome {
     let started = Instant::now();
-    let first = catch_cell(pool, || {
-        crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
-        checker.check_cached(spec)
-    });
-    let outcome = match first {
-        Ok(outcome) => outcome,
-        Err(_) => {
+    let result = run_with_retry(&cell_retry_policy(), 0, |attempt| {
+        if attempt == 0 {
+            catch_cell(pool, || {
+                crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
+                checker.check_cached(spec)
+            })
+        } else {
             let fresh = WorkerPool::new(resolved_workers(&options));
-            match catch_cell(&fresh, || {
+            catch_cell(&fresh, || {
                 crate::fault::maybe_fire(crate::fault::SITE_SWEEP_CELL);
                 let mut retry = ExplicitChecker::with_pool(sys, options, &fresh);
                 retry.set_signals(job);
                 retry.check_cached(spec)
-            }) {
-                Ok(outcome) => outcome,
-                Err(detail) => {
-                    return SweepOutcome::failed(sys.params().clone(), detail, started.elapsed())
-                }
-            }
+            })
         }
-    };
-    SweepOutcome::completed(sys.params().clone(), outcome, started.elapsed())
+    });
+    match result {
+        Ok(outcome) => SweepOutcome::completed(sys.params().clone(), outcome, started.elapsed()),
+        Err(detail) => SweepOutcome::failed(sys.params().clone(), detail, started.elapsed()),
+    }
 }
 
 /// Checks each query on every valuation of the sweep, in parallel.

@@ -1,0 +1,250 @@
+//! Stable FNV-64 fingerprints for cross-request result caching.
+//!
+//! The `ccserve` daemon caches verdicts across requests keyed by the triple
+//! *(system fingerprint, valuation fingerprint, obligation fingerprint)*.
+//! Two clients that submit the same protocol (by name or by generated-family
+//! parameters) with the same valuation and obligation must hit the same
+//! cache line, so the fingerprints hash the *resolved model structure*, not
+//! the request bytes: a family spec and a by-name protocol that instantiate
+//! to identical automata fingerprint identically.
+//!
+//! The hash is the same FNV-1a-style fold used by
+//! `ccprotocols::FamilyParams::fingerprint`, so fingerprints are stable
+//! across processes and platforms (no [`std::collections::hash_map::RandomState`]
+//! seeding), and cheap enough to compute per request.
+//!
+//! The module also fixes the wire encoding of verdicts
+//! ([`verdict_code`] / [`verdict_from_code`]): the daemon sends the same
+//! `+` / `-` / `?` glyphs the report tables print, so a degraded
+//! (deadline-tripped) cell shows up as `?` end to end.
+
+use ccchecker::{CheckStatus, Spec};
+use ccta::{ParamValuation, SystemModel};
+
+/// The FNV-64 offset basis.
+pub const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one word into an FNV-64 state.
+#[inline]
+pub fn fnv64(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(FNV_PRIME)
+}
+
+/// Folds a byte string into an FNV-64 state, length-prefixed so that
+/// adjacent fields cannot alias (`"ab" + "c"` vs `"a" + "bc"`).
+#[inline]
+pub fn fnv64_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    h = fnv64(h, bytes.len() as u64);
+    for &b in bytes {
+        h = fnv64(h, b as u64);
+    }
+    h
+}
+
+/// Folds a string into an FNV-64 state (length-prefixed UTF-8 bytes).
+#[inline]
+pub fn fnv64_str(h: u64, s: &str) -> u64 {
+    fnv64_bytes(h, s.as_bytes())
+}
+
+/// Fingerprints a resolved system model: name, round kind, environment
+/// parameters, variable alphabet, locations (with class/value/owner) and
+/// the fully rendered rules.  Two structurally identical models fingerprint
+/// identically regardless of how they were requested.
+pub fn system_fingerprint(model: &SystemModel) -> u64 {
+    let mut h = FNV_BASIS;
+    h = fnv64_str(h, model.name());
+    h = fnv64(h, model.kind() as u64);
+    for name in model.env().param_names() {
+        h = fnv64_str(h, name);
+    }
+    h = fnv64_str(h, &model.env().describe_resilience());
+    for var in model.vars() {
+        h = fnv64_str(h, var.name());
+        h = fnv64(h, var.kind() as u64);
+    }
+    for loc in model.locations() {
+        h = fnv64_str(h, loc.name());
+        h = fnv64(h, loc.class() as u64);
+        h = fnv64(h, loc.value().map_or(2, |v| v.index() as u64));
+        h = fnv64(h, loc.is_decision() as u64);
+        h = fnv64(h, loc.owner() as u64);
+    }
+    // The single-round construction emits its border-copy self-loops in
+    // HashMap iteration order, so rule order is not stable across rebuilds
+    // of the same model.  Fold the rules commutatively (sum of per-rule
+    // hashes) so structurally identical models fingerprint identically no
+    // matter how their rule lists happen to be ordered.
+    let mut rules_acc = 0u64;
+    for rule in model.rule_ids() {
+        rules_acc = rules_acc.wrapping_add(fnv64_str(FNV_BASIS, &model.describe_rule(rule)));
+    }
+    h = fnv64(h, model.rules().len() as u64);
+    h = fnv64(h, rules_acc);
+    h
+}
+
+/// Fingerprints a parameter valuation (the values in environment parameter
+/// order).
+pub fn valuation_fingerprint(valuation: &ParamValuation) -> u64 {
+    let mut h = FNV_BASIS;
+    h = fnv64(h, valuation.len() as u64);
+    for &v in valuation.values() {
+        h = fnv64(h, v);
+    }
+    h
+}
+
+/// Fingerprints an obligation: name, shape, start restriction and the
+/// location sets it constrains (by location id, which the system
+/// fingerprint pins to the model structure).
+pub fn spec_fingerprint(spec: &Spec) -> u64 {
+    let mut h = FNV_BASIS;
+    h = fnv64_str(h, spec.name());
+    h = fnv64_str(h, &spec.start().label());
+    match spec {
+        Spec::CoverNever {
+            trigger, forbidden, ..
+        } => {
+            h = fnv64(h, 1);
+            h = fold_locs(h, trigger.locs());
+            h = fold_locs(h, forbidden.locs());
+        }
+        Spec::NeverFrom { forbidden, .. } => {
+            h = fnv64(h, 2);
+            h = fold_locs(h, forbidden.locs());
+        }
+        Spec::ExistsAvoidOneOf { forbidden_sets, .. } => {
+            h = fnv64(h, 3);
+            h = fnv64(h, forbidden_sets.len() as u64);
+            for set in forbidden_sets {
+                h = fold_locs(h, set.locs());
+            }
+        }
+        Spec::NonBlocking { .. } => {
+            h = fnv64(h, 4);
+        }
+    }
+    h
+}
+
+fn fold_locs(mut h: u64, locs: &[ccta::LocId]) -> u64 {
+    h = fnv64(h, locs.len() as u64);
+    for l in locs {
+        h = fnv64(h, l.0 as u64);
+    }
+    h
+}
+
+/// The wire/report glyph of a verdict: `+` holds, `-` violated, `?` unknown
+/// (including deadline-degraded cells).
+pub fn verdict_code(status: CheckStatus) -> u8 {
+    match status {
+        CheckStatus::Holds => b'+',
+        CheckStatus::Violated => b'-',
+        CheckStatus::Unknown => b'?',
+    }
+}
+
+/// Decodes a wire verdict glyph; `None` for bytes outside the taxonomy.
+pub fn verdict_from_code(code: u8) -> Option<CheckStatus> {
+    match code {
+        b'+' => Some(CheckStatus::Holds),
+        b'-' => Some(CheckStatus::Violated),
+        b'?' => Some(CheckStatus::Unknown),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccchecker::LocSet;
+    use ccprotocols::family::FamilyParams;
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let ben = ccprotocols::protocol_by_name("Rabin83").unwrap();
+        let mmr = ccprotocols::protocol_by_name("MMR14").unwrap();
+        let ben_rd = ben.single_round();
+        let mmr_rd = mmr.single_round();
+        assert_eq!(system_fingerprint(&ben_rd), system_fingerprint(&ben_rd));
+        assert_ne!(system_fingerprint(&ben_rd), system_fingerprint(&mmr_rd));
+        assert_ne!(
+            system_fingerprint(ben.model()),
+            system_fingerprint(&ben_rd),
+            "multi-round and single-round forms must not alias"
+        );
+    }
+
+    #[test]
+    fn family_route_and_rebuild_agree() {
+        let fam = FamilyParams::default().instantiate(7);
+        let again = FamilyParams::default().instantiate(7);
+        assert_eq!(
+            system_fingerprint(&fam.single_round),
+            system_fingerprint(&again.single_round)
+        );
+        let other = FamilyParams::default().instantiate(8);
+        assert_ne!(
+            system_fingerprint(&fam.single_round),
+            system_fingerprint(&other.single_round)
+        );
+    }
+
+    #[test]
+    fn valuation_fingerprint_separates_values_and_lengths() {
+        let a = ParamValuation::new(vec![4, 1, 1]);
+        let b = ParamValuation::new(vec![4, 1, 2]);
+        let c = ParamValuation::new(vec![4, 1]);
+        assert_eq!(valuation_fingerprint(&a), valuation_fingerprint(&a));
+        assert_ne!(valuation_fingerprint(&a), valuation_fingerprint(&b));
+        assert_ne!(valuation_fingerprint(&c), valuation_fingerprint(&a));
+    }
+
+    #[test]
+    fn spec_fingerprint_separates_shape_name_and_sets() {
+        let ben = ccprotocols::protocol_by_name("Rabin83").unwrap();
+        let rd = ben.single_round();
+        let obligations = crate::obligations_for(&ben, &rd);
+        let specs = obligations.all();
+        let mut seen = std::collections::HashSet::new();
+        for spec in &specs {
+            assert!(
+                seen.insert(spec_fingerprint(spec)),
+                "collision in {} catalogue at {}",
+                rd.name(),
+                spec.name()
+            );
+        }
+        // same name, different forbidden set -> different fingerprint
+        let d0 = LocSet::from_names(&rd, "D0", &[rd.locations()[0].name()]);
+        let d1 = LocSet::from_names(&rd, "D1", &[rd.locations()[1].name()]);
+        let s0 = Spec::NeverFrom {
+            name: "X".into(),
+            start: specs[0].start(),
+            forbidden: d0,
+        };
+        let s1 = Spec::NeverFrom {
+            name: "X".into(),
+            start: specs[0].start(),
+            forbidden: d1,
+        };
+        assert_ne!(spec_fingerprint(&s0), spec_fingerprint(&s1));
+    }
+
+    #[test]
+    fn verdict_codes_round_trip() {
+        for status in [
+            CheckStatus::Holds,
+            CheckStatus::Violated,
+            CheckStatus::Unknown,
+        ] {
+            assert_eq!(verdict_from_code(verdict_code(status)), Some(status));
+        }
+        assert_eq!(verdict_from_code(b'x'), None);
+        assert_eq!(verdict_code(CheckStatus::Unknown), b'?');
+    }
+}

@@ -33,10 +33,14 @@
 //! assert!(result.agreement.holds());
 //! ```
 
+pub mod fingerprint;
 pub mod obligations;
 pub mod report;
 pub mod verifier;
 
+pub use fingerprint::{
+    spec_fingerprint, system_fingerprint, valuation_fingerprint, verdict_code, verdict_from_code,
+};
 pub use obligations::{obligations_for, Obligations};
 pub use report::{render_table2, render_table3, render_table4, Table4Row};
 pub use verifier::{

@@ -1,0 +1,93 @@
+//! `ccserve`: a resident verification daemon with admission control,
+//! backpressure, and graceful degradation.
+//!
+//! The rest of the workspace answers one verification question per process
+//! invocation.  This crate keeps the checker resident: a daemon accepts
+//! verification requests — a protocol by Table II name or a generated
+//! family by parameter point, a valuation grid, an obligation filter, and
+//! a per-request deadline — runs them as `ccchecker::CheckJob`s on a fixed
+//! worker budget, and shares definite verdicts across requests through a
+//! fingerprint-keyed result cache (see `cccore::fingerprint`).
+//!
+//! # Wire protocol & failure model
+//!
+//! **Framing.**  Every message is one frame: `[magic u32][length u32]
+//! [payload]`, little-endian, with magic [`wire::MAGIC`].  The length is
+//! bounded by the server's `max_frame_bytes` knob.  The payload encoding
+//! is fixed-width integers plus length-prefixed UTF-8 strings — see
+//! [`wire`] for the exact layouts.  The protocol is deliberately
+//! hand-rolled over std TCP / Unix sockets: the workspace builds offline,
+//! so no serde, no async runtime.
+//!
+//! **Request taxonomy.**  `Check` (run a verification job), `Stats`
+//! (counter snapshot), `Ping` (liveness).  A check request carries a
+//! client-chosen id that every terminal response echoes, so clients may
+//! pipeline requests over one connection.
+//!
+//! **Response taxonomy.**  Exactly one *terminal* response per check
+//! request on a live connection:
+//!
+//! * `Verdict` — the request was admitted and ran; one report per
+//!   valuation with a `+`/`-`/`?` glyph per obligation.
+//! * `Overloaded` — the bounded admission queue was full; the request was
+//!   shed *at admission* and nothing was buffered.  Backpressure is always
+//!   explicit: the daemon never queues beyond `queue_capacity`.
+//! * `Rejected` — understood but unserviceable: unknown protocol name,
+//!   valuation arity mismatch, inadmissible valuation, empty obligation
+//!   match, malformed payload (id 0 when the id itself did not decode).
+//! * `Error` — the daemon failed internally (e.g. a job panicked on every
+//!   supervised attempt).
+//!
+//! `Stats`/`Pong` replies are non-terminal.  Frame-level failures are
+//! handled by class: a malformed payload inside a sound frame is rejected
+//! and the connection keeps serving (the stream is still in sync); a bad
+//! magic or an oversized length declaration is rejected and the connection
+//! closed (the stream cannot be resynchronised); a short read is a
+//! disconnect.
+//!
+//! **Degradation.**  A per-request `deadline_ms` becomes a
+//! `ccchecker::JobBudget` deadline on each cell's job.  Cells past the
+//! deadline degrade to `?` verdicts with detail `interrupted: deadline
+//! exceeded` — the same structured degradation as `VerifierConfig`
+//! budgets: completed obligations keep their verdicts, owed ones are
+//! `Unknown`, never fabricated.  Only definite verdicts enter the
+//! cross-request cache, so one client's tight deadline cannot poison
+//! another's answer.
+//!
+//! **Disconnects.**  The reader marks the connection dead and cancels the
+//! cancel tokens of every queued or running request of that connection.
+//! Running jobs observe the token at their next wave boundary, surrender,
+//! and the worker slot is released without a response (the `orphaned`
+//! counter records it).  The mark-dead order (liveness flag before token
+//! sweep) closes the race with a job registering its token concurrently.
+//!
+//! **Supervision.**  A panicking job is retried under
+//! `ccchecker::RetryPolicy` — fresh `CheckJob` per attempt, seeded-jitter
+//! exponential backoff — generalising the sweep's one-shot fresh-pool
+//! retry.  Exhausted attempts produce a typed `Error` response; the daemon
+//! itself never dies.  The daemon paths are instrumented with the
+//! always-compiled `ccchecker::fault` sites `SITE_ADMISSION`,
+//! `SITE_RESPONSE_ENCODE` and `SITE_SOCKET_WRITE`, so the robustness suite
+//! drives every failure path deterministically.
+//!
+//! **Knob precedence.**  Explicit [`ServeConfig`] fields beat environment
+//! variables beat defaults: `CC_SERVE_WORKERS` (worker slots),
+//! `CC_SERVE_QUEUE` (admission capacity), `CC_SERVE_CACHE` (result-cache
+//! capacity), `CC_SERVE_MAX_FRAME` (frame bound).  In-check threading
+//! keeps following `CC_CHECK_THREADS` through `CheckerOptions`, unchanged.
+
+pub mod cache;
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use cache::ResultCache;
+pub use client::ServeClient;
+pub use queue::AdmissionQueue;
+pub use server::{ServeConfig, Server};
+pub use wire::{
+    CellReport, CheckRequest, Priority, Request, Response, Source, SpecVerdict, StatsSnapshot,
+    WireError,
+};

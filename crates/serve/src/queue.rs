@@ -1,0 +1,139 @@
+//! Bounded multi-priority admission queue with explicit shed-on-full.
+//!
+//! The queue is the daemon's only buffer between admission and the worker
+//! pool, and it is *bounded*: when all bands together hold `capacity`
+//! entries, [`AdmissionQueue::push`] fails immediately and hands the entry
+//! back, so admission can send a typed `Overloaded` response instead of
+//! buffering without limit.  Workers pop the highest-priority non-empty
+//! band; within a band, FIFO.
+
+use crate::wire::Priority;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    bands: [VecDeque<T>; 3],
+    len: usize,
+    closed: bool,
+}
+
+/// A bounded three-band priority queue shared by admission and workers.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` entries across all bands.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                bands: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                len: 0,
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues an entry, or returns it unchanged if the queue is full or
+    /// closed (the caller sheds).  Never blocks.
+    pub fn push(&self, item: T, priority: Priority) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.len >= self.capacity {
+            return Err(item);
+        }
+        inner.bands[priority.band()].push_back(item);
+        inner.len += 1;
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an entry is available (highest band first) or the queue
+    /// is closed and drained; `None` means shut down.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            for band in 0..inner.bands.len() {
+                if let Some(item) = inner.bands[band].pop_front() {
+                    inner.len -= 1;
+                    return Some(item);
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: pending entries still drain, further pushes shed,
+    /// and idle workers wake up to exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_when_full_and_drains_by_priority() {
+        let q = AdmissionQueue::new(3);
+        assert!(q.push(1, Priority::Low).is_ok());
+        assert!(q.push(2, Priority::Normal).is_ok());
+        assert!(q.push(3, Priority::High).is_ok());
+        assert_eq!(q.push(4, Priority::High), Err(4));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_sheds_new_pushes() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(2));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // the worker is (eventually) blocked in pop; close must wake it
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+        assert_eq!(q.push(9, Priority::Normal), Err(9));
+    }
+
+    #[test]
+    fn close_still_drains_queued_entries() {
+        let q = AdmissionQueue::new(4);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}

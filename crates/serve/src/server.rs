@@ -1,0 +1,786 @@
+//! The resident verification server: admission, workers, degradation.
+//!
+//! See the crate docs for the wire protocol and failure model.  This module
+//! implements the lifecycle: an accept loop hands each connection to a
+//! reader thread; readers decode frames and either answer immediately
+//! (ping/stats), shed (`Overloaded`), or enqueue a [`JobEntry`]; a fixed
+//! pool of worker threads drains the queue and runs each request as a
+//! `ccchecker::CheckJob`, degrading deadline-tripped cells to `?` verdicts
+//! and caching definite ones across requests.
+
+use crate::cache::ResultCache;
+use crate::queue::AdmissionQueue;
+use crate::transport::{Listener, Stream};
+use crate::wire::{
+    decode_request, encode_response, write_frame, CellReport, CheckRequest, Request, Response,
+    Source, SpecVerdict, StatsSnapshot, WireError, DEFAULT_MAX_FRAME,
+};
+use ccchecker::{
+    fault, run_with_retry, CancelToken, CheckJob, CheckOutcome, CheckerOptions, JobBudget,
+    JobOutcome, RetryPolicy, Spec,
+};
+use cccore::fingerprint::{
+    spec_fingerprint, system_fingerprint, valuation_fingerprint, verdict_code,
+};
+use cccore::VerifierConfig;
+use cccounter::CounterSystem;
+use ccta::{ParamValuation, SystemModel};
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and accepts re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration.  Knob precedence is explicit value over
+/// environment variable over default, matching `CheckerOptions`:
+/// zero/`None` fields defer to `CC_SERVE_WORKERS`, `CC_SERVE_QUEUE`,
+/// `CC_SERVE_CACHE` and `CC_SERVE_MAX_FRAME`; in-check threading keeps
+/// following `CC_CHECK_THREADS` through [`CheckerOptions`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker slots (concurrent jobs).  0 = `CC_SERVE_WORKERS` or
+    /// `min(4, available parallelism)`.
+    pub workers: usize,
+    /// Admission queue capacity across all priority bands.  0 =
+    /// `CC_SERVE_QUEUE` or 64.
+    pub queue_capacity: usize,
+    /// Cross-request result-cache capacity.  `None` = `CC_SERVE_CACHE` or
+    /// 4096; `Some(0)` disables the cache.
+    pub cache_capacity: Option<usize>,
+    /// Maximum frame payload in bytes.  0 = `CC_SERVE_MAX_FRAME` or 1 MiB.
+    pub max_frame_bytes: usize,
+    /// Maximum valuations per request (explicit or auto-selected).  0 = 4.
+    pub max_valuations: usize,
+    /// Supervision policy for panicking jobs: retries get a fresh
+    /// `CheckJob`, with seeded-jitter backoff between attempts.
+    pub retry: RetryPolicy,
+    /// Checker options for each job (worker threads, caps, cache knobs).
+    pub checker: CheckerOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 0,
+            cache_capacity: None,
+            max_frame_bytes: 0,
+            max_valuations: 0,
+            retry: RetryPolicy::attempts(2)
+                .with_backoff(Duration::from_millis(5), Duration::from_millis(50)),
+            checker: CheckerOptions::default(),
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+struct Resolved {
+    workers: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    max_frame_bytes: usize,
+    max_valuations: usize,
+    retry: RetryPolicy,
+    checker: CheckerOptions,
+}
+
+impl ServeConfig {
+    fn resolve(self) -> Resolved {
+        let auto_workers = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1)
+        };
+        Resolved {
+            workers: match self.workers {
+                0 => env_usize("CC_SERVE_WORKERS").unwrap_or_else(auto_workers),
+                n => n,
+            }
+            .max(1),
+            queue_capacity: match self.queue_capacity {
+                0 => env_usize("CC_SERVE_QUEUE").unwrap_or(64),
+                n => n,
+            },
+            cache_capacity: self
+                .cache_capacity
+                .unwrap_or_else(|| env_usize("CC_SERVE_CACHE").unwrap_or(4096)),
+            max_frame_bytes: match self.max_frame_bytes {
+                0 => env_usize("CC_SERVE_MAX_FRAME").unwrap_or(DEFAULT_MAX_FRAME),
+                n => n,
+            },
+            max_valuations: match self.max_valuations {
+                0 => 4,
+                n => n,
+            },
+            retry: self.retry,
+            checker: self.checker,
+        }
+    }
+}
+
+/// Monotonic server counters (see [`StatsSnapshot`] for the wire form).
+#[derive(Default)]
+pub struct ServerStats {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    orphaned: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    active_jobs: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Per-connection shared state: the (mutexed) write side, liveness, and
+/// the cancel tokens of this connection's queued/running requests.
+struct ConnShared {
+    writer: Mutex<Stream>,
+    alive: AtomicBool,
+    inflight: Mutex<HashMap<u64, CancelToken>>,
+}
+
+impl ConnShared {
+    fn new(writer: Stream) -> Self {
+        ConnShared {
+            writer: Mutex::new(writer),
+            alive: AtomicBool::new(true),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Declares the client gone: every queued or running request of this
+    /// connection is cancelled so its worker slot frees up.  The order
+    /// matters — `alive` drops *before* the tokens fire, so a worker that
+    /// registers a fresh token and then re-checks `alive` cannot race past
+    /// both signals.
+    fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+        for token in lock_ignore_poison(&self.inflight).values() {
+            token.cancel();
+        }
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    fn register(&self, id: u64, token: CancelToken) {
+        lock_ignore_poison(&self.inflight).insert(id, token);
+    }
+
+    fn unregister(&self, id: u64) {
+        lock_ignore_poison(&self.inflight).remove(&id);
+    }
+
+    /// Sends one response frame.  Serialization panics degrade to a
+    /// minimal typed `Error`; write panics or IO errors declare the
+    /// connection dead (cancelling its in-flight jobs, shutting the socket
+    /// so the reader thread exits too) and report `false`.
+    fn send(&self, resp: &Response) -> bool {
+        if !self.is_alive() {
+            return false;
+        }
+        let payload = match catch_unwind(AssertUnwindSafe(|| {
+            fault::maybe_fire(fault::SITE_RESPONSE_ENCODE);
+            encode_response(resp)
+        })) {
+            Ok(p) => p,
+            Err(_) => encode_response(&Response::Error {
+                id: resp.request_id().unwrap_or(0),
+                detail: "response serialization failed".into(),
+            }),
+        };
+        let wrote = catch_unwind(AssertUnwindSafe(|| {
+            let mut writer = lock_ignore_poison(&self.writer);
+            fault::maybe_fire(fault::SITE_SOCKET_WRITE);
+            write_frame(&mut *writer, &payload)
+        }));
+        match wrote {
+            Ok(Ok(())) => true,
+            _ => {
+                // re-acquire outside the failed scope (the panic path
+                // released — and poisoned — the writer lock)
+                lock_ignore_poison(&self.writer).shutdown_both();
+                self.mark_dead();
+                false
+            }
+        }
+    }
+}
+
+/// One admitted request waiting for (or holding) a worker slot.
+struct JobEntry {
+    req: CheckRequest,
+    conn: Arc<ConnShared>,
+    admitted_at: Instant,
+    cancel: CancelToken,
+}
+
+struct Ctx {
+    stats: ServerStats,
+    cache: ResultCache,
+    queue: AdmissionQueue<JobEntry>,
+    shutdown: AtomicBool,
+    cfg: Resolved,
+}
+
+impl Ctx {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            orphaned: self.stats.orphaned.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            active_jobs: self.stats.active_jobs.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+        }
+    }
+}
+
+/// A running server.  Dropping without [`Server::shutdown`] leaves the
+/// daemon threads running detached; tests and the binary call `shutdown`.
+pub struct Server {
+    ctx: Arc<Ctx>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Binds a TCP listener (`"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the daemon.
+    pub fn bind_tcp(addr: &str, config: ServeConfig) -> io::Result<Server> {
+        Server::start(Listener::bind_tcp(addr)?, config)
+    }
+
+    /// Binds a Unix-domain socket and starts the daemon.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &std::path::Path, config: ServeConfig) -> io::Result<Server> {
+        Server::start(Listener::bind_unix(path)?, config)
+    }
+
+    /// Starts accept, reader and worker threads over a bound listener.
+    pub fn start(listener: Listener, config: ServeConfig) -> io::Result<Server> {
+        let cfg = config.resolve();
+        let addr = listener.local_addr();
+        listener.set_nonblocking(true)?;
+        let ctx = Arc::new(Ctx {
+            stats: ServerStats::default(),
+            cache: ResultCache::new(cfg.cache_capacity),
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let mut threads = Vec::new();
+        for _ in 0..ctx.cfg.workers {
+            let ctx = Arc::clone(&ctx);
+            threads.push(std::thread::spawn(move || worker_loop(&ctx)));
+        }
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let ctx = Arc::clone(&ctx);
+            let conn_threads = Arc::clone(&conn_threads);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(listener, &ctx, &conn_threads);
+                // the accept loop exits only at shutdown; readers notice the
+                // flag within one poll interval, so these joins terminate
+                let handles: Vec<_> = lock_ignore_poison(&conn_threads).drain(..).collect();
+                for h in handles {
+                    let _ = h.join();
+                }
+            }));
+        }
+        Ok(Server {
+            ctx,
+            threads: Mutex::new(threads),
+            addr,
+        })
+    }
+
+    /// The bound TCP address, if serving TCP.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.ctx.snapshot()
+    }
+
+    /// Stops accepting, drains admitted work, and joins every thread.
+    pub fn shutdown(&self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        self.ctx.queue.close();
+        let handles: Vec<_> = lock_ignore_poison(&self.threads).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, ctx: &Arc<Ctx>, conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok(stream) => {
+                let ctx = Arc::clone(ctx);
+                let handle = std::thread::spawn(move || serve_connection(stream, &ctx));
+                lock_ignore_poison(conn_threads).push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Fills `buf` from the stream, polling the shutdown flag between timed-out
+/// reads.  Unlike `read_exact`, a timeout mid-frame keeps the bytes already
+/// read, so slow writers cannot desynchronise the stream.
+fn read_full(stream: &mut Stream, buf: &mut [u8], ctx: &Ctx) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "shutting down"));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame with the same taxonomy as `wire::read_frame`, but
+/// interruptible at shutdown.
+fn read_frame_interruptible(stream: &mut Stream, ctx: &Ctx) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 8];
+    read_full(stream, &mut header, ctx)?;
+    let magic = u32::from_le_bytes(header[..4].try_into().unwrap());
+    if magic != crate::wire::MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+    if len > ctx.cfg.max_frame_bytes {
+        return Err(WireError::Oversized {
+            declared: len,
+            max: ctx.cfg.max_frame_bytes,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(stream, &mut payload, ctx)?;
+    Ok(payload)
+}
+
+fn serve_connection(stream: Stream, ctx: &Arc<Ctx>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(ConnShared::new(writer));
+    let mut reader = stream;
+    loop {
+        match read_frame_interruptible(&mut reader, ctx) {
+            Ok(payload) => match decode_request(&payload) {
+                Ok(Request::Ping) => {
+                    conn.send(&Response::Pong);
+                }
+                Ok(Request::Stats) => {
+                    conn.send(&Response::Stats(ctx.snapshot()));
+                }
+                Ok(Request::Check(req)) => admit(req, &conn, ctx),
+                Err(e) => {
+                    // the frame boundary was sound, so the stream is still
+                    // in sync: reject and keep serving this connection
+                    ServerStats::bump(&ctx.stats.rejected);
+                    conn.send(&Response::Rejected {
+                        id: 0,
+                        reason: e.to_string(),
+                    });
+                }
+            },
+            Err(e @ (WireError::BadMagic(_) | WireError::Oversized { .. })) => {
+                // cannot resynchronise after these: reject, then hang up
+                ServerStats::bump(&ctx.stats.rejected);
+                conn.send(&Response::Rejected {
+                    id: 0,
+                    reason: e.to_string(),
+                });
+                break;
+            }
+            Err(_) => break, // disconnect, transport error, or shutdown
+        }
+    }
+    conn.mark_dead();
+    reader.shutdown_both();
+}
+
+/// Admission: register the request's cancel token, then enqueue.  A full
+/// queue sheds with a typed `Overloaded` carrying the observed depth; an
+/// injected admission panic degrades to a typed `Error`.  Nothing is ever
+/// buffered outside the bounded queue.
+fn admit(req: CheckRequest, conn: &Arc<ConnShared>, ctx: &Arc<Ctx>) {
+    let id = req.id;
+    let priority = req.priority;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        fault::maybe_fire(fault::SITE_ADMISSION);
+        let cancel = CancelToken::new();
+        conn.register(id, cancel.clone());
+        let entry = JobEntry {
+            req,
+            conn: Arc::clone(conn),
+            admitted_at: Instant::now(),
+            cancel,
+        };
+        // box the shed entry so the closure's Err stays pointer-sized
+        ctx.queue.push(entry, priority).map_err(Box::new)
+    }));
+    match outcome {
+        Ok(Ok(())) => ServerStats::bump(&ctx.stats.admitted),
+        Ok(Err(_entry)) => {
+            conn.unregister(id);
+            ServerStats::bump(&ctx.stats.shed);
+            conn.send(&Response::Overloaded {
+                id,
+                queue_depth: ctx.queue.len() as u64,
+                capacity: ctx.queue.capacity() as u64,
+            });
+        }
+        Err(_) => {
+            conn.unregister(id);
+            ServerStats::bump(&ctx.stats.errors);
+            conn.send(&Response::Error {
+                id,
+                detail: "admission failed".into(),
+            });
+        }
+    }
+}
+
+fn worker_loop(ctx: &Arc<Ctx>) {
+    while let Some(entry) = ctx.queue.pop() {
+        ctx.stats.active_jobs.fetch_add(1, Ordering::Relaxed);
+        process(entry, ctx);
+        ctx.stats.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The resolved shape of a request: the single-round model and the
+/// obligation catalogue to check on it.
+struct ResolvedRequest {
+    model: SystemModel,
+    specs: Vec<Spec>,
+    /// Auto-selected sweep for family sources (used when the request names
+    /// no valuations).
+    family_sweep: Vec<ParamValuation>,
+}
+
+fn resolve_source(req: &CheckRequest) -> Result<ResolvedRequest, String> {
+    match &req.source {
+        Source::Protocol(name) => {
+            let protocol = ccprotocols::protocol_by_name(name)
+                .ok_or_else(|| format!("unknown protocol {name:?}"))?;
+            let model = protocol.single_round();
+            let obligations = cccore::obligations_for(&protocol, &model);
+            let specs = obligations.all().into_iter().cloned().collect();
+            Ok(ResolvedRequest {
+                model,
+                specs,
+                family_sweep: Vec::new(),
+            })
+        }
+        Source::Family { params, seed } => {
+            let family = params.instantiate(*seed);
+            let specs = Spec::family_catalogue(&family.single_round, &family.obligations);
+            Ok(ResolvedRequest {
+                model: family.single_round,
+                specs,
+                family_sweep: family.sweep,
+            })
+        }
+    }
+}
+
+fn degraded_verdict(spec: &Spec, detail: &str) -> SpecVerdict {
+    SpecVerdict {
+        name: spec.name().to_string(),
+        code: b'?',
+        states: 0,
+        transitions: 0,
+        cached: false,
+        detail: detail.to_string(),
+    }
+}
+
+fn outcome_verdict(spec: &Spec, outcome: &CheckOutcome, cached: bool) -> SpecVerdict {
+    SpecVerdict {
+        name: spec.name().to_string(),
+        code: verdict_code(outcome.status),
+        states: outcome.states_explored as u64,
+        transitions: outcome.transitions_explored as u64,
+        cached,
+        detail: outcome.detail.clone(),
+    }
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn process(entry: JobEntry, ctx: &Arc<Ctx>) {
+    let JobEntry {
+        req,
+        conn,
+        admitted_at,
+        cancel,
+    } = entry;
+    let id = req.id;
+    if cancel.is_cancelled() || !conn.is_alive() {
+        conn.unregister(id);
+        ServerStats::bump(&ctx.stats.orphaned);
+        return;
+    }
+
+    let reject = |reason: String| {
+        conn.unregister(id);
+        ServerStats::bump(&ctx.stats.rejected);
+        conn.send(&Response::Rejected { id, reason });
+    };
+
+    // Resolution (model construction) runs under the same supervision as
+    // the job itself: a panic is an internal error, not a daemon crash.
+    let resolved = match catch_unwind(AssertUnwindSafe(|| resolve_source(&req))) {
+        Ok(Ok(r)) => r,
+        Ok(Err(reason)) => return reject(reason),
+        Err(payload) => {
+            conn.unregister(id);
+            ServerStats::bump(&ctx.stats.errors);
+            conn.send(&Response::Error {
+                id,
+                detail: format!("request resolution panicked: {}", panic_detail(payload)),
+            });
+            return;
+        }
+    };
+    let specs: Vec<Spec> = if req.obligations.is_empty() {
+        resolved.specs
+    } else {
+        let wanted: Vec<&str> = req.obligations.iter().map(String::as_str).collect();
+        let filtered: Vec<Spec> = resolved
+            .specs
+            .into_iter()
+            .filter(|s| wanted.contains(&s.name()))
+            .collect();
+        if filtered.is_empty() {
+            return reject("no matching obligations".into());
+        }
+        filtered
+    };
+    let model = resolved.model;
+
+    // Valuations: explicit ones must match the environment and be
+    // admissible; an empty list asks the daemon to pick small admissible
+    // points itself.
+    let valuations: Vec<ParamValuation> = if req.valuations.is_empty() {
+        let auto = if resolved.family_sweep.is_empty() {
+            VerifierConfig::quick().select_valuations(&model)
+        } else {
+            resolved.family_sweep
+        };
+        auto.into_iter().take(ctx.cfg.max_valuations).collect()
+    } else {
+        if req.valuations.len() > ctx.cfg.max_valuations {
+            return reject(format!(
+                "too many valuations: {} (max {})",
+                req.valuations.len(),
+                ctx.cfg.max_valuations
+            ));
+        }
+        let env = model.env();
+        let mut out = Vec::with_capacity(req.valuations.len());
+        for raw in &req.valuations {
+            if raw.len() != env.num_params() {
+                return reject(format!(
+                    "valuation arity {} does not match the {} environment parameters",
+                    raw.len(),
+                    env.num_params()
+                ));
+            }
+            let v = ParamValuation::new(raw.clone());
+            if !env.is_admissible(&v) {
+                return reject(format!("inadmissible valuation {raw:?}"));
+            }
+            out.push(v);
+        }
+        out
+    };
+    if valuations.is_empty() {
+        return reject("no admissible valuations".into());
+    }
+
+    // Counter systems are built up front so an unbuildable valuation is a
+    // rejection, not a mid-grid error.
+    let mut systems = Vec::with_capacity(valuations.len());
+    for v in &valuations {
+        match CounterSystem::new(model.clone(), v.clone()) {
+            Ok(sys) => systems.push(sys),
+            Err(e) => return reject(format!("cannot build counter system: {e}")),
+        }
+    }
+
+    let deadline_at =
+        (req.deadline_ms > 0).then(|| admitted_at + Duration::from_millis(req.deadline_ms));
+    let system_fp = system_fingerprint(&model);
+    let spec_fps: Vec<u64> = specs.iter().map(spec_fingerprint).collect();
+
+    let mut cells = Vec::with_capacity(valuations.len());
+    for (valuation, sys) in valuations.iter().zip(&systems) {
+        let valuation_fp = valuation_fingerprint(valuation);
+        let mut verdicts: Vec<Option<SpecVerdict>> = vec![None; specs.len()];
+        let mut missing = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            match ctx.cache.get(&(system_fp, valuation_fp, spec_fps[i])) {
+                Some(hit) => {
+                    verdicts[i] = Some(SpecVerdict {
+                        name: spec.name().to_string(),
+                        code: verdict_code(hit.status),
+                        states: hit.states_explored as u64,
+                        transitions: hit.transitions_explored as u64,
+                        cached: true,
+                        detail: hit.detail,
+                    });
+                }
+                None => missing.push(i),
+            }
+        }
+
+        if !missing.is_empty() {
+            let remaining = deadline_at.map(|d| d.saturating_duration_since(Instant::now()));
+            if remaining.is_some_and(|r| r.is_zero()) {
+                // the deadline already passed: degrade the whole cell to
+                // `?` verdicts, exactly like a tripped VerifierConfig budget
+                for &i in &missing {
+                    verdicts[i] = Some(degraded_verdict(
+                        &specs[i],
+                        "interrupted: deadline exceeded",
+                    ));
+                }
+            } else {
+                let miss_specs: Vec<Spec> = missing.iter().map(|&i| specs[i].clone()).collect();
+                let mut budget = JobBudget::unlimited();
+                if let Some(r) = remaining {
+                    budget = budget.with_deadline(r);
+                }
+                let ran = run_with_retry(&ctx.cfg.retry, id ^ valuation_fp, |_attempt| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let job =
+                            CheckJob::new(sys, &miss_specs, ctx.cfg.checker).with_budget(budget);
+                        // expose the job's own token for disconnects, then
+                        // re-check liveness: `mark_dead` flips `alive`
+                        // before cancelling tokens, so this order cannot
+                        // miss a disconnect
+                        let token = job.cancel_token();
+                        conn.register(id, token.clone());
+                        if cancel.is_cancelled() || !conn.is_alive() {
+                            token.cancel();
+                        }
+                        job.run()
+                    }))
+                    .map_err(panic_detail)
+                });
+                match ran {
+                    Err(detail) => {
+                        conn.unregister(id);
+                        ServerStats::bump(&ctx.stats.errors);
+                        conn.send(&Response::Error {
+                            id,
+                            detail: format!("job panicked on every attempt: {detail}"),
+                        });
+                        return;
+                    }
+                    Ok(JobOutcome::Completed { outcomes, .. }) => {
+                        for (slot, outcome) in missing.iter().zip(&outcomes) {
+                            ctx.cache
+                                .insert((system_fp, valuation_fp, spec_fps[*slot]), outcome);
+                            verdicts[*slot] = Some(outcome_verdict(&specs[*slot], outcome, false));
+                        }
+                    }
+                    Ok(JobOutcome::Interrupted { .. }) => {
+                        // only a disconnect cancels daemon jobs: drop the
+                        // response, release the slot
+                        conn.unregister(id);
+                        ServerStats::bump(&ctx.stats.orphaned);
+                        return;
+                    }
+                    Ok(JobOutcome::BudgetExceeded {
+                        reason, checkpoint, ..
+                    }) => {
+                        let detail = format!("interrupted: {}", reason.describe());
+                        for (slot, outcome) in missing.iter().zip(checkpoint.into_outcomes()) {
+                            match outcome {
+                                Some(o) => {
+                                    ctx.cache
+                                        .insert((system_fp, valuation_fp, spec_fps[*slot]), &o);
+                                    verdicts[*slot] =
+                                        Some(outcome_verdict(&specs[*slot], &o, false));
+                                }
+                                None => {
+                                    verdicts[*slot] =
+                                        Some(degraded_verdict(&specs[*slot], &detail));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        cells.push(CellReport {
+            valuation: valuation.values().to_vec(),
+            verdicts: verdicts.into_iter().map(|v| v.unwrap()).collect(),
+        });
+    }
+
+    conn.unregister(id);
+    if conn.send(&Response::Verdict { id, cells }) {
+        ServerStats::bump(&ctx.stats.completed);
+    } else {
+        ServerStats::bump(&ctx.stats.orphaned);
+    }
+}

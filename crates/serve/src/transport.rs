@@ -1,0 +1,155 @@
+//! Socket transport: TCP everywhere, Unix-domain sockets where available.
+//!
+//! The daemon speaks the same framed protocol over both; this module hides
+//! the enum dispatch so the server and client code are transport-agnostic.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// A bound, accepting socket.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds a TCP listener (use port 0 for an ephemeral port).
+    pub fn bind_tcp(addr: &str) -> io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-domain listener.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &std::path::Path) -> io::Result<Listener> {
+        Ok(Listener::Unix(UnixListener::bind(path)?))
+    }
+
+    /// The local TCP address, if this is a TCP listener.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Listener::Unix(_) => None,
+        }
+    }
+
+    /// Switches the listener to non-blocking accepts (the accept loop polls
+    /// so it can observe shutdown).
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // frames are small and latency-sensitive; Nagle's algorithm
+                // interacting with delayed ACKs would add tens of ms per
+                // round trip
+                let _ = s.set_nodelay(true);
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+/// A connected stream.
+pub enum Stream {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: SocketAddr) -> io::Result<Stream> {
+        let s = TcpStream::connect(addr)?;
+        // see `Listener::accept`: small frames, Nagle off
+        let _ = s.set_nodelay(true);
+        Ok(Stream::Tcp(s))
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &std::path::Path) -> io::Result<Stream> {
+        Ok(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    /// An independent handle onto the same socket (separate read/write
+    /// sides).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Bounds blocking reads so the reader can poll for shutdown.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Closes both directions.
+    pub fn shutdown_both(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}

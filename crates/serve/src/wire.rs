@@ -1,0 +1,790 @@
+//! The daemon's length-prefixed binary wire protocol.
+//!
+//! Frames are `[magic u32][length u32][payload]`, all integers
+//! little-endian.  The magic pins the protocol (a client speaking anything
+//! else is rejected on its first frame) and the length is bounded by the
+//! server's `max_frame_bytes`, so a malicious or broken peer can neither
+//! desynchronise the stream nor force an unbounded allocation.  Payloads
+//! are encoded with fixed-width integers and length-prefixed strings — no
+//! self-describing envelope, no external serialisation dependency.
+//!
+//! Decoding is total: every parse failure maps to a typed [`WireError`],
+//! never a panic, so the robustness suite can throw arbitrary bytes at the
+//! daemon.
+
+use ccprotocols::family::{FamilyParams, FaultModel};
+use std::io::{self, Read, Write};
+
+/// Frame magic: `"ccRV"` little-endian.
+pub const MAGIC: u32 = 0x5652_6363;
+
+/// Default upper bound on a frame payload.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Request tags.
+pub const REQ_CHECK: u8 = 1;
+/// Stats snapshot request.
+pub const REQ_STATS: u8 = 2;
+/// Liveness probe.
+pub const REQ_PING: u8 = 3;
+
+/// Response tags.
+pub const RESP_VERDICT: u8 = 1;
+/// Typed shed: the admission queue was full.
+pub const RESP_OVERLOADED: u8 = 2;
+/// Typed rejection: the request was understood but not serviceable.
+pub const RESP_REJECTED: u8 = 3;
+/// Internal error while servicing an admitted request.
+pub const RESP_ERROR: u8 = 4;
+/// Stats snapshot.
+pub const RESP_STATS: u8 = 5;
+/// Liveness reply.
+pub const RESP_PONG: u8 = 6;
+
+/// Errors raised while reading or decoding wire data.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed or closed.
+    Io(io::Error),
+    /// The frame header did not carry the protocol magic.
+    BadMagic(u32),
+    /// The frame declared a payload larger than the configured bound.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// The payload bytes did not decode as the expected message.
+    Malformed(String),
+}
+
+impl WireError {
+    /// Whether the error is a clean end-of-stream (peer disconnected
+    /// between frames).
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, WireError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::Oversized { declared, max } => {
+                write!(f, "oversized payload: {declared} bytes (max {max})")
+            }
+            WireError::Malformed(detail) => write!(f, "malformed payload: {detail}"),
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload, enforcing the magic and the size bound.
+///
+/// On [`WireError::Oversized`] the declared bytes have *not* been consumed;
+/// the caller must treat the stream as unsynchronised and close it.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+    if len > max {
+        return Err(WireError::Oversized { declared: len, max });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Admission priority band of a check request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Served before everything else.
+    High,
+    /// The default band.
+    Normal,
+    /// Served only when the higher bands are empty.
+    Low,
+}
+
+impl Priority {
+    /// Band index (also the wire byte).
+    pub fn band(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Decodes the wire byte.
+    pub fn from_byte(b: u8) -> Option<Priority> {
+        match b {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+/// What system a check request asks about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// A Table II benchmark protocol, by name.
+    Protocol(String),
+    /// A generated family: parameter point plus instantiation seed.
+    Family {
+        /// The family parameter point.
+        params: FamilyParams,
+        /// The instantiation seed.
+        seed: u64,
+    },
+}
+
+/// One verification request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRequest {
+    /// Client-chosen correlation id, echoed on every terminal response.
+    pub id: u64,
+    /// Admission priority band.
+    pub priority: Priority,
+    /// Wall-clock deadline in milliseconds from admission; `0` means no
+    /// deadline.  Cells past the deadline degrade to `?` verdicts.
+    pub deadline_ms: u64,
+    /// The system under check.
+    pub source: Source,
+    /// Explicit parameter valuations (in environment parameter order).
+    /// Empty means the daemon selects small admissible valuations itself.
+    pub valuations: Vec<Vec<u64>>,
+    /// Obligation-name filter; empty means the full catalogue.
+    pub obligations: Vec<String>,
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a verification job.
+    Check(CheckRequest),
+    /// Snapshot the server counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// One obligation's verdict within a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecVerdict {
+    /// Obligation name.
+    pub name: String,
+    /// Verdict glyph: `+` holds, `-` violated, `?` unknown/degraded (see
+    /// `cccore::fingerprint::verdict_code`).
+    pub code: u8,
+    /// States explored (0 for cache hits).
+    pub states: u64,
+    /// Transitions explored (0 for cache hits).
+    pub transitions: u64,
+    /// Whether the verdict came from the cross-request result cache.
+    pub cached: bool,
+    /// Detail string (e.g. `"interrupted: deadline exceeded"`).
+    pub detail: String,
+}
+
+/// All verdicts for one parameter valuation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// The valuation (environment parameter order).
+    pub valuation: Vec<u64>,
+    /// Per-obligation verdicts, in catalogue order.
+    pub verdicts: Vec<SpecVerdict>,
+}
+
+/// Counter snapshot of a running server.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests shed with [`RESP_OVERLOADED`].
+    pub shed: u64,
+    /// Requests answered with a verdict.
+    pub completed: u64,
+    /// Admitted requests whose client vanished before the verdict.
+    pub orphaned: u64,
+    /// Requests answered with [`RESP_REJECTED`].
+    pub rejected: u64,
+    /// Requests answered with [`RESP_ERROR`].
+    pub errors: u64,
+    /// Cross-request result-cache hits.
+    pub cache_hits: u64,
+    /// Cross-request result-cache misses.
+    pub cache_misses: u64,
+    /// Jobs currently holding a worker slot.
+    pub active_jobs: u64,
+    /// Requests currently queued.
+    pub queue_depth: u64,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Terminal: the verdict grid for an admitted, completed request.
+    Verdict {
+        /// Echo of the request id.
+        id: u64,
+        /// One report per valuation.
+        cells: Vec<CellReport>,
+    },
+    /// Terminal: the admission queue was full; nothing was buffered.
+    Overloaded {
+        /// Echo of the request id.
+        id: u64,
+        /// Queue depth observed at the shed decision.
+        queue_depth: u64,
+        /// Configured queue capacity.
+        capacity: u64,
+    },
+    /// Terminal: the request cannot be serviced (unknown protocol,
+    /// inadmissible valuation, malformed payload, ...).
+    Rejected {
+        /// Echo of the request id (0 when the id could not be decoded).
+        id: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Terminal: the daemon failed internally while servicing the request.
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// Failure detail.
+        detail: String,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Reply to [`Request::Ping`].
+    Pong,
+}
+
+impl Response {
+    /// The echoed request id of a terminal response, if any.
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            Response::Verdict { id, .. }
+            | Response::Overloaded { id, .. }
+            | Response::Rejected { id, .. }
+            | Response::Error { id, .. } => Some(*id),
+            Response::Stats(_) | Response::Pong => None,
+        }
+    }
+
+    /// Whether this response terminates a check request (exactly one of
+    /// these is sent per admitted-or-shed request on a live connection).
+    pub fn is_terminal(&self) -> bool {
+        self.request_id().is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn fault_byte(f: FaultModel) -> u8 {
+    match f {
+        FaultModel::Byzantine => 0,
+        FaultModel::Crash => 1,
+        FaultModel::Mixed => 2,
+    }
+}
+
+fn fault_from_byte(b: u8) -> Option<FaultModel> {
+    match b {
+        0 => Some(FaultModel::Byzantine),
+        1 => Some(FaultModel::Crash),
+        2 => Some(FaultModel::Mixed),
+        _ => None,
+    }
+}
+
+/// Encodes a request payload (not including the frame header).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Check(c) => {
+            put_u8(&mut buf, REQ_CHECK);
+            put_u64(&mut buf, c.id);
+            put_u8(&mut buf, c.priority.band() as u8);
+            put_u64(&mut buf, c.deadline_ms);
+            match &c.source {
+                Source::Protocol(name) => {
+                    put_u8(&mut buf, 1);
+                    put_str(&mut buf, name);
+                }
+                Source::Family { params, seed } => {
+                    put_u8(&mut buf, 2);
+                    put_u64(&mut buf, params.phases as u64);
+                    put_u64(&mut buf, params.width as u64);
+                    put_u64(&mut buf, params.fanout as u64);
+                    put_u8(&mut buf, params.guard_density);
+                    put_u64(&mut buf, params.shared_vars as u64);
+                    put_u64(&mut buf, params.coin_vars as u64);
+                    put_u8(&mut buf, fault_byte(params.faults));
+                    put_u64(&mut buf, params.resilience as u64);
+                    put_u64(&mut buf, *seed);
+                }
+            }
+            put_u64(&mut buf, c.valuations.len() as u64);
+            for v in &c.valuations {
+                put_u64(&mut buf, v.len() as u64);
+                for &x in v {
+                    put_u64(&mut buf, x);
+                }
+            }
+            put_u64(&mut buf, c.obligations.len() as u64);
+            for name in &c.obligations {
+                put_str(&mut buf, name);
+            }
+        }
+        Request::Stats => put_u8(&mut buf, REQ_STATS),
+        Request::Ping => put_u8(&mut buf, REQ_PING),
+    }
+    buf
+}
+
+/// Encodes a response payload (not including the frame header).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Verdict { id, cells } => {
+            put_u8(&mut buf, RESP_VERDICT);
+            put_u64(&mut buf, *id);
+            put_u64(&mut buf, cells.len() as u64);
+            for cell in cells {
+                put_u64(&mut buf, cell.valuation.len() as u64);
+                for &x in &cell.valuation {
+                    put_u64(&mut buf, x);
+                }
+                put_u64(&mut buf, cell.verdicts.len() as u64);
+                for v in &cell.verdicts {
+                    put_str(&mut buf, &v.name);
+                    put_u8(&mut buf, v.code);
+                    put_u64(&mut buf, v.states);
+                    put_u64(&mut buf, v.transitions);
+                    put_u8(&mut buf, v.cached as u8);
+                    put_str(&mut buf, &v.detail);
+                }
+            }
+        }
+        Response::Overloaded {
+            id,
+            queue_depth,
+            capacity,
+        } => {
+            put_u8(&mut buf, RESP_OVERLOADED);
+            put_u64(&mut buf, *id);
+            put_u64(&mut buf, *queue_depth);
+            put_u64(&mut buf, *capacity);
+        }
+        Response::Rejected { id, reason } => {
+            put_u8(&mut buf, RESP_REJECTED);
+            put_u64(&mut buf, *id);
+            put_str(&mut buf, reason);
+        }
+        Response::Error { id, detail } => {
+            put_u8(&mut buf, RESP_ERROR);
+            put_u64(&mut buf, *id);
+            put_str(&mut buf, detail);
+        }
+        Response::Stats(s) => {
+            put_u8(&mut buf, RESP_STATS);
+            for v in [
+                s.admitted,
+                s.shed,
+                s.completed,
+                s.orphaned,
+                s.rejected,
+                s.errors,
+                s.cache_hits,
+                s.cache_misses,
+                s.active_jobs,
+                s.queue_depth,
+            ] {
+                put_u64(&mut buf, v);
+            }
+        }
+        Response::Pong => put_u8(&mut buf, RESP_PONG),
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| WireError::Malformed("truncated payload".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let end = self.pos + 8;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| WireError::Malformed("truncated payload".into()))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// A length field that must leave room for `elem_size`-byte elements in
+    /// the remaining payload — bounds every allocation by the frame size.
+    fn len(&mut self, elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u64()? as usize;
+        let room = (self.buf.len() - self.pos) / elem_size.max(1);
+        if n > room {
+            return Err(WireError::Malformed(format!(
+                "length {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len(1)?;
+        let end = self.pos + n;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8()?;
+    let req = match tag {
+        REQ_CHECK => {
+            let id = c.u64()?;
+            let priority = Priority::from_byte(c.u8()?)
+                .ok_or_else(|| WireError::Malformed("unknown priority band".into()))?;
+            let deadline_ms = c.u64()?;
+            let source = match c.u8()? {
+                1 => Source::Protocol(c.str()?),
+                2 => {
+                    let params = FamilyParams {
+                        phases: c.u64()? as usize,
+                        width: c.u64()? as usize,
+                        fanout: c.u64()? as usize,
+                        guard_density: c.u8()?,
+                        shared_vars: c.u64()? as usize,
+                        coin_vars: c.u64()? as usize,
+                        faults: fault_from_byte(c.u8()?)
+                            .ok_or_else(|| WireError::Malformed("unknown fault model".into()))?,
+                        resilience: c.u64()? as i64,
+                    };
+                    let seed = c.u64()?;
+                    Source::Family { params, seed }
+                }
+                t => return Err(WireError::Malformed(format!("unknown source tag {t}"))),
+            };
+            let n_vals = c.len(8)?;
+            let mut valuations = Vec::with_capacity(n_vals);
+            for _ in 0..n_vals {
+                let k = c.len(8)?;
+                let mut v = Vec::with_capacity(k);
+                for _ in 0..k {
+                    v.push(c.u64()?);
+                }
+                valuations.push(v);
+            }
+            let n_obls = c.len(8)?;
+            let mut obligations = Vec::with_capacity(n_obls);
+            for _ in 0..n_obls {
+                obligations.push(c.str()?);
+            }
+            Request::Check(CheckRequest {
+                id,
+                priority,
+                deadline_ms,
+                source,
+                valuations,
+                obligations,
+            })
+        }
+        REQ_STATS => Request::Stats,
+        REQ_PING => Request::Ping,
+        t => return Err(WireError::Malformed(format!("unknown request tag {t}"))),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8()?;
+    let resp = match tag {
+        RESP_VERDICT => {
+            let id = c.u64()?;
+            let n_cells = c.len(8)?;
+            let mut cells = Vec::with_capacity(n_cells);
+            for _ in 0..n_cells {
+                let k = c.len(8)?;
+                let mut valuation = Vec::with_capacity(k);
+                for _ in 0..k {
+                    valuation.push(c.u64()?);
+                }
+                let n_verdicts = c.len(8)?;
+                let mut verdicts = Vec::with_capacity(n_verdicts);
+                for _ in 0..n_verdicts {
+                    verdicts.push(SpecVerdict {
+                        name: c.str()?,
+                        code: c.u8()?,
+                        states: c.u64()?,
+                        transitions: c.u64()?,
+                        cached: c.u8()? != 0,
+                        detail: c.str()?,
+                    });
+                }
+                cells.push(CellReport {
+                    valuation,
+                    verdicts,
+                });
+            }
+            Response::Verdict { id, cells }
+        }
+        RESP_OVERLOADED => Response::Overloaded {
+            id: c.u64()?,
+            queue_depth: c.u64()?,
+            capacity: c.u64()?,
+        },
+        RESP_REJECTED => Response::Rejected {
+            id: c.u64()?,
+            reason: c.str()?,
+        },
+        RESP_ERROR => Response::Error {
+            id: c.u64()?,
+            detail: c.str()?,
+        },
+        RESP_STATS => Response::Stats(StatsSnapshot {
+            admitted: c.u64()?,
+            shed: c.u64()?,
+            completed: c.u64()?,
+            orphaned: c.u64()?,
+            rejected: c.u64()?,
+            errors: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            active_jobs: c.u64()?,
+            queue_depth: c.u64()?,
+        }),
+        RESP_PONG => Response::Pong,
+        t => return Err(WireError::Malformed(format!("unknown response tag {t}"))),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_check() -> Request {
+        Request::Check(CheckRequest {
+            id: 42,
+            priority: Priority::High,
+            deadline_ms: 250,
+            source: Source::Family {
+                params: FamilyParams::default(),
+                seed: 7,
+            },
+            valuations: vec![vec![4, 1, 1], vec![5, 1, 1]],
+            obligations: vec!["Inv1(0)".into()],
+        })
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            sample_check(),
+            Request::Check(CheckRequest {
+                id: 1,
+                priority: Priority::Low,
+                deadline_ms: 0,
+                source: Source::Protocol("MMR14".into()),
+                valuations: vec![],
+                obligations: vec![],
+            }),
+            Request::Stats,
+            Request::Ping,
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let verdict = Response::Verdict {
+            id: 9,
+            cells: vec![CellReport {
+                valuation: vec![4, 1, 1],
+                verdicts: vec![SpecVerdict {
+                    name: "Inv1(0)".into(),
+                    code: b'+',
+                    states: 120,
+                    transitions: 456,
+                    cached: true,
+                    detail: String::new(),
+                }],
+            }],
+        };
+        for resp in [
+            verdict,
+            Response::Overloaded {
+                id: 3,
+                queue_depth: 64,
+                capacity: 64,
+            },
+            Response::Rejected {
+                id: 4,
+                reason: "unknown protocol".into(),
+            },
+            Response::Error {
+                id: 5,
+                detail: "worker panicked".into(),
+            },
+            Response::Stats(StatsSnapshot {
+                admitted: 10,
+                shed: 2,
+                ..StatsSnapshot::default()
+            }),
+            Response::Pong,
+        ] {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_bounds() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap(), b"hello");
+
+        // bad magic
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut &bad[..], 64),
+            Err(WireError::BadMagic(_))
+        ));
+
+        // oversized declaration
+        assert!(matches!(
+            read_frame(&mut &buf[..], 3),
+            Err(WireError::Oversized {
+                declared: 5,
+                max: 3
+            })
+        ));
+
+        // truncated payload
+        let cut = &buf[..buf.len() - 2];
+        assert!(matches!(
+            read_frame(&mut &cut[..], 64),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors_not_panics() {
+        // every truncation of a valid request decodes to Malformed/err, not
+        // a panic, and never over-allocates
+        let bytes = encode_request(&sample_check());
+        for cut in 0..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // trailing garbage is rejected too
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_request(&extended).is_err());
+        // a length field claiming more elements than the payload could hold
+        let mut huge = vec![REQ_CHECK];
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_request(&huge).is_err());
+    }
+
+    #[test]
+    fn terminal_taxonomy() {
+        assert!(Response::Overloaded {
+            id: 1,
+            queue_depth: 0,
+            capacity: 0
+        }
+        .is_terminal());
+        assert!(!Response::Pong.is_terminal());
+        assert_eq!(Response::Stats(StatsSnapshot::default()).request_id(), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the daemon integration suites.
+// each test binary compiles this module separately and uses its own subset
+#![allow(dead_code)]
+
+use ccprotocols::family::{FamilyParams, FaultModel};
+use ccserve::server::{ServeConfig, Server};
+use ccserve::wire::{CheckRequest, Priority, Request, Source, StatsSnapshot};
+use ccserve::ServeClient;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A family small enough for sub-second checks even in debug builds.
+pub fn tiny_params() -> FamilyParams {
+    FamilyParams {
+        phases: 1,
+        width: 1,
+        fanout: 1,
+        guard_density: 0,
+        shared_vars: 1,
+        coin_vars: 2,
+        faults: FaultModel::Byzantine,
+        resilience: 2,
+    }
+}
+
+/// A check that keeps a worker busy for on the order of a second in
+/// release builds (Rabin83 at a deliberately large valuation) — the tests
+/// always bound it with a deadline or a cancellation.
+pub fn slow_check(id: u64, deadline_ms: u64) -> Request {
+    Request::Check(CheckRequest {
+        id,
+        priority: Priority::Normal,
+        deadline_ms,
+        source: Source::Protocol("Rabin83".into()),
+        valuations: vec![vec![11, 1, 1, 1]],
+        obligations: vec![],
+    })
+}
+
+/// A check request for the given family point.
+pub fn family_check(id: u64, params: FamilyParams, seed: u64, deadline_ms: u64) -> Request {
+    Request::Check(CheckRequest {
+        id,
+        priority: Priority::Normal,
+        deadline_ms,
+        source: Source::Family { params, seed },
+        valuations: vec![],
+        obligations: vec![],
+    })
+}
+
+/// A small single-slot server configuration: one worker, tiny queue, one
+/// valuation per request.
+pub fn single_slot_config(queue_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity,
+        max_valuations: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// Starts a TCP server on an ephemeral port.
+pub fn start(config: ServeConfig) -> (Server, SocketAddr) {
+    let server = Server::bind_tcp("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("tcp address");
+    (server, addr)
+}
+
+/// Polls the server stats endpoint until `pred` holds, failing after
+/// `timeout`.
+pub fn wait_for_stats(
+    addr: SocketAddr,
+    timeout: Duration,
+    mut pred: impl FnMut(&StatsSnapshot) -> bool,
+) -> StatsSnapshot {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let mut probe = ServeClient::connect_tcp(addr).expect("connect stats probe");
+        let stats = probe.stats().expect("stats request");
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stats condition not reached before timeout; last snapshot: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

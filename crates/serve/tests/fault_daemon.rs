@@ -1,0 +1,127 @@
+//! Seeded fault injection at the daemon's own sites: admission, response
+//! serialization, socket write.  Lives in its own integration-test binary
+//! so the process-global fault statics cannot leak into other suites; the
+//! tests here serialize on a local mutex for the same reason.
+
+mod common;
+
+use ccchecker::fault;
+use ccserve::wire::Response;
+use ccserve::ServeClient;
+use common::{family_check, single_slot_config, start, tiny_params, wait_for_stats};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn admission_fault_degrades_to_typed_error() {
+    let _guard = serialized();
+    let (server, addr) = start(single_slot_config(8));
+    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+    client.ping().expect("warm up");
+
+    fault::arm_panic(fault::SITE_ADMISSION, 0, 1);
+    let resp = client
+        .request(&family_check(1, tiny_params(), 1, 0))
+        .expect("error response");
+    let hits = fault::disarm();
+    assert!(hits >= 1, "the admission injector must have fired");
+    match resp {
+        Response::Error { id: 1, detail } => {
+            assert!(detail.contains("admission"), "detail: {detail}")
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // the daemon survives: the very next request runs to a verdict
+    match client
+        .request(&family_check(2, tiny_params(), 1, 0))
+        .expect("verdict after fault")
+    {
+        Response::Verdict { id: 2, .. } => {}
+        other => panic!("expected Verdict, got {other:?}"),
+    }
+    // the completed counter is bumped after the response frame is written,
+    // so poll rather than asserting immediately
+    let stats = wait_for_stats(addr, Duration::from_secs(10), |s| s.completed == 1);
+    assert_eq!(stats.errors, 1);
+    server.shutdown();
+}
+
+#[test]
+fn response_encode_fault_falls_back_to_minimal_error() {
+    let _guard = serialized();
+    let (server, addr) = start(single_slot_config(8));
+    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+    client.ping().expect("warm up");
+
+    // arm one shot before sending (only the daemon fires this site): the
+    // verdict's encode panics, the daemon falls back to a minimal typed
+    // Error carrying the same request id
+    fault::arm_panic(fault::SITE_RESPONSE_ENCODE, 0, 1);
+    client
+        .send(&family_check(3, tiny_params(), 1, 0))
+        .expect("send");
+    let resp = client.recv().expect("fallback response");
+    let hits = fault::disarm();
+    assert!(hits >= 1, "the encode injector must have fired");
+    match resp {
+        Response::Error { id: 3, detail } => {
+            assert!(detail.contains("serialization"), "detail: {detail}")
+        }
+        other => panic!("expected fallback Error, got {other:?}"),
+    }
+
+    // the connection stays in sync and serves the next request normally
+    match client
+        .request(&family_check(4, tiny_params(), 1, 0))
+        .expect("verdict after fault")
+    {
+        Response::Verdict { id: 4, .. } => {}
+        other => panic!("expected Verdict, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn socket_write_fault_kills_the_connection_but_not_the_daemon() {
+    let _guard = serialized();
+    let (server, addr) = start(single_slot_config(8));
+    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+    client.ping().expect("warm up");
+
+    // the write of the verdict frame panics: the daemon declares the
+    // connection dead and shuts the socket, so the client sees EOF
+    fault::arm_panic(fault::SITE_SOCKET_WRITE, 0, 1);
+    client
+        .send(&family_check(5, tiny_params(), 1, 0))
+        .expect("send");
+    let read = client.recv();
+    let hits = fault::disarm();
+    assert!(hits >= 1, "the socket-write injector must have fired");
+    assert!(
+        read.is_err(),
+        "the poisoned connection must close: {read:?}"
+    );
+
+    // no slot leak: the worker and queue drain, the response is accounted
+    // as orphaned, and a fresh connection gets served
+    let stats = wait_for_stats(addr, Duration::from_secs(60), |s| {
+        s.active_jobs == 0 && s.queue_depth == 0 && s.orphaned >= 1
+    });
+    assert_eq!(stats.completed, 0);
+    let mut fresh = ServeClient::connect_tcp(addr).expect("reconnect");
+    match fresh
+        .request(&family_check(6, tiny_params(), 1, 0))
+        .expect("verdict on fresh connection")
+    {
+        Response::Verdict { id: 6, .. } => {}
+        other => panic!("expected Verdict, got {other:?}"),
+    }
+    server.shutdown();
+}

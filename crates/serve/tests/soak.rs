@@ -1,0 +1,137 @@
+//! Seeded multi-client soak: several clients pipeline randomized requests
+//! (mixed priorities, deadlines, families) while one client vanishes
+//! mid-stream.  Invariants: every request on a live connection gets exactly
+//! one terminal response, the daemon leaks no worker slots or queue
+//! entries, and the counters reconcile.
+
+mod common;
+
+use ccprotocols::family::{FamilyParams, FaultModel};
+use ccserve::server::ServeConfig;
+use ccserve::wire::{CheckRequest, Priority, Request, Source};
+use ccserve::ServeClient;
+use common::{start, wait_for_stats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Duration;
+
+const CLIENTS: u64 = 3;
+const REQUESTS_PER_CLIENT: u64 = 12;
+const SOAK_WAIT: Duration = Duration::from_secs(180);
+
+fn soak_params(rng: &mut StdRng) -> FamilyParams {
+    FamilyParams {
+        phases: rng.gen_range(1..3usize),
+        width: rng.gen_range(1..3usize),
+        fanout: 1,
+        guard_density: 0,
+        shared_vars: 1,
+        coin_vars: 2,
+        faults: FaultModel::Byzantine,
+        resilience: 2,
+    }
+}
+
+#[test]
+fn seeded_multi_client_soak() {
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 4,
+        max_valuations: 1,
+        ..ServeConfig::default()
+    };
+    let (server, addr) = start(config);
+
+    let mut handles = Vec::new();
+    for client_idx in 0..CLIENTS {
+        let handle = std::thread::Builder::new()
+            .name(format!("soak-client-{client_idx}"))
+            .spawn(move || soak_client(addr, client_idx))
+            .expect("spawn client");
+        handles.push(handle);
+    }
+    let mut live_answered = 0u64;
+    for handle in handles {
+        live_answered += handle.join().expect("client thread");
+    }
+    // clients 1..N read every response; client 0 disconnects mid-stream
+    assert!(live_answered >= (CLIENTS - 1) * REQUESTS_PER_CLIENT);
+
+    // drain: no stuck jobs, no queued residue, counters reconcile
+    let stats = wait_for_stats(addr, SOAK_WAIT, |s| {
+        s.active_jobs == 0 && s.queue_depth == 0
+    });
+    assert_eq!(
+        stats.admitted,
+        stats.completed + stats.orphaned + stats.errors,
+        "every admitted request must terminate exactly once: {stats:?}"
+    );
+    assert_eq!(stats.errors, 0, "no internal errors expected: {stats:?}");
+    assert_eq!(
+        stats.rejected, 0,
+        "all soak requests are well-formed: {stats:?}"
+    );
+    assert_eq!(
+        stats.admitted + stats.shed,
+        CLIENTS * REQUESTS_PER_CLIENT,
+        "admission accounts for every request: {stats:?}"
+    );
+    server.shutdown();
+}
+
+/// Runs one pipelined client; returns how many terminal responses it saw.
+/// Client 0 disconnects after sending, abandoning its responses.
+fn soak_client(addr: std::net::SocketAddr, client_idx: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(0x00CC_5E11 ^ client_idx);
+    let mut sender = ServeClient::connect_tcp(addr).expect("connect");
+    let mut receiver = sender.try_clone().expect("clone receive half");
+
+    let mut expected = HashSet::new();
+    for n in 0..REQUESTS_PER_CLIENT {
+        let id = client_idx * 1000 + n;
+        let deadline_ms = match rng.gen_range(0..3u32) {
+            0 => 0,   // unbounded
+            1 => 1,   // trips almost immediately
+            _ => 200, // tight but roomy enough for tiny families
+        };
+        let priority = match rng.gen_range(0..3u32) {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+        let req = Request::Check(CheckRequest {
+            id,
+            priority,
+            deadline_ms,
+            source: Source::Family {
+                params: soak_params(&mut rng),
+                seed: rng.gen_range(0..3u64),
+            },
+            valuations: vec![],
+            obligations: vec![],
+        });
+        sender.send(&req).expect("pipelined send");
+        expected.insert(id);
+        if rng.gen_bool(0.3) {
+            std::thread::sleep(Duration::from_millis(rng.gen_range(1..20u64)));
+        }
+    }
+
+    if client_idx == 0 {
+        // vanish mid-stream: the daemon must cancel whatever is queued or
+        // running for this connection and release the slots
+        sender.disconnect();
+        return 0;
+    }
+
+    let mut answered = HashSet::new();
+    while answered.len() < expected.len() {
+        let resp = receiver.recv().expect("terminal response");
+        assert!(resp.is_terminal(), "unexpected non-terminal {resp:?}");
+        let id = resp.request_id().expect("terminal responses carry ids");
+        assert!(expected.contains(&id), "unknown request id {id}");
+        assert!(answered.insert(id), "request {id} answered twice");
+    }
+    answered.len() as u64
+}
