@@ -14,6 +14,12 @@
 //! end-to-end latency of answered requests, the shed rate of the admission
 //! queue, and the result-cache hit rate.
 //!
+//! A second, restart variant runs the same stream against a daemon with a
+//! durable cache log, restarts the daemon, and replays the stream: it
+//! reports the recovery time (log replay to first answered ping) and the
+//! post-restart cache hit rate, asserting the recovered cache retains at
+//! least 0.8 of the warm hit rate.
+//!
 //! Run with `BENCH_JSON=BENCH_serve.json cargo bench -p ccbench --bench
 //! serve_load` to capture the numbers in CI.
 
@@ -90,6 +96,8 @@ fn check_request(id: u64) -> Request {
         source: request_source(id),
         valuations: vec![],
         obligations: vec![],
+        progress: false,
+        park_on_interrupt: false,
     })
 }
 
@@ -243,6 +251,77 @@ fn bench_serve_load(c: &mut Criterion) {
     c.metric("serve_load/cache_hit_rate", hit_rate);
 
     server.shutdown();
+
+    bench_serve_restart(c);
+}
+
+fn hit_rate_of(report: &LoadReport) -> f64 {
+    let lookups = report.cache_hits + report.cache_misses;
+    if lookups == 0 {
+        0.0
+    } else {
+        report.cache_hits as f64 / lookups as f64
+    }
+}
+
+/// The restart variant: same open-loop stream against a log-backed daemon,
+/// a full restart in between, and the recovered cache doing the work on the
+/// second pass.
+fn bench_serve_restart(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("ccbench-serve-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let log_path = dir.join("verdicts.cclog");
+    let config = || ServeConfig {
+        workers: 4,
+        queue_capacity: 8,
+        max_valuations: 1,
+        cache_log: Some(log_path.clone()),
+        ..ServeConfig::default()
+    };
+
+    // warm pass: populate the cache (and therefore the log)
+    let server = Server::bind_tcp("127.0.0.1:0", config()).expect("bind");
+    let addr = server.local_addr().expect("address");
+    let warm = run_open_loop(&server, addr);
+    let warm_hit_rate = hit_rate_of(&warm);
+    server.shutdown();
+
+    // restart: recovery time is bind (log replay happens inside) up to the
+    // first answered ping — the moment the daemon is serving again
+    let recovery_started = Instant::now();
+    let server = Server::bind_tcp("127.0.0.1:0", config()).expect("rebind");
+    let addr = server.local_addr().expect("address");
+    ServeClient::connect_tcp(addr)
+        .expect("connect")
+        .ping()
+        .expect("post-restart ping");
+    let recovery = recovery_started.elapsed();
+    let recovered_verdicts = server.stats().log_recovered;
+
+    let cold = run_open_loop(&server, addr);
+    let post_restart_hit_rate = hit_rate_of(&cold);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "serve_restart: recovered {} verdicts in {:.1}ms; hit rate warm {:.3} vs post-restart {:.3}",
+        recovered_verdicts,
+        recovery.as_secs_f64() * 1e3,
+        warm_hit_rate,
+        post_restart_hit_rate
+    );
+    assert!(
+        recovered_verdicts > 0,
+        "the warm pass must have persisted verdicts for the restart to recover"
+    );
+    assert!(
+        post_restart_hit_rate >= 0.8 * warm_hit_rate,
+        "recovered cache must retain the warm hit rate: {post_restart_hit_rate:.3} < 0.8 * {warm_hit_rate:.3}"
+    );
+
+    c.metric("serve_load/recovery_ms", recovery.as_secs_f64() * 1e3);
+    c.metric("serve_load/post_restart_hit_rate", post_restart_hit_rate);
+    c.metric("serve_load/warm_hit_rate", warm_hit_rate);
 }
 
 criterion_group!(benches, bench_serve_load);

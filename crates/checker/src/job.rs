@@ -173,14 +173,36 @@ impl std::fmt::Display for InterruptKind {
 ///
 /// The block is stateless beyond the token (`Sync`), so one instance is
 /// shared by every worker lane and — in sweeps — every grid cell.
-#[derive(Debug)]
 pub(crate) struct JobSignals {
     cancel: CancelToken,
     deadline: Option<Instant>,
     max_states: usize,
     max_transitions: usize,
     max_resident_bytes: usize,
+    /// Observer invoked with the cumulative `(states, transitions)`
+    /// counters at every wave/obligation boundary.  Purely informational:
+    /// it cannot stop the job, so it cannot perturb determinism.
+    progress: Option<ProgressFn>,
 }
+
+impl std::fmt::Debug for JobSignals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSignals")
+            .field("cancel", &self.cancel)
+            .field("deadline", &self.deadline)
+            .field("max_states", &self.max_states)
+            .field("max_transitions", &self.max_transitions)
+            .field("max_resident_bytes", &self.max_resident_bytes)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// A progress observer: called at wave and obligation boundaries with the
+/// cumulative (deterministic) state and transition counters.  Must be cheap
+/// and must not panic; the daemon uses it to emit throttled `Progress`
+/// frames.
+pub type ProgressFn = Arc<dyn Fn(usize, usize) + Send + Sync>;
 
 impl JobSignals {
     /// Signals for one run of a job with the given budget.  The deadline
@@ -192,6 +214,7 @@ impl JobSignals {
             max_states: budget.max_states.unwrap_or(usize::MAX),
             max_transitions: budget.max_transitions.unwrap_or(usize::MAX),
             max_resident_bytes: budget.max_resident_bytes.unwrap_or(usize::MAX),
+            progress: None,
         }
     }
 
@@ -221,6 +244,9 @@ impl JobSignals {
         transitions: usize,
         resident: impl FnOnce() -> usize,
     ) -> Option<InterruptKind> {
+        if let Some(cb) = &self.progress {
+            cb(states, transitions);
+        }
         if let Some(kind) = self.fast_stop() {
             return Some(kind);
         }
@@ -249,21 +275,21 @@ impl JobSignals {
 pub struct JobCheckpoint {
     /// Per spec (in spec order): the completed outcome, or `None` if still
     /// owed.
-    outcomes: Vec<Option<CheckOutcome>>,
+    pub(crate) outcomes: Vec<Option<CheckOutcome>>,
     /// Retained group graphs, aligned index-for-index with `stats.groups`.
-    groups: Vec<(StartRestriction, Rc<ReachGraph>)>,
+    pub(crate) groups: Vec<(StartRestriction, Rc<ReachGraph>)>,
     /// A cache build the interrupt landed inside, frontier captured.
-    building: Option<(StartRestriction, Box<BuildInFlight>)>,
+    pub(crate) building: Option<(StartRestriction, Box<BuildInFlight>)>,
     /// Cache accounting mirroring [`crate::ExplicitChecker::cache_stats`].
-    stats: GraphCacheStats,
+    pub(crate) stats: GraphCacheStats,
     /// Cumulative distinct states across the job's completed explorations.
-    states_done: usize,
+    pub(crate) states_done: usize,
     /// Cumulative transitions across the job's completed explorations.
-    transitions_done: usize,
+    pub(crate) transitions_done: usize,
 }
 
 impl JobCheckpoint {
-    fn fresh(num_specs: usize) -> Self {
+    pub(crate) fn fresh(num_specs: usize) -> Self {
         JobCheckpoint {
             outcomes: vec![None; num_specs],
             groups: Vec::new(),
@@ -380,6 +406,7 @@ pub struct CheckJob<'a> {
     options: CheckerOptions,
     budget: JobBudget,
     cancel: CancelToken,
+    progress: Option<ProgressFn>,
 }
 
 impl<'a> CheckJob<'a> {
@@ -396,12 +423,22 @@ impl<'a> CheckJob<'a> {
             options,
             budget: JobBudget::default(),
             cancel: CancelToken::new(),
+            progress: None,
         }
     }
 
     /// This job with explicit resource budgets.
     pub fn with_budget(mut self, budget: JobBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// This job with a progress observer, invoked with the cumulative
+    /// `(states, transitions)` counters at every wave and obligation
+    /// boundary.  Observation only — it cannot stop the job and does not
+    /// perturb verdicts or determinism.
+    pub fn with_progress(mut self, progress: ProgressFn) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -438,7 +475,8 @@ impl<'a> CheckJob<'a> {
     /// uninterrupted job is verdict- and stats-identical to it), suspending
     /// into the checkpoint whenever a signal fires.
     fn execute(&self, mut cp: JobCheckpoint) -> JobOutcome {
-        let signals = JobSignals::new(self.cancel.clone(), self.budget);
+        let mut signals = JobSignals::new(self.cancel.clone(), self.budget);
+        signals.progress = self.progress.clone();
         let pool = WorkerPool::new(resolved_workers(&self.options));
         let use_cache = resolved_graph_cache(&self.options);
         let mut checker = ExplicitChecker::with_pool(self.sys, self.options, &pool);

@@ -328,6 +328,7 @@
 //! tests pin sequential-vs-parallel equality, and the `table2_checking` /
 //! `scaling` benches measure the speedup and the worker scaling.
 
+pub mod ckpt;
 pub mod counterexample;
 pub mod explicit;
 pub mod explorer;
@@ -354,10 +355,13 @@ pub mod fixtures;
 #[doc(hidden)]
 pub mod fault;
 
+pub use ckpt::CkptError;
 pub use counterexample::Counterexample;
 pub use explicit::{CheckerOptions, ExplicitChecker};
 pub use graph::GraphLineage;
-pub use job::{CancelToken, CheckJob, InterruptKind, JobBudget, JobCheckpoint, JobOutcome};
+pub use job::{
+    CancelToken, CheckJob, InterruptKind, JobBudget, JobCheckpoint, JobOutcome, ProgressFn,
+};
 pub use pool::WorkerPool;
 pub use result::{CheckOutcome, CheckStatus, GraphCacheStats, GraphOrigin, GroupCacheRecord};
 pub use retry::{run_with_retry, RetryPolicy};

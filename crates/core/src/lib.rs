@@ -37,6 +37,7 @@ pub mod fingerprint;
 pub mod obligations;
 pub mod report;
 pub mod verifier;
+pub mod wal;
 
 pub use fingerprint::{
     spec_fingerprint, system_fingerprint, valuation_fingerprint, verdict_code, verdict_from_code,

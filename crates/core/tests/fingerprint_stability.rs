@@ -1,0 +1,160 @@
+//! Golden-file pin of the `cccore::fingerprint` values.
+//!
+//! The daemon's durable verdict log (`ccserve`) stores verdicts keyed by
+//! these fingerprints and replays them across restarts — and across
+//! *builds*: a binary upgrade reopens logs written by its predecessor.  A
+//! silent fingerprint drift would not crash anything; it would quietly
+//! orphan every logged verdict (never matching a lookup again) or, far
+//! worse, alias a recovered verdict onto the wrong question.  So the
+//! catalogue below — every Table II protocol in both round forms, their
+//! full obligation catalogues, generated-family points, and a spread of
+//! valuations — is pinned to a checked-in golden file.
+//!
+//! On an *intentional* fingerprint change (which invalidates existing logs
+//! — say so in the changelog), re-bless with:
+//!
+//! ```text
+//! CC_BLESS_FINGERPRINTS=1 cargo test -p cccore --test fingerprint_stability
+//! ```
+
+use cccore::fingerprint::{fnv64_str, FNV_BASIS};
+use cccore::{obligations_for, spec_fingerprint, system_fingerprint, valuation_fingerprint};
+use ccprotocols::family::{FamilyParams, FaultModel};
+use ccta::ParamValuation;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("fingerprints.txt")
+}
+
+/// Renders the full catalogue as sorted `name = 0x...` lines.
+fn render_catalogue() -> String {
+    let mut lines = Vec::new();
+    let mut push = |name: String, fp: u64| lines.push(format!("{name} = {fp:#018x}"));
+
+    push("fnv/basis".into(), FNV_BASIS);
+    push("fnv/fold-abc".into(), fnv64_str(FNV_BASIS, "abc"));
+
+    for protocol in ccprotocols::all_protocols() {
+        let name = protocol.name().to_string();
+        let rd = protocol.single_round();
+        push(
+            format!("system/{name}/multi-round"),
+            system_fingerprint(protocol.model()),
+        );
+        push(
+            format!("system/{name}/single-round"),
+            system_fingerprint(&rd),
+        );
+        for spec in obligations_for(&protocol, &rd).all() {
+            push(
+                format!("spec/{name}/{}", spec.name()),
+                spec_fingerprint(spec),
+            );
+        }
+    }
+
+    for seed in 0..3u64 {
+        let fam = FamilyParams::default().instantiate(seed);
+        push(
+            format!("family/default/seed{seed}"),
+            system_fingerprint(&fam.single_round),
+        );
+    }
+    let crash = FamilyParams {
+        faults: FaultModel::Crash,
+        ..FamilyParams::default()
+    }
+    .instantiate(1);
+    push(
+        "family/crash/seed1".into(),
+        system_fingerprint(&crash.single_round),
+    );
+
+    for values in [
+        vec![],
+        vec![0],
+        vec![4, 1, 1],
+        vec![4, 1, 2],
+        vec![11, 1, 1, 1],
+        vec![u64::MAX, 0, 1],
+    ] {
+        let label = values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        push(
+            format!("valuation/[{label}]"),
+            valuation_fingerprint(&ParamValuation::new(values)),
+        );
+    }
+
+    lines.sort();
+    let mut out = String::new();
+    for line in lines {
+        writeln!(out, "{line}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn fingerprints_match_the_checked_in_golden_file() {
+    let rendered = render_catalogue();
+    let path = golden_path();
+
+    if std::env::var("CC_BLESS_FINGERPRINTS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!(
+            "blessed {} entries into {}",
+            rendered.lines().count(),
+            path.display()
+        );
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with CC_BLESS_FINGERPRINTS=1 to create it",
+            path.display()
+        )
+    });
+
+    if golden == rendered {
+        return;
+    }
+    // pinpoint the drift rather than dumping two ~100-line blobs
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let rendered_lines: Vec<&str> = rendered.lines().collect();
+    let mut diffs = Vec::new();
+    for (g, r) in golden_lines.iter().zip(&rendered_lines) {
+        if g != r {
+            diffs.push(format!("  golden:  {g}\n  current: {r}"));
+        }
+    }
+    match golden_lines.len() {
+        l if l < rendered_lines.len() => {
+            for r in &rendered_lines[l..] {
+                diffs.push(format!("  (new)    {r}"));
+            }
+        }
+        l if l > rendered_lines.len() => {
+            for g in &golden_lines[rendered_lines.len()..] {
+                diffs.push(format!("  (gone)   {g}"));
+            }
+        }
+        _ => {}
+    }
+    panic!(
+        "fingerprints drifted from {} — this invalidates every durable verdict \
+         log written by earlier builds.  If intentional, re-bless with \
+         CC_BLESS_FINGERPRINTS=1.  Drift:\n{}",
+        path.display(),
+        diffs.join("\n")
+    );
+}

@@ -104,6 +104,39 @@ impl ResultCache {
         }
     }
 
+    /// Seeds the cache with an already-validated verdict (log recovery):
+    /// same occupancy and capacity rules as [`ResultCache::insert`], but no
+    /// definiteness re-check and no hit/miss accounting.
+    pub fn preload(&self, key: CacheKey, verdict: CachedVerdict) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.entry(key) {
+            Entry::Occupied(_) => return,
+            Entry::Vacant(slot) => {
+                slot.insert(verdict);
+            }
+        }
+        inner.order.push_back(key);
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+            }
+        }
+    }
+
+    /// A snapshot of every cached entry in eviction (insertion) order — the
+    /// verdict half of a log compaction snapshot.
+    pub fn entries(&self) -> Vec<(CacheKey, CachedVerdict)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .order
+            .iter()
+            .filter_map(|k| inner.map.get(k).map(|v| (*k, v.clone())))
+            .collect()
+    }
+
     /// Cached entries.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().map.len()

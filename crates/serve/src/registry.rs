@@ -1,0 +1,427 @@
+//! Parked-checkpoint registry: a bounded LRU of resumable jobs.
+//!
+//! When a deadline trips a job whose request set `park_on_interrupt`, the
+//! server serialises the job's portable state (the original request, the
+//! cells already reported, the tripped cell's cache hits, and the
+//! checker's portable [`ccchecker::JobCheckpoint`] bytes) into a
+//! [`ParkedJob`] and parks it here under a fresh resume token.  A follow-up
+//! [`crate::wire::ResumeRequest`] takes the entry back out and continues
+//! bit-identically.
+//!
+//! The registry is bounded two ways: by **slots** (LRU eviction, oldest
+//! parked job first) and by **time** (a TTL per entry, checked lazily).
+//! Both failure modes are *typed*: a resume for an evicted token is
+//! rejected `Evicted` (the registry remembers recently evicted tokens), an
+//! outlived one `Expired`, and anything else `Unknown` — the client can
+//! always distinguish "retry from scratch" from "you waited too long".
+//!
+//! Entries are stored as encoded bytes, not live checkpoints: a
+//! `JobCheckpoint` holds `Rc`-shared graphs and is not `Send`, while the
+//! portable encoding drops the graphs (resume rebuilds them
+//! deterministically) and makes resident accounting exact.
+
+use crate::wire::{
+    decode_request, encode_request, put_cell, put_u64, put_u8, put_verdict, read_cell,
+    read_verdict, CellReport, CheckRequest, Cursor, Request, ResumeRejectCause, SpecVerdict,
+    WireError,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const PARKED_VERSION: u8 = 1;
+/// Recently evicted tokens remembered for typed `Evicted` rejections.
+const EVICTED_MEMORY: usize = 64;
+
+/// The portable state of one parked job, sufficient to rebuild the model,
+/// re-filter the obligations and continue the tripped cell bit-identically.
+pub(crate) struct ParkedJob {
+    /// The original check request (resolution is deterministic, so the
+    /// model, specs and valuations are rebuilt from it on resume).
+    pub req: CheckRequest,
+    /// Index of the valuation cell the deadline tripped in.
+    pub cell_index: usize,
+    /// Cells fully reported before the trip, kept verbatim.
+    pub cells_done: Vec<CellReport>,
+    /// Tripped-cell verdict slots that were served from the cache *before*
+    /// the job ran, captured verbatim — resume never re-consults the cache
+    /// for the tripped cell, so the checkpoint's obligation list always
+    /// matches and the reported verdicts cannot shift.
+    pub hit_verdicts: Vec<(usize, SpecVerdict)>,
+    /// Spec indices (into the filtered catalogue) the job was running over.
+    pub miss_indices: Vec<usize>,
+    /// `JobCheckpoint::to_portable_bytes()` at the trip, or empty if the
+    /// deadline passed before the cell's job even started.
+    pub ckpt_bytes: Vec<u8>,
+}
+
+impl ParkedJob {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, PARKED_VERSION);
+        let req = encode_request(&Request::Check(self.req.clone()));
+        put_u64(&mut buf, req.len() as u64);
+        buf.extend_from_slice(&req);
+        put_u64(&mut buf, self.cell_index as u64);
+        put_u64(&mut buf, self.cells_done.len() as u64);
+        for cell in &self.cells_done {
+            put_cell(&mut buf, cell);
+        }
+        put_u64(&mut buf, self.hit_verdicts.len() as u64);
+        for (slot, v) in &self.hit_verdicts {
+            put_u64(&mut buf, *slot as u64);
+            put_verdict(&mut buf, v);
+        }
+        put_u64(&mut buf, self.miss_indices.len() as u64);
+        for i in &self.miss_indices {
+            put_u64(&mut buf, *i as u64);
+        }
+        put_u64(&mut buf, self.ckpt_bytes.len() as u64);
+        buf.extend_from_slice(&self.ckpt_bytes);
+        buf
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<ParkedJob, WireError> {
+        let mut c = Cursor::new(bytes);
+        if c.u8()? != PARKED_VERSION {
+            return Err(WireError::Malformed("unknown parked-job version".into()));
+        }
+        let req_len = c.len(1)?;
+        let req_bytes = c.bytes(req_len)?.to_vec();
+        let Request::Check(req) = decode_request(&req_bytes)? else {
+            return Err(WireError::Malformed(
+                "parked job does not embed a check request".into(),
+            ));
+        };
+        let cell_index = c.u64()? as usize;
+        let n_cells = c.len(1)?;
+        let mut cells_done = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            cells_done.push(read_cell(&mut c)?);
+        }
+        let n_hits = c.len(8)?;
+        let mut hit_verdicts = Vec::with_capacity(n_hits);
+        for _ in 0..n_hits {
+            let slot = c.u64()? as usize;
+            hit_verdicts.push((slot, read_verdict(&mut c)?));
+        }
+        let n_miss = c.len(8)?;
+        let mut miss_indices = Vec::with_capacity(n_miss);
+        for _ in 0..n_miss {
+            miss_indices.push(c.u64()? as usize);
+        }
+        let ckpt_len = c.len(1)?;
+        let ckpt_bytes = c.bytes(ckpt_len)?.to_vec();
+        c.finish()?;
+        Ok(ParkedJob {
+            req,
+            cell_index,
+            cells_done,
+            hit_verdicts,
+            miss_indices,
+            ckpt_bytes,
+        })
+    }
+}
+
+struct Entry {
+    bytes: Vec<u8>,
+    expires_at: Instant,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    /// Park order, oldest first (entries are taken exactly once, so park
+    /// order *is* LRU order).
+    order: VecDeque<u64>,
+    /// Ring of recently evicted tokens, for typed rejections.
+    evicted: VecDeque<u64>,
+    next_token: u64,
+    resident_bytes: usize,
+}
+
+/// A bounded, thread-safe registry of parked jobs keyed by resume token.
+pub(crate) struct CheckpointRegistry {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    ttl: Duration,
+}
+
+impl CheckpointRegistry {
+    /// A registry holding at most `capacity` parked jobs, each for at most
+    /// `ttl` (0 slots disables parking entirely).
+    pub(crate) fn new(capacity: usize, ttl: Duration) -> Self {
+        CheckpointRegistry {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                evicted: VecDeque::new(),
+                next_token: 1,
+                resident_bytes: 0,
+            }),
+            capacity,
+            ttl,
+        }
+    }
+
+    /// The per-entry time-to-live in milliseconds (for `ResumeToken`).
+    pub(crate) fn ttl_ms(&self) -> u64 {
+        self.ttl.as_millis().min(u64::MAX as u128) as u64
+    }
+
+    /// Parks encoded job state, returning the fresh token and any tokens
+    /// evicted to make room.  `None` if parking is disabled.
+    pub(crate) fn park(&self, bytes: Vec<u8>) -> Option<(u64, Vec<u64>)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let now = Instant::now();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        // drop outlived entries first so they never displace live ones
+        // (their tokens reject as Expired, not Evicted)
+        let expired: Vec<u64> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.expires_at <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in expired {
+            if let Some(e) = inner.entries.remove(&t) {
+                inner.resident_bytes -= e.bytes.len();
+            }
+            inner.order.retain(|&o| o != t);
+        }
+        let mut evicted = Vec::new();
+        while inner.entries.len() >= self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(e) = inner.entries.remove(&victim) {
+                inner.resident_bytes -= e.bytes.len();
+                evicted.push(victim);
+                inner.evicted.push_back(victim);
+                while inner.evicted.len() > EVICTED_MEMORY {
+                    inner.evicted.pop_front();
+                }
+            }
+        }
+        let token = inner.next_token;
+        inner.next_token += 1;
+        inner.resident_bytes += bytes.len();
+        inner.entries.insert(
+            token,
+            Entry {
+                bytes,
+                expires_at: now + self.ttl,
+            },
+        );
+        inner.order.push_back(token);
+        Some((token, evicted))
+    }
+
+    /// Takes a parked job out of the registry.  Every failure is typed:
+    /// `Evicted` for tokens displaced by LRU pressure, `Expired` for
+    /// outlived ones, `Unknown` otherwise.
+    pub(crate) fn take(&self, token: u64) -> Result<Vec<u8>, ResumeRejectCause> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        match inner.entries.remove(&token) {
+            Some(e) => {
+                inner.resident_bytes -= e.bytes.len();
+                inner.order.retain(|&o| o != token);
+                if e.expires_at <= Instant::now() {
+                    return Err(ResumeRejectCause::Expired);
+                }
+                Ok(e.bytes)
+            }
+            None if inner.evicted.contains(&token) => Err(ResumeRejectCause::Evicted),
+            None => Err(ResumeRejectCause::Unknown),
+        }
+    }
+
+    /// Re-registers a checkpoint recovered from the verdict log at startup,
+    /// with a fresh TTL.  Keeps token allocation collision-free across
+    /// restarts by bumping the counter past every recovered token.
+    pub(crate) fn recover(&self, token: u64, bytes: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.next_token = inner.next_token.max(token + 1);
+        if inner.entries.len() >= self.capacity || inner.entries.contains_key(&token) {
+            return;
+        }
+        inner.resident_bytes += bytes.len();
+        inner.entries.insert(
+            token,
+            Entry {
+                bytes,
+                expires_at: Instant::now() + self.ttl,
+            },
+        );
+        inner.order.push_back(token);
+    }
+
+    /// The live parked set (token, encoded bytes), token-sorted — the
+    /// checkpoint half of a log compaction snapshot.
+    pub(crate) fn snapshot(&self) -> Vec<(u64, Vec<u8>)> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let now = Instant::now();
+        let mut out: Vec<(u64, Vec<u8>)> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.expires_at > now)
+            .map(|(t, e)| (*t, e.bytes.clone()))
+            .collect();
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+
+    /// Parked entries currently resident.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .len()
+    }
+
+    /// Bytes held by resident entries (exact: entries are encoded).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .resident_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Priority, Source};
+    use ccprotocols::family::FamilyParams;
+
+    fn sample_req() -> CheckRequest {
+        CheckRequest {
+            id: 7,
+            priority: Priority::Normal,
+            deadline_ms: 40,
+            source: Source::Family {
+                params: FamilyParams::default(),
+                seed: 3,
+            },
+            valuations: vec![vec![4, 1, 1]],
+            obligations: vec!["Inv1(0)".into()],
+            progress: false,
+            park_on_interrupt: true,
+        }
+    }
+
+    #[test]
+    fn parked_job_round_trips() {
+        let job = ParkedJob {
+            req: sample_req(),
+            cell_index: 2,
+            cells_done: vec![CellReport {
+                valuation: vec![4, 1, 1],
+                verdicts: vec![SpecVerdict {
+                    name: "Inv1(0)".into(),
+                    code: b'+',
+                    states: 11,
+                    transitions: 22,
+                    cached: true,
+                    detail: String::new(),
+                }],
+            }],
+            hit_verdicts: vec![(
+                1,
+                SpecVerdict {
+                    name: "Inv2(0)".into(),
+                    code: b'-',
+                    states: 5,
+                    transitions: 9,
+                    cached: true,
+                    detail: "cex".into(),
+                },
+            )],
+            miss_indices: vec![0, 2],
+            ckpt_bytes: vec![9, 8, 7],
+        };
+        let decoded = ParkedJob::decode(&job.encode()).unwrap();
+        assert_eq!(decoded.req, job.req);
+        assert_eq!(decoded.cell_index, 2);
+        assert_eq!(decoded.cells_done, job.cells_done);
+        assert_eq!(decoded.hit_verdicts, job.hit_verdicts);
+        assert_eq!(decoded.miss_indices, vec![0, 2]);
+        assert_eq!(decoded.ckpt_bytes, vec![9, 8, 7]);
+        // every truncation is a typed error, never a panic
+        let bytes = job.encode();
+        for cut in 0..bytes.len() {
+            assert!(ParkedJob::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn lru_eviction_is_oldest_first_and_typed() {
+        let reg = CheckpointRegistry::new(2, Duration::from_secs(60));
+        let (t1, ev) = reg.park(vec![1; 10]).unwrap();
+        assert!(ev.is_empty());
+        let (t2, ev) = reg.park(vec![2; 10]).unwrap();
+        assert!(ev.is_empty());
+        let (t3, ev) = reg.park(vec![3; 10]).unwrap();
+        assert_eq!(ev, vec![t1], "oldest parked job is evicted first");
+        assert_eq!(reg.take(t1).unwrap_err(), ResumeRejectCause::Evicted);
+        assert_eq!(reg.take(t2).unwrap(), vec![2; 10]);
+        assert_eq!(reg.take(t3).unwrap(), vec![3; 10]);
+        // a token that never existed is Unknown, not Evicted
+        assert_eq!(reg.take(999).unwrap_err(), ResumeRejectCause::Unknown);
+        // a taken token does not linger
+        assert_eq!(reg.take(t2).unwrap_err(), ResumeRejectCause::Unknown);
+    }
+
+    #[test]
+    fn expired_entries_reject_typed() {
+        let reg = CheckpointRegistry::new(4, Duration::ZERO);
+        let (t, _) = reg.park(vec![1, 2, 3]).unwrap();
+        assert_eq!(reg.take(t).unwrap_err(), ResumeRejectCause::Expired);
+        assert_eq!(reg.resident_bytes(), 0, "expired entry released its bytes");
+    }
+
+    #[test]
+    fn eviction_releases_resident_bytes() {
+        let reg = CheckpointRegistry::new(1, Duration::from_secs(60));
+        let mut high_water = 0;
+        for i in 0..32 {
+            reg.park(vec![i as u8; 1000]).unwrap();
+            high_water = high_water.max(reg.resident_bytes());
+        }
+        assert_eq!(
+            high_water, 1000,
+            "resident bytes never exceed one slot's worth"
+        );
+        assert_eq!(reg.len(), 1);
+        let (t, _) = reg.park(vec![0; 500]).unwrap();
+        reg.take(t).unwrap();
+        // take() drained the newest; the previous one was evicted by its park
+        assert_eq!(reg.len(), 0);
+        assert_eq!(reg.resident_bytes(), 0, "no growth after eviction + take");
+    }
+
+    #[test]
+    fn recover_bumps_token_allocation_past_recovered_tokens() {
+        let reg = CheckpointRegistry::new(4, Duration::from_secs(60));
+        reg.recover(17, vec![1]);
+        assert_eq!(reg.take(17).unwrap(), vec![1]);
+        let (t, _) = reg.park(vec![2]).unwrap();
+        assert!(t > 17, "fresh tokens never collide with recovered ones");
+    }
+
+    #[test]
+    fn zero_capacity_disables_parking() {
+        let reg = CheckpointRegistry::new(0, Duration::from_secs(60));
+        assert!(reg.park(vec![1]).is_none());
+        reg.recover(3, vec![1]);
+        assert_eq!(reg.len(), 0);
+    }
+}

@@ -8,16 +8,18 @@
 //! `ccchecker::CheckJob`, degrading deadline-tripped cells to `?` verdicts
 //! and caching definite ones across requests.
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheKey, CachedVerdict, ResultCache};
 use crate::queue::AdmissionQueue;
+use crate::registry::{CheckpointRegistry, ParkedJob};
+use crate::store::{FsyncPolicy, VerdictLog};
 use crate::transport::{Listener, Stream};
 use crate::wire::{
     decode_request, encode_response, write_frame, CellReport, CheckRequest, Request, Response,
-    Source, SpecVerdict, StatsSnapshot, WireError, DEFAULT_MAX_FRAME,
+    ResumeRequest, ResumeToken, Source, SpecVerdict, StatsSnapshot, WireError, DEFAULT_MAX_FRAME,
 };
 use ccchecker::{
-    fault, run_with_retry, CancelToken, CheckJob, CheckOutcome, CheckerOptions, JobBudget,
-    JobOutcome, RetryPolicy, Spec,
+    fault, run_with_retry, CancelToken, CheckJob, CheckOutcome, CheckStatus, CheckerOptions,
+    JobBudget, JobCheckpoint, JobOutcome, ProgressFn, RetryPolicy, Spec,
 };
 use cccore::fingerprint::{
     spec_fingerprint, system_fingerprint, valuation_fingerprint, verdict_code,
@@ -29,6 +31,7 @@ use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -36,6 +39,9 @@ use std::time::{Duration, Instant};
 
 /// How often blocked reads and accepts re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Minimum spacing between `Progress` frames of one running cell.
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(20);
 
 /// Server configuration.  Knob precedence is explicit value over
 /// environment variable over default, matching `CheckerOptions`:
@@ -62,6 +68,18 @@ pub struct ServeConfig {
     pub retry: RetryPolicy,
     /// Checker options for each job (worker threads, caps, cache knobs).
     pub checker: CheckerOptions,
+    /// Durable verdict log path (`--cache-log`).  `None` disables
+    /// durability: the cache and the checkpoint registry die with the
+    /// process.
+    pub cache_log: Option<PathBuf>,
+    /// When verdict appends fsync (`--fsync-policy`).
+    pub fsync_policy: FsyncPolicy,
+    /// Parked-checkpoint registry slots (`--checkpoint-slots`).  `None` =
+    /// `CC_SERVE_CKPT` or 32; `Some(0)` disables parking.
+    pub checkpoint_slots: Option<usize>,
+    /// Parked-checkpoint TTL in milliseconds.  0 = `CC_SERVE_CKPT_TTL_MS`
+    /// or 120 000.
+    pub checkpoint_ttl_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +93,10 @@ impl Default for ServeConfig {
             retry: RetryPolicy::attempts(2)
                 .with_backoff(Duration::from_millis(5), Duration::from_millis(50)),
             checker: CheckerOptions::default(),
+            cache_log: None,
+            fsync_policy: FsyncPolicy::Always,
+            checkpoint_slots: None,
+            checkpoint_ttl_ms: 0,
         }
     }
 }
@@ -91,6 +113,10 @@ struct Resolved {
     max_valuations: usize,
     retry: RetryPolicy,
     checker: CheckerOptions,
+    cache_log: Option<PathBuf>,
+    fsync_policy: FsyncPolicy,
+    checkpoint_slots: usize,
+    checkpoint_ttl: Duration,
 }
 
 impl ServeConfig {
@@ -123,6 +149,15 @@ impl ServeConfig {
             },
             retry: self.retry,
             checker: self.checker,
+            cache_log: self.cache_log,
+            fsync_policy: self.fsync_policy,
+            checkpoint_slots: self
+                .checkpoint_slots
+                .unwrap_or_else(|| env_usize("CC_SERVE_CKPT").unwrap_or(32)),
+            checkpoint_ttl: Duration::from_millis(match self.checkpoint_ttl_ms {
+                0 => env_usize("CC_SERVE_CKPT_TTL_MS").unwrap_or(120_000) as u64,
+                ms => ms,
+            }),
         }
     }
 }
@@ -137,12 +172,40 @@ pub struct ServerStats {
     rejected: AtomicU64,
     errors: AtomicU64,
     active_jobs: AtomicU64,
+    parked: AtomicU64,
+    resumed: AtomicU64,
+    resume_rejected: AtomicU64,
+    checkpoints_evicted: AtomicU64,
+    log_recovered: AtomicU64,
+    /// EWMA of recent job service time, in nanoseconds (0 = no sample yet).
+    service_ns_ewma: AtomicU64,
 }
 
 impl ServerStats {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Folds one observed service time into the mean (EWMA, alpha = 1/8).
+    fn observe_service(&self, elapsed: Duration) {
+        let sample = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let old = self.service_ns_ewma.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.service_ns_ewma.store(new, Ordering::Relaxed);
+    }
+}
+
+/// How long a shed client should wait before retrying: the queue depth
+/// ahead of it, spread over the worker slots, times the recent mean
+/// service time.  Monotone in the queue depth; clamped to [1 ms, 60 s].
+fn retry_after_hint_ms(queue_depth: u64, mean_service_ns: u64, workers: u64) -> u64 {
+    let mean_ms = (mean_service_ns / 1_000_000).max(1);
+    let waves = queue_depth.saturating_add(1).div_ceil(workers.max(1));
+    waves.saturating_mul(mean_ms).clamp(1, 60_000)
 }
 
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -226,9 +289,26 @@ impl ConnShared {
     }
 }
 
+/// What an admitted entry asks a worker to do.
+enum Work {
+    /// Run a check from scratch.
+    Check(CheckRequest),
+    /// Continue a parked job by resume token.
+    Resume(ResumeRequest),
+}
+
+impl Work {
+    fn id(&self) -> u64 {
+        match self {
+            Work::Check(req) => req.id,
+            Work::Resume(rr) => rr.id,
+        }
+    }
+}
+
 /// One admitted request waiting for (or holding) a worker slot.
 struct JobEntry {
-    req: CheckRequest,
+    work: Work,
     conn: Arc<ConnShared>,
     admitted_at: Instant,
     cancel: CancelToken,
@@ -238,6 +318,8 @@ struct Ctx {
     stats: ServerStats,
     cache: ResultCache,
     queue: AdmissionQueue<JobEntry>,
+    registry: CheckpointRegistry,
+    log: Option<Mutex<VerdictLog>>,
     shutdown: AtomicBool,
     cfg: Resolved,
 }
@@ -255,6 +337,52 @@ impl Ctx {
             cache_misses: self.cache.misses(),
             active_jobs: self.stats.active_jobs.load(Ordering::Relaxed),
             queue_depth: self.queue.len() as u64,
+            parked: self.stats.parked.load(Ordering::Relaxed),
+            resumed: self.stats.resumed.load(Ordering::Relaxed),
+            resume_rejected: self.stats.resume_rejected.load(Ordering::Relaxed),
+            checkpoints_evicted: self.stats.checkpoints_evicted.load(Ordering::Relaxed),
+            log_recovered: self.stats.log_recovered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Caches a computed outcome and, when definite and a log is
+    /// configured, makes it durable *before* any response frame reports it
+    /// (the prefix-of-acknowledged invariant).  Piggybacks auto-compaction
+    /// on the append path.
+    fn record_verdict(&self, key: CacheKey, outcome: &CheckOutcome) {
+        self.cache.insert(key, outcome);
+        if outcome.status == CheckStatus::Unknown {
+            return;
+        }
+        let Some(log) = &self.log else {
+            return;
+        };
+        let cached = CachedVerdict {
+            status: outcome.status,
+            states_explored: outcome.states_explored,
+            transitions_explored: outcome.transitions_explored,
+            detail: outcome.detail.clone(),
+        };
+        let mut log = lock_ignore_poison(log);
+        if let Err(e) = log.append_verdict(&key, &cached) {
+            eprintln!("ccserve: verdict log append failed: {e}");
+            return;
+        }
+        if log.should_compact() {
+            let verdicts = self.cache.entries();
+            let checkpoints = self.registry.snapshot();
+            if let Err(e) = log.compact(&verdicts, &checkpoints) {
+                eprintln!("ccserve: log compaction failed: {e}");
+            }
+        }
+    }
+
+    /// Appends a checkpoint tombstone (consumed or evicted token).
+    fn log_drop(&self, token: u64) {
+        if let Some(log) = &self.log {
+            if let Err(e) = lock_ignore_poison(log).append_drop(token) {
+                eprintln!("ccserve: verdict log append failed: {e}");
+            }
         }
     }
 }
@@ -285,10 +413,34 @@ impl Server {
         let cfg = config.resolve();
         let addr = listener.local_addr();
         listener.set_nonblocking(true)?;
+        let cache = ResultCache::new(cfg.cache_capacity);
+        let registry = CheckpointRegistry::new(cfg.checkpoint_slots, cfg.checkpoint_ttl);
+        let stats = ServerStats::default();
+        let log = match &cfg.cache_log {
+            Some(path) => {
+                // the log is the durability promise: failing to open it is
+                // a startup error, but a *torn* log never is — recovery
+                // truncates and keeps going
+                let (log, recovered) = VerdictLog::open(path, cfg.fsync_policy)?;
+                stats
+                    .log_recovered
+                    .store(recovered.verdicts.len() as u64, Ordering::Relaxed);
+                for (key, verdict) in recovered.verdicts {
+                    cache.preload(key, verdict);
+                }
+                for (token, bytes) in recovered.checkpoints {
+                    registry.recover(token, bytes);
+                }
+                Some(Mutex::new(log))
+            }
+            None => None,
+        };
         let ctx = Arc::new(Ctx {
-            stats: ServerStats::default(),
-            cache: ResultCache::new(cfg.cache_capacity),
+            stats,
+            cache,
             queue: AdmissionQueue::new(cfg.queue_capacity),
+            registry,
+            log,
             shutdown: AtomicBool::new(false),
             cfg,
         });
@@ -418,7 +570,8 @@ fn serve_connection(stream: Stream, ctx: &Arc<Ctx>) {
                 Ok(Request::Stats) => {
                     conn.send(&Response::Stats(ctx.snapshot()));
                 }
-                Ok(Request::Check(req)) => admit(req, &conn, ctx),
+                Ok(Request::Check(req)) => admit(Work::Check(req), &conn, ctx),
+                Ok(Request::Resume(rr)) => admit(Work::Resume(rr), &conn, ctx),
                 Err(e) => {
                     // the frame boundary was sound, so the stream is still
                     // in sync: reject and keep serving this connection
@@ -449,15 +602,18 @@ fn serve_connection(stream: Stream, ctx: &Arc<Ctx>) {
 /// queue sheds with a typed `Overloaded` carrying the observed depth; an
 /// injected admission panic degrades to a typed `Error`.  Nothing is ever
 /// buffered outside the bounded queue.
-fn admit(req: CheckRequest, conn: &Arc<ConnShared>, ctx: &Arc<Ctx>) {
-    let id = req.id;
-    let priority = req.priority;
+fn admit(work: Work, conn: &Arc<ConnShared>, ctx: &Arc<Ctx>) {
+    let id = work.id();
+    let priority = match &work {
+        Work::Check(req) => req.priority,
+        Work::Resume(rr) => rr.priority,
+    };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         fault::maybe_fire(fault::SITE_ADMISSION);
         let cancel = CancelToken::new();
         conn.register(id, cancel.clone());
         let entry = JobEntry {
-            req,
+            work,
             conn: Arc::clone(conn),
             admitted_at: Instant::now(),
             cancel,
@@ -470,10 +626,16 @@ fn admit(req: CheckRequest, conn: &Arc<ConnShared>, ctx: &Arc<Ctx>) {
         Ok(Err(_entry)) => {
             conn.unregister(id);
             ServerStats::bump(&ctx.stats.shed);
+            let queue_depth = ctx.queue.len() as u64;
             conn.send(&Response::Overloaded {
                 id,
-                queue_depth: ctx.queue.len() as u64,
+                queue_depth,
                 capacity: ctx.queue.capacity() as u64,
+                retry_after_hint_ms: retry_after_hint_ms(
+                    queue_depth,
+                    ctx.stats.service_ns_ewma.load(Ordering::Relaxed),
+                    ctx.cfg.workers as u64,
+                ),
             });
         }
         Err(_) => {
@@ -490,7 +652,9 @@ fn admit(req: CheckRequest, conn: &Arc<ConnShared>, ctx: &Arc<Ctx>) {
 fn worker_loop(ctx: &Arc<Ctx>) {
     while let Some(entry) = ctx.queue.pop() {
         ctx.stats.active_jobs.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         process(entry, ctx);
+        ctx.stats.observe_service(started.elapsed());
         ctx.stats.active_jobs.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -565,22 +729,123 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 
 fn process(entry: JobEntry, ctx: &Arc<Ctx>) {
     let JobEntry {
-        req,
+        work,
         conn,
         admitted_at,
         cancel,
     } = entry;
-    let id = req.id;
+    let id = work.id();
     if cancel.is_cancelled() || !conn.is_alive() {
         conn.unregister(id);
         ServerStats::bump(&ctx.stats.orphaned);
         return;
     }
+    match work {
+        Work::Check(req) => {
+            let run = CheckRun {
+                id,
+                deadline_ms: req.deadline_ms,
+                progress: req.progress,
+                park: req.park_on_interrupt,
+                req,
+                resume: None,
+            };
+            run_check(run, &conn, admitted_at, &cancel, ctx);
+        }
+        Work::Resume(rr) => {
+            let bytes = match ctx.registry.take(rr.token) {
+                Ok(bytes) => bytes,
+                Err(cause) => {
+                    conn.unregister(id);
+                    ServerStats::bump(&ctx.stats.resume_rejected);
+                    conn.send(&Response::ResumeRejected { id, cause });
+                    return;
+                }
+            };
+            // tokens are one-shot: the consumption is durable even if the
+            // continued run fails to produce a verdict
+            ctx.log_drop(rr.token);
+            let parked = match ParkedJob::decode(&bytes) {
+                Ok(parked) => parked,
+                Err(e) => {
+                    conn.unregister(id);
+                    ServerStats::bump(&ctx.stats.errors);
+                    conn.send(&Response::Error {
+                        id,
+                        detail: format!("parked state undecodable: {e}"),
+                    });
+                    return;
+                }
+            };
+            ServerStats::bump(&ctx.stats.resumed);
+            let run = CheckRun {
+                id,
+                deadline_ms: rr.deadline_ms,
+                progress: rr.progress,
+                park: rr.park_on_interrupt,
+                req: parked.req.clone(),
+                resume: Some(ResumeState {
+                    cell_index: parked.cell_index,
+                    cells_done: parked.cells_done,
+                    hit_verdicts: parked.hit_verdicts,
+                    miss_indices: parked.miss_indices,
+                    ckpt_bytes: parked.ckpt_bytes,
+                }),
+            };
+            run_check(run, &conn, admitted_at, &cancel, ctx);
+        }
+    }
+}
+
+/// One check execution: either a fresh request or the continuation of a
+/// parked one.
+struct CheckRun {
+    /// The originating check request (for a resume: the one embedded in
+    /// the parked state — resolution is deterministic, so it rebuilds the
+    /// same model, specs and valuations).
+    req: CheckRequest,
+    /// The id terminal responses echo (a resume answers with *its* id).
+    id: u64,
+    deadline_ms: u64,
+    progress: bool,
+    park: bool,
+    resume: Option<ResumeState>,
+}
+
+/// Where to pick a parked job back up.
+struct ResumeState {
+    cell_index: usize,
+    cells_done: Vec<CellReport>,
+    hit_verdicts: Vec<(usize, SpecVerdict)>,
+    miss_indices: Vec<usize>,
+    ckpt_bytes: Vec<u8>,
+}
+
+fn run_check(
+    run: CheckRun,
+    conn: &Arc<ConnShared>,
+    admitted_at: Instant,
+    cancel: &CancelToken,
+    ctx: &Arc<Ctx>,
+) {
+    let CheckRun {
+        req,
+        id,
+        deadline_ms,
+        progress,
+        park,
+        mut resume,
+    } = run;
 
     let reject = |reason: String| {
         conn.unregister(id);
         ServerStats::bump(&ctx.stats.rejected);
         conn.send(&Response::Rejected { id, reason });
+    };
+    let internal_error = |detail: String| {
+        conn.unregister(id);
+        ServerStats::bump(&ctx.stats.errors);
+        conn.send(&Response::Error { id, detail });
     };
 
     // Resolution (model construction) runs under the same supervision as
@@ -589,13 +854,10 @@ fn process(entry: JobEntry, ctx: &Arc<Ctx>) {
         Ok(Ok(r)) => r,
         Ok(Err(reason)) => return reject(reason),
         Err(payload) => {
-            conn.unregister(id);
-            ServerStats::bump(&ctx.stats.errors);
-            conn.send(&Response::Error {
-                id,
-                detail: format!("request resolution panicked: {}", panic_detail(payload)),
-            });
-            return;
+            return internal_error(format!(
+                "request resolution panicked: {}",
+                panic_detail(payload)
+            ));
         }
     };
     let specs: Vec<Spec> = if req.obligations.is_empty() {
@@ -664,53 +926,131 @@ fn process(entry: JobEntry, ctx: &Arc<Ctx>) {
         }
     }
 
-    let deadline_at =
-        (req.deadline_ms > 0).then(|| admitted_at + Duration::from_millis(req.deadline_ms));
+    // A resumed request must slot cleanly into the catalogue it was parked
+    // under; registry bytes are self-produced, but never worth an
+    // out-of-bounds panic if a log ever feeds us drifted state.
+    if let Some(rs) = &resume {
+        let consistent = rs.cell_index < valuations.len()
+            && rs.cells_done.len() == rs.cell_index
+            && rs.miss_indices.iter().all(|&i| i < specs.len())
+            && rs.hit_verdicts.iter().all(|(i, _)| *i < specs.len());
+        if !consistent {
+            return internal_error("parked state does not match its request".into());
+        }
+    }
+
+    let deadline_at = (deadline_ms > 0).then(|| admitted_at + Duration::from_millis(deadline_ms));
     let system_fp = system_fingerprint(&model);
     let spec_fps: Vec<u64> = specs.iter().map(spec_fingerprint).collect();
 
-    let mut cells = Vec::with_capacity(valuations.len());
-    for (valuation, sys) in valuations.iter().zip(&systems) {
+    let start_cell = resume.as_ref().map_or(0, |rs| rs.cell_index);
+    let mut cells: Vec<CellReport> = resume
+        .as_mut()
+        .map(|rs| std::mem::take(&mut rs.cells_done))
+        .unwrap_or_default();
+    let mut resume_token: Option<ResumeToken> = None;
+
+    for (vi, (valuation, sys)) in valuations.iter().zip(&systems).enumerate().skip(start_cell) {
         let valuation_fp = valuation_fingerprint(valuation);
         let mut verdicts: Vec<Option<SpecVerdict>> = vec![None; specs.len()];
         let mut missing = Vec::new();
-        for (i, spec) in specs.iter().enumerate() {
-            match ctx.cache.get(&(system_fp, valuation_fp, spec_fps[i])) {
-                Some(hit) => {
-                    verdicts[i] = Some(SpecVerdict {
-                        name: spec.name().to_string(),
-                        code: verdict_code(hit.status),
-                        states: hit.states_explored as u64,
-                        transitions: hit.transitions_explored as u64,
-                        cached: true,
-                        detail: hit.detail,
-                    });
+        let mut resume_ckpt: Option<JobCheckpoint> = None;
+
+        if resume.as_ref().is_some_and(|rs| rs.cell_index == vi) {
+            // the parked cell: replay its pre-job state verbatim — the
+            // cache is *not* re-consulted, so the obligation list matches
+            // the checkpoint exactly and the reported verdicts cannot
+            // shift under a cache that moved on
+            let rs = resume.take().unwrap();
+            for (slot, v) in rs.hit_verdicts {
+                verdicts[slot] = Some(v);
+            }
+            missing = rs.miss_indices;
+            if !rs.ckpt_bytes.is_empty() {
+                match JobCheckpoint::from_portable_bytes(&rs.ckpt_bytes) {
+                    Ok(cp) => resume_ckpt = Some(cp),
+                    Err(e) => {
+                        return internal_error(format!("parked checkpoint undecodable: {e}"));
+                    }
                 }
-                None => missing.push(i),
+            }
+        } else {
+            for (i, spec) in specs.iter().enumerate() {
+                match ctx.cache.get(&(system_fp, valuation_fp, spec_fps[i])) {
+                    Some(hit) => {
+                        verdicts[i] = Some(SpecVerdict {
+                            name: spec.name().to_string(),
+                            code: verdict_code(hit.status),
+                            states: hit.states_explored as u64,
+                            transitions: hit.transitions_explored as u64,
+                            cached: true,
+                            detail: hit.detail,
+                        });
+                    }
+                    None => missing.push(i),
+                }
             }
         }
 
         if !missing.is_empty() {
+            // pre-job filled slots, captured for parking: on resume they
+            // are replayed verbatim instead of re-consulting the cache
+            let prefilled: Vec<(usize, SpecVerdict)> = verdicts
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.as_ref().map(|v| (i, v.clone())))
+                .collect();
+            // `Some(detail)` once this cell tripped; the checkpoint bytes
+            // to park ride alongside (empty = cell never started)
+            let mut tripped: Option<String> = None;
+            let mut park_bytes: Option<Vec<u8>> = None;
+
             let remaining = deadline_at.map(|d| d.saturating_duration_since(Instant::now()));
             if remaining.is_some_and(|r| r.is_zero()) {
                 // the deadline already passed: degrade the whole cell to
                 // `?` verdicts, exactly like a tripped VerifierConfig budget
-                for &i in &missing {
-                    verdicts[i] = Some(degraded_verdict(
-                        &specs[i],
-                        "interrupted: deadline exceeded",
-                    ));
-                }
+                tripped = Some("interrupted: deadline exceeded".into());
+                park_bytes = park.then(|| {
+                    resume_ckpt
+                        .as_ref()
+                        .map(JobCheckpoint::to_portable_bytes)
+                        .unwrap_or_default()
+                });
             } else {
                 let miss_specs: Vec<Spec> = missing.iter().map(|&i| specs[i].clone()).collect();
                 let mut budget = JobBudget::unlimited();
                 if let Some(r) = remaining {
                     budget = budget.with_deadline(r);
                 }
+                let progress_cb: Option<ProgressFn> = progress.then(|| {
+                    let conn = Arc::clone(conn);
+                    let cells_done = cells.len() as u64;
+                    let last = Mutex::new(Instant::now());
+                    Arc::new(move |states: usize, transitions: usize| {
+                        let mut last = lock_ignore_poison(&last);
+                        if last.elapsed() < PROGRESS_INTERVAL {
+                            return;
+                        }
+                        *last = Instant::now();
+                        conn.send(&Response::Progress {
+                            id,
+                            states: states as u64,
+                            transitions: transitions as u64,
+                            cells_done,
+                        });
+                    }) as ProgressFn
+                });
+                // a panicking attempt consumes the checkpoint with it: the
+                // retry re-runs the cell's owed specs from scratch, which
+                // is deterministic and therefore still verdict-identical
+                let mut ckpt_slot = resume_ckpt.take();
                 let ran = run_with_retry(&ctx.cfg.retry, id ^ valuation_fp, |_attempt| {
                     catch_unwind(AssertUnwindSafe(|| {
-                        let job =
+                        let mut job =
                             CheckJob::new(sys, &miss_specs, ctx.cfg.checker).with_budget(budget);
+                        if let Some(cb) = &progress_cb {
+                            job = job.with_progress(Arc::clone(cb));
+                        }
                         // expose the job's own token for disconnects, then
                         // re-check liveness: `mark_dead` flips `alive`
                         // before cancelling tokens, so this order cannot
@@ -720,24 +1060,20 @@ fn process(entry: JobEntry, ctx: &Arc<Ctx>) {
                         if cancel.is_cancelled() || !conn.is_alive() {
                             token.cancel();
                         }
-                        job.run()
+                        match ckpt_slot.take() {
+                            Some(cp) => job.resume(cp),
+                            None => job.run(),
+                        }
                     }))
                     .map_err(panic_detail)
                 });
                 match ran {
                     Err(detail) => {
-                        conn.unregister(id);
-                        ServerStats::bump(&ctx.stats.errors);
-                        conn.send(&Response::Error {
-                            id,
-                            detail: format!("job panicked on every attempt: {detail}"),
-                        });
-                        return;
+                        return internal_error(format!("job panicked on every attempt: {detail}"));
                     }
                     Ok(JobOutcome::Completed { outcomes, .. }) => {
                         for (slot, outcome) in missing.iter().zip(&outcomes) {
-                            ctx.cache
-                                .insert((system_fp, valuation_fp, spec_fps[*slot]), outcome);
+                            ctx.record_verdict((system_fp, valuation_fp, spec_fps[*slot]), outcome);
                             verdicts[*slot] = Some(outcome_verdict(&specs[*slot], outcome, false));
                         }
                     }
@@ -751,21 +1087,64 @@ fn process(entry: JobEntry, ctx: &Arc<Ctx>) {
                     Ok(JobOutcome::BudgetExceeded {
                         reason, checkpoint, ..
                     }) => {
-                        let detail = format!("interrupted: {}", reason.describe());
+                        tripped = Some(format!("interrupted: {}", reason.describe()));
+                        // serialize before `into_outcomes` consumes it: the
+                        // portable bytes carry the completed outcomes, so
+                        // resume never redoes (or re-caches) them
+                        park_bytes = park.then(|| checkpoint.to_portable_bytes());
                         for (slot, outcome) in missing.iter().zip(checkpoint.into_outcomes()) {
-                            match outcome {
-                                Some(o) => {
-                                    ctx.cache
-                                        .insert((system_fp, valuation_fp, spec_fps[*slot]), &o);
-                                    verdicts[*slot] =
-                                        Some(outcome_verdict(&specs[*slot], &o, false));
-                                }
-                                None => {
-                                    verdicts[*slot] =
-                                        Some(degraded_verdict(&specs[*slot], &detail));
-                                }
+                            if let Some(o) = outcome {
+                                ctx.record_verdict((system_fp, valuation_fp, spec_fps[*slot]), &o);
+                                verdicts[*slot] = Some(outcome_verdict(&specs[*slot], &o, false));
                             }
                         }
+                    }
+                }
+            }
+
+            if let Some(trip_detail) = tripped {
+                // park once, at the first tripped cell: its checkpoint
+                // covers this cell, and resume recomputes every later one
+                if resume_token.is_none() {
+                    if let Some(ckpt_bytes) = park_bytes {
+                        let parked = ParkedJob {
+                            req: req.clone(),
+                            cell_index: vi,
+                            cells_done: cells.clone(),
+                            hit_verdicts: prefilled,
+                            miss_indices: missing.clone(),
+                            ckpt_bytes,
+                        };
+                        let bytes = parked.encode();
+                        if let Some((token, evicted)) = ctx.registry.park(bytes.clone()) {
+                            for old in evicted {
+                                ServerStats::bump(&ctx.stats.checkpoints_evicted);
+                                ctx.log_drop(old);
+                            }
+                            // durable before the token is promised
+                            if let Some(log) = &ctx.log {
+                                if let Err(e) =
+                                    lock_ignore_poison(log).append_checkpoint(token, &bytes)
+                                {
+                                    eprintln!("ccserve: checkpoint log append failed: {e}");
+                                }
+                            }
+                            ServerStats::bump(&ctx.stats.parked);
+                            resume_token = Some(ResumeToken {
+                                token,
+                                expires_in_ms: ctx.registry.ttl_ms(),
+                            });
+                        }
+                    }
+                }
+                let detail = if resume_token.is_some() {
+                    format!("{trip_detail}; resumable")
+                } else {
+                    trip_detail
+                };
+                for &i in &missing {
+                    if verdicts[i].is_none() {
+                        verdicts[i] = Some(degraded_verdict(&specs[i], &detail));
                     }
                 }
             }
@@ -778,9 +1157,67 @@ fn process(entry: JobEntry, ctx: &Arc<Ctx>) {
     }
 
     conn.unregister(id);
-    if conn.send(&Response::Verdict { id, cells }) {
+    if conn.send(&Response::Verdict {
+        id,
+        cells,
+        resume: resume_token,
+    }) {
         ServerStats::bump(&ctx.stats.completed);
     } else {
         ServerStats::bump(&ctx.stats.orphaned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_is_monotone_in_queue_depth() {
+        let mean_ns = 7_500_000; // 7.5 ms mean service time
+        let mut prev = 0;
+        for depth in 0..512 {
+            let hint = retry_after_hint_ms(depth, mean_ns, 4);
+            assert!(
+                hint >= prev,
+                "hint regressed at depth {depth}: {hint} < {prev}"
+            );
+            prev = hint;
+        }
+        // and it actually grows across worker-count strides
+        assert!(retry_after_hint_ms(64, mean_ns, 4) > retry_after_hint_ms(0, mean_ns, 4));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_service_time_and_stays_clamped() {
+        assert_eq!(retry_after_hint_ms(0, 0, 4), 1, "no sample yet: floor");
+        assert!(
+            retry_after_hint_ms(16, 40_000_000, 4) > retry_after_hint_ms(16, 4_000_000, 4),
+            "slower service means a longer hint"
+        );
+        assert_eq!(
+            retry_after_hint_ms(u64::MAX / 2, 1_000_000_000, 1),
+            60_000,
+            "ceiling"
+        );
+        // zero workers must not divide by zero
+        assert!(retry_after_hint_ms(8, 1_000_000, 0) >= 1);
+    }
+
+    #[test]
+    fn service_ewma_tracks_samples() {
+        let stats = ServerStats::default();
+        assert_eq!(stats.service_ns_ewma.load(Ordering::Relaxed), 0);
+        stats.observe_service(Duration::from_millis(8));
+        let first = stats.service_ns_ewma.load(Ordering::Relaxed);
+        assert_eq!(first, 8_000_000, "first sample seeds the mean");
+        for _ in 0..64 {
+            stats.observe_service(Duration::from_millis(16));
+        }
+        let settled = stats.service_ns_ewma.load(Ordering::Relaxed);
+        assert!(
+            settled > 15_000_000 && settled < 17_000_000,
+            "mean converged towards the new regime, got {settled}"
+        );
     }
 }

@@ -27,6 +27,8 @@ pub const REQ_CHECK: u8 = 1;
 pub const REQ_STATS: u8 = 2;
 /// Liveness probe.
 pub const REQ_PING: u8 = 3;
+/// Continue a parked job from a resume token.
+pub const REQ_RESUME: u8 = 4;
 
 /// Response tags.
 pub const RESP_VERDICT: u8 = 1;
@@ -40,6 +42,10 @@ pub const RESP_ERROR: u8 = 4;
 pub const RESP_STATS: u8 = 5;
 /// Liveness reply.
 pub const RESP_PONG: u8 = 6;
+/// Non-terminal streaming progress frame (opt-in per request).
+pub const RESP_PROGRESS: u8 = 7;
+/// Typed rejection of a resume token (unknown / evicted / expired).
+pub const RESP_RESUME_REJECTED: u8 = 8;
 
 /// Errors raised while reading or decoding wire data.
 #[derive(Debug)]
@@ -183,6 +189,31 @@ pub struct CheckRequest {
     pub valuations: Vec<Vec<u64>>,
     /// Obligation-name filter; empty means the full catalogue.
     pub obligations: Vec<String>,
+    /// Opt in to non-terminal [`Response::Progress`] frames at wave
+    /// boundaries before the terminal response.
+    pub progress: bool,
+    /// When the deadline trips this request, park the job's checkpoint and
+    /// return a [`ResumeToken`] alongside the degraded verdicts.
+    pub park_on_interrupt: bool,
+}
+
+/// A follow-up request continuing a parked job from its resume token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeRequest {
+    /// Client-chosen correlation id for *this* request (independent of the
+    /// parked job's original id).
+    pub id: u64,
+    /// The token handed out in the degraded response's [`ResumeToken`].
+    pub token: u64,
+    /// Admission priority band.
+    pub priority: Priority,
+    /// Fresh wall-clock deadline in milliseconds from admission; `0` means
+    /// no deadline.
+    pub deadline_ms: u64,
+    /// Opt in to non-terminal progress frames.
+    pub progress: bool,
+    /// Park again if the fresh deadline also trips.
+    pub park_on_interrupt: bool,
 }
 
 /// A decoded request frame.
@@ -190,6 +221,8 @@ pub struct CheckRequest {
 pub enum Request {
     /// Run a verification job.
     Check(CheckRequest),
+    /// Continue a parked job.
+    Resume(ResumeRequest),
     /// Snapshot the server counters.
     Stats,
     /// Liveness probe.
@@ -223,6 +256,61 @@ pub struct CellReport {
     pub verdicts: Vec<SpecVerdict>,
 }
 
+/// A resume token attached to a degraded verdict: presenting it in a
+/// [`ResumeRequest`] continues the parked job from its checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeToken {
+    /// The opaque token value.
+    pub token: u64,
+    /// How long the daemon intends to keep the parked checkpoint (LRU
+    /// eviction can shorten this; it is a hint, not a lease).
+    pub expires_in_ms: u64,
+}
+
+/// Why a resume token was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeRejectCause {
+    /// The daemon has no record of the token (never issued, or issued by a
+    /// previous incarnation whose checkpoint did not survive).
+    Unknown,
+    /// The token was issued but its checkpoint was evicted from the bounded
+    /// registry under pressure.
+    Evicted,
+    /// The token was issued but outlived its retention window.
+    Expired,
+}
+
+impl ResumeRejectCause {
+    /// The wire byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            ResumeRejectCause::Unknown => 0,
+            ResumeRejectCause::Evicted => 1,
+            ResumeRejectCause::Expired => 2,
+        }
+    }
+
+    /// Decodes the wire byte.
+    pub fn from_byte(b: u8) -> Option<ResumeRejectCause> {
+        match b {
+            0 => Some(ResumeRejectCause::Unknown),
+            1 => Some(ResumeRejectCause::Evicted),
+            2 => Some(ResumeRejectCause::Expired),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ResumeRejectCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResumeRejectCause::Unknown => "unknown token",
+            ResumeRejectCause::Evicted => "checkpoint evicted",
+            ResumeRejectCause::Expired => "token expired",
+        })
+    }
+}
+
 /// Counter snapshot of a running server.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -246,6 +334,17 @@ pub struct StatsSnapshot {
     pub active_jobs: u64,
     /// Requests currently queued.
     pub queue_depth: u64,
+    /// Checkpoints parked with a resume token handed out.
+    pub parked: u64,
+    /// Parked jobs successfully continued from a resume token.
+    pub resumed: u64,
+    /// Resume requests rejected (unknown, evicted or expired token).
+    pub resume_rejected: u64,
+    /// Parked checkpoints evicted from the bounded registry.
+    pub checkpoints_evicted: u64,
+    /// Records recovered from the durable verdict log at startup (0 when
+    /// the daemon runs without a log).
+    pub log_recovered: u64,
 }
 
 /// A decoded response frame.
@@ -257,6 +356,10 @@ pub enum Response {
         id: u64,
         /// One report per valuation.
         cells: Vec<CellReport>,
+        /// Present when the deadline tripped, the request opted into
+        /// parking, and the checkpoint was parked: degraded `?` slots can
+        /// be continued via [`Request::Resume`].
+        resume: Option<ResumeToken>,
     },
     /// Terminal: the admission queue was full; nothing was buffered.
     Overloaded {
@@ -266,6 +369,10 @@ pub enum Response {
         queue_depth: u64,
         /// Configured queue capacity.
         capacity: u64,
+        /// Suggested client back-off: queue depth times the recent mean
+        /// service time, divided over the worker slots.  Monotone in the
+        /// observed queue depth.
+        retry_after_hint_ms: u64,
     },
     /// Terminal: the request cannot be serviced (unknown protocol,
     /// inadmissible valuation, malformed payload, ...).
@@ -282,6 +389,26 @@ pub enum Response {
         /// Failure detail.
         detail: String,
     },
+    /// Terminal: the presented resume token cannot be honoured.
+    ResumeRejected {
+        /// Echo of the resume request id.
+        id: u64,
+        /// Why the token was rejected.
+        cause: ResumeRejectCause,
+    },
+    /// Non-terminal: streaming progress at a wave boundary, sent only when
+    /// the request opted in.  Zero or more of these precede the terminal
+    /// response of the same request id.
+    Progress {
+        /// Echo of the request id.
+        id: u64,
+        /// Cumulative distinct states explored by the running cell's job.
+        states: u64,
+        /// Cumulative transitions explored by the running cell's job.
+        transitions: u64,
+        /// Valuation cells already fully answered.
+        cells_done: u64,
+    },
     /// Reply to [`Request::Stats`].
     Stats(StatsSnapshot),
     /// Reply to [`Request::Ping`].
@@ -289,21 +416,32 @@ pub enum Response {
 }
 
 impl Response {
-    /// The echoed request id of a terminal response, if any.
+    /// The echoed request id, if any (terminal responses and progress
+    /// frames carry one; stats and pong do not).
     pub fn request_id(&self) -> Option<u64> {
         match self {
             Response::Verdict { id, .. }
             | Response::Overloaded { id, .. }
             | Response::Rejected { id, .. }
-            | Response::Error { id, .. } => Some(*id),
+            | Response::Error { id, .. }
+            | Response::ResumeRejected { id, .. }
+            | Response::Progress { id, .. } => Some(*id),
             Response::Stats(_) | Response::Pong => None,
         }
     }
 
     /// Whether this response terminates a check request (exactly one of
     /// these is sent per admitted-or-shed request on a live connection).
+    /// Progress frames carry a request id but are *not* terminal.
     pub fn is_terminal(&self) -> bool {
-        self.request_id().is_some()
+        match self {
+            Response::Verdict { .. }
+            | Response::Overloaded { .. }
+            | Response::Rejected { .. }
+            | Response::Error { .. }
+            | Response::ResumeRejected { .. } => true,
+            Response::Progress { .. } | Response::Stats(_) | Response::Pong => false,
+        }
     }
 }
 
@@ -311,17 +449,37 @@ impl Response {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn put_u8(buf: &mut Vec<u8>, v: u8) {
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u64(buf, s.len() as u64);
     buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_verdict(buf: &mut Vec<u8>, v: &SpecVerdict) {
+    put_str(buf, &v.name);
+    put_u8(buf, v.code);
+    put_u64(buf, v.states);
+    put_u64(buf, v.transitions);
+    put_u8(buf, v.cached as u8);
+    put_str(buf, &v.detail);
+}
+
+pub(crate) fn put_cell(buf: &mut Vec<u8>, cell: &CellReport) {
+    put_u64(buf, cell.valuation.len() as u64);
+    for &x in &cell.valuation {
+        put_u64(buf, x);
+    }
+    put_u64(buf, cell.verdicts.len() as u64);
+    for v in &cell.verdicts {
+        put_verdict(buf, v);
+    }
 }
 
 fn fault_byte(f: FaultModel) -> u8 {
@@ -350,6 +508,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u64(&mut buf, c.id);
             put_u8(&mut buf, c.priority.band() as u8);
             put_u64(&mut buf, c.deadline_ms);
+            put_u8(
+                &mut buf,
+                (c.progress as u8) | ((c.park_on_interrupt as u8) << 1),
+            );
             match &c.source {
                 Source::Protocol(name) => {
                     put_u8(&mut buf, 1);
@@ -380,6 +542,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_str(&mut buf, name);
             }
         }
+        Request::Resume(r) => {
+            put_u8(&mut buf, REQ_RESUME);
+            put_u64(&mut buf, r.id);
+            put_u64(&mut buf, r.token);
+            put_u8(&mut buf, r.priority.band() as u8);
+            put_u64(&mut buf, r.deadline_ms);
+            put_u8(
+                &mut buf,
+                (r.progress as u8) | ((r.park_on_interrupt as u8) << 1),
+            );
+        }
         Request::Stats => put_u8(&mut buf, REQ_STATS),
         Request::Ping => put_u8(&mut buf, REQ_PING),
     }
@@ -390,23 +563,19 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut buf = Vec::new();
     match resp {
-        Response::Verdict { id, cells } => {
+        Response::Verdict { id, cells, resume } => {
             put_u8(&mut buf, RESP_VERDICT);
             put_u64(&mut buf, *id);
             put_u64(&mut buf, cells.len() as u64);
             for cell in cells {
-                put_u64(&mut buf, cell.valuation.len() as u64);
-                for &x in &cell.valuation {
-                    put_u64(&mut buf, x);
-                }
-                put_u64(&mut buf, cell.verdicts.len() as u64);
-                for v in &cell.verdicts {
-                    put_str(&mut buf, &v.name);
-                    put_u8(&mut buf, v.code);
-                    put_u64(&mut buf, v.states);
-                    put_u64(&mut buf, v.transitions);
-                    put_u8(&mut buf, v.cached as u8);
-                    put_str(&mut buf, &v.detail);
+                put_cell(&mut buf, cell);
+            }
+            match resume {
+                None => put_u8(&mut buf, 0),
+                Some(t) => {
+                    put_u8(&mut buf, 1);
+                    put_u64(&mut buf, t.token);
+                    put_u64(&mut buf, t.expires_in_ms);
                 }
             }
         }
@@ -414,11 +583,30 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             id,
             queue_depth,
             capacity,
+            retry_after_hint_ms,
         } => {
             put_u8(&mut buf, RESP_OVERLOADED);
             put_u64(&mut buf, *id);
             put_u64(&mut buf, *queue_depth);
             put_u64(&mut buf, *capacity);
+            put_u64(&mut buf, *retry_after_hint_ms);
+        }
+        Response::ResumeRejected { id, cause } => {
+            put_u8(&mut buf, RESP_RESUME_REJECTED);
+            put_u64(&mut buf, *id);
+            put_u8(&mut buf, cause.byte());
+        }
+        Response::Progress {
+            id,
+            states,
+            transitions,
+            cells_done,
+        } => {
+            put_u8(&mut buf, RESP_PROGRESS);
+            put_u64(&mut buf, *id);
+            put_u64(&mut buf, *states);
+            put_u64(&mut buf, *transitions);
+            put_u64(&mut buf, *cells_done);
         }
         Response::Rejected { id, reason } => {
             put_u8(&mut buf, RESP_REJECTED);
@@ -443,6 +631,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.cache_misses,
                 s.active_jobs,
                 s.queue_depth,
+                s.parked,
+                s.resumed,
+                s.resume_rejected,
+                s.checkpoints_evicted,
+                s.log_recovered,
             ] {
                 put_u64(&mut buf, v);
             }
@@ -456,17 +649,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 // Decoding
 // ---------------------------------------------------------------------------
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, pos: 0 }
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         let b = *self
             .buf
             .get(self.pos)
@@ -475,7 +668,7 @@ impl<'a> Cursor<'a> {
         Ok(b)
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         let end = self.pos + 8;
         let bytes = self
             .buf
@@ -485,9 +678,21 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
     }
 
+    /// `n` raw bytes, borrowed from the payload.
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError::Malformed("truncated payload".into()))?;
+        let b = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(b)
+    }
+
     /// A length field that must leave room for `elem_size`-byte elements in
     /// the remaining payload — bounds every allocation by the frame size.
-    fn len(&mut self, elem_size: usize) -> Result<usize, WireError> {
+    pub(crate) fn len(&mut self, elem_size: usize) -> Result<usize, WireError> {
         let n = self.u64()? as usize;
         let room = (self.buf.len() - self.pos) / elem_size.max(1);
         if n > room {
@@ -498,7 +703,7 @@ impl<'a> Cursor<'a> {
         Ok(n)
     }
 
-    fn str(&mut self) -> Result<String, WireError> {
+    pub(crate) fn str(&mut self) -> Result<String, WireError> {
         let n = self.len(1)?;
         let end = self.pos + n;
         let bytes = &self.buf[self.pos..end];
@@ -507,7 +712,7 @@ impl<'a> Cursor<'a> {
             .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
     }
 
-    fn finish(&self) -> Result<(), WireError> {
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::Malformed(format!(
                 "{} trailing bytes",
@@ -516,6 +721,34 @@ impl<'a> Cursor<'a> {
         }
         Ok(())
     }
+}
+
+pub(crate) fn read_verdict(c: &mut Cursor<'_>) -> Result<SpecVerdict, WireError> {
+    Ok(SpecVerdict {
+        name: c.str()?,
+        code: c.u8()?,
+        states: c.u64()?,
+        transitions: c.u64()?,
+        cached: c.u8()? != 0,
+        detail: c.str()?,
+    })
+}
+
+pub(crate) fn read_cell(c: &mut Cursor<'_>) -> Result<CellReport, WireError> {
+    let k = c.len(8)?;
+    let mut valuation = Vec::with_capacity(k);
+    for _ in 0..k {
+        valuation.push(c.u64()?);
+    }
+    let n_verdicts = c.len(8)?;
+    let mut verdicts = Vec::with_capacity(n_verdicts);
+    for _ in 0..n_verdicts {
+        verdicts.push(read_verdict(c)?);
+    }
+    Ok(CellReport {
+        valuation,
+        verdicts,
+    })
 }
 
 /// Decodes a request payload.
@@ -528,6 +761,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             let priority = Priority::from_byte(c.u8()?)
                 .ok_or_else(|| WireError::Malformed("unknown priority band".into()))?;
             let deadline_ms = c.u64()?;
+            let flags = c.u8()?;
+            if flags > 3 {
+                return Err(WireError::Malformed("unknown request flags".into()));
+            }
             let source = match c.u8()? {
                 1 => Source::Protocol(c.str()?),
                 2 => {
@@ -569,6 +806,27 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 source,
                 valuations,
                 obligations,
+                progress: flags & 1 != 0,
+                park_on_interrupt: flags & 2 != 0,
+            })
+        }
+        REQ_RESUME => {
+            let id = c.u64()?;
+            let token = c.u64()?;
+            let priority = Priority::from_byte(c.u8()?)
+                .ok_or_else(|| WireError::Malformed("unknown priority band".into()))?;
+            let deadline_ms = c.u64()?;
+            let flags = c.u8()?;
+            if flags > 3 {
+                return Err(WireError::Malformed("unknown request flags".into()));
+            }
+            Request::Resume(ResumeRequest {
+                id,
+                token,
+                priority,
+                deadline_ms,
+                progress: flags & 1 != 0,
+                park_on_interrupt: flags & 2 != 0,
             })
         }
         REQ_STATS => Request::Stats,
@@ -589,34 +847,34 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             let n_cells = c.len(8)?;
             let mut cells = Vec::with_capacity(n_cells);
             for _ in 0..n_cells {
-                let k = c.len(8)?;
-                let mut valuation = Vec::with_capacity(k);
-                for _ in 0..k {
-                    valuation.push(c.u64()?);
-                }
-                let n_verdicts = c.len(8)?;
-                let mut verdicts = Vec::with_capacity(n_verdicts);
-                for _ in 0..n_verdicts {
-                    verdicts.push(SpecVerdict {
-                        name: c.str()?,
-                        code: c.u8()?,
-                        states: c.u64()?,
-                        transitions: c.u64()?,
-                        cached: c.u8()? != 0,
-                        detail: c.str()?,
-                    });
-                }
-                cells.push(CellReport {
-                    valuation,
-                    verdicts,
-                });
+                cells.push(read_cell(&mut c)?);
             }
-            Response::Verdict { id, cells }
+            let resume = match c.u8()? {
+                0 => None,
+                1 => Some(ResumeToken {
+                    token: c.u64()?,
+                    expires_in_ms: c.u64()?,
+                }),
+                _ => return Err(WireError::Malformed("bad resume presence byte".into())),
+            };
+            Response::Verdict { id, cells, resume }
         }
         RESP_OVERLOADED => Response::Overloaded {
             id: c.u64()?,
             queue_depth: c.u64()?,
             capacity: c.u64()?,
+            retry_after_hint_ms: c.u64()?,
+        },
+        RESP_RESUME_REJECTED => Response::ResumeRejected {
+            id: c.u64()?,
+            cause: ResumeRejectCause::from_byte(c.u8()?)
+                .ok_or_else(|| WireError::Malformed("unknown resume-reject cause".into()))?,
+        },
+        RESP_PROGRESS => Response::Progress {
+            id: c.u64()?,
+            states: c.u64()?,
+            transitions: c.u64()?,
+            cells_done: c.u64()?,
         },
         RESP_REJECTED => Response::Rejected {
             id: c.u64()?,
@@ -637,6 +895,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             cache_misses: c.u64()?,
             active_jobs: c.u64()?,
             queue_depth: c.u64()?,
+            parked: c.u64()?,
+            resumed: c.u64()?,
+            resume_rejected: c.u64()?,
+            checkpoints_evicted: c.u64()?,
+            log_recovered: c.u64()?,
         }),
         RESP_PONG => Response::Pong,
         t => return Err(WireError::Malformed(format!("unknown response tag {t}"))),
@@ -660,6 +923,8 @@ mod tests {
             },
             valuations: vec![vec![4, 1, 1], vec![5, 1, 1]],
             obligations: vec!["Inv1(0)".into()],
+            progress: true,
+            park_on_interrupt: true,
         })
     }
 
@@ -674,6 +939,16 @@ mod tests {
                 source: Source::Protocol("MMR14".into()),
                 valuations: vec![],
                 obligations: vec![],
+                progress: false,
+                park_on_interrupt: false,
+            }),
+            Request::Resume(ResumeRequest {
+                id: 2,
+                token: 0xdead_beef,
+                priority: Priority::Normal,
+                deadline_ms: 500,
+                progress: true,
+                park_on_interrupt: false,
             }),
             Request::Stats,
             Request::Ping,
@@ -698,13 +973,24 @@ mod tests {
                     detail: String::new(),
                 }],
             }],
+            resume: None,
+        };
+        let parked = Response::Verdict {
+            id: 10,
+            cells: vec![],
+            resume: Some(ResumeToken {
+                token: 77,
+                expires_in_ms: 60_000,
+            }),
         };
         for resp in [
             verdict,
+            parked,
             Response::Overloaded {
                 id: 3,
                 queue_depth: 64,
                 capacity: 64,
+                retry_after_hint_ms: 120,
             },
             Response::Rejected {
                 id: 4,
@@ -714,9 +1000,21 @@ mod tests {
                 id: 5,
                 detail: "worker panicked".into(),
             },
+            Response::ResumeRejected {
+                id: 6,
+                cause: ResumeRejectCause::Evicted,
+            },
+            Response::Progress {
+                id: 7,
+                states: 1000,
+                transitions: 4000,
+                cells_done: 1,
+            },
             Response::Stats(StatsSnapshot {
                 admitted: 10,
                 shed: 2,
+                parked: 3,
+                log_recovered: 17,
                 ..StatsSnapshot::default()
             }),
             Response::Pong,
@@ -781,9 +1079,33 @@ mod tests {
         assert!(Response::Overloaded {
             id: 1,
             queue_depth: 0,
-            capacity: 0
+            capacity: 0,
+            retry_after_hint_ms: 0
         }
         .is_terminal());
+        assert!(Response::ResumeRejected {
+            id: 2,
+            cause: ResumeRejectCause::Unknown
+        }
+        .is_terminal());
+        // progress frames are interim: the client must keep reading
+        assert!(!Response::Progress {
+            id: 3,
+            states: 0,
+            transitions: 0,
+            cells_done: 0
+        }
+        .is_terminal());
+        assert_eq!(
+            Response::Progress {
+                id: 3,
+                states: 0,
+                transitions: 0,
+                cells_done: 0
+            }
+            .request_id(),
+            Some(3)
+        );
         assert!(!Response::Pong.is_terminal());
         assert_eq!(Response::Stats(StatsSnapshot::default()).request_id(), None);
     }

@@ -34,6 +34,8 @@ pub fn slow_check(id: u64, deadline_ms: u64) -> Request {
         source: Source::Protocol("Rabin83".into()),
         valuations: vec![vec![11, 1, 1, 1]],
         obligations: vec![],
+        progress: false,
+        park_on_interrupt: false,
     })
 }
 
@@ -46,6 +48,8 @@ pub fn family_check(id: u64, params: FamilyParams, seed: u64, deadline_ms: u64) 
         source: Source::Family { params, seed },
         valuations: vec![],
         obligations: vec![],
+        progress: false,
+        park_on_interrupt: false,
     })
 }
 

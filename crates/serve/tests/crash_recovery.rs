@@ -1,0 +1,423 @@
+//! The crash campaign: a *real* `ccserve` process is killed — `SIGKILL`
+//! from outside, or `std::process::abort` fired from the always-compiled
+//! fault sites inside the durability paths (`SITE_LOG_APPEND` mid-record,
+//! `SITE_LOG_FSYNC` before the sync, `SITE_COMPACT_SWAP` before the rename)
+//! — and restarted on the same cache log.  Invariants, per the durability
+//! contract in the crate docs:
+//!
+//! * the recovered cache is a prefix of what was acknowledged: every
+//!   definite verdict acknowledged before the crash is served identically
+//!   after the restart;
+//! * no wrong verdict is ever served: post-restart answers match a fresh
+//!   in-process `CheckJob` oracle;
+//! * a resume token issued before the crash either continues the job or
+//!   fails typed — it never hangs and never fabricates verdicts.
+
+mod common;
+
+use ccchecker::{CheckJob, CheckerOptions, Spec};
+use ccprotocols::family::{FamilyParams, FaultModel};
+use ccserve::wire::{CellReport, CheckRequest, Priority, Request, Response, ResumeRequest, Source};
+use ccserve::ServeClient;
+use common::tiny_params;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SPAWN_WAIT: Duration = Duration::from_secs(60);
+
+/// A `ccserve` child process bound to an ephemeral port, with its durable
+/// log in `dir`.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cc-crash-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Spawns the real binary; `fault` is a `CC_FAULT_CRASH` spec
+/// (`site:skip[:shots]`) arming an abort at a durability site.
+fn spawn_daemon(dir: &Path, fault: Option<&str>) -> Daemon {
+    let port_file = dir.join("port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ccserve"));
+    cmd.args([
+        "--tcp",
+        "127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--cache-log",
+        dir.join("verdicts.cclog").to_str().unwrap(),
+        "--fsync-policy",
+        "always",
+        "--checkpoint-slots",
+        "8",
+        "--workers",
+        "2",
+        "--stats-interval",
+        "3600",
+    ])
+    .env("CC_SERVE_COMPACT_EVERY", "4")
+    .stdin(Stdio::null())
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    match fault {
+        Some(spec) => cmd.env("CC_FAULT_CRASH", spec),
+        None => cmd.env_remove("CC_FAULT_CRASH"),
+    };
+    let mut child = cmd.spawn().expect("spawn ccserve");
+
+    let deadline = Instant::now() + SPAWN_WAIT;
+    let addr = loop {
+        if let Some(status) = child.try_wait().expect("child status") {
+            panic!("ccserve exited during startup: {status}");
+        }
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if let Ok(addr) = s.trim().parse::<SocketAddr>() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ccserve never wrote {port_file:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    Daemon { child, addr }
+}
+
+/// A panicking test must not leak its child: an orphaned daemon holds the
+/// test harness's output pipe open (hanging piped `cargo test` runs) and
+/// can contaminate later runs.
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Daemon {
+    /// `kill -9`, then reap.
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL");
+        self.child.wait().expect("reap");
+    }
+
+    /// Waits for the child to die on its own (an armed fault firing),
+    /// failing the test if it stays alive past the deadline.
+    fn wait_for_death(mut self) {
+        let deadline = Instant::now() + SPAWN_WAIT;
+        loop {
+            if self.child.try_wait().expect("child status").is_some() {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "armed fault never killed the daemon"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn family_req(id: u64, seed: u64, deadline_ms: u64, park: bool) -> Request {
+    Request::Check(CheckRequest {
+        id,
+        priority: Priority::Normal,
+        deadline_ms,
+        source: Source::Family {
+            params: tiny_params(),
+            seed,
+        },
+        valuations: vec![],
+        obligations: vec![],
+        progress: false,
+        park_on_interrupt: park,
+    })
+}
+
+/// A request pinned to the family's base valuation — the single cell the
+/// in-process oracle checks (an empty valuation list would make the daemon
+/// auto-sweep several cells instead).
+fn oracle_req(id: u64, seed: u64) -> Request {
+    let family = tiny_params().instantiate(seed);
+    Request::Check(CheckRequest {
+        id,
+        priority: Priority::Normal,
+        deadline_ms: 0,
+        source: Source::Family {
+            params: tiny_params(),
+            seed,
+        },
+        valuations: vec![family.valuation.values().to_vec()],
+        obligations: vec![],
+        progress: false,
+        park_on_interrupt: false,
+    })
+}
+
+/// One (name, code, states, transitions) row per obligation per cell —
+/// the bit-identity footprint of a verdict, minus cache provenance.
+type VerdictShape = Vec<Vec<(String, u8, u64, u64)>>;
+
+fn shape(cells: &[CellReport]) -> VerdictShape {
+    cells
+        .iter()
+        .map(|c| {
+            c.verdicts
+                .iter()
+                .map(|v| (v.name.clone(), v.code, v.states, v.transitions))
+                .collect()
+        })
+        .collect()
+}
+
+/// Sends one check and returns the verdict cells.
+fn ask(addr: SocketAddr, req: &Request) -> Vec<CellReport> {
+    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+    match client.request(req).expect("verdict") {
+        Response::Verdict { cells, .. } => cells,
+        other => panic!("expected Verdict, got {other:?}"),
+    }
+}
+
+/// The in-process oracle for a family point: a fresh `CheckJob` over the
+/// full obligation catalogue at the family's quick valuation.
+fn oracle_shape(seed: u64) -> VerdictShape {
+    let family = tiny_params().instantiate(seed);
+    let specs = Spec::family_catalogue(&family.single_round, &family.obligations);
+    let sys = cccounter::CounterSystem::new(family.single_round.clone(), family.valuation.clone())
+        .expect("counter system");
+    let (outcomes, _) = CheckJob::new(&sys, &specs, CheckerOptions::default())
+        .run()
+        .completed()
+        .expect("oracle completes");
+    vec![specs
+        .iter()
+        .zip(&outcomes)
+        .map(|(spec, o)| {
+            (
+                spec.name().to_string(),
+                cccore::verdict_code(o.status),
+                o.states_explored as u64,
+                o.transitions_explored as u64,
+            )
+        })
+        .collect()]
+}
+
+#[test]
+fn sigkill_recovery_serves_every_acknowledged_verdict_unchanged() {
+    let dir = scratch_dir("sigkill");
+    let daemon = spawn_daemon(&dir, None);
+
+    // acknowledge a batch of definite verdicts
+    let seeds: Vec<u64> = (0..6).collect();
+    let mut acked = Vec::new();
+    let mut acked_definite = 0u64;
+    for &seed in &seeds {
+        let cells = ask(daemon.addr, &family_req(seed, seed, 0, false));
+        acked_definite += cells
+            .iter()
+            .flat_map(|c| &c.verdicts)
+            .filter(|v| v.code != b'?' && !v.cached)
+            .count() as u64;
+        acked.push(shape(&cells));
+    }
+    assert!(acked_definite > 0, "the workload must produce verdicts");
+    daemon.kill();
+
+    // restart on the same log: everything acknowledged must be back
+    let daemon = spawn_daemon(&dir, None);
+    let recovered = ServeClient::connect_tcp(daemon.addr)
+        .expect("connect")
+        .stats()
+        .expect("stats")
+        .log_recovered;
+    assert!(
+        recovered >= acked_definite,
+        "fsync=always: all {acked_definite} acknowledged definite verdicts \
+         must be recovered, got {recovered}"
+    );
+
+    for (&seed, before) in seeds.iter().zip(&acked) {
+        let after = ask(daemon.addr, &family_req(100 + seed, seed, 0, false));
+        assert_eq!(
+            &shape(&after),
+            before,
+            "seed {seed}: post-restart verdicts diverged from what was acknowledged"
+        );
+        assert!(
+            after.iter().flat_map(|c| &c.verdicts).all(|v| v.cached),
+            "seed {seed}: recovered verdicts must come from the preloaded cache"
+        );
+    }
+
+    // and the recovered answers are *right*, not merely consistent
+    assert_eq!(
+        shape(&ask(daemon.addr, &oracle_req(999, 2))),
+        oracle_shape(2)
+    );
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aborts_at_every_durability_site_recover_to_correct_verdicts() {
+    // (site, skip): SITE_LOG_APPEND=6 fires *between* the two halves of a
+    // record write, leaving a genuinely torn record; SITE_LOG_FSYNC=7 dies
+    // before the sync; SITE_COMPACT_SWAP=8 dies with a staged next
+    // generation not yet swapped in (CC_SERVE_COMPACT_EVERY=4 forces
+    // compaction within the batch).
+    for (label, fault) in [
+        ("append-torn-first", "6:0"),
+        ("append-torn-later", "6:3"),
+        ("fsync", "7:2"),
+        ("compact-swap", "8:0"),
+    ] {
+        let dir = scratch_dir(&format!("abort-{label}"));
+        let daemon = spawn_daemon(&dir, Some(fault));
+        let addr = daemon.addr;
+
+        // drive until the armed abort kills the daemon mid-request; record
+        // what was actually acknowledged before death
+        let mut acked: Vec<(u64, VerdictShape)> = Vec::new();
+        for seed in 0..12u64 {
+            let Ok(mut client) = ServeClient::connect_tcp(addr) else {
+                break;
+            };
+            if client.send(&family_req(seed, seed % 4, 0, false)).is_err() {
+                break;
+            }
+            match client.recv() {
+                Ok(Response::Verdict { cells, .. }) => acked.push((seed % 4, shape(&cells))),
+                Ok(other) => panic!("[{label}] unexpected response {other:?}"),
+                Err(_) => break,
+            }
+        }
+        daemon.wait_for_death();
+
+        // restart clean: a torn tail is truncated, never an error, and
+        // every acknowledged verdict is still answered identically
+        let daemon = spawn_daemon(&dir, None);
+        ServeClient::connect_tcp(daemon.addr)
+            .expect("connect")
+            .ping()
+            .expect("post-recovery ping");
+        for (i, (seed, before)) in acked.iter().enumerate() {
+            let after = ask(daemon.addr, &family_req(500 + i as u64, *seed, 0, false));
+            assert_eq!(
+                &shape(&after),
+                before,
+                "[{label}] seed {seed}: acknowledged verdict changed across the crash"
+            );
+        }
+        // oracle cross-check: the recovered state serves the truth
+        assert_eq!(
+            shape(&ask(daemon.addr, &oracle_req(998, 1))),
+            oracle_shape(1),
+            "[{label}] recovered daemon disagrees with the in-process oracle"
+        );
+        daemon.kill();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A family point slow enough that a 1 ms deadline reliably parks.
+fn parkable_req(id: u64) -> Request {
+    Request::Check(CheckRequest {
+        id,
+        priority: Priority::Normal,
+        deadline_ms: 1,
+        source: Source::Family {
+            params: FamilyParams {
+                phases: 2,
+                width: 2,
+                fanout: 1,
+                guard_density: 0,
+                shared_vars: 1,
+                coin_vars: 2,
+                faults: FaultModel::Byzantine,
+                resilience: 2,
+            },
+            seed: 11,
+        },
+        valuations: vec![],
+        obligations: vec![],
+        progress: false,
+        park_on_interrupt: true,
+    })
+}
+
+#[test]
+fn resume_tokens_survive_sigkill_or_fail_typed() {
+    let dir = scratch_dir("resume");
+    let daemon = spawn_daemon(&dir, None);
+
+    let mut client = ServeClient::connect_tcp(daemon.addr).expect("connect");
+    let token = match client.request(&parkable_req(1)).expect("verdict") {
+        Response::Verdict { resume, .. } => {
+            resume
+                .expect("1ms deadline with park_on_interrupt parks")
+                .token
+        }
+        other => panic!("expected Verdict, got {other:?}"),
+    };
+    daemon.kill();
+
+    // the checkpoint was fsync'd before the token was promised, so the
+    // restarted daemon must honour it — and run it to completion
+    let daemon = spawn_daemon(&dir, None);
+    let mut client = ServeClient::connect_tcp(daemon.addr).expect("connect");
+    let resp = client
+        .request(&Request::Resume(ResumeRequest {
+            id: 2,
+            token,
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            progress: false,
+            park_on_interrupt: false,
+        }))
+        .expect("a resume across restart answers, it never hangs");
+    match resp {
+        Response::Verdict { cells, resume, .. } => {
+            assert!(resume.is_none(), "unbounded resume completes");
+            assert!(
+                cells
+                    .iter()
+                    .flat_map(|c| &c.verdicts)
+                    .all(|v| v.code != b'?'),
+                "a completed resume never fabricates or degrades: {cells:?}"
+            );
+        }
+        Response::ResumeRejected { .. } => {
+            // typed rejection is the contract's other legal outcome; with
+            // fsync'd checkpoints it indicates eviction pressure, not loss
+        }
+        other => panic!("resume across restart must terminate typed, got {other:?}"),
+    }
+
+    // a token the daemon never issued still rejects typed after recovery
+    match client
+        .request(&Request::Resume(ResumeRequest {
+            id: 3,
+            token: token.wrapping_add(0x5eed),
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            progress: false,
+            park_on_interrupt: false,
+        }))
+        .expect("typed answer")
+    {
+        Response::ResumeRejected { id: 3, .. } => {}
+        other => panic!("expected ResumeRejected, got {other:?}"),
+    }
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -143,6 +143,8 @@ fn semantic_rejections_are_typed() {
         source: Source::Protocol("no-such-protocol".into()),
         valuations: vec![],
         obligations: vec![],
+        progress: false,
+        park_on_interrupt: false,
     }));
     assert!(reason.contains("unknown protocol"), "reason: {reason}");
 
@@ -156,6 +158,8 @@ fn semantic_rejections_are_typed() {
         },
         valuations: vec![vec![1, 2]],
         obligations: vec![],
+        progress: false,
+        park_on_interrupt: false,
     }));
     assert!(reason.contains("arity"), "reason: {reason}");
 
@@ -169,6 +173,8 @@ fn semantic_rejections_are_typed() {
         },
         valuations: vec![vec![0; arity_of_tiny_family()]],
         obligations: vec![],
+        progress: false,
+        park_on_interrupt: false,
     }));
     assert!(reason.contains("inadmissible"), "reason: {reason}");
 
@@ -182,6 +188,8 @@ fn semantic_rejections_are_typed() {
         },
         valuations: vec![],
         obligations: vec!["NoSuchObligation".into()],
+        progress: false,
+        park_on_interrupt: false,
     }));
     assert!(
         reason.contains("no matching obligations"),
@@ -220,10 +228,12 @@ fn verdicts_match_an_in_process_check_job() {
             source: Source::Family { params, seed },
             valuations: vec![family.valuation.values().to_vec()],
             obligations: vec![],
+            progress: false,
+            park_on_interrupt: false,
         }))
         .expect("verdict");
     let cells = match resp {
-        Response::Verdict { id: 42, cells } => cells,
+        Response::Verdict { id: 42, cells, .. } => cells,
         other => panic!("expected Verdict, got {other:?}"),
     };
     assert_eq!(cells.len(), 1);
@@ -282,7 +292,7 @@ fn tight_deadline_degrades_to_unknown_verdicts() {
         .request(&slow_check(7, 30))
         .expect("degraded verdict");
     let cells = match resp {
-        Response::Verdict { id: 7, cells } => cells,
+        Response::Verdict { id: 7, cells, .. } => cells,
         other => panic!("expected Verdict, got {other:?}"),
     };
     assert!(!cells.is_empty());

@@ -1,14 +1,16 @@
 //! Seeded multi-client soak: several clients pipeline randomized requests
-//! (mixed priorities, deadlines, families) while one client vanishes
-//! mid-stream.  Invariants: every request on a live connection gets exactly
-//! one terminal response, the daemon leaks no worker slots or queue
-//! entries, and the counters reconcile.
+//! (mixed priorities, deadlines, families, and opt-in progress streams)
+//! while one client vanishes mid-stream.  Invariants: every request on a
+//! live connection gets exactly one terminal response (interim `Progress`
+//! frames ride in between and are tolerated and counted, never required),
+//! the daemon leaks no worker slots or queue entries, and the counters
+//! reconcile.
 
 mod common;
 
 use ccprotocols::family::{FamilyParams, FaultModel};
 use ccserve::server::ServeConfig;
-use ccserve::wire::{CheckRequest, Priority, Request, Source};
+use ccserve::wire::{CheckRequest, Priority, Request, Response, Source};
 use ccserve::ServeClient;
 use common::{start, wait_for_stats};
 use rand::rngs::StdRng;
@@ -110,6 +112,10 @@ fn soak_client(addr: std::net::SocketAddr, client_idx: u64) -> u64 {
             },
             valuations: vec![],
             obligations: vec![],
+            // roughly half the requests subscribe to interim progress
+            // frames; the receive loop must stay correct either way
+            progress: rng.gen_bool(0.5),
+            park_on_interrupt: false,
         });
         sender.send(&req).expect("pipelined send");
         expected.insert(id);
@@ -126,12 +132,29 @@ fn soak_client(addr: std::net::SocketAddr, client_idx: u64) -> u64 {
     }
 
     let mut answered = HashSet::new();
+    let mut progress_frames = 0u64;
     while answered.len() < expected.len() {
         let resp = receiver.recv().expect("terminal response");
-        assert!(resp.is_terminal(), "unexpected non-terminal {resp:?}");
+        if !resp.is_terminal() {
+            // interim progress for a subscribed request: tolerated in any
+            // quantity, but only for ids we actually asked about
+            assert!(
+                matches!(resp, Response::Progress { .. }),
+                "unexpected non-terminal {resp:?}"
+            );
+            let id = resp.request_id().expect("progress frames carry ids");
+            assert!(expected.contains(&id), "progress for unknown id {id}");
+            assert!(
+                !answered.contains(&id),
+                "progress for already-terminated id {id}"
+            );
+            progress_frames += 1;
+            continue;
+        }
         let id = resp.request_id().expect("terminal responses carry ids");
         assert!(expected.contains(&id), "unknown request id {id}");
         assert!(answered.insert(id), "request {id} answered twice");
     }
+    eprintln!("soak client {client_idx}: {progress_frames} progress frames");
     answered.len() as u64
 }
